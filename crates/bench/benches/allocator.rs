@@ -1,0 +1,41 @@
+//! Criterion bench: max-min fair water-filling scaling.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use numa_fabric::{solve_max_min, FlowSpec, MaxMinProblem};
+
+/// Deterministic pseudo-random problem of `n` flows over `r` resources.
+fn problem(n: usize, r: usize) -> MaxMinProblem {
+    let mut state = 0x1234_5678_9abc_def0_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let capacities: Vec<f64> = (0..r).map(|_| 10.0 + (next() % 90) as f64).collect();
+    let flows = (0..n)
+        .map(|_| {
+            let k = 1 + (next() as usize % 4).min(r - 1);
+            let resources: Vec<usize> = (0..k).map(|_| next() as usize % r).collect();
+            let ceiling = if next() % 3 == 0 { 5.0 + (next() % 40) as f64 } else { f64::INFINITY };
+            FlowSpec { resources, ceiling, weight: 1.0 }
+        })
+        .collect();
+    MaxMinProblem { capacities, flows }
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_min_allocator");
+    for (flows, resources) in [(8, 16), (64, 64), (256, 128), (1024, 256)] {
+        let p = problem(flows, resources);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{flows}f_{resources}r")),
+            &p,
+            |b, p| b.iter(|| solve_max_min(black_box(p))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocator);
+criterion_main!(benches);

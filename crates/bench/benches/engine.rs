@@ -1,0 +1,48 @@
+//! Criterion bench: discrete-event flow simulation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use numa_engine::{FlowSpec, JitterCfg, Simulation};
+use numa_fabric::calibration::dl585_fabric;
+use numa_topology::NodeId;
+
+fn bench_engine(c: &mut Criterion) {
+    let fabric = dl585_fabric();
+    let mut group = c.benchmark_group("engine");
+    for flows in [4usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("run", flows), &flows, |b, &flows| {
+            b.iter(|| {
+                let mut sim = Simulation::new(black_box(&fabric));
+                for i in 0..flows {
+                    let src = NodeId((i % 8) as u16);
+                    let dst = NodeId(((i / 8 + 1) % 8) as u16);
+                    let (src, dst) = if src == dst { (src, NodeId((src.0 + 1) % 8)) } else { (src, dst) };
+                    sim.add_flow(FlowSpec::dma(src, dst).gbits(10.0 + i as f64));
+                }
+                sim.run().unwrap()
+            })
+        });
+    }
+    group.bench_function("run_with_jitter_16_flows", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(black_box(&fabric))
+                .with_jitter(JitterCfg { amplitude: 0.05, refresh_s: 0.25, seed: 7 });
+            for i in 0..16u16 {
+                sim.add_flow(FlowSpec::dma(NodeId(i % 8), NodeId(7)).gbits(50.0));
+            }
+            sim.run().unwrap()
+        })
+    });
+    group.bench_function("steady_rates_64_flows", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(black_box(&fabric));
+            for i in 0..64u16 {
+                sim.add_flow(FlowSpec::dma(NodeId(i % 8), NodeId((i + 3) % 8)).gbits(1.0));
+            }
+            sim.steady_rates()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: Algorithm 1 end-to-end (probe + classify).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use numa_fabric::calibration::generic_fabric;
+use numa_topology::{presets, NodeId};
+use numio_core::{IoModeler, SimPlatform, TransferMode};
+
+fn bench_modeler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iomodeler");
+    let dl585 = SimPlatform::dl585();
+    for reps in [10u32, 100] {
+        group.bench_with_input(BenchmarkId::new("dl585_write", reps), &reps, |b, &reps| {
+            b.iter(|| {
+                IoModeler::new().reps(reps).characterize(
+                    black_box(&dl585),
+                    NodeId(7),
+                    TransferMode::Write,
+                )
+            })
+        });
+    }
+    let blade = SimPlatform::new(generic_fabric(presets::blade32()));
+    group.bench_function("blade32_read_100reps", |b| {
+        b.iter(|| {
+            IoModeler::new().characterize(black_box(&blade), NodeId(0), TransferMode::Read)
+        })
+    });
+    group.bench_function("characterize_all_dl585", |b| {
+        b.iter(|| IoModeler::new().reps(10).characterize_all(black_box(&dl585)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modeler);
+criterion_main!(benches);

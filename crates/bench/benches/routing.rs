@@ -1,0 +1,26 @@
+//! Criterion bench: route-table construction and path-bandwidth queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use numa_fabric::calibration::{dl585_fabric, generic_fabric};
+use numa_topology::{presets, NodeId, RouteTable};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    for topo in [presets::dl585_testbed(), presets::blade32()] {
+        let name = topo.name().to_string();
+        group.bench_function(format!("bfs_table_{name}"), |b| {
+            b.iter(|| RouteTable::bfs(black_box(&topo)))
+        });
+    }
+    let fabric = dl585_fabric();
+    group.bench_function("dma_matrix_dl585", |b| b.iter(|| black_box(&fabric).dma_matrix()));
+    let big = generic_fabric(presets::blade32());
+    group.bench_function("dma_matrix_blade32", |b| b.iter(|| black_box(&big).dma_matrix()));
+    group.bench_function("single_path_query", |b| {
+        b.iter(|| black_box(&fabric).dma_path_bandwidth(NodeId(0), NodeId(7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

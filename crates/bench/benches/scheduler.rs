@@ -1,0 +1,46 @@
+//! Criterion bench: online scheduling episodes and two-host matrices.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use numa_fabric::calibration::dl585_fabric;
+use numa_iodev::{NicOp, TwoHostPath};
+use numa_sched::policy::{LocalOnly, ModelDriven};
+use numa_sched::{trace, Scheduler};
+use numio_core::SimPlatform;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let platform = SimPlatform::dl585();
+    let mut group = c.benchmark_group("scheduler");
+    for n in [4usize, 12, 24] {
+        let tasks = trace::poisson(n, 1.0, trace::MixProfile::Uniform, 7);
+        group.bench_with_input(BenchmarkId::new("local_only", n), &tasks, |b, tasks| {
+            b.iter(|| {
+                Scheduler::new(black_box(&platform))
+                    .run(tasks.clone(), LocalOnly::new())
+                    .unwrap()
+            })
+        });
+    }
+    let tasks = trace::burst(12, trace::MixProfile::Ingest, 3);
+    let policy_template = ModelDriven::from_platform(&platform);
+    group.bench_function("model_driven_burst_12", |b| {
+        b.iter(|| {
+            Scheduler::new(black_box(&platform))
+                .run(tasks.clone(), policy_template.clone())
+                .unwrap()
+        })
+    });
+    group.bench_function("policy_construction", |b| {
+        b.iter(|| ModelDriven::from_platform(black_box(&platform)))
+    });
+
+    let local = dl585_fabric();
+    let remote = dl585_fabric();
+    let path = TwoHostPath::paper();
+    group.bench_function("two_host_matrix_8x8", |b| {
+        b.iter(|| path.matrix(NicOp::TcpSend, black_box(&local), black_box(&remote)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: STREAM matrix generation and the fio sweep harness.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use numa_fabric::calibration::dl585_fabric;
+use numa_fio::{sweep, Workload};
+use numa_iodev::NicOp;
+use numa_memsys::{StreamBench, StreamOp};
+use numa_topology::NodeId;
+
+fn bench_stream(c: &mut Criterion) {
+    let fabric = dl585_fabric();
+    let mut group = c.benchmark_group("stream_and_sweeps");
+    group.bench_function("stream_matrix_8x8_100reps", |b| {
+        b.iter(|| StreamBench::paper().matrix(black_box(&fabric)))
+    });
+    group.bench_function("stream_single_cell", |b| {
+        let bench = StreamBench::paper();
+        b.iter(|| bench.run(black_box(&fabric), NodeId(7), NodeId(4)))
+    });
+    group.bench_function("stream_all_kernels_local", |b| {
+        b.iter(|| {
+            StreamOp::ALL.map(|op| {
+                StreamBench { op, ..StreamBench::paper() }
+                    .run(black_box(&fabric), NodeId(0), NodeId(0))
+                    .max_gbps
+            })
+        })
+    });
+    group.bench_function("fio_rdma_sweep_8nodes_2counts", |b| {
+        b.iter(|| {
+            sweep::sweep(
+                black_box(&fabric),
+                &Workload::Nic(NicOp::RdmaWrite),
+                &sweep::paper_nodes(),
+                &[1, 2],
+                2.0,
+                5,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

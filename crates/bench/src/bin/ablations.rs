@@ -1,0 +1,5 @@
+//! Regenerate the design-choice ablation experiments (see DESIGN.md §5).
+
+fn main() {
+    print!("{}", numa_bench::experiments::ablations::run().render());
+}

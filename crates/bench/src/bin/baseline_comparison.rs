@@ -1,0 +1,5 @@
+//! Regenerate the STREAM/cbench-baseline vs methodology bake-off.
+
+fn main() {
+    print!("{}", numa_bench::experiments::baseline::run().render());
+}

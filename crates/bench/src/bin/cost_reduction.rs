@@ -1,0 +1,5 @@
+//! Regenerate the paper's cost experiment (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", numa_bench::experiments::cost::run().render());
+}

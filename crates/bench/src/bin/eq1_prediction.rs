@@ -1,0 +1,5 @@
+//! Regenerate the paper's eq1 experiment (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", numa_bench::experiments::eq1::run().render());
+}

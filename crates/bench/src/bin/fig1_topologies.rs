@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig1 experiment (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", numa_bench::experiments::fig1::run().render());
+}

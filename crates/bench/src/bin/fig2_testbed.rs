@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig2 experiment (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", numa_bench::experiments::fig2::run().render());
+}

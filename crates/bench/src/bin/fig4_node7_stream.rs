@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig4 experiment (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", numa_bench::experiments::fig4::run().render());
+}

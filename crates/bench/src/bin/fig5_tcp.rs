@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig5 experiment (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", numa_bench::experiments::fig5::run().render());
+}

@@ -1,0 +1,5 @@
+//! Regenerate the latency staircase experiment.
+
+fn main() {
+    print!("{}", numa_bench::experiments::latbench::run().render());
+}

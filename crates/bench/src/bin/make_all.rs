@@ -1,0 +1,26 @@
+//! Regenerate every table and figure, print them, and archive the output
+//! under `results/` for EXPERIMENTS.md.
+
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let out_dir = Path::new("results");
+    let _ = fs::create_dir_all(out_dir);
+    for exp in numa_bench::all_experiments() {
+        let rendered = exp.render();
+        print!("{rendered}");
+        let path = out_dir.join(format!("{}.txt", exp.id));
+        if let Err(e) = fs::write(&path, &rendered) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+        if let Some(data) = &exp.data {
+            let jpath = out_dir.join(format!("{}.json", exp.id));
+            let pretty = serde_json::to_string_pretty(data).expect("data serializes");
+            if let Err(e) = fs::write(&jpath, pretty) {
+                eprintln!("warning: could not write {}: {e}", jpath.display());
+            }
+        }
+    }
+    println!("\nwrote per-experiment reports under results/");
+}

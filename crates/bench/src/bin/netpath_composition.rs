@@ -1,0 +1,5 @@
+//! Regenerate the two-host end-to-end composition experiment.
+
+fn main() {
+    print!("{}", numa_bench::experiments::netpath::run().render());
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's sched experiment (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", numa_bench::experiments::sched::run().render());
+}

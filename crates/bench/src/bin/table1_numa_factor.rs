@@ -1,0 +1,5 @@
+//! Regenerate the paper's table1 experiment (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", numa_bench::experiments::table1::run().render());
+}

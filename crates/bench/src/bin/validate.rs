@@ -1,0 +1,180 @@
+//! `validate` — the release self-check: every headline claim of the paper,
+//! re-verified against the current build, printed as a PASS/FAIL battery.
+//!
+//! ```sh
+//! cargo run --release -p numa-bench --bin validate
+//! ```
+
+use numa_fabric::calibration::{paper, table1_machines};
+use numa_fio::{run_jobs, JobSpec};
+use numa_iodev::{NicModel, NicOp, SsdModel, TwoHostPath};
+use numa_memsys::StreamBench;
+use numa_topology::NodeId;
+use numio_core::{
+    predict_aggregate, rank_correlation, relative_error, IoModeler, SimPlatform, TransferMode,
+};
+
+struct Check {
+    name: &'static str,
+    result: Result<String, String>,
+}
+
+fn check(name: &'static str, f: impl FnOnce() -> Result<String, String>) -> Check {
+    Check { name, result: f() }
+}
+
+fn main() {
+    let platform = SimPlatform::dl585();
+    let fabric = platform.fabric();
+    let nic = NicModel::paper();
+    let ssd = SsdModel::paper();
+    let write_model = IoModeler::new().characterize(&platform, NodeId(7), TransferMode::Write);
+    let read_model = IoModeler::new().characterize(&platform, NodeId(7), TransferMode::Read);
+
+    let checks = vec![
+        check("Table I: NUMA factors within 2%", || {
+            for ((topo, model, target), _) in table1_machines().into_iter().zip(paper::TABLE1) {
+                let f = numa_fabric::numa_factor(&topo, &model);
+                if (f - target).abs() / target > 0.02 {
+                    return Err(format!("{}: {f:.2} vs {target}", topo.name()));
+                }
+            }
+            Ok("4/4 machines".into())
+        }),
+        check("Fig 3: STREAM anchors 21.34 / 18.45 and asymmetry", || {
+            let m = StreamBench::paper().matrix(fabric);
+            if (m[7][4] - 21.34).abs() > 0.3 || (m[4][7] - 18.45).abs() > 0.3 {
+                return Err(format!("anchors {:.2}/{:.2}", m[7][4], m[4][7]));
+            }
+            if m[7][4] <= m[4][7] {
+                return Err("asymmetry missing".into());
+            }
+            Ok(format!("{:.2} / {:.2}", m[7][4], m[4][7]))
+        }),
+        check("Fig 3: node-0 local advantage (OS home)", || {
+            let m = StreamBench::paper().matrix(fabric);
+            let best_other = (1..8).map(|i| m[i][i]).fold(0.0_f64, f64::max);
+            if m[0][0] <= best_other {
+                return Err(format!("{:.2} <= {best_other:.2}", m[0][0]));
+            }
+            Ok(format!("{:.2} vs {best_other:.2}", m[0][0]))
+        }),
+        check("Table IV: write classes {6,7} {0,1,4,5} {2,3}", || {
+            let got: Vec<Vec<u16>> = write_model
+                .classes()
+                .iter()
+                .map(|c| c.nodes.iter().map(|n| n.0).collect())
+                .collect();
+            let want: Vec<Vec<u16>> =
+                paper::WRITE_CLASSES.iter().map(|c| c.to_vec()).collect();
+            if got != want {
+                return Err(format!("{got:?}"));
+            }
+            Ok("exact membership match".into())
+        }),
+        check("Table V: read classes {6,7} {2,3} {0,1,5} {4}", || {
+            let got: Vec<Vec<u16>> = read_model
+                .classes()
+                .iter()
+                .map(|c| c.nodes.iter().map(|n| n.0).collect())
+                .collect();
+            let want: Vec<Vec<u16>> = paper::READ_CLASSES.iter().map(|c| c.to_vec()).collect();
+            if got != want {
+                return Err(format!("{got:?}"));
+            }
+            Ok("exact membership match".into())
+        }),
+        check("§IV-B1: neighbour (6) beats local (7) for TCP send", || {
+            let at = |n: u16| {
+                run_jobs(
+                    fabric,
+                    &[JobSpec::nic(NicOp::TcpSend, NodeId(n)).numjobs(4).size_gbytes(6.0)],
+                )
+                .map(|r| r.aggregate_gbps)
+                .map_err(|e| e.to_string())
+            };
+            let (n6, n7) = (at(6)?, at(7)?);
+            if n6 <= n7 {
+                return Err(format!("{n6:.2} <= {n7:.2}"));
+            }
+            Ok(format!("{n6:.2} > {n7:.2}"))
+        }),
+        check("§IV-B2: RDMA_READ inverts the STREAM {0,1} vs {2,3} ordering", || {
+            let stream = StreamBench::paper().cpu_centric(fabric, NodeId(7));
+            let r = |n: u16| nic.node_ceiling(NicOp::RdmaRead, fabric, NodeId(n));
+            let stream_says = (stream[0] + stream[1]) / (stream[2] + stream[3]);
+            let rdma_says = (r(0) + r(1)) / (r(2) + r(3));
+            if !(stream_says > 1.4 && rdma_says < 0.9) {
+                return Err(format!("stream {stream_says:.2}, rdma {rdma_says:.2}"));
+            }
+            Ok(format!("stream x{stream_says:.2} vs rdma x{rdma_says:.2}"))
+        }),
+        check("§IV-B3: SSD mirrors the network directions (rank corr > 0.9)", || {
+            let per = |f: &dyn Fn(u16) -> f64| (0..8).map(f).collect::<Vec<f64>>();
+            let rw = per(&|n: u16| nic.node_ceiling(NicOp::RdmaWrite, fabric, NodeId(n)));
+            let sw = per(&|n| ssd.node_ceiling(true, fabric, NodeId(n)));
+            let rr = per(&|n| nic.node_ceiling(NicOp::RdmaRead, fabric, NodeId(n)));
+            let sr = per(&|n| ssd.node_ceiling(false, fabric, NodeId(n)));
+            let cw = rank_correlation(&rw, &sw);
+            let cr = rank_correlation(&rr, &sr);
+            if cw < 0.9 || cr < 0.9 {
+                return Err(format!("write {cw:.2}, read {cr:.2}"));
+            }
+            Ok(format!("write {cw:.2}, read {cr:.2}"))
+        }),
+        check("Eq. 1: prediction within 5% of measurement (paper: 3.1%)", || {
+            let c2 = nic.map(NicOp::RdmaRead).eval(read_model.classes()[1].avg_gbps);
+            let c3 = nic.map(NicOp::RdmaRead).eval(read_model.classes()[2].avg_gbps);
+            let predicted = predict_aggregate(&[(c2, 0.5), (c3, 0.5)]);
+            let measured = run_jobs(
+                fabric,
+                &[
+                    JobSpec::nic(NicOp::RdmaRead, NodeId(2)).numjobs(2).size_gbytes(40.0),
+                    JobSpec::nic(NicOp::RdmaRead, NodeId(0)).numjobs(2).size_gbytes(40.0),
+                ],
+            )
+            .map_err(|e| e.to_string())?
+            .aggregate_gbps;
+            let err = relative_error(predicted, measured);
+            if err > 0.05 {
+                return Err(format!("{:.1}%", err * 100.0));
+            }
+            Ok(format!(
+                "predicted {predicted:.3}, measured {measured:.3}, err {:.1}%",
+                err * 100.0
+            ))
+        }),
+        check("§V-B: read model halves the probe count", || {
+            if (read_model.probe_savings() - 0.5).abs() > 1e-9 {
+                return Err(format!("{:.0}%", read_model.probe_savings() * 100.0));
+            }
+            Ok("4 classes over 8 nodes".into())
+        }),
+        check("[3]: mis-placement at either end costs ~30% of TCP e2e", || {
+            let remote = numa_fabric::calibration::dl585_fabric();
+            let path = TwoHostPath::paper();
+            let best = path.op_bandwidth(NicOp::TcpSend, (fabric, NodeId(6)), (&remote, NodeId(7)));
+            let bad = path.op_bandwidth(NicOp::TcpSend, (fabric, NodeId(6)), (&remote, NodeId(4)));
+            let loss = 1.0 - bad / best;
+            if !(0.25..=0.40).contains(&loss) {
+                return Err(format!("{:.0}%", loss * 100.0));
+            }
+            Ok(format!("{:.0}% receiver-side loss", loss * 100.0))
+        }),
+    ];
+
+    let mut failed = 0;
+    for c in &checks {
+        match &c.result {
+            Ok(detail) => println!("PASS  {:<62} {detail}", c.name),
+            Err(detail) => {
+                failed += 1;
+                println!("FAIL  {:<62} {detail}", c.name);
+            }
+        }
+    }
+    println!("\n{} / {} claims validated", checks.len() - failed, checks.len());
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

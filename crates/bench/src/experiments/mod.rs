@@ -1,0 +1,20 @@
+//! One module per regenerated table/figure.
+
+pub mod ablations;
+pub mod baseline;
+pub mod cost;
+pub mod eq1;
+pub mod fig1;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod latbench;
+pub mod netpath;
+pub mod sched;
+pub mod table1;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,118 @@
+#![warn(missing_docs)]
+//! # numa-bench
+//!
+//! Experiment regeneration harness: one module (and one binary) per table
+//! and figure of the paper's evaluation, each printing the same rows or
+//! series the paper reports, side by side with the published values where
+//! the paper gives them.
+//!
+//! Run a single experiment:
+//!
+//! ```sh
+//! cargo run -p numa-bench --bin fig10_iomodel
+//! ```
+//!
+//! or everything at once (writes `results/` too):
+//!
+//! ```sh
+//! cargo run -p numa-bench --bin make_all
+//! ```
+//!
+//! The `benches/` directory holds Criterion microbenchmarks of *our*
+//! algorithms (allocator, routing, modeler, event loop, STREAM driver);
+//! the experiment bins regenerate the *paper's* data.
+
+pub mod experiments;
+
+/// One regenerated experiment.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Stable id matching DESIGN.md's index (e.g. `"fig10"`).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Rendered report.
+    pub text: String,
+    /// Machine-readable series/rows for downstream plotting, when the
+    /// experiment carries numeric data worth exporting.
+    pub data: Option<serde_json::Value>,
+}
+
+impl Experiment {
+    /// Render with a banner.
+    pub fn render(&self) -> String {
+        format!(
+            "================================================================\n\
+             {} — {}\n\
+             ================================================================\n\
+             {}\n",
+            self.id, self.title, self.text
+        )
+    }
+}
+
+/// Every experiment, in paper order, generated in parallel (each
+/// experiment is seeded and independent; rayon cuts `make_all` wall time
+/// roughly by the core count).
+pub fn all_experiments() -> Vec<Experiment> {
+    use rayon::prelude::*;
+    let generators: Vec<fn() -> Experiment> = vec![
+        experiments::table1::run,
+        experiments::fig1::run,
+        experiments::fig2::run,
+        experiments::fig3::run,
+        experiments::fig4::run,
+        experiments::fig5::run,
+        experiments::fig6::run,
+        experiments::fig7::run,
+        experiments::fig10::run,
+        experiments::table4::run,
+        experiments::table5::run,
+        experiments::eq1::run,
+        experiments::sched::run,
+        experiments::cost::run,
+        experiments::ablations::run,
+        experiments::baseline::run,
+        experiments::netpath::run,
+        experiments::latbench::run,
+    ];
+    generators.into_par_iter().map(|g| g()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_ids_are_unique_and_ordered() {
+        let exps = all_experiments();
+        assert_eq!(exps.len(), 18);
+        let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
+        let orig = ids.clone();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), orig.len(), "duplicate ids");
+        assert_eq!(orig[0], "table1");
+    }
+
+    #[test]
+    fn data_exports_cover_the_key_figures() {
+        let exps = all_experiments();
+        for id in ["fig3", "fig5", "fig10"] {
+            let e = exps.iter().find(|e| e.id == id).unwrap();
+            assert!(e.data.is_some(), "{id} should export data");
+        }
+        // fig3's matrix is 8x8.
+        let fig3 = exps.iter().find(|e| e.id == "fig3").unwrap();
+        let m = &fig3.data.as_ref().unwrap()["matrix"];
+        assert_eq!(m.as_array().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn every_experiment_produces_output() {
+        for e in all_experiments() {
+            assert!(!e.text.trim().is_empty(), "{} empty", e.id);
+            assert!(e.render().contains(e.title));
+        }
+    }
+}

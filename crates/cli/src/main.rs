@@ -1,0 +1,12 @@
+//! `iomodel` — NUMA I/O bandwidth characterization tool.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match numio_cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("iomodel: {e}");
+            std::process::exit(2);
+        }
+    }
+}

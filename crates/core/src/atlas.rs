@@ -1,0 +1,139 @@
+//! The host atlas: every (target, direction) model of one machine, as a
+//! single persistable artifact.
+//!
+//! A cluster scheduler characterizes each host once and ships the atlas
+//! with the machine; placement decisions then index it by the device node
+//! and transfer direction. This is the natural on-disk product of the
+//! paper's tool once it is run host-wide (§V-B's "generalized to other
+//! nodes in the host").
+
+use crate::model::{IoPerfModel, TransferMode};
+use crate::modeler::IoModeler;
+use crate::platform::SimPlatform;
+use numa_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A complete set of models for one host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Atlas {
+    /// Platform label all models came from.
+    pub platform: String,
+    models: Vec<IoPerfModel>,
+}
+
+impl Atlas {
+    /// Build from models (all must share the platform label).
+    pub fn new(models: Vec<IoPerfModel>) -> Self {
+        assert!(!models.is_empty(), "atlas needs at least one model");
+        let platform = models[0].platform.clone();
+        assert!(
+            models.iter().all(|m| m.platform == platform),
+            "all models must come from one platform"
+        );
+        Atlas { platform, models }
+    }
+
+    /// Characterize every node of a platform, both directions, in parallel.
+    pub fn characterize(platform: &SimPlatform, modeler: &IoModeler) -> Self {
+        Self::new(modeler.characterize_full_host(platform))
+    }
+
+    /// Look up the model for a device node and direction.
+    pub fn model(&self, target: NodeId, mode: TransferMode) -> Option<&IoPerfModel> {
+        self.models
+            .iter()
+            .find(|m| m.target == target && m.mode == mode)
+    }
+
+    /// All models.
+    pub fn models(&self) -> &[IoPerfModel] {
+        &self.models
+    }
+
+    /// Targets covered.
+    pub fn targets(&self) -> Vec<NodeId> {
+        let mut t: Vec<NodeId> = self.models.iter().map(|m| m.target).collect();
+        t.sort();
+        t.dedup();
+        t
+    }
+
+    /// Persist as JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("atlas serializes")
+    }
+
+    /// Load from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Diff against a newer atlas: per-(target, mode) drift reports for
+    /// every model both atlases cover.
+    pub fn diff(
+        &self,
+        newer: &Atlas,
+    ) -> Vec<(NodeId, TransferMode, crate::drift::ModelDiff)> {
+        let mut out = Vec::new();
+        for m in &self.models {
+            if let Some(n) = newer.model(m.target, m.mode) {
+                if let Ok(d) = crate::drift::diff(m, n) {
+                    out.push((m.target, m.mode, d));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atlas() -> Atlas {
+        let platform = SimPlatform::dl585();
+        Atlas::characterize(&platform, &IoModeler::new().reps(3))
+    }
+
+    #[test]
+    fn covers_every_node_and_direction() {
+        let a = atlas();
+        assert_eq!(a.models().len(), 16);
+        assert_eq!(a.targets(), (0..8).map(NodeId).collect::<Vec<_>>());
+        for n in 0..8u16 {
+            for mode in TransferMode::ALL {
+                let m = a.model(NodeId(n), mode).expect("model present");
+                assert_eq!(m.target, NodeId(n));
+                assert_eq!(m.mode, mode);
+            }
+        }
+        assert!(a.model(NodeId(99), TransferMode::Read).is_none());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_lookups() {
+        let a = atlas();
+        let back = Atlas::from_json(&a.to_json()).unwrap();
+        assert_eq!(back.platform, a.platform);
+        assert_eq!(
+            back.model(NodeId(7), TransferMode::Write).unwrap().classes().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn self_diff_is_everywhere_stable() {
+        let a = atlas();
+        let diffs = a.diff(&a);
+        assert_eq!(diffs.len(), 16);
+        for (_, _, d) in diffs {
+            assert!(d.is_stable(1e-9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn empty_atlas_rejected() {
+        let _ = Atlas::new(vec![]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Algorithm 1: NUMA I/O performance modelling.
+
+use crate::classify::{classify, ClassifyParams};
+use crate::model::{IoPerfModel, TransferMode};
+use crate::platform::{CopySpec, Platform};
+use numa_engine::Summary;
+use numa_topology::{NodeId, Topology};
+
+/// The paper's `iomodel` module (added to `numademo`), generalized over a
+/// [`Platform`].
+///
+/// Algorithm 1, line by line:
+///
+/// ```text
+/// n <- numa_num_configured_nodes()
+/// m <- num_configured_cores() / n
+/// for i in 1..=n:
+///     if mode == write: src[i] on node i, snk[i] on node k
+///     if mode == read:  src[i] on node k, snk[i] on node i
+///     spawn m threads bound to node k, copy src->snk 100 times,
+///     record the average bandwidth
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoModeler {
+    /// Repetitions per node pair (Algorithm 1: 100).
+    pub reps: u32,
+    /// Bytes each thread copies per repetition. Large enough to defeat
+    /// caches; 64 MiB mirrors the bulk-transfer regime.
+    pub bytes_per_thread: u64,
+    /// Explicit thread count; `None` = one per core of the target node
+    /// (the algorithm's `m`).
+    pub threads: Option<u32>,
+    /// Classifier knobs.
+    pub classify: ClassifyParams,
+}
+
+impl Default for IoModeler {
+    fn default() -> Self {
+        IoModeler {
+            reps: 100,
+            bytes_per_thread: 64 << 20,
+            threads: None,
+            classify: ClassifyParams::default(),
+        }
+    }
+}
+
+impl IoModeler {
+    /// Paper defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the repetition count.
+    pub fn reps(mut self, reps: u32) -> Self {
+        self.reps = reps;
+        self
+    }
+
+    /// Characterize `target` in one direction. Needs the topology for the
+    /// local+neighbour class rule.
+    pub fn characterize_with_topo<P: Platform>(
+        &self,
+        platform: &P,
+        topo: &Topology,
+        target: NodeId,
+        mode: TransferMode,
+    ) -> IoPerfModel {
+        let n = platform.num_nodes();
+        assert_eq!(n, topo.num_nodes(), "platform and topology disagree on node count");
+        assert!(target.index() < n, "target out of range");
+        let m = self.threads.unwrap_or_else(|| platform.cores_per_node(target));
+
+        let mut per_node = Vec::with_capacity(n);
+        for i in 0..n {
+            let node = NodeId::new(i);
+            let (src, dst) = match mode {
+                TransferMode::Write => (node, target),
+                TransferMode::Read => (target, node),
+            };
+            let samples = platform.run_copy(&CopySpec {
+                bind: target,
+                src,
+                dst,
+                threads: m,
+                bytes_per_thread: self.bytes_per_thread,
+                reps: self.reps,
+            });
+            per_node.push(Summary::from(&samples));
+        }
+        let means: Vec<f64> = per_node.iter().map(|s| s.mean).collect();
+        let classes = classify(topo, target, &means, self.classify);
+        IoPerfModel::new(target, mode, per_node, classes, platform.label())
+    }
+
+    /// Characterize on a [`crate::SimPlatform`] (topology comes with it).
+    pub fn characterize(
+        &self,
+        platform: &crate::platform::SimPlatform,
+        target: NodeId,
+        mode: TransferMode,
+    ) -> IoPerfModel {
+        self.characterize_with_topo(platform, platform.fabric().topology(), target, mode)
+    }
+
+    /// Characterize both directions of every I/O node the platform knows
+    /// about — the full system model.
+    pub fn characterize_all(
+        &self,
+        platform: &crate::platform::SimPlatform,
+    ) -> Vec<IoPerfModel> {
+        let mut models = Vec::new();
+        for target in platform.io_nodes() {
+            for mode in TransferMode::ALL {
+                models.push(self.characterize(platform, target, mode));
+            }
+        }
+        models
+    }
+}
+
+impl IoModeler {
+    /// Characterize **every node** of the platform as a hypothetical device
+    /// site, both directions, in parallel (rayon). Returns `2 * n` models
+    /// ordered `(node 0 write, node 0 read, node 1 write, ...)` — the full
+    /// host atlas a cluster scheduler would persist.
+    pub fn characterize_full_host(
+        &self,
+        platform: &crate::platform::SimPlatform,
+    ) -> Vec<IoPerfModel> {
+        use rayon::prelude::*;
+        let n = platform.num_nodes();
+        (0..n)
+            .into_par_iter()
+            .flat_map_iter(|i| {
+                TransferMode::ALL
+                    .into_iter()
+                    .map(move |mode| (NodeId::new(i), mode))
+            })
+            .map(|(target, mode)| self.characterize(platform, target, mode))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::SimPlatform;
+    use numa_fabric::calibration::paper;
+
+    #[test]
+    fn write_model_reproduces_table_iv() {
+        let p = SimPlatform::dl585();
+        let model = IoModeler::new().characterize(&p, NodeId(7), TransferMode::Write);
+        assert_eq!(model.classes().len(), 3);
+        for (class, nodes) in model.classes().iter().zip(paper::WRITE_CLASSES) {
+            assert_eq!(
+                class.nodes,
+                nodes.iter().map(|&n| NodeId(n)).collect::<Vec<_>>()
+            );
+        }
+        // Class averages within 3.5% of Table IV.
+        for (class, &want) in model.classes().iter().zip(&paper::WRITE_MEMCPY_AVG) {
+            assert!(
+                (class.avg_gbps - want).abs() / want < 0.035,
+                "{} vs {want}",
+                class.avg_gbps
+            );
+        }
+    }
+
+    #[test]
+    fn read_model_reproduces_table_v() {
+        let p = SimPlatform::dl585();
+        let model = IoModeler::new().characterize(&p, NodeId(7), TransferMode::Read);
+        assert_eq!(model.classes().len(), 4);
+        for (class, nodes) in model.classes().iter().zip(paper::READ_CLASSES) {
+            assert_eq!(
+                class.nodes,
+                nodes.iter().map(|&n| NodeId(n)).collect::<Vec<_>>()
+            );
+        }
+        for (class, &want) in model.classes().iter().zip(&paper::READ_MEMCPY_AVG) {
+            assert!(
+                (class.avg_gbps - want).abs() / want < 0.035,
+                "{} vs {want}",
+                class.avg_gbps
+            );
+        }
+    }
+
+    #[test]
+    fn read_model_matches_50_percent_probe_savings() {
+        // §V-B: 4 classes over 8 nodes => half the test cases.
+        let p = SimPlatform::dl585();
+        let model = IoModeler::new().characterize(&p, NodeId(7), TransferMode::Read);
+        assert!((model.probe_savings() - 0.5).abs() < 1e-12);
+        assert_eq!(model.representatives().len(), 4);
+    }
+
+    #[test]
+    fn model_is_reproducible() {
+        let p = SimPlatform::dl585();
+        let a = IoModeler::new().characterize(&p, NodeId(7), TransferMode::Write);
+        let b = IoModeler::new().characterize(&p, NodeId(7), TransferMode::Write);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fewer_reps_still_classify() {
+        let p = SimPlatform::dl585();
+        let model = IoModeler::new().reps(5).characterize(&p, NodeId(7), TransferMode::Write);
+        assert_eq!(model.classes().len(), 3);
+        assert_eq!(model.per_node[0].n, 5);
+    }
+
+    #[test]
+    fn characterize_all_covers_both_directions() {
+        let p = SimPlatform::dl585();
+        let models = IoModeler::new().reps(3).characterize_all(&p);
+        assert_eq!(models.len(), 2);
+        assert_eq!(models[0].mode, TransferMode::Write);
+        assert_eq!(models[1].mode, TransferMode::Read);
+        assert!(models.iter().all(|m| m.target == NodeId(7)));
+    }
+
+    #[test]
+    fn other_targets_characterize_too() {
+        let p = SimPlatform::dl585();
+        let model = IoModeler::new().reps(3).characterize(&p, NodeId(0), TransferMode::Write);
+        assert_eq!(model.classes()[0].nodes, vec![NodeId(0), NodeId(1)]);
+        assert!(model.classes().len() >= 2);
+    }
+
+    #[test]
+    fn full_host_atlas_is_ordered_and_matches_serial() {
+        let p = SimPlatform::dl585();
+        let modeler = IoModeler::new().reps(3);
+        let atlas = modeler.characterize_full_host(&p);
+        assert_eq!(atlas.len(), 16);
+        for (i, chunk) in atlas.chunks(2).enumerate() {
+            assert_eq!(chunk[0].target, NodeId::new(i));
+            assert_eq!(chunk[0].mode, TransferMode::Write);
+            assert_eq!(chunk[1].mode, TransferMode::Read);
+        }
+        // Parallel result equals serial result (determinism preserved).
+        let serial = modeler.characterize(&p, NodeId(7), TransferMode::Read);
+        assert_eq!(atlas[15], serial);
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of range")]
+    fn bad_target_rejected() {
+        let p = SimPlatform::dl585();
+        let _ = IoModeler::new().characterize(&p, NodeId(99), TransferMode::Write);
+    }
+}

@@ -1,0 +1,251 @@
+//! The probe surface the methodology runs against.
+
+use numa_fabric::calibration::dl585_fabric;
+use numa_fabric::Fabric;
+use numa_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One pinned copy probe: `threads` workers bound to `bind`, each moving
+/// `bytes_per_thread` from memory on `src` to memory on `dst`, repeated
+/// `reps` times.
+///
+/// In the paper's methodology `bind` is always the *target* node (the one
+/// with the I/O devices) so the copy threads stand in for the device's DMA
+/// engine (Fig. 9); `src`/`dst` carry the direction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CopySpec {
+    /// Node the copy threads are pinned to.
+    pub bind: NodeId,
+    /// Node the source buffers are bound to.
+    pub src: NodeId,
+    /// Node the destination buffers are bound to.
+    pub dst: NodeId,
+    /// Worker threads (Algorithm 1: the core count of one node).
+    pub threads: u32,
+    /// Bytes each thread copies per repetition.
+    pub bytes_per_thread: u64,
+    /// Repetitions (Algorithm 1: 100).
+    pub reps: u32,
+}
+
+impl CopySpec {
+    /// Sanity-check the spec.
+    pub fn validate(&self) {
+        assert!(self.threads >= 1, "at least one copy thread");
+        assert!(self.reps >= 1, "at least one repetition");
+        assert!(self.bytes_per_thread > 0, "buffers must be non-empty");
+    }
+}
+
+/// Anything the modeler can probe: the simulator, a real host, or (on a
+/// real NUMA machine, outside this repo's scope) `libnuma`-pinned threads.
+pub trait Platform {
+    /// Number of NUMA nodes visible.
+    fn num_nodes(&self) -> usize;
+
+    /// CPU cores on one node (Algorithm 1 derives its thread count from
+    /// this: `m = cores / nodes` in the paper's notation).
+    fn cores_per_node(&self, node: NodeId) -> u32;
+
+    /// Execute a probe, returning one aggregate bandwidth sample (Gbit/s)
+    /// per repetition.
+    fn run_copy(&self, spec: &CopySpec) -> Vec<f64>;
+
+    /// Nodes with I/O devices attached — characterization targets.
+    /// Platforms that cannot tell return an empty list.
+    fn io_nodes(&self) -> Vec<NodeId> {
+        Vec::new()
+    }
+
+    /// A short label for reports.
+    fn label(&self) -> String {
+        "platform".to_string()
+    }
+}
+
+/// The calibrated simulator as a [`Platform`].
+#[derive(Debug, Clone)]
+pub struct SimPlatform {
+    fabric: Fabric,
+    /// Per-repetition measurement noise amplitude.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SimPlatform {
+    /// Wrap a fabric.
+    pub fn new(fabric: Fabric) -> Self {
+        SimPlatform { fabric, noise: 0.02, seed: 0xC0FFEE }
+    }
+
+    /// The paper's testbed.
+    pub fn dl585() -> Self {
+        Self::new(dl585_fabric())
+    }
+
+    /// Access the underlying fabric (for cross-checking experiments).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Disable noise (exact min-cut values).
+    pub fn noiseless(mut self) -> Self {
+        self.noise = 0.0;
+        self
+    }
+}
+
+impl Platform for SimPlatform {
+    fn num_nodes(&self) -> usize {
+        self.fabric.num_nodes()
+    }
+
+    fn cores_per_node(&self, node: NodeId) -> u32 {
+        self.fabric.topology().node(node).cores
+    }
+
+    fn run_copy(&self, spec: &CopySpec) -> Vec<f64> {
+        spec.validate();
+        // Pinned copy threads emulate a DMA engine at `bind`: with a full
+        // complement of threads the transfer runs at the DMA min-cut of the
+        // src->dst route; undersubscribed probes scale down.
+        let cores = self.cores_per_node(spec.bind);
+        let thread_scale = (spec.threads as f64 / cores as f64).min(1.0);
+        // A probe not pinned to either endpoint pays an extra relay
+        // penalty: the data crosses bind's cache hierarchy both ways.
+        let relay = if spec.bind == spec.src || spec.bind == spec.dst || spec.src == spec.dst {
+            1.0
+        } else {
+            0.82
+        };
+        let base = self.fabric.dma_path_bandwidth(spec.src, spec.dst) * thread_scale * relay;
+        let cell_seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((spec.bind.index() as u64) << 40)
+            .wrapping_add((spec.src.index() as u64) << 20)
+            .wrapping_add(spec.dst.index() as u64);
+        let mut rng = StdRng::seed_from_u64(cell_seed);
+        (0..spec.reps)
+            .map(|_| {
+                if self.noise == 0.0 {
+                    base
+                } else {
+                    base * (1.0 + rng.gen_range(-self.noise..=self.noise))
+                }
+            })
+            .collect()
+    }
+
+    fn io_nodes(&self) -> Vec<NodeId> {
+        self.fabric.topology().io_hub_nodes()
+    }
+
+    fn label(&self) -> String {
+        format!("sim:{}", self.fabric.topology().name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dl585_platform_shape() {
+        let p = SimPlatform::dl585();
+        assert_eq!(p.num_nodes(), 8);
+        assert_eq!(p.cores_per_node(NodeId(3)), 4);
+        assert_eq!(p.io_nodes(), vec![NodeId(7)]);
+        assert!(p.label().contains("dl585"));
+    }
+
+    #[test]
+    fn full_thread_probe_hits_min_cut() {
+        let p = SimPlatform::dl585().noiseless();
+        let spec = CopySpec {
+            bind: NodeId(7),
+            src: NodeId(3),
+            dst: NodeId(7),
+            threads: 4,
+            bytes_per_thread: 64 << 20,
+            reps: 3,
+        };
+        let samples = p.run_copy(&spec);
+        assert_eq!(samples.len(), 3);
+        for s in samples {
+            assert!((s - 26.0).abs() < 1e-9, "{s}");
+        }
+    }
+
+    #[test]
+    fn undersubscribed_probe_scales_down() {
+        let p = SimPlatform::dl585().noiseless();
+        let mut spec = CopySpec {
+            bind: NodeId(7),
+            src: NodeId(7),
+            dst: NodeId(6),
+            threads: 2,
+            bytes_per_thread: 1 << 20,
+            reps: 1,
+        };
+        let half = p.run_copy(&spec)[0];
+        spec.threads = 4;
+        let full = p.run_copy(&spec)[0];
+        assert!((half - full / 2.0).abs() < 1e-9);
+        spec.threads = 64;
+        assert_eq!(p.run_copy(&spec)[0], full, "oversubscription does not help");
+    }
+
+    #[test]
+    fn relay_probe_pays_a_penalty() {
+        let p = SimPlatform::dl585().noiseless();
+        let direct = CopySpec {
+            bind: NodeId(7),
+            src: NodeId(7),
+            dst: NodeId(6),
+            threads: 4,
+            bytes_per_thread: 1 << 20,
+            reps: 1,
+        };
+        let relayed = CopySpec { bind: NodeId(0), ..direct };
+        assert!(p.run_copy(&relayed)[0] < p.run_copy(&direct)[0]);
+    }
+
+    #[test]
+    fn noise_is_seeded_and_bounded() {
+        let p = SimPlatform::dl585();
+        let spec = CopySpec {
+            bind: NodeId(7),
+            src: NodeId(5),
+            dst: NodeId(7),
+            threads: 4,
+            bytes_per_thread: 1 << 20,
+            reps: 50,
+        };
+        let a = p.run_copy(&spec);
+        let b = p.run_copy(&spec);
+        assert_eq!(a, b);
+        for s in &a {
+            assert!((s - 45.0).abs() <= 45.0 * 0.021, "{s}");
+        }
+        assert!(a.iter().any(|&s| (s - 45.0).abs() > 1e-6), "noise present");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy thread")]
+    fn zero_threads_rejected() {
+        let p = SimPlatform::dl585();
+        let spec = CopySpec {
+            bind: NodeId(0),
+            src: NodeId(0),
+            dst: NodeId(0),
+            threads: 0,
+            bytes_per_thread: 1,
+            reps: 1,
+        };
+        let _ = p.run_copy(&spec);
+    }
+}

@@ -1,0 +1,163 @@
+//! Eq. 1: aggregate bandwidth prediction for multi-user workloads.
+//!
+//! With a target node's performance model in hand, the expected aggregate
+//! bandwidth of a device shared by accesses from several classes is the
+//! access-share-weighted mean of the class bandwidths:
+//!
+//! ```text
+//! BW_io = Σᵢ αᵢ% · BWᵢ          (Eq. 1)
+//! ```
+//!
+//! The paper validates this for RDMA_READ with two processes on node 2 and
+//! two on node 0: predicted 20.017 Gbps vs measured 19.415 Gbps, a 3.1%
+//! relative error.
+
+use crate::model::IoPerfModel;
+use numa_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A multi-user workload: how many concurrent accesses come from each node.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    /// `(node, access count)` pairs.
+    pub accesses: Vec<(NodeId, u32)>,
+}
+
+impl WorkloadMix {
+    /// Empty mix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `count` accesses from `node`.
+    pub fn from_node(mut self, node: NodeId, count: u32) -> Self {
+        assert!(count > 0, "zero-count entries are meaningless");
+        self.accesses.push((node, count));
+        self
+    }
+
+    /// Total access count.
+    pub fn total(&self) -> u32 {
+        self.accesses.iter().map(|(_, c)| c).sum()
+    }
+}
+
+/// Eq. 1 over explicit `(class bandwidth, share)` terms. Shares must sum
+/// to 1 (within rounding).
+pub fn predict_aggregate(terms: &[(f64, f64)]) -> f64 {
+    assert!(!terms.is_empty(), "prediction needs at least one class");
+    let share_sum: f64 = terms.iter().map(|(_, s)| s).sum();
+    assert!(
+        (share_sum - 1.0).abs() < 1e-6,
+        "shares must sum to 1, got {share_sum}"
+    );
+    terms.iter().map(|(bw, s)| bw * s).sum()
+}
+
+/// Eq. 1 for a concrete workload against a model: each access contributes
+/// its node's **class-average** bandwidth (that is the point of the model —
+/// per-node probing is unnecessary once classes are known).
+pub fn predict_for_mix(model: &IoPerfModel, mix: &WorkloadMix) -> f64 {
+    assert!(!mix.accesses.is_empty(), "empty workload");
+    let total = mix.total() as f64;
+    let mut sum = 0.0;
+    for &(node, count) in &mix.accesses {
+        let class = &model.classes()[model.class_of(node)];
+        sum += class.avg_gbps * count as f64 / total;
+    }
+    sum
+}
+
+/// Relative error `|predicted - measured| / measured` (§V-B).
+pub fn relative_error(predicted: f64, measured: f64) -> f64 {
+    numa_engine::stats::relative_error(predicted, measured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TransferMode;
+    use crate::modeler::IoModeler;
+    use crate::platform::SimPlatform;
+    use numa_fabric::calibration::paper;
+
+    #[test]
+    fn paper_worked_example_predicts_20_017() {
+        // 50% from class 2 (21.998) + 50% from class 3 (18.036).
+        let p = predict_aggregate(&[(paper::EQ1_CLASS2_BW, 0.5), (paper::EQ1_CLASS3_BW, 0.5)]);
+        assert!((p - paper::EQ1_PREDICTED).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn mix_prediction_against_simulated_measurement() {
+        // End-to-end: model from the methodology, prediction from Eq. 1,
+        // "measurement" from the fio runner; error within a few percent,
+        // like the paper's 3.1%.
+        use numa_fio::{run_jobs, JobSpec};
+        use numa_iodev::NicOp;
+
+        let platform = SimPlatform::dl585();
+        let model = IoModeler::new().characterize(&platform, NodeId(7), TransferMode::Read);
+        // The model's class averages stand in for per-protocol levels via
+        // the RDMA_READ curve at the class representatives:
+        let mix = WorkloadMix::new().from_node(NodeId(2), 2).from_node(NodeId(0), 2);
+        // Predict in protocol units by scaling class averages with the
+        // RDMA_READ map (the model itself is in memcpy units).
+        let nic = numa_iodev::NicModel::paper();
+        let f = platform.fabric();
+        let terms: Vec<(f64, f64)> = mix
+            .accesses
+            .iter()
+            .map(|&(node, count)| {
+                let class = &model.classes()[model.class_of(node)];
+                // Evaluate the protocol curve at the class-average memcpy bw.
+                let bw = nic.map(NicOp::RdmaRead).eval(class.avg_gbps);
+                (bw, count as f64 / mix.total() as f64)
+            })
+            .collect();
+        let predicted = predict_aggregate(&terms);
+
+        let jobs = [
+            JobSpec::nic(NicOp::RdmaRead, NodeId(2)).numjobs(2).size_gbytes(50.0),
+            JobSpec::nic(NicOp::RdmaRead, NodeId(0)).numjobs(2).size_gbytes(50.0),
+        ];
+        let measured = run_jobs(f, &jobs).unwrap().aggregate_gbps;
+        let err = relative_error(predicted, measured);
+        assert!(err < 0.06, "predicted {predicted}, measured {measured}, err {err}");
+        assert!(err > 0.001, "prediction should not be exact (mixture vs contention)");
+    }
+
+    #[test]
+    fn homogeneous_mix_predicts_class_average() {
+        let platform = SimPlatform::dl585();
+        let model = IoModeler::new().characterize(&platform, NodeId(7), TransferMode::Write);
+        let mix = WorkloadMix::new().from_node(NodeId(2), 3);
+        let p = predict_for_mix(&model, &mix);
+        let class = &model.classes()[model.class_of(NodeId(2))];
+        assert_eq!(p, class.avg_gbps);
+    }
+
+    #[test]
+    fn mix_total_counts() {
+        let mix = WorkloadMix::new().from_node(NodeId(0), 2).from_node(NodeId(5), 3);
+        assert_eq!(mix.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "shares must sum to 1")]
+    fn bad_shares_rejected() {
+        let _ = predict_aggregate(&[(10.0, 0.7), (20.0, 0.7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_terms_rejected() {
+        let _ = predict_aggregate(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-count")]
+    fn zero_count_rejected() {
+        let _ = WorkloadMix::new().from_node(NodeId(0), 0);
+    }
+}

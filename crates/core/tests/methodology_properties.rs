@@ -1,0 +1,127 @@
+//! Property-based tests of the methodology's invariants: classification,
+//! prediction, correlation, drift.
+
+use numa_topology::{presets, NodeId};
+use numio_core::{
+    classify, diff_models, predict_for_mix, rank_correlation, ClassifyParams, IoModeler,
+    IoPerfModel, SimPlatform, TransferMode, WorkloadMix,
+};
+use proptest::prelude::*;
+
+fn arb_means() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(5.0f64..60.0, 8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn classification_partitions_and_orders(means in arb_means(), target in 0u16..8) {
+        let topo = presets::dl585_testbed();
+        let classes = classify(&topo, NodeId(target), &means, ClassifyParams::default());
+        // Partition: every node exactly once.
+        let mut seen: Vec<NodeId> = classes.iter().flat_map(|c| c.nodes.clone()).collect();
+        seen.sort();
+        prop_assert_eq!(seen, (0..8).map(NodeId).collect::<Vec<_>>());
+        // Class 1 always holds target + neighbour.
+        prop_assert!(classes[0].contains(NodeId(target)));
+        prop_assert!(classes[0].contains(NodeId(target ^ 1)));
+        // Remote classes strictly descend in average.
+        for w in classes[1..].windows(2) {
+            prop_assert!(w[0].avg_gbps > w[1].avg_gbps);
+        }
+        // Within each class stats are consistent.
+        for c in &classes {
+            prop_assert!(c.min_gbps <= c.avg_gbps && c.avg_gbps <= c.max_gbps);
+        }
+    }
+
+    #[test]
+    fn remote_class_gaps_exceed_threshold(means in arb_means(), threshold in 0.02f64..0.3) {
+        // Between consecutive remote classes there is a genuine gap; within
+        // a class, consecutive sorted members never gap more than the
+        // threshold.
+        let topo = presets::dl585_testbed();
+        let params = ClassifyParams { gap_threshold: threshold, ..ClassifyParams::default() };
+        let classes = classify(&topo, NodeId(7), &means, params);
+        for w in classes[1..].windows(2) {
+            let gap = (w[0].min_gbps - w[1].max_gbps) / w[0].min_gbps;
+            prop_assert!(gap > threshold - 1e-9, "inter-class gap {gap} <= {threshold}");
+        }
+        for c in &classes[1..] {
+            let mut bws: Vec<f64> = c.nodes.iter().map(|n| means[n.index()]).collect();
+            bws.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            for w in bws.windows(2) {
+                let gap = (w[0] - w[1]) / w[0];
+                prop_assert!(gap <= threshold + 1e-9, "intra-class gap {gap} > {threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn prediction_is_bounded_by_participating_classes(
+        counts in proptest::collection::vec((0u16..8, 1u32..5), 1..5),
+    ) {
+        let platform = SimPlatform::dl585();
+        let model = IoModeler::new().reps(5)
+            .characterize(&platform, NodeId(7), TransferMode::Read);
+        let mut mix = WorkloadMix::new();
+        for &(node, count) in &counts {
+            mix = mix.from_node(NodeId(node), count);
+        }
+        let p = predict_for_mix(&model, &mix);
+        let class_avgs: Vec<f64> = counts
+            .iter()
+            .map(|&(n, _)| model.classes()[model.class_of(NodeId(n))].avg_gbps)
+            .collect();
+        let lo = class_avgs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = class_avgs.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo},{hi}]");
+    }
+
+    #[test]
+    fn rank_correlation_is_bounded_and_symmetric(
+        a in proptest::collection::vec(0.0f64..100.0, 2..12),
+        b_seed in any::<u64>(),
+    ) {
+        // Build b as a seeded shuffle-ish transformation of a's indices.
+        let n = a.len();
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(b_seed | 1) % 1000) as f64)
+            .collect();
+        let r = rank_correlation(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "{r}");
+        let r2 = rank_correlation(&b, &a);
+        prop_assert!((r - r2).abs() < 1e-9, "not symmetric: {r} vs {r2}");
+        // Self correlation is 1 unless constant.
+        let rs = rank_correlation(&a, &a);
+        prop_assert!(rs == 0.0 || (rs - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_of_scaled_model_is_the_scale(factor in 0.7f64..1.3) {
+        // Scaling every bandwidth uniformly never moves class memberships
+        // and reports exactly the scale as drift.
+        let platform = SimPlatform::dl585();
+        let base = IoModeler::new().reps(5)
+            .characterize(&platform, NodeId(7), TransferMode::Write);
+        // Rebuild a scaled model by hand.
+        let scaled_means: Vec<f64> = base.means().iter().map(|m| m * factor).collect();
+        let topo = presets::dl585_testbed();
+        let classes = classify(&topo, NodeId(7), &scaled_means, ClassifyParams::default());
+        let per_node: Vec<numa_engine::Summary> = scaled_means
+            .iter()
+            .map(|&m| numa_engine::Summary::from(&[m]))
+            .collect();
+        let scaled = IoPerfModel::new(
+            NodeId(7),
+            TransferMode::Write,
+            per_node,
+            classes,
+            base.platform.clone(),
+        );
+        let d = diff_models(&base, &scaled).unwrap();
+        prop_assert!(d.moved.is_empty(), "{:?}", d.moved);
+        prop_assert!((d.max_rel_delta - (factor - 1.0).abs()).abs() < 1e-9);
+    }
+}

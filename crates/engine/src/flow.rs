@@ -1,0 +1,171 @@
+//! Flow descriptions and per-flow results.
+
+use crate::resources::ResourceHandle;
+use numa_fabric::TrafficClass;
+use numa_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Index of a flow within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A transfer to simulate: `volume_gbit` of data moving from memory on
+/// `src` to memory on `dst` as `class` traffic, optionally capped and
+/// optionally charging extra caller-registered resources (device ports,
+/// CPU budgets, IRQ overhead).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Source memory node.
+    pub src: NodeId,
+    /// Destination memory node.
+    pub dst: NodeId,
+    /// Traffic class (PIO rides the STREAM model, DMA the link min-cut).
+    pub class: TrafficClass,
+    /// Transfer volume in gigabits.
+    pub volume_gbit: f64,
+    /// Per-flow ceiling in Gbit/s (protocol or per-stream CPU limit);
+    /// `INFINITY` if only shared hardware binds.
+    pub ceiling_gbps: f64,
+    /// Additional shared resources this flow charges.
+    pub extra_resources: Vec<ResourceHandle>,
+    /// Charge the source node's memory controller? `false` when the source
+    /// is a device buffer (device DMA does not consume host DRAM bandwidth
+    /// on the hub node — it enters the fabric straight from the I/O hub).
+    pub charge_src_copy: bool,
+    /// Charge the destination node's memory controller? (see above)
+    pub charge_dst_copy: bool,
+    /// Fairness weight (weighted max-min): a weight-2 flow gets twice the
+    /// share of any contended resource. QoS knob; 1.0 = plain fairness.
+    pub weight: f64,
+    /// Free-form label for reports ("tcp-send n5 s3", ...).
+    pub label: String,
+}
+
+impl FlowSpec {
+    /// A DMA-class flow (device transfers and the paper's pinned-`memcpy`
+    /// probes).
+    pub fn dma(src: NodeId, dst: NodeId) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            class: TrafficClass::Dma,
+            volume_gbit: 8.0 * 400.0, // paper default: 400 GBytes per stream
+            ceiling_gbps: f64::INFINITY,
+            extra_resources: Vec::new(),
+            charge_src_copy: true,
+            charge_dst_copy: true,
+            weight: 1.0,
+            label: String::new(),
+        }
+    }
+
+    /// A PIO-class flow (STREAM-style CPU copies). `src` is the CPU node,
+    /// `dst` the memory node.
+    pub fn pio(cpu: NodeId, mem: NodeId) -> Self {
+        FlowSpec { class: TrafficClass::Pio, ..FlowSpec::dma(cpu, mem) }
+    }
+
+    /// Set the volume in gigabytes.
+    pub fn gbytes(mut self, gb: f64) -> Self {
+        self.volume_gbit = gb * 8.0;
+        self
+    }
+
+    /// Set the volume in gigabits.
+    pub fn gbits(mut self, gbit: f64) -> Self {
+        self.volume_gbit = gbit;
+        self
+    }
+
+    /// Cap the flow's rate (Gbit/s).
+    pub fn ceiling(mut self, gbps: f64) -> Self {
+        self.ceiling_gbps = gbps;
+        self
+    }
+
+    /// Charge an extra shared resource.
+    pub fn charge(mut self, r: ResourceHandle) -> Self {
+        self.extra_resources.push(r);
+        self
+    }
+
+    /// Attach a label.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Mark the source endpoint as a device buffer: its node's memory
+    /// controller is not charged.
+    pub fn device_src(mut self) -> Self {
+        self.charge_src_copy = false;
+        self
+    }
+
+    /// Mark the destination endpoint as a device buffer.
+    pub fn device_dst(mut self) -> Self {
+        self.charge_dst_copy = false;
+        self
+    }
+
+    /// Set the fairness weight (must be positive).
+    pub fn weight(mut self, weight: f64) -> Self {
+        assert!(weight > 0.0, "weight must be positive");
+        self.weight = weight;
+        self
+    }
+}
+
+/// Outcome of one flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowResult {
+    /// The flow's id.
+    pub id: FlowId,
+    /// Label copied from the spec.
+    pub label: String,
+    /// Volume transferred, gigabits.
+    pub volume_gbit: f64,
+    /// Completion time from simulation start, seconds.
+    pub finish_s: f64,
+    /// Mean rate while the simulation ran: volume / finish time. This is
+    /// what fio reports per job (it averages over the job's lifetime).
+    pub mean_gbps: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let f = FlowSpec::dma(NodeId(0), NodeId(7))
+            .gbytes(10.0)
+            .ceiling(5.0)
+            .label("x");
+        assert_eq!(f.volume_gbit, 80.0);
+        assert_eq!(f.ceiling_gbps, 5.0);
+        assert_eq!(f.label, "x");
+        assert_eq!(f.class, TrafficClass::Dma);
+    }
+
+    #[test]
+    fn default_volume_matches_paper() {
+        // Table III: 400 GBytes per test process.
+        let f = FlowSpec::dma(NodeId(0), NodeId(7));
+        assert_eq!(f.volume_gbit, 3200.0);
+    }
+
+    #[test]
+    fn pio_swaps_class() {
+        let f = FlowSpec::pio(NodeId(1), NodeId(2)).gbits(1.5);
+        assert_eq!(f.class, TrafficClass::Pio);
+        assert_eq!(f.volume_gbit, 1.5);
+    }
+}

@@ -1,0 +1,155 @@
+//! Shared-resource registry for a simulation.
+//!
+//! The fabric contributes link and memory-controller resources
+//! automatically; callers register additional ones (NIC ports, SSD channel
+//! budgets, per-node CPU protocol-processing capacity, IRQ overhead) and
+//! attach them to flows via [`ResourceHandle`].
+
+use numa_topology::{DeviceId, DirectedEdge, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Semantic identity of a shared resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResourceKey {
+    /// One direction of an interconnect link (DMA/PIO bytes on the wire).
+    Edge(DirectedEdge),
+    /// A node's memory-controller copy bandwidth.
+    NodeCopy(NodeId),
+    /// A node's aggregate CPU budget for protocol processing (TCP stacks,
+    /// interrupt handling). Unit: Gbit/s of payload the node can shepherd.
+    NodeCpu(NodeId),
+    /// A device port in one direction.
+    DevicePort {
+        /// Which device.
+        dev: DeviceId,
+        /// `true` = host-to-device (write/send), `false` = device-to-host.
+        to_device: bool,
+    },
+    /// Caller-defined.
+    Custom(u32),
+}
+
+/// Opaque index of a registered resource (stable within one simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceHandle(pub(crate) usize);
+
+impl ResourceHandle {
+    /// Dense index into the capacity vector.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Registry mapping semantic keys to dense indices with capacities.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceRegistry {
+    keys: Vec<ResourceKey>,
+    caps: Vec<f64>,
+    by_key: HashMap<ResourceKey, ResourceHandle>,
+}
+
+impl ResourceRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or look up) a resource; the capacity of an existing key is
+    /// left unchanged.
+    pub fn ensure(&mut self, key: ResourceKey, cap: f64) -> ResourceHandle {
+        if let Some(&h) = self.by_key.get(&key) {
+            return h;
+        }
+        let h = ResourceHandle(self.keys.len());
+        self.keys.push(key);
+        self.caps.push(cap);
+        self.by_key.insert(key, h);
+        h
+    }
+
+    /// Look up an existing resource.
+    pub fn get(&self, key: ResourceKey) -> Option<ResourceHandle> {
+        self.by_key.get(&key).copied()
+    }
+
+    /// Capacity of a resource.
+    pub fn capacity(&self, h: ResourceHandle) -> f64 {
+        self.caps[h.0]
+    }
+
+    /// Overwrite a capacity (e.g. derate a node's CPU for IRQ handling).
+    pub fn set_capacity(&mut self, h: ResourceHandle, cap: f64) {
+        self.caps[h.0] = cap;
+    }
+
+    /// All capacities as a dense vector for the allocator.
+    pub fn capacities(&self) -> &[f64] {
+        &self.caps
+    }
+
+    /// Key of a handle.
+    pub fn key(&self, h: ResourceHandle) -> ResourceKey {
+        self.keys[h.0]
+    }
+
+    /// Number of registered resources.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_is_idempotent() {
+        let mut r = ResourceRegistry::new();
+        let a = r.ensure(ResourceKey::Custom(1), 10.0);
+        let b = r.ensure(ResourceKey::Custom(1), 99.0);
+        assert_eq!(a, b);
+        assert_eq!(r.capacity(a), 10.0, "existing capacity is kept");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_handles() {
+        let mut r = ResourceRegistry::new();
+        let a = r.ensure(ResourceKey::NodeCpu(NodeId(1)), 20.0);
+        let b = r.ensure(ResourceKey::NodeCopy(NodeId(1)), 50.0);
+        assert_ne!(a, b);
+        assert_eq!(r.key(a), ResourceKey::NodeCpu(NodeId(1)));
+        assert_eq!(r.capacities(), &[20.0, 50.0]);
+    }
+
+    #[test]
+    fn set_capacity_overwrites() {
+        let mut r = ResourceRegistry::new();
+        let a = r.ensure(ResourceKey::Custom(0), 10.0);
+        r.set_capacity(a, 7.5);
+        assert_eq!(r.capacity(a), 7.5);
+    }
+
+    #[test]
+    fn device_port_directions_are_distinct() {
+        let mut r = ResourceRegistry::new();
+        let w = r.ensure(ResourceKey::DevicePort { dev: DeviceId(0), to_device: true }, 23.3);
+        let rd = r.ensure(ResourceKey::DevicePort { dev: DeviceId(0), to_device: false }, 22.0);
+        assert_ne!(w, rd);
+    }
+
+    #[test]
+    fn get_finds_registered_only() {
+        let mut r = ResourceRegistry::new();
+        assert!(r.get(ResourceKey::Custom(5)).is_none());
+        let h = r.ensure(ResourceKey::Custom(5), 1.0);
+        assert_eq!(r.get(ResourceKey::Custom(5)), Some(h));
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,672 @@
+//! The discrete-event simulation loop.
+
+use crate::flow::{FlowId, FlowResult, FlowSpec};
+use crate::jitter::{JitterCfg, JitterState};
+use crate::resources::{ResourceHandle, ResourceKey, ResourceRegistry};
+use numa_fabric::{solve_max_min, Fabric, MaxMinProblem, TrafficClass};
+use serde::{Deserialize, Serialize};
+
+/// Simulation failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// No flows were added.
+    NoFlows,
+    /// A flow can never make progress (zero-capacity path or zero ceiling).
+    Starved {
+        /// The stuck flow.
+        flow: FlowId,
+    },
+    /// Safety valve: more events than `MAX_EVENTS` (runaway jitter loop).
+    EventLimit,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NoFlows => write!(f, "simulation has no flows"),
+            SimError::Starved { flow } => write!(f, "flow {flow:?} is starved"),
+            SimError::EventLimit => write!(f, "event limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Hard cap on processed events.
+pub const MAX_EVENTS: usize = 1_000_000;
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Per-flow outcomes, ordered by [`FlowId`].
+    pub flows: Vec<FlowResult>,
+    /// Time until the last flow finished, seconds.
+    pub makespan_s: f64,
+    /// Total volume divided by makespan — the "average aggregate
+    /// performance" the paper reports for its 400 GB runs.
+    pub aggregate_gbps: f64,
+    /// Total volume, gigabits.
+    pub total_gbit: f64,
+}
+
+impl SimReport {
+    /// Mean of the per-flow mean rates.
+    pub fn mean_flow_gbps(&self) -> f64 {
+        self.flows.iter().map(|f| f.mean_gbps).sum::<f64>() / self.flows.len() as f64
+    }
+
+    /// Render an fio-style per-flow table plus the aggregate line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<6} {:>12} {:>10} {:>10}  label",
+            "flow", "volume(Gbit)", "finish(s)", "mean(Gbps)"
+        );
+        for f in &self.flows {
+            let _ = writeln!(
+                out,
+                "F{:<5} {:>12.1} {:>10.2} {:>10.2}  {}",
+                f.id.0, f.volume_gbit, f.finish_s, f.mean_gbps, f.label
+            );
+        }
+        let _ = writeln!(
+            out,
+            "aggregate: {:.2} Gbit/s over {:.2} s ({:.1} Gbit total)",
+            self.aggregate_gbps, self.makespan_s, self.total_gbit
+        );
+        out
+    }
+}
+
+/// A configured simulation over one fabric.
+#[derive(Debug, Clone)]
+pub struct Simulation<'f> {
+    fabric: &'f Fabric,
+    registry: ResourceRegistry,
+    flows: Vec<FlowSpec>,
+    jitter: JitterCfg,
+}
+
+impl<'f> Simulation<'f> {
+    /// New simulation with no jitter.
+    pub fn new(fabric: &'f Fabric) -> Self {
+        Simulation {
+            fabric,
+            registry: ResourceRegistry::new(),
+            flows: Vec::new(),
+            jitter: JitterCfg::none(),
+        }
+    }
+
+    /// Enable jitter.
+    pub fn with_jitter(mut self, cfg: JitterCfg) -> Self {
+        self.jitter = cfg;
+        self
+    }
+
+    /// Register (or fetch) a shared resource, e.g. a device port or a
+    /// node's CPU protocol budget.
+    pub fn register(&mut self, key: ResourceKey, cap: f64) -> ResourceHandle {
+        self.registry.ensure(key, cap)
+    }
+
+    /// Overwrite a registered resource's capacity (e.g. derate node 7's
+    /// CPU for interrupt handling).
+    pub fn set_capacity(&mut self, h: ResourceHandle, cap: f64) {
+        self.registry.set_capacity(h, cap);
+    }
+
+    /// Add a flow; returns its id.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        assert!(spec.volume_gbit > 0.0, "flow volume must be positive");
+        self.flows.push(spec);
+        FlowId(self.flows.len() as u32 - 1)
+    }
+
+    /// Number of flows added so far.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Materialize resource lists and base ceilings for every flow.
+    fn lower_flows(&mut self) -> (Vec<Vec<usize>>, Vec<f64>) {
+        let mut resource_lists = Vec::with_capacity(self.flows.len());
+        let mut base_ceilings = Vec::with_capacity(self.flows.len());
+        // Split borrows: the fabric reference is independent of registry.
+        let fabric = self.fabric;
+        for spec in &self.flows {
+            let mut rs: Vec<usize> = Vec::new();
+            match spec.class {
+                TrafficClass::Dma => {
+                    // Shared hardware carries the constraint; a lone flow
+                    // naturally converges to the route min-cut.
+                    if spec.dst == spec.src {
+                        // Local transfer: the node's controller is charged
+                        // once as long as either endpoint is host memory.
+                        if spec.charge_src_copy || spec.charge_dst_copy {
+                            let copy = self.registry.ensure(
+                                ResourceKey::NodeCopy(spec.src),
+                                fabric.node_copy_cap(spec.src),
+                            );
+                            rs.push(copy.index());
+                        }
+                    } else {
+                        if spec.charge_src_copy {
+                            let copy_src = self.registry.ensure(
+                                ResourceKey::NodeCopy(spec.src),
+                                fabric.node_copy_cap(spec.src),
+                            );
+                            rs.push(copy_src.index());
+                        }
+                        if spec.charge_dst_copy {
+                            let copy_dst = self.registry.ensure(
+                                ResourceKey::NodeCopy(spec.dst),
+                                fabric.node_copy_cap(spec.dst),
+                            );
+                            rs.push(copy_dst.index());
+                        }
+                        for e in fabric.routes().route(spec.src, spec.dst).edges() {
+                            let h = self.registry.ensure(
+                                ResourceKey::Edge(e),
+                                fabric.edge_capacity(e, TrafficClass::Dma),
+                            );
+                            rs.push(h.index());
+                        }
+                    }
+                    // Degenerate but legal: a fully device-side flow with
+                    // no shared resources and no finite ceiling still needs
+                    // a bound for the allocator's invariant.
+                    if rs.is_empty()
+                        && spec.extra_resources.is_empty()
+                        && spec.ceiling_gbps.is_infinite()
+                    {
+                        base_ceilings.push(fabric.dma_path_bandwidth(spec.src, spec.dst));
+                    } else {
+                        base_ceilings.push(spec.ceiling_gbps);
+                    }
+                }
+                TrafficClass::Pio => {
+                    // The PIO model is a pairwise table, not a link property:
+                    // it becomes the flow ceiling, while the memory
+                    // controller and links still arbitrate contention.
+                    let copy_dst = self.registry.ensure(
+                        ResourceKey::NodeCopy(spec.dst),
+                        fabric.node_copy_cap(spec.dst),
+                    );
+                    rs.push(copy_dst.index());
+                    if spec.dst != spec.src {
+                        for e in fabric.routes().route(spec.src, spec.dst).edges() {
+                            let h = self.registry.ensure(
+                                ResourceKey::Edge(e),
+                                fabric.edge_capacity(e, TrafficClass::Dma),
+                            );
+                            rs.push(h.index());
+                        }
+                    }
+                    let pio = fabric.pio_bandwidth(spec.src, spec.dst);
+                    base_ceilings.push(spec.ceiling_gbps.min(pio));
+                }
+            }
+            for h in &spec.extra_resources {
+                rs.push(h.index());
+            }
+            resource_lists.push(rs);
+        }
+        (resource_lists, base_ceilings)
+    }
+
+    /// Jitter needs a finite scale even for uncapped flows; use the
+    /// uncontended path bandwidth.
+    fn jitter_base(&self, i: usize, base_ceiling: f64) -> f64 {
+        if base_ceiling.is_finite() {
+            base_ceiling
+        } else {
+            let s = &self.flows[i];
+            self.fabric.path_bandwidth(s.src, s.dst, s.class)
+        }
+    }
+
+    /// Instantaneous max-min rates with all flows active (no volumes, no
+    /// jitter) — the steady-state allocation.
+    pub fn steady_rates(&mut self) -> Vec<f64> {
+        let (resource_lists, base_ceilings) = self.lower_flows();
+        let problem = MaxMinProblem {
+            capacities: self.registry.capacities().to_vec(),
+            flows: resource_lists
+                .iter()
+                .zip(&base_ceilings)
+                .zip(&self.flows)
+                .map(|((rs, &c), spec)| numa_fabric::FlowSpec {
+                    resources: rs.clone(),
+                    ceiling: c,
+                    weight: spec.weight,
+                })
+                .collect(),
+        };
+        solve_max_min(&problem)
+    }
+
+    /// Steady-state resource utilization: for every registered resource,
+    /// `(key, used Gbit/s, capacity, utilization)` with all flows active,
+    /// sorted most-loaded first. The contention-analysis view: the top
+    /// entries are the hardware a placement change must relieve.
+    pub fn bottlenecks(&mut self) -> Vec<(ResourceKey, f64, f64, f64)> {
+        let (resource_lists, _) = self.lower_flows();
+        let rates = self.steady_rates();
+        let mut used = vec![0.0_f64; self.registry.len()];
+        for (rs, &rate) in resource_lists.iter().zip(&rates) {
+            for &r in rs {
+                used[r] += rate;
+            }
+        }
+        let mut report: Vec<(ResourceKey, f64, f64, f64)> = (0..self.registry.len())
+            .map(|i| {
+                let h = ResourceHandle(i);
+                let cap = self.registry.capacity(h);
+                let util = if cap > 0.0 { used[i] / cap } else { 0.0 };
+                (self.registry.key(h), used[i], cap, util)
+            })
+            .collect();
+        report.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("finite utilizations"));
+        report
+    }
+
+    /// Run to completion.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        self.run_impl(None).map(|(report, _)| report)
+    }
+
+    /// Run to completion, recording an event [`Trace`].
+    pub fn run_traced(self) -> Result<(SimReport, crate::trace::Trace), SimError> {
+        self.run_impl(Some(crate::trace::Trace::new()))
+            .map(|(report, trace)| (report, trace.expect("trace requested")))
+    }
+
+    fn run_impl(
+        mut self,
+        mut trace: Option<crate::trace::Trace>,
+    ) -> Result<(SimReport, Option<crate::trace::Trace>), SimError> {
+        if self.flows.is_empty() {
+            return Err(SimError::NoFlows);
+        }
+        let (resource_lists, base_ceilings) = self.lower_flows();
+        let caps = self.registry.capacities().to_vec();
+        let n = self.flows.len();
+        let mut remaining: Vec<f64> = self.flows.iter().map(|f| f.volume_gbit).collect();
+        let mut finish = vec![0.0_f64; n];
+        let mut active: Vec<bool> = vec![true; n];
+        let mut jitter = JitterState::new(self.jitter, n);
+        let jitter_enabled = !self.jitter.is_none();
+
+        let mut t = 0.0_f64;
+        let mut next_jitter = if jitter_enabled { jitter.refresh_s() } else { f64::INFINITY };
+
+        for _event in 0..MAX_EVENTS {
+            if !active.iter().any(|&a| a) {
+                break;
+            }
+            // Allocate rates for the active set.
+            let problem = MaxMinProblem {
+                capacities: caps.clone(),
+                flows: (0..n)
+                    .map(|i| {
+                        let ceiling = if active[i] {
+                            if jitter_enabled {
+                                self.jitter_base(i, base_ceilings[i]) * jitter.multiplier(i)
+                            } else {
+                                base_ceilings[i]
+                            }
+                        } else {
+                            0.0
+                        };
+                        numa_fabric::FlowSpec {
+                            resources: resource_lists[i].clone(),
+                            ceiling,
+                            weight: self.flows[i].weight,
+                        }
+                    })
+                    .collect(),
+            };
+            let rates = solve_max_min(&problem);
+            if let Some(tr) = trace.as_mut() {
+                tr.push(crate::trace::TraceEvent::Rates {
+                    time_s: t,
+                    rates: (0..n)
+                        .filter(|&i| active[i])
+                        .map(|i| (FlowId(i as u32), rates[i]))
+                        .collect(),
+                });
+            }
+
+            // Time to the next completion.
+            let mut dt_complete = f64::INFINITY;
+            for i in 0..n {
+                if active[i] && rates[i] > 1e-12 {
+                    dt_complete = dt_complete.min(remaining[i] / rates[i]);
+                }
+            }
+            if dt_complete.is_infinite() && next_jitter.is_infinite() {
+                let stuck = (0..n).find(|&i| active[i]).unwrap();
+                return Err(SimError::Starved { flow: FlowId(stuck as u32) });
+            }
+            let dt = dt_complete.min(next_jitter - t).max(0.0);
+
+            // Integrate.
+            for i in 0..n {
+                if active[i] {
+                    remaining[i] -= rates[i] * dt;
+                }
+            }
+            t += dt;
+            for i in 0..n {
+                if active[i] && remaining[i] <= 1e-9 {
+                    active[i] = false;
+                    remaining[i] = 0.0;
+                    finish[i] = t;
+                    if let Some(tr) = trace.as_mut() {
+                        tr.push(crate::trace::TraceEvent::Finished {
+                            time_s: t,
+                            flow: FlowId(i as u32),
+                        });
+                    }
+                }
+            }
+            if jitter_enabled && t + 1e-12 >= next_jitter {
+                jitter.refresh();
+                next_jitter += jitter.refresh_s();
+                if let Some(tr) = trace.as_mut() {
+                    tr.push(crate::trace::TraceEvent::JitterRefresh { time_s: t });
+                }
+            }
+        }
+        if active.iter().any(|&a| a) {
+            return Err(SimError::EventLimit);
+        }
+
+        let total_gbit: f64 = self.flows.iter().map(|f| f.volume_gbit).sum();
+        let makespan = finish.iter().cloned().fold(0.0, f64::max);
+        let flows = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| FlowResult {
+                id: FlowId(i as u32),
+                label: f.label.clone(),
+                volume_gbit: f.volume_gbit,
+                finish_s: finish[i],
+                mean_gbps: if finish[i] > 0.0 { f.volume_gbit / finish[i] } else { 0.0 },
+            })
+            .collect();
+        Ok((
+            SimReport {
+                flows,
+                makespan_s: makespan,
+                aggregate_gbps: if makespan > 0.0 { total_gbit / makespan } else { 0.0 },
+                total_gbit,
+            },
+            trace,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_fabric::calibration::dl585_fabric;
+    use numa_topology::NodeId;
+
+    fn fabric() -> Fabric {
+        dl585_fabric()
+    }
+
+    #[test]
+    fn single_flow_runs_at_min_cut() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        sim.add_flow(FlowSpec::dma(NodeId(3), NodeId(7)).gbytes(26.0));
+        let r = sim.run().unwrap();
+        // Table IV: node 3 writes at the 26.0 Gbps min-cut.
+        assert!((r.aggregate_gbps - 26.0).abs() < 1e-6, "{}", r.aggregate_gbps);
+        assert!((r.makespan_s - 8.0).abs() < 1e-6); // 208 Gbit / 26 Gbps
+    }
+
+    #[test]
+    fn local_flow_uses_node_copy_cap() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        sim.add_flow(FlowSpec::dma(NodeId(7), NodeId(7)).gbits(53.5));
+        let r = sim.run().unwrap();
+        assert!((r.aggregate_gbps - 53.5).abs() < 1e-6);
+        assert!((r.makespan_s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_a_common_edge() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        // Both 4->7 and 6->7 traverse edge 6->7 (46.5).
+        sim.add_flow(FlowSpec::dma(NodeId(4), NodeId(7)).gbits(100.0));
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(100.0));
+        let rates = sim.steady_rates();
+        assert!((rates[0] - 23.25).abs() < 1e-6, "{rates:?}");
+        assert!((rates[1] - 23.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interfere() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        sim.add_flow(FlowSpec::dma(NodeId(3), NodeId(7)).gbits(100.0)); // 26.0 path
+        sim.add_flow(FlowSpec::dma(NodeId(0), NodeId(1)).gbits(100.0)); // intra-package
+        let rates = sim.steady_rates();
+        assert!((rates[0] - 26.0).abs() < 1e-6);
+        assert!((rates[1] - 51.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ceiling_caps_flow() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(10.0).ceiling(5.0));
+        let r = sim.run().unwrap();
+        assert!((r.aggregate_gbps - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn custom_resource_shared_by_flows() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        let port = sim.register(ResourceKey::Custom(0), 20.0);
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(100.0).charge(port));
+        sim.add_flow(FlowSpec::dma(NodeId(5), NodeId(7)).gbits(100.0).charge(port));
+        let rates = sim.steady_rates();
+        assert!((rates[0] + rates[1] - 20.0).abs() < 1e-6, "{rates:?}");
+    }
+
+    #[test]
+    fn pio_flow_obeys_matrix_ceiling() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        sim.add_flow(FlowSpec::pio(NodeId(7), NodeId(4)).gbits(21.34));
+        let r = sim.run().unwrap();
+        assert!((r.aggregate_gbps - 21.34).abs() < 1e-6);
+        assert!((r.makespan_s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn staggered_completion_changes_rates() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        // Same shared edge 6->7; first flow is half the size, so after it
+        // finishes, the second speeds up.
+        sim.add_flow(FlowSpec::dma(NodeId(4), NodeId(7)).gbits(23.25));
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(46.5));
+        let r = sim.run().unwrap();
+        // Flow 0 finishes at t=1 (23.25 Gbps fair share). Flow 1 then has
+        // 23.25 Gbit left, running alone at 46.5 => finishes at 1.5.
+        assert!((r.flows[0].finish_s - 1.0).abs() < 1e-6, "{:?}", r.flows[0]);
+        assert!((r.flows[1].finish_s - 1.5).abs() < 1e-6, "{:?}", r.flows[1]);
+        assert!((r.aggregate_gbps - 46.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_flows_is_an_error() {
+        let f = fabric();
+        let sim = Simulation::new(&f);
+        assert_eq!(sim.run().unwrap_err(), SimError::NoFlows);
+    }
+
+    #[test]
+    fn starved_flow_is_detected() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        let dead = sim.register(ResourceKey::Custom(9), 0.0);
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(1.0).charge(dead));
+        assert!(matches!(sim.run().unwrap_err(), SimError::Starved { .. }));
+    }
+
+    #[test]
+    fn jitter_is_reproducible_and_bounded() {
+        let f = fabric();
+        let run = |seed| {
+            let mut sim =
+                Simulation::new(&f).with_jitter(JitterCfg { amplitude: 0.05, refresh_s: 0.5, seed });
+            sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(100.0));
+            sim.run().unwrap().aggregate_gbps
+        };
+        let a = run(1);
+        let b = run(1);
+        let c = run(2);
+        assert_eq!(a, b, "same seed, same result");
+        assert_ne!(a, c, "different seed perturbs");
+        // Bounded around the no-jitter value 46.5.
+        assert!((a - 46.5).abs() < 46.5 * 0.06, "{a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "volume must be positive")]
+    fn zero_volume_rejected() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        sim.add_flow(FlowSpec::dma(NodeId(0), NodeId(1)).gbits(0.0));
+    }
+
+    #[test]
+    fn bottleneck_report_finds_the_shared_edge() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        // Both flows cross edge 6->7 (46.5): it saturates; their private
+        // first hops do not.
+        sim.add_flow(FlowSpec::dma(NodeId(4), NodeId(7)).gbits(10.0));
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(10.0));
+        let report = sim.bottlenecks();
+        let (key, used, cap, util) = report[0];
+        assert_eq!(
+            key,
+            ResourceKey::Edge(numa_topology::DirectedEdge::new(NodeId(6), NodeId(7)))
+        );
+        assert!((used - 46.5).abs() < 1e-6);
+        assert!((cap - 46.5).abs() < 1e-6);
+        assert!((util - 1.0).abs() < 1e-9);
+        // Every other resource is strictly below saturation.
+        for &(_, _, _, u) in &report[1..] {
+            assert!(u < 1.0 - 1e-9, "{report:?}");
+        }
+    }
+
+    #[test]
+    fn traced_run_records_rounds_and_finishes() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        let id0 = sim.add_flow(FlowSpec::dma(NodeId(4), NodeId(7)).gbits(23.25));
+        let id1 = sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(46.5));
+        let (report, trace) = sim.run_traced().unwrap();
+        // Two allocation rounds: both active, then flow 1 alone.
+        assert_eq!(trace.rounds(), 2);
+        assert_eq!(trace.finish_of(id0), Some(report.flows[0].finish_s));
+        assert_eq!(trace.finish_of(id1), Some(report.flows[1].finish_s));
+        // Fair share while contended, full rate after.
+        assert!((trace.rate_at(id1, 0.5).unwrap() - 23.25).abs() < 1e-9);
+        assert!((trace.rate_at(id1, 1.2).unwrap() - 46.5).abs() < 1e-9);
+        assert!(trace.render().contains("finish"));
+    }
+
+    #[test]
+    fn traced_and_untraced_agree() {
+        let f = fabric();
+        let build = || {
+            let mut sim = Simulation::new(&f);
+            sim.add_flow(FlowSpec::dma(NodeId(0), NodeId(7)).gbits(30.0));
+            sim.add_flow(FlowSpec::dma(NodeId(3), NodeId(7)).gbits(30.0));
+            sim
+        };
+        let plain = build().run().unwrap();
+        let (traced, _) = build().run_traced().unwrap();
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn fully_device_side_flow_is_bounded_by_its_path() {
+        // Both endpoints marked device-side with no extra resources and no
+        // ceiling: the engine falls back to the path min-cut so the
+        // allocator's no-unbounded-flow invariant holds.
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        sim.add_flow(
+            FlowSpec::dma(NodeId(3), NodeId(7))
+                .gbits(26.0)
+                .device_src()
+                .device_dst(),
+        );
+        let r = sim.run().unwrap();
+        assert!((r.aggregate_gbps - 26.0).abs() < 1e-9, "{}", r.aggregate_gbps);
+    }
+
+    #[test]
+    fn weighted_flows_split_shared_hardware_proportionally() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        // Two flows over the same 6->7 edge (46.5): weight 3 vs weight 1.
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(100.0).weight(3.0));
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(100.0));
+        let rates = sim.steady_rates();
+        assert!((rates[0] - 34.875).abs() < 1e-9, "{rates:?}");
+        assert!((rates[1] - 11.625).abs() < 1e-9);
+        assert!((rates[0] / rates[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn non_positive_weight_rejected_at_build() {
+        let _ = FlowSpec::dma(NodeId(0), NodeId(1)).weight(0.0);
+    }
+
+    #[test]
+    fn report_renders_flows_and_aggregate() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        sim.add_flow(FlowSpec::dma(NodeId(3), NodeId(7)).gbits(26.0).label("slowpath"));
+        let r = sim.run().unwrap();
+        let s = r.render();
+        assert!(s.contains("slowpath"));
+        assert!(s.contains("aggregate: 26.00 Gbit/s"));
+        assert!(s.contains("F0"));
+    }
+
+    #[test]
+    fn report_totals_consistent() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        sim.add_flow(FlowSpec::dma(NodeId(5), NodeId(7)).gbytes(1.0).label("a"));
+        sim.add_flow(FlowSpec::dma(NodeId(3), NodeId(7)).gbytes(2.0).label("b"));
+        let r = sim.run().unwrap();
+        assert_eq!(r.total_gbit, 24.0);
+        assert_eq!(r.flows.len(), 2);
+        assert_eq!(r.flows[0].label, "a");
+        let slowest = r.flows.iter().map(|x| x.finish_s).fold(0.0, f64::max);
+        assert_eq!(r.makespan_s, slowest);
+        assert!(r.mean_flow_gbps() > 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Small summary statistics used across reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number-ish summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl Summary {
+    /// Summarize a non-empty slice. Panics on empty input.
+    pub fn from(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample set");
+        let n = samples.len();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &s in samples {
+            min = min.min(s);
+            max = max.max(s);
+            sum += s;
+        }
+        let mean = sum / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        Summary { n, min, max, mean, std: var.sqrt() }
+    }
+
+    /// Relative spread `(max - min) / mean`; 0 for constant samples.
+    pub fn rel_spread(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            (self.max - self.min) / self.mean
+        }
+    }
+
+    /// Render as the paper's "Range / Avg" table cell pair.
+    pub fn range_avg(&self) -> String {
+        format!("{:.1} – {:.1} / {:.1}", self.min, self.max, self.mean)
+    }
+}
+
+/// Relative error `|predicted - measured| / measured`, as used in the
+/// paper's Eq. 1 validation (§V-B).
+pub fn relative_error(predicted: f64, measured: f64) -> f64 {
+    (predicted - measured).abs() / measured.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_samples() {
+        let s = Summary::from(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert!((s.rel_spread() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_samples_have_zero_spread() {
+        let s = Summary::from(&[5.0; 10]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.rel_spread(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let _ = Summary::from(&[]);
+    }
+
+    #[test]
+    fn paper_relative_error_reproduces() {
+        // |20.017 - 19.415| / 19.415 = 3.1%
+        let e = relative_error(20.017, 19.415);
+        assert!((e - 0.031).abs() < 5e-4, "{e}");
+    }
+
+    #[test]
+    fn range_avg_formats() {
+        let s = Summary::from(&[26.0, 27.3]);
+        assert_eq!(s.range_avg(), "26.0 – 27.3 / 26.6");
+    }
+}

@@ -1,0 +1,167 @@
+//! Event traces: what the simulator decided, when.
+//!
+//! A [`Trace`] records every allocation round (the rates handed to each
+//! flow) and every completion, which makes contention dynamics inspectable:
+//! "who slowed down when the class-3 stream joined" becomes a query instead
+//! of a guess.
+
+use crate::flow::FlowId;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// The allocator assigned these instantaneous rates (active flows
+    /// only), at `time_s`.
+    Rates {
+        /// Simulation time.
+        time_s: f64,
+        /// `(flow, Gbit/s)` for each active flow.
+        rates: Vec<(FlowId, f64)>,
+    },
+    /// A flow finished at `time_s`.
+    Finished {
+        /// Simulation time.
+        time_s: f64,
+        /// The completed flow.
+        flow: FlowId,
+    },
+    /// Jitter multipliers were refreshed at `time_s`.
+    JitterRefresh {
+        /// Simulation time.
+        time_s: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Event timestamp.
+    pub fn time_s(&self) -> f64 {
+        match self {
+            TraceEvent::Rates { time_s, .. }
+            | TraceEvent::Finished { time_s, .. }
+            | TraceEvent::JitterRefresh { time_s } => *time_s,
+        }
+    }
+}
+
+/// An ordered event log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event (times must be non-decreasing).
+    pub fn push(&mut self, e: TraceEvent) {
+        if let Some(last) = self.events.last() {
+            debug_assert!(e.time_s() >= last.time_s() - 1e-12, "trace must be ordered");
+        }
+        self.events.push(e);
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The rate a flow held at time `t` (the most recent assignment at or
+    /// before `t`), if any.
+    pub fn rate_at(&self, flow: FlowId, t: f64) -> Option<f64> {
+        self.events
+            .iter()
+            .take_while(|e| e.time_s() <= t + 1e-12)
+            .filter_map(|e| match e {
+                TraceEvent::Rates { rates, .. } => {
+                    rates.iter().find(|(f, _)| *f == flow).map(|(_, r)| *r)
+                }
+                _ => None,
+            })
+            .last()
+    }
+
+    /// Completion time of a flow, if it finished.
+    pub fn finish_of(&self, flow: FlowId) -> Option<f64> {
+        self.events.iter().find_map(|e| match e {
+            TraceEvent::Finished { time_s, flow: f } if *f == flow => Some(*time_s),
+            _ => None,
+        })
+    }
+
+    /// Number of allocation rounds.
+    pub fn rounds(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Rates { .. }))
+            .count()
+    }
+
+    /// Render a compact timeline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Rates { time_s, rates } => {
+                    let cells: Vec<String> = rates
+                        .iter()
+                        .map(|(f, r)| format!("F{}={r:.2}", f.0))
+                        .collect();
+                    let _ = writeln!(out, "t={time_s:>8.3}s  rates  {}", cells.join(" "));
+                }
+                TraceEvent::Finished { time_s, flow } => {
+                    let _ = writeln!(out, "t={time_s:>8.3}s  finish F{}", flow.0);
+                }
+                TraceEvent::JitterRefresh { time_s } => {
+                    let _ = writeln!(out, "t={time_s:>8.3}s  jitter refresh");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Rates {
+            time_s: 0.0,
+            rates: vec![(FlowId(0), 10.0), (FlowId(1), 5.0)],
+        });
+        t.push(TraceEvent::Rates { time_s: 2.0, rates: vec![(FlowId(1), 15.0)] });
+        t.push(TraceEvent::Finished { time_s: 2.0, flow: FlowId(0) });
+        t
+    }
+
+    #[test]
+    fn rate_queries_pick_latest_assignment() {
+        let t = sample();
+        assert_eq!(t.rate_at(FlowId(1), 0.5), Some(5.0));
+        assert_eq!(t.rate_at(FlowId(1), 2.5), Some(15.0));
+        assert_eq!(t.rate_at(FlowId(0), 1.0), Some(10.0));
+        assert_eq!(t.rate_at(FlowId(9), 1.0), None);
+    }
+
+    #[test]
+    fn finish_lookup() {
+        let t = sample();
+        assert_eq!(t.finish_of(FlowId(0)), Some(2.0));
+        assert_eq!(t.finish_of(FlowId(1)), None);
+    }
+
+    #[test]
+    fn rounds_counted_and_rendered() {
+        let t = sample();
+        assert_eq!(t.rounds(), 2);
+        let s = t.render();
+        assert!(s.contains("finish F0"));
+        assert!(s.contains("F1=5.00"));
+    }
+}

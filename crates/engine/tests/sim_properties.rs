@@ -1,0 +1,86 @@
+//! Property-based tests for the flow simulator over the calibrated fabric.
+
+use numa_engine::{FlowSpec, Simulation};
+use numa_fabric::calibration::dl585_fabric;
+use numa_fabric::Fabric;
+use numa_topology::NodeId;
+use proptest::prelude::*;
+
+fn arb_flows() -> impl Strategy<Value = Vec<(u16, u16, f64)>> {
+    proptest::collection::vec((0u16..8, 0u16..8, 1.0f64..200.0), 1..10)
+}
+
+fn build<'a>(fabric: &'a Fabric, flows: &[(u16, u16, f64)]) -> Simulation<'a> {
+    let mut sim = Simulation::new(fabric);
+    for &(s, d, v) in flows {
+        sim.add_flow(FlowSpec::dma(NodeId(s), NodeId(d)).gbits(v));
+    }
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_flows_finish_and_totals_add_up(flows in arb_flows()) {
+        let fabric = dl585_fabric();
+        let report = build(&fabric, &flows).run().unwrap();
+        prop_assert_eq!(report.flows.len(), flows.len());
+        let expect_total: f64 = flows.iter().map(|f| f.2).sum();
+        prop_assert!((report.total_gbit - expect_total).abs() < 1e-9);
+        for (fr, &(_, _, v)) in report.flows.iter().zip(&flows) {
+            prop_assert!(fr.finish_s > 0.0);
+            prop_assert!((fr.volume_gbit - v).abs() < 1e-9);
+            prop_assert!(fr.finish_s <= report.makespan_s + 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_flow_beats_its_uncontended_path(flows in arb_flows()) {
+        let fabric = dl585_fabric();
+        let report = build(&fabric, &flows).run().unwrap();
+        for (fr, &(s, d, _)) in report.flows.iter().zip(&flows) {
+            let solo = fabric.dma_path_bandwidth(NodeId(s), NodeId(d));
+            prop_assert!(fr.mean_gbps <= solo + 1e-6,
+                "flow {s}->{d}: {} > {}", fr.mean_gbps, solo);
+        }
+    }
+
+    #[test]
+    fn contention_never_helps_the_makespan(flows in arb_flows()) {
+        // Running any single flow alone is at least as fast as inside the
+        // full mix.
+        let fabric = dl585_fabric();
+        let full = build(&fabric, &flows).run().unwrap();
+        let (s, d, v) = flows[0];
+        let solo = build(&fabric, &[(s, d, v)]).run().unwrap();
+        prop_assert!(solo.flows[0].finish_s <= full.flows[0].finish_s + 1e-9);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(flows in arb_flows()) {
+        let fabric = dl585_fabric();
+        let a = build(&fabric, &flows).run().unwrap();
+        let b = build(&fabric, &flows).run().unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn steady_rates_are_feasible_per_flow(flows in arb_flows()) {
+        let fabric = dl585_fabric();
+        let rates = build(&fabric, &flows).steady_rates();
+        for (&rate, &(s, d, _)) in rates.iter().zip(&flows) {
+            let solo = fabric.dma_path_bandwidth(NodeId(s), NodeId(d));
+            prop_assert!(rate <= solo + 1e-6);
+            prop_assert!(rate >= 0.0);
+        }
+    }
+
+    #[test]
+    fn equal_twin_flows_tie(s in 0u16..8, d in 0u16..8, v in 1.0f64..100.0) {
+        let fabric = dl585_fabric();
+        let report = build(&fabric, &[(s, d, v), (s, d, v)]).run().unwrap();
+        prop_assert!((report.flows[0].finish_s - report.flows[1].finish_s).abs() < 1e-9);
+        prop_assert!((report.flows[0].mean_gbps - report.flows[1].mean_gbps).abs() < 1e-9);
+    }
+}

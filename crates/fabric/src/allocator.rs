@@ -1,0 +1,341 @@
+//! Max-min fair bandwidth allocation by progressive filling.
+//!
+//! When concurrent transfers share hardware — HT links, memory controllers,
+//! device ports, CPU protocol-processing capacity — the achieved rates are
+//! modelled as the classic *max-min fair* allocation: every flow's rate
+//! rises at the same pace until some resource saturates or the flow hits
+//! its own ceiling; saturated participants freeze and the rest continue.
+//!
+//! This matches the paper's observations qualitatively: parallel TCP
+//! streams grow aggregate bandwidth until the shared bottleneck saturates
+//! (~4 streams, Fig. 5), and piling every task onto the device-local node
+//! degrades everyone (§V-B "contention of shared resource").
+//!
+//! The solver is deliberately generic: resources are indices with
+//! capacities, flows are index sets with optional ceilings. `numa-engine`
+//! maps links/nodes/ports onto indices.
+
+/// One flow's resource usage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Indices of the resources this flow consumes (each unit of rate
+    /// consumes one unit of each listed resource).
+    pub resources: Vec<usize>,
+    /// Per-flow rate ceiling (e.g. a protocol or per-stream CPU limit).
+    /// `f64::INFINITY` when only shared resources bind.
+    pub ceiling: f64,
+    /// Fairness weight: under contention a flow's rate grows as
+    /// `weight x lambda` (weighted max-min). 1.0 = plain fairness; a
+    /// weight-2 flow receives twice a weight-1 flow's share of any shared
+    /// bottleneck. Must be positive.
+    pub weight: f64,
+}
+
+impl Default for FlowSpec {
+    fn default() -> Self {
+        FlowSpec { resources: Vec::new(), ceiling: f64::INFINITY, weight: 1.0 }
+    }
+}
+
+impl FlowSpec {
+    /// Flow over `resources` with no individual ceiling.
+    pub fn shared(resources: Vec<usize>) -> Self {
+        FlowSpec { resources, ..Default::default() }
+    }
+
+    /// Flow over `resources` with a ceiling.
+    pub fn capped(resources: Vec<usize>, ceiling: f64) -> Self {
+        FlowSpec { resources, ceiling, ..Default::default() }
+    }
+
+    /// Set the fairness weight (builder style).
+    pub fn weighted(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
+/// A max-min fairness problem instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxMinProblem {
+    /// Resource capacities (any non-negative unit; Gbit/s here).
+    pub capacities: Vec<f64>,
+    /// The competing flows.
+    pub flows: Vec<FlowSpec>,
+}
+
+impl MaxMinProblem {
+    /// New problem with the given resource capacities and no flows yet.
+    pub fn new(capacities: Vec<f64>) -> Self {
+        MaxMinProblem { capacities, flows: Vec::new() }
+    }
+
+    /// Add a flow; returns its index.
+    pub fn add_flow(&mut self, flow: FlowSpec) -> usize {
+        self.flows.push(flow);
+        self.flows.len() - 1
+    }
+}
+
+/// Solve by progressive filling. Returns one rate per flow.
+///
+/// Preconditions (checked):
+/// * resource indices are in range;
+/// * every flow has a finite ceiling or at least one resource (otherwise
+///   its fair rate would be unbounded);
+/// * capacities and ceilings are non-negative.
+///
+/// Complexity: O(iterations x (flows + resources)) with at most
+/// `flows + resources` iterations — every round freezes at least one flow
+/// or saturates at least one resource.
+pub fn solve_max_min(problem: &MaxMinProblem) -> Vec<f64> {
+    let caps = &problem.capacities;
+    let flows = &problem.flows;
+    for (i, f) in flows.iter().enumerate() {
+        assert!(
+            f.ceiling.is_finite() || !f.resources.is_empty(),
+            "flow {i} is unbounded: no ceiling and no resources"
+        );
+        assert!(f.ceiling >= 0.0, "flow {i} has negative ceiling");
+        assert!(f.weight > 0.0 && f.weight.is_finite(), "flow {i} has non-positive weight");
+        for &r in &f.resources {
+            assert!(r < caps.len(), "flow {i} references resource {r} out of range");
+        }
+    }
+    for (r, &c) in caps.iter().enumerate() {
+        assert!(c >= 0.0, "resource {r} has negative capacity");
+    }
+
+    let nf = flows.len();
+    let nr = caps.len();
+    let mut rate = vec![0.0_f64; nf];
+    let mut active: Vec<bool> = (0..nf).map(|i| flows[i].ceiling > 0.0).collect();
+    let mut remaining: Vec<f64> = caps.clone();
+    // users[r] = number of *active* flows using resource r (refreshed each
+    // round; flow and resource counts are small in our workloads).
+    const EPS: f64 = 1e-12;
+
+    loop {
+        // Weighted user load per resource: each active flow consumes
+        // weight x lambda of every resource it lists (listed twice =
+        // charged twice).
+        let mut load = vec![0.0_f64; nr];
+        for (i, f) in flows.iter().enumerate() {
+            if active[i] {
+                for &r in &f.resources {
+                    load[r] += f.weight;
+                }
+            }
+        }
+        // Fair increment permitted by each saturating constraint.
+        let mut lambda = f64::INFINITY;
+        for r in 0..nr {
+            if load[r] > 0.0 {
+                lambda = lambda.min(remaining[r].max(0.0) / load[r]);
+            }
+        }
+        let mut any_active = false;
+        for i in 0..nf {
+            if active[i] {
+                any_active = true;
+                lambda = lambda.min((flows[i].ceiling - rate[i]) / flows[i].weight);
+            }
+        }
+        if !any_active {
+            break;
+        }
+        debug_assert!(lambda.is_finite(), "some active flow must be bounded");
+        let lambda = lambda.max(0.0);
+
+        // Raise every active flow by weight x lambda and charge resources.
+        for i in 0..nf {
+            if active[i] {
+                rate[i] += lambda * flows[i].weight;
+                for &r in &flows[i].resources {
+                    remaining[r] -= lambda * flows[i].weight;
+                }
+            }
+        }
+        // Freeze flows at ceilings or on saturated resources.
+        let mut frozen_any = false;
+        for i in 0..nf {
+            if !active[i] {
+                continue;
+            }
+            let at_ceiling = rate[i] + EPS >= flows[i].ceiling;
+            let on_saturated = flows[i]
+                .resources
+                .iter()
+                .any(|&r| remaining[r] <= EPS.max(caps[r] * 1e-12));
+            if at_ceiling || on_saturated {
+                active[i] = false;
+                frozen_any = true;
+            }
+        }
+        // Numerical safety: if lambda rounded to zero and nothing froze we
+        // would spin; freeze the most constrained flow explicitly.
+        if !frozen_any && lambda <= EPS {
+            if let Some(i) = (0..nf).find(|&i| active[i]) {
+                active[i] = false;
+            }
+        }
+    }
+    rate
+}
+
+/// Convenience: the aggregate rate of a solution.
+pub fn aggregate(rates: &[f64]) -> f64 {
+    rates.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(caps: Vec<f64>, flows: Vec<FlowSpec>) -> Vec<f64> {
+        solve_max_min(&MaxMinProblem { capacities: caps, flows })
+    }
+
+    #[test]
+    fn single_flow_takes_whole_resource() {
+        let r = solve(vec![10.0], vec![FlowSpec::shared(vec![0])]);
+        assert_eq!(r, vec![10.0]);
+    }
+
+    #[test]
+    fn equal_flows_split_evenly() {
+        let r = solve(
+            vec![12.0],
+            vec![FlowSpec::shared(vec![0]), FlowSpec::shared(vec![0]), FlowSpec::shared(vec![0])],
+        );
+        for v in r {
+            assert!((v - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ceiling_binds_before_resource() {
+        let r = solve(
+            vec![12.0],
+            vec![FlowSpec::capped(vec![0], 2.0), FlowSpec::shared(vec![0])],
+        );
+        assert!((r[0] - 2.0).abs() < 1e-9);
+        assert!((r[1] - 10.0).abs() < 1e-9, "leftover goes to the other flow: {r:?}");
+    }
+
+    #[test]
+    fn classic_three_link_example() {
+        // Textbook max-min: links A=10, B=10; f0 uses A+B, f1 uses A, f2 uses B.
+        let r = solve(
+            vec![10.0, 10.0],
+            vec![
+                FlowSpec::shared(vec![0, 1]),
+                FlowSpec::shared(vec![0]),
+                FlowSpec::shared(vec![1]),
+            ],
+        );
+        assert!((r[0] - 5.0).abs() < 1e-9);
+        assert!((r[1] - 5.0).abs() < 1e-9);
+        assert!((r[2] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_chain() {
+        // f0 crosses a narrow link (2) and a wide one; f1 only the wide one.
+        let r = solve(
+            vec![2.0, 100.0],
+            vec![FlowSpec::shared(vec![0, 1]), FlowSpec::shared(vec![1])],
+        );
+        assert!((r[0] - 2.0).abs() < 1e-9);
+        assert!((r[1] - 98.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ceiling_only_flow_is_fine() {
+        let r = solve(vec![], vec![FlowSpec::capped(vec![], 7.5)]);
+        assert_eq!(r, vec![7.5]);
+    }
+
+    #[test]
+    fn zero_capacity_resource_starves_users() {
+        let r = solve(
+            vec![0.0, 10.0],
+            vec![FlowSpec::shared(vec![0]), FlowSpec::shared(vec![1])],
+        );
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_ceiling_flow_gets_zero() {
+        let r = solve(vec![10.0], vec![FlowSpec::capped(vec![0], 0.0), FlowSpec::shared(vec![0])]);
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded")]
+    fn unbounded_flow_rejected() {
+        let _ = solve(vec![10.0], vec![FlowSpec::shared(vec![])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_resource_rejected() {
+        let _ = solve(vec![10.0], vec![FlowSpec::shared(vec![3])]);
+    }
+
+    #[test]
+    fn empty_problem_is_empty_solution() {
+        let r = solve(vec![5.0], vec![]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn weights_split_a_shared_resource_proportionally() {
+        let r = solve(
+            vec![12.0],
+            vec![
+                FlowSpec::shared(vec![0]).weighted(1.0),
+                FlowSpec::shared(vec![0]).weighted(2.0),
+                FlowSpec::shared(vec![0]).weighted(3.0),
+            ],
+        );
+        assert!((r[0] - 2.0).abs() < 1e-9, "{r:?}");
+        assert!((r[1] - 4.0).abs() < 1e-9);
+        assert!((r[2] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_flow_still_respects_its_ceiling() {
+        let r = solve(
+            vec![12.0],
+            vec![
+                FlowSpec::capped(vec![0], 3.0).weighted(5.0),
+                FlowSpec::shared(vec![0]),
+            ],
+        );
+        assert!((r[0] - 3.0).abs() < 1e-9, "{r:?}");
+        assert!((r[1] - 9.0).abs() < 1e-9, "leftover flows to the other: {r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive weight")]
+    fn zero_weight_rejected() {
+        let _ = solve(vec![10.0], vec![FlowSpec::shared(vec![0]).weighted(0.0)]);
+    }
+
+    #[test]
+    fn repeated_resource_in_one_flow_counts_double() {
+        // A flow listing the same resource twice charges it twice — this
+        // models e.g. a local copy that crosses the same controller for
+        // read and write.
+        let r = solve(vec![10.0], vec![FlowSpec::shared(vec![0, 0])]);
+        assert!((r[0] - 5.0).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn aggregate_sums() {
+        assert_eq!(aggregate(&[1.0, 2.5, 3.5]), 7.0);
+    }
+}

@@ -1,0 +1,536 @@
+//! The [`Fabric`]: topology + routes + directed capacities.
+
+use crate::traffic::TrafficClass;
+use numa_topology::{DirectedEdge, HtWidth, Locality, NodeId, RouteTable, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How PIO (CPU load/store) bandwidth between node pairs is modelled.
+///
+/// For the calibrated testbed we carry the full measured-style matrix —
+/// the paper itself demonstrates (§IV-A) that no simple structural rule
+/// reproduces STREAM results, so a characterization table *is* the model.
+/// For generic machines a locality-based fallback gives sane shapes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PioModel {
+    /// Full `n x n` matrix in Gbit/s, `matrix[cpu][mem]`.
+    Matrix(Vec<Vec<f64>>),
+    /// Derive from [`Locality`]: local / neighbour / remote-by-hops.
+    ByLocality {
+        /// Same-node copy bandwidth.
+        local: f64,
+        /// Local bandwidth of the OS home node (usually slightly higher:
+        /// resident libraries and buffers — §IV-A).
+        os_home_local: f64,
+        /// Other die, same package.
+        neighbour: f64,
+        /// One coherent hop.
+        hop1: f64,
+        /// Two coherent hops.
+        hop2: f64,
+        /// Three or more hops.
+        hop3plus: f64,
+    },
+}
+
+/// Immutable performance model of one machine's interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fabric {
+    topo: Topology,
+    routes: RouteTable,
+    /// Calibrated per-directed-edge DMA capacities (Gbit/s). Edges not
+    /// listed fall back to width defaults. Serialized as a pair list since
+    /// JSON maps need string keys.
+    #[serde(with = "edge_map_serde")]
+    dma_caps: HashMap<DirectedEdge, f64>,
+    /// Default DMA capacity for full-width links.
+    dma_default_w16: f64,
+    /// Default DMA capacity for half-width links.
+    dma_default_w8: f64,
+    /// Per-node local bulk-copy ceiling (memory controller + on-die
+    /// bandwidth for a 4-thread streaming copy), Gbit/s.
+    node_copy_cap: Vec<f64>,
+    /// Per-extra-hop DMA efficiency decay for *uncalibrated* machines:
+    /// path bandwidth is additionally scaled by `(1 - decay)^(hops - 1)`.
+    /// Coherency probes, buffer credits and store-and-forward overheads
+    /// grow with distance even when every link is identical; calibrated
+    /// fabrics encode this in their edge caps instead (decay 0).
+    dma_hop_decay: f64,
+    /// PIO model.
+    pio: PioModel,
+}
+
+impl Fabric {
+    /// Start building a fabric over a topology and routing table.
+    pub fn builder(topo: Topology, routes: RouteTable) -> FabricBuilder {
+        FabricBuilder::new(topo, routes)
+    }
+
+    /// The machine structure.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The routing table.
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    /// Number of NUMA nodes (convenience).
+    pub fn num_nodes(&self) -> usize {
+        self.topo.num_nodes()
+    }
+
+    /// Capacity of one directed edge for a traffic class, Gbit/s.
+    ///
+    /// Panics if the edge is not a link of the topology.
+    pub fn edge_capacity(&self, e: DirectedEdge, class: TrafficClass) -> f64 {
+        let link = self
+            .topo
+            .link_between(e.from, e.to)
+            .unwrap_or_else(|| panic!("no link {:?}", e));
+        match class {
+            TrafficClass::Dma => self.dma_caps.get(&e).copied().unwrap_or_else(|| {
+                match self.topo.link(link).width {
+                    HtWidth::W16 => self.dma_default_w16,
+                    HtWidth::W8 => self.dma_default_w8,
+                }
+            }),
+            // PIO traffic rides the same wires; per-edge PIO limits are
+            // folded into the PIO model rather than per-edge caps, so the
+            // edge itself only constrains PIO by its DMA ceiling.
+            TrafficClass::Pio => self.edge_capacity(e, TrafficClass::Dma),
+        }
+    }
+
+    /// Local copy ceiling of one node (both buffers on `n`), Gbit/s.
+    pub fn node_copy_cap(&self, n: NodeId) -> f64 {
+        self.node_copy_cap[n.index()]
+    }
+
+    /// Bulk DMA-class path bandwidth from memory on `src` to memory on
+    /// `dst`, following the firmware route: the minimum of the directed
+    /// edge capacities and both endpoints' local copy ceilings.
+    ///
+    /// This is the quantity the paper's `memcpy` methodology measures when
+    /// the copier is pinned to the device node (Fig. 9), and the ceiling a
+    /// real DMA engine at either endpoint experiences.
+    pub fn dma_path_bandwidth(&self, src: NodeId, dst: NodeId) -> f64 {
+        let endpoint_cap = self
+            .node_copy_cap(src)
+            .min(self.node_copy_cap(dst));
+        if src == dst {
+            return endpoint_cap;
+        }
+        let route = self.routes.route(src, dst);
+        let link_min = route
+            .edges()
+            .map(|e| self.edge_capacity(e, TrafficClass::Dma))
+            .fold(f64::INFINITY, f64::min);
+        let hop_scale = (1.0 - self.dma_hop_decay).powi(route.hops().saturating_sub(1) as i32);
+        endpoint_cap.min(link_min * hop_scale)
+    }
+
+    /// The full `n x n` DMA path-bandwidth matrix (`[src][dst]`).
+    pub fn dma_matrix(&self) -> Vec<Vec<f64>> {
+        let n = self.num_nodes();
+        (0..n)
+            .map(|s| {
+                (0..n)
+                    .map(|d| self.dma_path_bandwidth(NodeId::new(s), NodeId::new(d)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// PIO (STREAM-style) bandwidth for threads on `cpu` accessing arrays
+    /// on `mem`, Gbit/s (aggregate over a node's worth of threads).
+    pub fn pio_bandwidth(&self, cpu: NodeId, mem: NodeId) -> f64 {
+        match &self.pio {
+            PioModel::Matrix(m) => m[cpu.index()][mem.index()],
+            PioModel::ByLocality {
+                local,
+                os_home_local,
+                neighbour,
+                hop1,
+                hop2,
+                hop3plus,
+            } => match self.topo.locality(cpu, mem) {
+                Locality::Local => {
+                    if self.topo.node(cpu).os_home {
+                        *os_home_local
+                    } else {
+                        *local
+                    }
+                }
+                Locality::Neighbour => *neighbour,
+                Locality::Remote(1) => *hop1,
+                Locality::Remote(2) => *hop2,
+                Locality::Remote(_) => *hop3plus,
+            },
+        }
+    }
+
+    /// The full `n x n` PIO matrix (`[cpu][mem]`), i.e. the shape of the
+    /// paper's Figure 3.
+    pub fn pio_matrix(&self) -> Vec<Vec<f64>> {
+        let n = self.num_nodes();
+        (0..n)
+            .map(|c| {
+                (0..n)
+                    .map(|m| self.pio_bandwidth(NodeId::new(c), NodeId::new(m)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// What-if query: a copy of this fabric with one directed edge's DMA
+    /// capacity overridden — e.g. "what if firmware retrained the 3->7
+    /// link to full width?" Feed the result back through the modeler and
+    /// diff the models to see which nodes change class.
+    pub fn with_edge_cap(&self, e: DirectedEdge, gbps: f64) -> Fabric {
+        assert!(
+            self.topo.link_between(e.from, e.to).is_some(),
+            "no link {e:?} to override"
+        );
+        assert!(gbps > 0.0, "capacity must be positive");
+        let mut f = self.clone();
+        f.dma_caps.insert(e, gbps);
+        f
+    }
+
+    /// Per-class path bandwidth; dispatches to DMA min-cut or PIO model.
+    pub fn path_bandwidth(&self, src: NodeId, dst: NodeId, class: TrafficClass) -> f64 {
+        match class {
+            TrafficClass::Dma => self.dma_path_bandwidth(src, dst),
+            TrafficClass::Pio => self.pio_bandwidth(src, dst),
+        }
+    }
+}
+
+mod edge_map_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &HashMap<DirectedEdge, f64>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mut pairs: Vec<(DirectedEdge, f64)> = map.iter().map(|(k, v)| (*k, *v)).collect();
+        pairs.sort_by_key(|(k, _)| *k);
+        serde::Serialize::serialize(&pairs, s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<HashMap<DirectedEdge, f64>, D::Error> {
+        let pairs: Vec<(DirectedEdge, f64)> = serde::Deserialize::deserialize(d)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+/// Builder for [`Fabric`].
+#[derive(Debug, Clone)]
+pub struct FabricBuilder {
+    topo: Topology,
+    routes: RouteTable,
+    dma_caps: HashMap<DirectedEdge, f64>,
+    dma_default_w16: f64,
+    dma_default_w8: f64,
+    node_copy_cap: Vec<f64>,
+    dma_hop_decay: f64,
+    pio: PioModel,
+}
+
+impl FabricBuilder {
+    /// Defaults: width-scaled DMA capacities, 50 Gbps local copies, and a
+    /// generic locality-based PIO model.
+    pub fn new(topo: Topology, routes: RouteTable) -> Self {
+        let n = topo.num_nodes();
+        FabricBuilder {
+            topo,
+            routes,
+            dma_caps: HashMap::new(),
+            dma_default_w16: 51.2,
+            dma_default_w8: 44.0,
+            node_copy_cap: vec![50.0; n],
+            dma_hop_decay: 0.0,
+            pio: PioModel::ByLocality {
+                local: 28.0,
+                os_home_local: 31.0,
+                neighbour: 24.8,
+                hop1: 21.5,
+                hop2: 19.8,
+                hop3plus: 18.6,
+            },
+        }
+    }
+
+    /// Calibrate one directed edge's DMA capacity.
+    pub fn dma_cap(mut self, from: u16, to: u16, gbps: f64) -> Self {
+        self.dma_caps
+            .insert(DirectedEdge::new(NodeId(from), NodeId(to)), gbps);
+        self
+    }
+
+    /// Set the default DMA capacities by link width.
+    pub fn dma_defaults(mut self, w16: f64, w8: f64) -> Self {
+        self.dma_default_w16 = w16;
+        self.dma_default_w8 = w8;
+        self
+    }
+
+    /// Set every node's local copy ceiling.
+    pub fn node_copy_caps(mut self, gbps: f64) -> Self {
+        self.node_copy_cap = vec![gbps; self.topo.num_nodes()];
+        self
+    }
+
+    /// Set one node's local copy ceiling.
+    pub fn node_copy_cap(mut self, n: u16, gbps: f64) -> Self {
+        self.node_copy_cap[n as usize] = gbps;
+        self
+    }
+
+    /// Set the per-extra-hop DMA decay (see [`Fabric`] docs). Must be in
+    /// `[0, 1)`. Intended for uncalibrated machines only.
+    pub fn dma_hop_decay(mut self, decay: f64) -> Self {
+        assert!((0.0..1.0).contains(&decay), "decay must be in [0, 1)");
+        self.dma_hop_decay = decay;
+        self
+    }
+
+    /// Install a PIO model.
+    pub fn pio(mut self, pio: PioModel) -> Self {
+        self.pio = pio;
+        self
+    }
+
+    /// Freeze. Validates that calibrated edges exist and that a PIO matrix,
+    /// if provided, is `n x n`.
+    pub fn build(self) -> Fabric {
+        for e in self.dma_caps.keys() {
+            assert!(
+                self.topo.link_between(e.from, e.to).is_some(),
+                "calibrated edge {e:?} is not a link of {}",
+                self.topo.name()
+            );
+        }
+        if let PioModel::Matrix(m) = &self.pio {
+            let n = self.topo.num_nodes();
+            assert_eq!(m.len(), n, "PIO matrix row count");
+            for row in m {
+                assert_eq!(row.len(), n, "PIO matrix column count");
+            }
+        }
+        Fabric {
+            topo: self.topo,
+            routes: self.routes,
+            dma_caps: self.dma_caps,
+            dma_default_w16: self.dma_default_w16,
+            dma_default_w8: self.dma_default_w8,
+            node_copy_cap: self.node_copy_cap,
+            dma_hop_decay: self.dma_hop_decay,
+            pio: self.pio,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topology::{presets, NodeSpec, PackageId};
+
+    fn tiny() -> (Topology, RouteTable) {
+        let mut b = Topology::builder("tiny");
+        let n0 = b.node(NodeSpec::magny_cours(PackageId(0)).with_os_home());
+        let n1 = b.node(NodeSpec::magny_cours(PackageId(0)));
+        let n2 = b.node(NodeSpec::magny_cours(PackageId(1)));
+        b.link(n0, n1, HtWidth::W16);
+        b.link(n1, n2, HtWidth::W8);
+        let t = b.build().unwrap();
+        let r = RouteTable::bfs(&t);
+        (t, r)
+    }
+
+    #[test]
+    fn default_edge_caps_follow_width() {
+        let (t, r) = tiny();
+        let f = Fabric::builder(t, r).build();
+        assert_eq!(
+            f.edge_capacity(DirectedEdge::new(NodeId(0), NodeId(1)), TrafficClass::Dma),
+            51.2
+        );
+        assert_eq!(
+            f.edge_capacity(DirectedEdge::new(NodeId(1), NodeId(2)), TrafficClass::Dma),
+            44.0
+        );
+    }
+
+    #[test]
+    fn calibrated_edge_overrides_default_directionally() {
+        let (t, r) = tiny();
+        let f = Fabric::builder(t, r).dma_cap(1, 2, 20.0).build();
+        assert_eq!(
+            f.edge_capacity(DirectedEdge::new(NodeId(1), NodeId(2)), TrafficClass::Dma),
+            20.0
+        );
+        // Opposite direction keeps the default.
+        assert_eq!(
+            f.edge_capacity(DirectedEdge::new(NodeId(2), NodeId(1)), TrafficClass::Dma),
+            44.0
+        );
+    }
+
+    #[test]
+    fn dma_path_is_min_cut_with_endpoint_caps() {
+        let (t, r) = tiny();
+        let f = Fabric::builder(t, r)
+            .node_copy_caps(53.5)
+            .dma_cap(0, 1, 30.0)
+            .dma_cap(1, 2, 25.0)
+            .build();
+        assert_eq!(f.dma_path_bandwidth(NodeId(0), NodeId(2)), 25.0);
+        assert_eq!(f.dma_path_bandwidth(NodeId(0), NodeId(1)), 30.0);
+        // Local path: endpoint ceiling only.
+        assert_eq!(f.dma_path_bandwidth(NodeId(1), NodeId(1)), 53.5);
+    }
+
+    #[test]
+    fn endpoint_cap_binds_when_links_are_fat() {
+        let (t, r) = tiny();
+        let f = Fabric::builder(t, r).node_copy_cap(2, 10.0).build();
+        assert_eq!(f.dma_path_bandwidth(NodeId(0), NodeId(2)), 10.0);
+        assert_eq!(f.dma_path_bandwidth(NodeId(2), NodeId(0)), 10.0);
+    }
+
+    #[test]
+    fn pio_by_locality_uses_os_home_bonus() {
+        let (t, r) = tiny();
+        let f = Fabric::builder(t, r).build();
+        assert_eq!(f.pio_bandwidth(NodeId(0), NodeId(0)), 31.0); // os home
+        assert_eq!(f.pio_bandwidth(NodeId(1), NodeId(1)), 28.0);
+        assert_eq!(f.pio_bandwidth(NodeId(0), NodeId(1)), 24.8); // neighbour
+        assert_eq!(f.pio_bandwidth(NodeId(0), NodeId(2)), 19.8); // 2 hops
+        assert_eq!(f.pio_bandwidth(NodeId(1), NodeId(2)), 21.5); // 1 hop
+    }
+
+    #[test]
+    fn pio_matrix_shape() {
+        let (t, r) = tiny();
+        let f = Fabric::builder(t, r).build();
+        let m = f.pio_matrix();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].len(), 3);
+        assert_eq!(m[0][2], 19.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a link")]
+    fn calibrating_phantom_edge_panics() {
+        let (t, r) = tiny();
+        let _ = Fabric::builder(t, r).dma_cap(0, 2, 10.0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "PIO matrix row count")]
+    fn wrong_matrix_shape_panics() {
+        let (t, r) = tiny();
+        let _ = Fabric::builder(t, r)
+            .pio(PioModel::Matrix(vec![vec![1.0; 3]; 2]))
+            .build();
+    }
+
+    #[test]
+    fn dma_matrix_is_square_and_positive() {
+        let t = presets::dl585_testbed();
+        let r = presets::dl585_routes(&t);
+        let f = Fabric::builder(t, r).build();
+        let m = f.dma_matrix();
+        assert_eq!(m.len(), 8);
+        for row in &m {
+            for &v in row {
+                assert!(v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn path_bandwidth_dispatches_by_class() {
+        let (t, r) = tiny();
+        let f = Fabric::builder(t, r).build();
+        assert_eq!(
+            f.path_bandwidth(NodeId(1), NodeId(2), TrafficClass::Pio),
+            21.5
+        );
+        assert_eq!(
+            f.path_bandwidth(NodeId(1), NodeId(2), TrafficClass::Dma),
+            44.0
+        );
+    }
+
+    #[test]
+    fn hop_decay_tiers_uncalibrated_paths() {
+        // A 4-node line: without decay every remote path min-cuts to the
+        // same 44.0; with 10% per extra hop the tiers appear.
+        use numa_topology::{NodeSpec, PackageId};
+        let mut b = Topology::builder("line4");
+        let ids: Vec<NodeId> = (0..4)
+            .map(|i| b.node(NodeSpec::magny_cours(PackageId(i))))
+            .collect();
+        for w in ids.windows(2) {
+            b.link(w[0], w[1], HtWidth::W8);
+        }
+        let t = b.build().unwrap();
+        let r = RouteTable::bfs(&t);
+        let flat = Fabric::builder(t.clone(), r.clone()).build();
+        assert_eq!(
+            flat.dma_path_bandwidth(NodeId(0), NodeId(1)),
+            flat.dma_path_bandwidth(NodeId(0), NodeId(3))
+        );
+        let tiered = Fabric::builder(t, r).dma_hop_decay(0.1).build();
+        let h1 = tiered.dma_path_bandwidth(NodeId(0), NodeId(1));
+        let h2 = tiered.dma_path_bandwidth(NodeId(0), NodeId(2));
+        let h3 = tiered.dma_path_bandwidth(NodeId(0), NodeId(3));
+        assert_eq!(h1, 44.0, "single hop pays no decay");
+        assert!((h2 - 44.0 * 0.9).abs() < 1e-9);
+        assert!((h3 - 44.0 * 0.81).abs() < 1e-9);
+        // Local paths are untouched.
+        assert_eq!(tiered.dma_path_bandwidth(NodeId(2), NodeId(2)), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in")]
+    fn full_decay_rejected() {
+        let (t, r) = tiny();
+        let _ = Fabric::builder(t, r).dma_hop_decay(1.0);
+    }
+
+    #[test]
+    fn what_if_edge_override_is_isolated() {
+        let (t, r) = tiny();
+        let f = Fabric::builder(t, r).dma_cap(1, 2, 20.0).build();
+        let upgraded = f.with_edge_cap(DirectedEdge::new(NodeId(1), NodeId(2)), 40.0);
+        assert_eq!(upgraded.dma_path_bandwidth(NodeId(1), NodeId(2)), 40.0);
+        // Original untouched; reverse direction untouched.
+        assert_eq!(f.dma_path_bandwidth(NodeId(1), NodeId(2)), 20.0);
+        assert_eq!(upgraded.dma_path_bandwidth(NodeId(2), NodeId(1)), 44.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn what_if_rejects_phantom_edges() {
+        let (t, r) = tiny();
+        let f = Fabric::builder(t, r).build();
+        let _ = f.with_edge_cap(DirectedEdge::new(NodeId(0), NodeId(2)), 10.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (t, r) = tiny();
+        let f = Fabric::builder(t, r).dma_cap(0, 1, 33.0).build();
+        let json = serde_json::to_string(&f).unwrap();
+        let back: Fabric = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+}

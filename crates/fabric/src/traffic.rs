@@ -1,0 +1,44 @@
+//! Traffic classes: PIO vs DMA.
+//!
+//! §IV-C of the paper identifies the engine that moves the bytes as a
+//! first-order performance variable: STREAM-style CPU load/store traffic
+//! (PIO) and device-DMA bulk traffic take *distinct paths* through the
+//! Magny-Cours northbridge, so a model built from one does not transfer to
+//! the other. We therefore key every link capacity by traffic class.
+
+use serde::{Deserialize, Serialize};
+
+/// Which engine moves the bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Programmed I/O: the CPU core itself issues loads/stores, as in the
+    /// STREAM benchmark's element-at-a-time copy. Sensitive to request
+    /// queue credits of the *issuing* node and coherency probe latency.
+    Pio,
+    /// Direct memory access: a device (or, in the paper's methodology, a
+    /// `memcpy` thread pinned to the device's node acting as a stand-in
+    /// DMA engine) streams cache-line bursts. Sensitive to the posted-write
+    /// and response channel capacities along the route.
+    Dma,
+}
+
+impl TrafficClass {
+    /// All classes, for sweeps.
+    pub const ALL: [TrafficClass; 2] = [TrafficClass::Pio, TrafficClass::Dma];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_both() {
+        assert_eq!(TrafficClass::ALL.len(), 2);
+        assert_ne!(TrafficClass::ALL[0], TrafficClass::ALL[1]);
+    }
+
+    #[test]
+    fn serde_names_are_stable() {
+        assert_eq!(serde_json::to_string(&TrafficClass::Dma).unwrap(), "\"Dma\"");
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the max-min fair allocator.
+
+use numa_fabric::{solve_max_min, FlowSpec, MaxMinProblem};
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = MaxMinProblem> {
+    let caps = proptest::collection::vec(0.1f64..100.0, 1..8);
+    caps.prop_flat_map(|capacities| {
+        let nr = capacities.len();
+        let flow = (
+            proptest::collection::vec(0..nr, 1..=nr.min(4)),
+            prop_oneof![Just(f64::INFINITY), (0.1f64..60.0)],
+        )
+            .prop_map(|(resources, ceiling)| FlowSpec { resources, ceiling, weight: 1.0 });
+        proptest::collection::vec(flow, 0..10)
+            .prop_map(move |flows| MaxMinProblem { capacities: capacities.clone(), flows })
+    })
+}
+
+const EPS: f64 = 1e-6;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solution_is_feasible(p in arb_problem()) {
+        let rates = solve_max_min(&p);
+        prop_assert_eq!(rates.len(), p.flows.len());
+        let mut used = vec![0.0; p.capacities.len()];
+        for (f, &rate) in p.flows.iter().zip(&rates) {
+            prop_assert!(rate >= 0.0);
+            prop_assert!(rate <= f.ceiling + EPS);
+            for &r in &f.resources {
+                used[r] += rate;
+            }
+        }
+        for (r, (&u, &c)) in used.iter().zip(&p.capacities).enumerate() {
+            prop_assert!(u <= c + EPS, "resource {r}: used {u} > cap {c}");
+        }
+    }
+
+    #[test]
+    fn every_flow_is_blocked_by_something(p in arb_problem()) {
+        // Max-min optimality: each flow sits at its ceiling or crosses a
+        // saturated resource (otherwise its rate could rise).
+        let rates = solve_max_min(&p);
+        let mut used = vec![0.0; p.capacities.len()];
+        for (f, &rate) in p.flows.iter().zip(&rates) {
+            for &r in &f.resources {
+                used[r] += rate;
+            }
+        }
+        for (i, (f, &rate)) in p.flows.iter().zip(&rates).enumerate() {
+            let at_ceiling = rate + 1e-4 >= f.ceiling;
+            let saturated = f
+                .resources
+                .iter()
+                .any(|&r| used[r] + 1e-4 >= p.capacities[r]);
+            prop_assert!(at_ceiling || saturated, "flow {i} unblocked at rate {rate}");
+        }
+    }
+
+    #[test]
+    fn identical_flows_get_equal_rates(
+        cap in 1.0f64..100.0,
+        n in 1usize..8,
+        ceiling in prop_oneof![Just(f64::INFINITY), (0.5f64..50.0)],
+    ) {
+        let p = MaxMinProblem {
+            capacities: vec![cap],
+            flows: (0..n).map(|_| FlowSpec { resources: vec![0], ceiling, weight: 1.0 }).collect(),
+        };
+        let rates = solve_max_min(&p);
+        for w in rates.windows(2) {
+            prop_assert!((w[0] - w[1]).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn rates_scale_with_capacity(p in arb_problem(), k in 0.5f64..4.0) {
+        // Scaling all capacities and ceilings by k scales all rates by k.
+        let rates = solve_max_min(&p);
+        let scaled = MaxMinProblem {
+            capacities: p.capacities.iter().map(|c| c * k).collect(),
+            flows: p
+                .flows
+                .iter()
+                .map(|f| FlowSpec { resources: f.resources.clone(), ceiling: f.ceiling * k, weight: f.weight })
+                .collect(),
+        };
+        let scaled_rates = solve_max_min(&scaled);
+        for (a, b) in rates.iter().zip(&scaled_rates) {
+            prop_assert!((a * k - b).abs() < 1e-4, "{a} * {k} != {b}");
+        }
+    }
+
+    // NOTE: "adding a flow never raises anyone's rate" is *not* a theorem
+    // for multi-resource max-min (freezing one flow early can free a second
+    // resource for another), so we only assert monotonicity in the
+    // single-resource case, where it does hold.
+    #[test]
+    fn adding_a_flow_never_raises_others_single_resource(
+        cap in 1.0f64..100.0,
+        ceilings in proptest::collection::vec(0.5f64..50.0, 1..8),
+    ) {
+        let flows: Vec<FlowSpec> = ceilings
+            .iter()
+            .map(|&c| FlowSpec { resources: vec![0], ceiling: c, weight: 1.0 })
+            .collect();
+        let p = MaxMinProblem { capacities: vec![cap], flows };
+        let rates_all = solve_max_min(&p);
+        let mut smaller = p.clone();
+        smaller.flows.pop();
+        let rates_fewer = solve_max_min(&smaller);
+        for (i, (&with, &without)) in rates_all.iter().zip(&rates_fewer).enumerate() {
+            prop_assert!(with <= without + 1e-4, "flow {i}: {with} > {without}");
+        }
+    }
+
+    #[test]
+    fn weighted_rates_are_proportional_on_one_resource(
+        cap in 1.0f64..100.0,
+        weights in proptest::collection::vec(0.1f64..10.0, 2..8),
+    ) {
+        let flows: Vec<FlowSpec> = weights
+            .iter()
+            .map(|&w| FlowSpec::shared(vec![0]).weighted(w))
+            .collect();
+        let p = MaxMinProblem { capacities: vec![cap], flows };
+        let rates = solve_max_min(&p);
+        let total: f64 = rates.iter().sum();
+        prop_assert!((total - cap).abs() < 1e-4, "work conservation: {total} vs {cap}");
+        for ((ra, wa), (rb, wb)) in rates.iter().zip(&weights).zip(rates.iter().zip(&weights)) {
+            prop_assert!((ra * wb - rb * wa).abs() < 1e-4, "proportionality violated");
+        }
+    }
+
+    #[test]
+    fn single_resource_aggregate_is_min_of_cap_and_ceilings(
+        cap in 1.0f64..100.0,
+        ceilings in proptest::collection::vec(0.5f64..50.0, 1..8),
+    ) {
+        let flows: Vec<FlowSpec> = ceilings
+            .iter()
+            .map(|&c| FlowSpec { resources: vec![0], ceiling: c, weight: 1.0 })
+            .collect();
+        let p = MaxMinProblem { capacities: vec![cap], flows };
+        let rates = solve_max_min(&p);
+        let total: f64 = rates.iter().sum();
+        let expected = cap.min(ceilings.iter().sum());
+        prop_assert!((total - expected).abs() < 1e-4, "{total} vs {expected}");
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # numa-iodev
+//!
+//! Performance models of the testbed's PCIe devices:
+//!
+//! * [`NicModel`] — the ConnectX-3 40 GbE adapter: TCP (host-stack, CPU and
+//!   interrupt hungry, one core per stream) and RDMA (offloaded, stable)
+//!   operations, with per-operation port ceilings and IRQ-affinity derating
+//!   of the device-local node (§III-B2, §IV-B1).
+//! * [`SsdModel`] — the two LSI Nytro WarpDrive cards: sync vs `libaio`
+//!   engines, kernel-buffered vs kernel-bypass access, queue-depth ramp
+//!   (§IV-B3).
+//! * [`RateMap`] — empirical curves mapping a binding node's **DMA path
+//!   bandwidth** (what the paper's `memcpy` methodology measures) to the
+//!   bandwidth each protocol achieves from that node. These are the
+//!   per-protocol rows of Tables IV/V turned into interpolation tables, and
+//!   the formal statement of the paper's claim that the memcpy model
+//!   *predicts the relative performance levels* of real I/O.
+//!
+//! ## Example
+//!
+//! ```
+//! use numa_iodev::{NicModel, NicOp};
+//! use numa_fabric::calibration::dl585_fabric;
+//! use numa_topology::NodeId;
+//!
+//! let fabric = dl585_fabric();
+//! let nic = NicModel::paper();
+//! // RDMA_READ from node 4 crosses the narrow 27.9 Gbps response path:
+//! // Table V class 4, 16.1 Gbps.
+//! let bw = nic.node_ceiling(NicOp::RdmaRead, &fabric, NodeId(4));
+//! assert!((bw - 16.1).abs() < 1e-9);
+//! ```
+
+pub mod netpath;
+pub mod nic;
+pub mod ratemap;
+pub mod ssd;
+
+pub use netpath::TwoHostPath;
+pub use nic::{NicModel, NicOp};
+pub use ratemap::RateMap;
+pub use ssd::{IoEngine, SsdModel};

@@ -1,0 +1,284 @@
+//! Piecewise-linear calibration curves: DMA path bandwidth → protocol
+//! bandwidth.
+//!
+//! The paper's central empirical result is that the per-node `memcpy`
+//! bandwidths (its proposed model) and the per-node I/O bandwidths share
+//! the same class structure, while the absolute levels are protocol
+//! specific. A [`RateMap`] captures one protocol's level curve: its control
+//! points are the `(memcpy, protocol)` pairs implied by Tables IV and V,
+//! evaluation interpolates linearly and clamps outside the calibrated
+//! range.
+//!
+//! Most curves are monotone (faster path ⇒ faster protocol); measured TCP
+//! receive is *slightly* non-monotone in the mid-range (Table V: class
+//! {0,1,5} edges out class {2,3}), which the paper attributes to host-side
+//! contention noise. [`RateMap::monotone`] enforces monotonicity where it
+//! is expected; [`RateMap::empirical`] admits measured wiggle.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear `x -> y` map with clamping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateMap {
+    points: Vec<(f64, f64)>,
+}
+
+impl RateMap {
+    /// Build from control points; `x` must be strictly increasing and `y`
+    /// non-decreasing.
+    pub fn monotone(points: Vec<(f64, f64)>) -> Self {
+        let m = Self::empirical(points);
+        for w in m.points.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1,
+                "monotone map must have non-decreasing y: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        m
+    }
+
+    /// Build from control points; `x` must be strictly increasing, `y` may
+    /// wiggle (measured data).
+    pub fn empirical(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "rate map needs at least one point");
+        for w in points.windows(2) {
+            assert!(
+                w[1].0 > w[0].0,
+                "x must be strictly increasing: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        for &(x, y) in &points {
+            assert!(x > 0.0 && y > 0.0, "control points must be positive: ({x},{y})");
+        }
+        RateMap { points }
+    }
+
+    /// Evaluate with linear interpolation, clamping outside the range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Find the bracketing segment.
+        let i = pts.partition_point(|&(px, _)| px < x);
+        let (x0, y0) = pts[i - 1];
+        let (x1, y1) = pts[i];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Highest output the map can produce (the protocol's port ceiling as
+    /// observed from the best node).
+    pub fn max_output(&self) -> f64 {
+        self.points.iter().map(|&(_, y)| y).fold(0.0, f64::max)
+    }
+
+    /// The control points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// Calibrated curves for the DL585 testbed. Control-point x values are the
+/// per-node DMA path bandwidths of `numa_fabric::calibration` (write
+/// direction: 26.0, 27.3, 42.9, 44.6, 45.0, 46.5, 53.5; read direction:
+/// 27.9, 39.9, 40.2, 40.9, 46.9, 47.1, 50.3, 53.5); y values are the
+/// per-node protocol bandwidths implied by the class rows of Tables IV/V
+/// (and, for RDMA_READ, the exact per-class figures quoted in the Eq. 1
+/// worked example).
+pub mod calibrated {
+    use super::RateMap;
+
+    /// TCP sender (Table IV row 2). Node 7 additionally loses CPU to IRQ
+    /// handling, modelled in [`crate::NicModel`], not here.
+    pub fn tcp_send() -> RateMap {
+        RateMap::monotone(vec![
+            (26.0, 16.2),
+            (27.3, 16.3),
+            (42.9, 20.0),
+            (44.6, 20.4),
+            (45.0, 20.5),
+            (46.5, 20.9),
+            (53.5, 21.2),
+        ])
+    }
+
+    /// TCP receiver (Table V row 2). Slightly non-monotone mid-range, as
+    /// measured.
+    pub fn tcp_recv() -> RateMap {
+        RateMap::empirical(vec![
+            (27.9, 14.4),
+            (39.9, 20.4),
+            (40.2, 20.6),
+            (40.9, 20.8),
+            (46.9, 20.1),
+            (47.1, 20.3),
+            (50.3, 19.9),
+            (53.5, 22.0),
+        ])
+    }
+
+    /// RDMA_WRITE (Table IV row 3): offloaded, port-clamped at 23.3 for
+    /// every class except the starved {2,3} path.
+    pub fn rdma_write() -> RateMap {
+        RateMap::monotone(vec![
+            (26.0, 17.05),
+            (27.3, 17.1),
+            (42.9, 23.2),
+            (44.6, 23.2),
+            (45.0, 23.25),
+            (46.5, 23.3),
+            (53.5, 23.3),
+        ])
+    }
+
+    /// RDMA_READ (Table V row 3). Anchors include the exact class
+    /// bandwidths of the paper's Eq. 1 example (18.036 and 21.998 Gbps).
+    pub fn rdma_read() -> RateMap {
+        RateMap::monotone(vec![
+            (27.9, 16.1),
+            (39.9, 18.036),
+            (40.2, 18.3),
+            (40.9, 18.5),
+            (46.9, 21.998),
+            (47.1, 22.0),
+            (53.5, 22.0),
+        ])
+    }
+
+    /// SSD write, both cards aggregate (Table IV row 4).
+    pub fn ssd_write() -> RateMap {
+        RateMap::monotone(vec![
+            (26.0, 17.9),
+            (27.3, 18.0),
+            (42.9, 28.1),
+            (44.6, 28.5),
+            (45.0, 28.55),
+            (46.5, 28.6),
+            (53.5, 29.1),
+        ])
+    }
+
+    /// SSD read, both cards aggregate (Table V row 4).
+    pub fn ssd_read() -> RateMap {
+        RateMap::empirical(vec![
+            (27.9, 18.5),
+            (39.9, 29.7),
+            (40.2, 30.0),
+            (40.9, 30.9),
+            (46.9, 32.3),
+            (47.1, 34.7),
+            (50.3, 32.9),
+            (53.5, 34.7),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_interpolates_and_clamps() {
+        let m = RateMap::monotone(vec![(10.0, 1.0), (20.0, 3.0)]);
+        assert_eq!(m.eval(10.0), 1.0);
+        assert_eq!(m.eval(15.0), 2.0);
+        assert_eq!(m.eval(20.0), 3.0);
+        assert_eq!(m.eval(0.0), 1.0, "clamp below");
+        assert_eq!(m.eval(99.0), 3.0, "clamp above");
+        assert_eq!(m.max_output(), 3.0);
+    }
+
+    #[test]
+    fn single_point_is_constant() {
+        let m = RateMap::monotone(vec![(5.0, 2.0)]);
+        assert_eq!(m.eval(1.0), 2.0);
+        assert_eq!(m.eval(5.0), 2.0);
+        assert_eq!(m.eval(9.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn duplicate_x_rejected() {
+        let _ = RateMap::empirical(vec![(1.0, 1.0), (1.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn monotone_rejects_wiggle() {
+        let _ = RateMap::monotone(vec![(1.0, 2.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn empirical_accepts_wiggle() {
+        let m = RateMap::empirical(vec![(1.0, 2.0), (2.0, 1.0), (3.0, 4.0)]);
+        assert_eq!(m.eval(1.5), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_rejected() {
+        let _ = RateMap::empirical(vec![]);
+    }
+
+    #[test]
+    fn calibrated_maps_reproduce_table_anchors() {
+        // Write direction path values per node (fabric calibration docs).
+        let write_paths = [42.9, 44.6, 27.3, 26.0, 46.5, 45.0, 46.5, 53.5];
+        let read_paths = [39.9, 40.2, 46.9, 50.3, 27.9, 40.9, 47.1, 53.5];
+        let class_avg = |map: &RateMap, paths: &[f64; 8], nodes: &[u16]| -> f64 {
+            nodes.iter().map(|&n| map.eval(paths[n as usize])).sum::<f64>() / nodes.len() as f64
+        };
+        use numa_fabric::calibration::paper;
+
+        let m = calibrated::tcp_send();
+        for (nodes, &want) in paper::WRITE_CLASSES.iter().zip(&paper::WRITE_TCP_AVG) {
+            // Skip class 1: node 7's IRQ derate applies outside the map.
+            if nodes.contains(&7) {
+                continue;
+            }
+            let got = class_avg(&m, &write_paths, nodes);
+            assert!((got - want).abs() / want < 0.01, "tcp_send {nodes:?}: {got} vs {want}");
+        }
+        let m = calibrated::rdma_write();
+        for (nodes, &want) in paper::WRITE_CLASSES.iter().zip(&paper::WRITE_RDMA_AVG) {
+            let got = class_avg(&m, &write_paths, nodes);
+            assert!((got - want).abs() / want < 0.01, "rdma_write {nodes:?}: {got} vs {want}");
+        }
+        let m = calibrated::ssd_write();
+        for (nodes, &want) in paper::WRITE_CLASSES.iter().zip(&paper::WRITE_SSD_AVG) {
+            let got = class_avg(&m, &write_paths, nodes);
+            assert!((got - want).abs() / want < 0.02, "ssd_write {nodes:?}: {got} vs {want}");
+        }
+        let m = calibrated::tcp_recv();
+        for (nodes, &want) in paper::READ_CLASSES.iter().zip(&paper::READ_TCP_AVG) {
+            let got = class_avg(&m, &read_paths, nodes);
+            assert!((got - want).abs() / want < 0.01, "tcp_recv {nodes:?}: {got} vs {want}");
+        }
+        let m = calibrated::rdma_read();
+        for (nodes, &want) in paper::READ_CLASSES.iter().zip(&paper::READ_RDMA_AVG) {
+            let got = class_avg(&m, &read_paths, nodes);
+            assert!((got - want).abs() / want < 0.01, "rdma_read {nodes:?}: {got} vs {want}");
+        }
+        let m = calibrated::ssd_read();
+        for (nodes, &want) in paper::READ_CLASSES.iter().zip(&paper::READ_SSD_AVG) {
+            let got = class_avg(&m, &read_paths, nodes);
+            assert!((got - want).abs() / want < 0.02, "ssd_read {nodes:?}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn eq1_anchors_are_exact() {
+        use numa_fabric::calibration::paper;
+        let m = calibrated::rdma_read();
+        // Node 2 (class 2) path = 46.9; node 0 (class 3) path = 39.9.
+        assert_eq!(m.eval(46.9), paper::EQ1_CLASS2_BW);
+        assert_eq!(m.eval(39.9), paper::EQ1_CLASS3_BW);
+    }
+}

@@ -1,0 +1,216 @@
+//! The LSI Nytro WarpDrive SSD model.
+
+use crate::ratemap::{calibrated, RateMap};
+use numa_fabric::Fabric;
+use numa_topology::{DeviceKind, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// fio I/O engines the paper compares (§IV-B3): synchronous read/write
+/// syscalls vs `libaio` with a queue depth. The paper settles on
+/// `libaio` + kernel bypass ("we utilize the libaio engine with the
+/// kernel-bypass option to maximize transfer speed"), queue depth 16.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IoEngine {
+    /// Blocking syscalls: one request in flight per process.
+    Sync,
+    /// Linux native AIO with `iodepth` requests in flight.
+    Libaio {
+        /// Requests kept in flight per process.
+        iodepth: u32,
+    },
+}
+
+impl IoEngine {
+    /// The paper's configuration: libaio, 16 deep.
+    pub fn paper() -> Self {
+        IoEngine::Libaio { iodepth: 16 }
+    }
+
+    /// Throughput efficiency relative to the paper's libaio/QD16 baseline.
+    /// Deep queues hide device latency: the ramp is `qd/(qd+2)`, normalized
+    /// so QD16 = 1.0; sync behaves like QD1.
+    pub fn efficiency(self) -> f64 {
+        let qd = match self {
+            IoEngine::Sync => 1,
+            IoEngine::Libaio { iodepth } => iodepth.max(1),
+        };
+        let ramp = |q: f64| q / (q + 2.0);
+        ramp(qd as f64) / ramp(16.0)
+    }
+}
+
+/// The testbed's SSD subsystem: `cards` identical devices accessed
+/// simultaneously, their aggregate calibrated by the Table IV/V rate maps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsdModel {
+    /// NUMA node the cards attach to.
+    pub node: NodeId,
+    /// Number of cards ("two LSI SSD cards are accessed simultaneously").
+    pub cards: u32,
+    /// Kernel-buffered I/O penalty (the paper: buffered "performs much
+    /// worse" than O_DIRECT kernel bypass).
+    pub buffered_penalty: f64,
+    /// Aggregate write level curve (both cards, libaio/QD16/direct).
+    write_map: RateMap,
+    /// Aggregate read level curve.
+    read_map: RateMap,
+}
+
+impl SsdModel {
+    /// The calibrated testbed SSDs at node 7.
+    pub fn paper() -> Self {
+        SsdModel {
+            node: NodeId(7),
+            cards: 2,
+            buffered_penalty: 0.55,
+            write_map: calibrated::ssd_write(),
+            read_map: calibrated::ssd_read(),
+        }
+    }
+
+    /// Locate the SSDs on a generic fabric.
+    pub fn for_fabric(fabric: &Fabric) -> Option<Self> {
+        let ssds: Vec<_> = fabric
+            .topology()
+            .devices()
+            .iter()
+            .filter(|d| d.kind == DeviceKind::Ssd)
+            .collect();
+        let first = ssds.first()?;
+        Some(SsdModel { node: first.attached_to, cards: ssds.len() as u32, ..Self::paper() })
+    }
+
+    /// Aggregate ceiling (all cards) for processes bound to `binding`,
+    /// using the paper's engine settings.
+    pub fn node_ceiling(&self, write: bool, fabric: &Fabric, binding: NodeId) -> f64 {
+        self.node_ceiling_with(write, fabric, binding, IoEngine::paper(), true)
+    }
+
+    /// Aggregate ceiling with explicit engine and direct-I/O settings.
+    pub fn node_ceiling_with(
+        &self,
+        write: bool,
+        fabric: &Fabric,
+        binding: NodeId,
+        engine: IoEngine,
+        direct: bool,
+    ) -> f64 {
+        let path = if write {
+            fabric.dma_path_bandwidth(binding, self.node)
+        } else {
+            fabric.dma_path_bandwidth(self.node, binding)
+        };
+        let base = if write { self.write_map.eval(path) } else { self.read_map.eval(path) };
+        let buffered = if direct { 1.0 } else { 1.0 - self.buffered_penalty };
+        base * engine.efficiency() * buffered
+    }
+
+    /// Per-card ceiling: the aggregate split across cards.
+    pub fn card_cap(&self, write: bool, fabric: &Fabric, binding: NodeId) -> f64 {
+        self.node_ceiling(write, fabric, binding) / self.cards as f64
+    }
+
+    /// Best-case per-direction aggregate (fastest binding).
+    pub fn port_cap(&self, write: bool) -> f64 {
+        if write { self.write_map.max_output() } else { self.read_map.max_output() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_fabric::calibration::{dl585_fabric, paper};
+
+    #[test]
+    fn paper_engine_is_identity() {
+        assert!((IoEngine::paper().efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_is_much_slower_than_deep_async() {
+        let sync = IoEngine::Sync.efficiency();
+        let qd16 = IoEngine::Libaio { iodepth: 16 }.efficiency();
+        assert!(sync < 0.5 * qd16, "{sync} vs {qd16}");
+    }
+
+    #[test]
+    fn queue_depth_ramps_monotonically() {
+        let mut last = 0.0;
+        for qd in [1, 2, 4, 8, 16, 32] {
+            let e = IoEngine::Libaio { iodepth: qd }.efficiency();
+            assert!(e > last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn node_ceilings_reproduce_tables() {
+        let f = dl585_fabric();
+        let ssd = SsdModel::paper();
+        for (nodes, &want) in paper::WRITE_CLASSES.iter().zip(&paper::WRITE_SSD_AVG) {
+            let avg: f64 = nodes
+                .iter()
+                .map(|&n| ssd.node_ceiling(true, &f, NodeId(n)))
+                .sum::<f64>()
+                / nodes.len() as f64;
+            assert!((avg - want).abs() / want < 0.02, "write {nodes:?}: {avg} vs {want}");
+        }
+        for (nodes, &want) in paper::READ_CLASSES.iter().zip(&paper::READ_SSD_AVG) {
+            let avg: f64 = nodes
+                .iter()
+                .map(|&n| ssd.node_ceiling(false, &f, NodeId(n)))
+                .sum::<f64>()
+                / nodes.len() as f64;
+            assert!((avg - want).abs() / want < 0.02, "read {nodes:?}: {avg} vs {want}");
+        }
+    }
+
+    #[test]
+    fn buffered_io_is_much_worse() {
+        let f = dl585_fabric();
+        let ssd = SsdModel::paper();
+        let direct = ssd.node_ceiling_with(false, &f, NodeId(6), IoEngine::paper(), true);
+        let buffered = ssd.node_ceiling_with(false, &f, NodeId(6), IoEngine::paper(), false);
+        assert!(buffered < 0.5 * direct);
+    }
+
+    #[test]
+    fn card_cap_splits_aggregate() {
+        let f = dl585_fabric();
+        let ssd = SsdModel::paper();
+        let agg = ssd.node_ceiling(false, &f, NodeId(7));
+        assert!((ssd.card_cap(false, &f, NodeId(7)) - agg / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_read_write_follow_their_tcp_rdma_counterparts() {
+        // §IV-B3: "the disk write rate corresponds to the TCP/RDMA send
+        // rate ... and the disk read rate corresponds to the receive rate":
+        // same class orderings.
+        let f = dl585_fabric();
+        let ssd = SsdModel::paper();
+        let w = |n: u16| ssd.node_ceiling(true, &f, NodeId(n));
+        // write: {2,3} bottom class
+        assert!(w(2) < 0.7 * w(0));
+        assert!(w(3) < 0.7 * w(6));
+        let r = |n: u16| ssd.node_ceiling(false, &f, NodeId(n));
+        // read: node 4 bottom, {2,3} near top
+        assert!(r(4) < 0.65 * r(3));
+        assert!(r(2) > r(0));
+    }
+
+    #[test]
+    fn for_fabric_finds_two_cards() {
+        let f = dl585_fabric();
+        let ssd = SsdModel::for_fabric(&f).unwrap();
+        assert_eq!(ssd.cards, 2);
+        assert_eq!(ssd.node, NodeId(7));
+    }
+
+    #[test]
+    fn port_caps_match_best_nodes() {
+        let ssd = SsdModel::paper();
+        assert!((ssd.port_cap(true) - 29.1).abs() < 1e-9);
+        assert!((ssd.port_cap(false) - 34.7).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the device models.
+
+use numa_fabric::calibration::dl585_fabric;
+use numa_iodev::{IoEngine, NicModel, NicOp, RateMap, SsdModel, TwoHostPath};
+use numa_topology::NodeId;
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    // Strictly increasing x, positive y.
+    proptest::collection::vec((0.1f64..100.0, 0.1f64..100.0), 1..8).prop_map(|mut pts| {
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut x = 0.0;
+        pts.into_iter()
+            .map(|(dx, y)| {
+                x += dx + 0.001;
+                (x, y)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ratemap_eval_is_bounded_by_its_outputs(pts in arb_points(), x in 0.0f64..500.0) {
+        let map = RateMap::empirical(pts.clone());
+        let y = map.eval(x);
+        let lo = pts.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
+        let hi = map.max_output();
+        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "{y} outside [{lo},{hi}]");
+        // Exact at control points.
+        for &(px, py) in &pts {
+            prop_assert!((map.eval(px) - py).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn monotone_maps_are_monotone_everywhere(pts in arb_points(), a in 0.0f64..500.0, b in 0.0f64..500.0) {
+        // Sort y ascending to make the map monotone.
+        let mut ys: Vec<f64> = pts.iter().map(|&(_, y)| y).collect();
+        ys.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let pts: Vec<(f64, f64)> = pts.iter().zip(&ys).map(|(&(x, _), &y)| (x, y)).collect();
+        let map = RateMap::monotone(pts);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(map.eval(lo) <= map.eval(hi) + 1e-9);
+    }
+
+    #[test]
+    fn nic_ceilings_never_exceed_port_caps(node in 0u16..8) {
+        let fabric = dl585_fabric();
+        let nic = NicModel::paper();
+        for op in NicOp::ALL {
+            let level = nic.node_ceiling(op, &fabric, NodeId(node));
+            prop_assert!(level > 0.0);
+            prop_assert!(level <= nic.port_cap(op) + 1e-9, "{op:?}@{node}");
+        }
+    }
+
+    #[test]
+    fn shared_port_mixture_is_bounded(levels in proptest::collection::vec(10.0f64..24.0, 1..12)) {
+        let nic = NicModel::paper();
+        let cap = nic.shared_port_cap(NicOp::RdmaRead, &levels);
+        let mean = levels.iter().sum::<f64>() / levels.len() as f64;
+        prop_assert!(cap <= mean + 1e-9, "mixture above mean");
+        prop_assert!(cap <= nic.port_cap(NicOp::RdmaRead) + 1e-9);
+        prop_assert!(cap >= mean * (1.0 - nic.mixed_class_penalty) - 1e-9
+            || cap >= nic.port_cap(NicOp::RdmaRead) * (1.0 - nic.mixed_class_penalty) - 1e-9);
+    }
+
+    #[test]
+    fn ssd_engine_efficiency_is_bounded(iodepth in 1u32..128) {
+        let e = IoEngine::Libaio { iodepth }.efficiency();
+        prop_assert!(e > 0.0);
+        // Normalized to QD16; deeper queues gain at most ~12%.
+        prop_assert!(e <= 1.125 + 1e-9, "{e}");
+        // Buffered/sync are always worse than the paper config.
+        prop_assert!(IoEngine::Sync.efficiency() < 1.0);
+    }
+
+    #[test]
+    fn two_host_bandwidth_is_the_min_of_its_parts(
+        l in 0u16..8,
+        r in 0u16..8,
+        rtt in 0.001f64..100.0,
+    ) {
+        let local = dl585_fabric();
+        let remote = dl585_fabric();
+        let path = TwoHostPath { rtt_ms: rtt, ..TwoHostPath::paper() };
+        for op in [NicOp::TcpSend, NicOp::RdmaWrite, NicOp::RdmaRead] {
+            let bw = path.op_bandwidth(op, (&local, NodeId(l)), (&remote, NodeId(r)));
+            let local_level = path.local_nic.node_ceiling(op, &local, NodeId(l));
+            let peer = TwoHostPath::remote_counterpart(op);
+            let remote_level = path.remote_nic.node_ceiling(peer, &remote, NodeId(r));
+            let expected = local_level
+                .min(remote_level)
+                .min(path.wire_gbps)
+                .min(path.window_cap_gbps());
+            prop_assert!((bw - expected).abs() < 1e-9);
+            prop_assert!(bw > 0.0);
+        }
+    }
+
+    #[test]
+    fn ssd_direct_always_beats_buffered(node in 0u16..8, write in any::<bool>()) {
+        let fabric = dl585_fabric();
+        let ssd = SsdModel::paper();
+        let direct =
+            ssd.node_ceiling_with(write, &fabric, NodeId(node), IoEngine::paper(), true);
+        let buffered =
+            ssd.node_ceiling_with(write, &fabric, NodeId(node), IoEngine::paper(), false);
+        prop_assert!(direct > buffered);
+    }
+}

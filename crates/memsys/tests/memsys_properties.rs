@@ -1,0 +1,129 @@
+//! Property-based tests: allocation state machine and STREAM invariants.
+
+use numa_memsys::{MemPolicy, MemoryState, StreamBench, StreamOp};
+use numa_fabric::calibration::dl585_fabric;
+use numa_topology::{presets, NodeId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { task: u16, policy: u8, target: u16, mib: u64 },
+    FreeOldest,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u16..8, 0u8..4, 0u16..8, 1u64..2000).prop_map(|(task, policy, target, mib)| {
+                Op::Alloc { task, policy, target, mib }
+            }),
+            Just(Op::FreeOldest),
+        ],
+        1..40,
+    )
+}
+
+fn policy_of(code: u8, target: u16) -> MemPolicy {
+    match code {
+        0 => MemPolicy::LocalPreferred,
+        1 => MemPolicy::Bind(NodeId(target)),
+        2 => MemPolicy::Preferred(NodeId(target)),
+        _ => MemPolicy::interleave_all(8),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn allocation_state_machine_conserves_memory(ops in arb_ops()) {
+        let topo = presets::dl585_testbed();
+        let mut mem = MemoryState::new(&topo);
+        let initial_free: u64 = (0..8).map(|i| mem.free_mib(NodeId(i))).sum();
+        let mut live: Vec<Vec<(NodeId, u64)>> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { task, policy, target, mib } => {
+                    let p = policy_of(policy, target);
+                    if let Ok(placement) = mem.allocate(NodeId(task), &p, mib) {
+                        // The placement sums to exactly the request.
+                        let placed: u64 = placement.iter().map(|&(_, m)| m).sum();
+                        prop_assert_eq!(placed, mib);
+                        // Bind placements land only on the bound node.
+                        if let MemPolicy::Bind(n) = p {
+                            prop_assert!(placement.iter().all(|&(m, _)| m == n));
+                        }
+                        live.push(placement);
+                    }
+                }
+                Op::FreeOldest => {
+                    if !live.is_empty() {
+                        let placement = live.remove(0);
+                        mem.free(&placement);
+                    }
+                }
+            }
+            // Free memory never exceeds totals and never goes negative
+            // (u64 underflow would wrap loudly).
+            for i in 0..8u16 {
+                prop_assert!(mem.free_mib(NodeId(i)) <= mem.total_mib(NodeId(i)));
+            }
+        }
+        // Conservation: free + live == initial free.
+        let live_total: u64 = live.iter().flatten().map(|&(_, m)| m).sum();
+        let free_total: u64 = (0..8).map(|i| mem.free_mib(NodeId(i))).sum();
+        prop_assert_eq!(free_total + live_total, initial_free);
+    }
+
+    #[test]
+    fn numastat_hits_and_misses_account_for_every_page(ops in arb_ops()) {
+        let topo = presets::dl585_testbed();
+        let mut mem = MemoryState::new(&topo);
+        let mut allocated: u64 = 0;
+        for op in ops {
+            if let Op::Alloc { task, policy, target, mib } = op {
+                if mem.allocate(NodeId(task), &policy_of(policy, target), mib).is_ok() {
+                    allocated += mib;
+                }
+            }
+        }
+        let stats = mem.stats();
+        prop_assert_eq!(stats.total_hits() + stats.total_misses(), allocated);
+        // Misses and foreigns pair up globally.
+        let foreign: u64 = (0..8).map(|i| stats.node(NodeId(i)).numa_foreign).sum();
+        prop_assert_eq!(stats.total_misses(), foreign);
+    }
+
+    #[test]
+    fn stream_max_never_exceeds_the_ideal(
+        cpu in 0u16..8,
+        mem in 0u16..8,
+        reps in 1u32..50,
+        noise in 0.0f64..0.2,
+    ) {
+        let fabric = dl585_fabric();
+        let bench = StreamBench { reps, noise, ..StreamBench::paper() };
+        let r = bench.run(&fabric, NodeId(cpu), NodeId(mem));
+        let ideal = fabric.pio_bandwidth(NodeId(cpu), NodeId(mem));
+        prop_assert!(r.max_gbps <= ideal + 1e-9);
+        prop_assert!(r.summary.min >= ideal * (1.0 - noise) - 1e-9);
+        prop_assert!(r.cache_valid);
+    }
+
+    #[test]
+    fn stream_kernels_stay_within_seven_percent(cpu in 0u16..8, mem in 0u16..8) {
+        let fabric = dl585_fabric();
+        let values: Vec<f64> = StreamOp::ALL
+            .iter()
+            .map(|&op| {
+                StreamBench { op, noise: 0.0, ..StreamBench::paper() }
+                    .run(&fabric, NodeId(cpu), NodeId(mem))
+                    .max_gbps
+            })
+            .collect();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0_f64, f64::max);
+        prop_assert!(max / min < 1.07, "{values:?}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the online scheduler.
+
+use numa_sched::policy::{LocalOnly, ModelDriven, ModelDrivenMigrating, SpreadAll};
+use numa_sched::{trace, Scheduler};
+use numio_core::SimPlatform;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_trace_drains_under_every_policy(
+        n in 1usize..10,
+        gap in 0.3f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let platform = SimPlatform::dl585();
+        let tasks = trace::poisson(n, gap, trace::MixProfile::Uniform, seed);
+        let scheduler = Scheduler::new(&platform);
+        for report in [
+            scheduler.run(tasks.clone(), LocalOnly::new()).unwrap(),
+            scheduler.run(tasks.clone(), SpreadAll::new()).unwrap(),
+            scheduler
+                .run(tasks.clone(), ModelDriven::from_platform(&platform))
+                .unwrap(),
+        ] {
+            prop_assert_eq!(report.outcomes.len(), n, "{}", report.policy);
+            // Conservation: total volume equals the trace volume.
+            let vol: f64 = report.outcomes.iter().map(|o| o.volume_gbit).sum();
+            prop_assert!((vol - report.total_gbit).abs() < 1e-6);
+            // Causality: nothing finishes before it arrives; makespan is
+            // the last finish.
+            let mut last = 0.0f64;
+            for o in &report.outcomes {
+                prop_assert!(o.finish_s > o.arrival_s);
+                last = last.max(o.finish_s);
+            }
+            prop_assert!((last - report.makespan_s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn latency_never_beats_the_device_physics(
+        n in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        // No task can finish faster than its volume over the best device
+        // port rate in the system (SSD read aggregate, 34.7 Gbps).
+        let platform = SimPlatform::dl585();
+        let tasks = trace::burst(n, trace::MixProfile::Uniform, seed);
+        let report = Scheduler::new(&platform)
+            .run(tasks.clone(), ModelDriven::from_platform(&platform))
+            .unwrap();
+        for (o, task) in report.outcomes.iter().zip(&tasks) {
+            let floor = task.volume_gbytes * 8.0 / 34.7;
+            prop_assert!(
+                o.latency_s() >= floor - 1e-6,
+                "task {:?} finished impossibly fast: {} < {floor}",
+                o.id, o.latency_s()
+            );
+        }
+    }
+
+    #[test]
+    fn migration_counts_are_consistent(seed in any::<u64>()) {
+        let platform = SimPlatform::dl585();
+        let tasks = trace::poisson(8, 0.6, trace::MixProfile::Ingest, seed);
+        let policy = ModelDrivenMigrating::new(ModelDriven::from_platform(&platform), 1.0, 2);
+        let report = Scheduler::new(&platform).run(tasks, policy).unwrap();
+        let per_task: u32 = report.outcomes.iter().map(|o| o.migrations).sum();
+        prop_assert_eq!(per_task, report.migrations);
+    }
+
+    #[test]
+    fn burst_makespan_dominates_serial_floor(n in 2usize..8, seed in any::<u64>()) {
+        // Running n tasks concurrently can never finish before the largest
+        // single task's solo floor.
+        let platform = SimPlatform::dl585();
+        let tasks = trace::burst(n, trace::MixProfile::Serve, seed);
+        let report = Scheduler::new(&platform)
+            .run(tasks.clone(), SpreadAll::new())
+            .unwrap();
+        let biggest = tasks
+            .iter()
+            .map(|t| t.volume_gbytes * 8.0 / 34.7)
+            .fold(0.0f64, f64::max);
+        prop_assert!(report.makespan_s >= biggest - 1e-6);
+    }
+}

@@ -1,0 +1,149 @@
+//! Index newtypes for the structural elements of a NUMA host.
+//!
+//! All identifiers are small dense indices (`u16`/`u8` payloads widened to
+//! `usize` at use sites) so they can index straight into `Vec`-backed tables
+//! without hashing. They are deliberately `Copy`, `Ord` and `serde`-enabled:
+//! performance models are persisted as JSON keyed by these ids.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a NUMA node (a CPU die together with its directly attached
+/// memory controller and, possibly, I/O hub).
+///
+/// Matches the numbering reported by `numactl --hardware` on the modelled
+/// host: the DL585 G7 testbed exposes nodes `0..=7`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+/// Identifier of a physical CPU package (socket). On Magny-Cours each
+/// package carries two dies and therefore two [`NodeId`]s.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PackageId(pub u16);
+
+/// Identifier of a CPU core, unique within the host (not within the node).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub u32);
+
+/// Identifier of an interconnect link (undirected edge in the topology
+/// graph). Directions are expressed as [`crate::routing::DirectedEdge`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u16);
+
+/// Identifier of a PCIe device (NIC or SSD) attached to some node's I/O hub.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub u16);
+
+macro_rules! impl_id_fmt {
+    ($ty:ident, $prefix:literal) => {
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+        impl From<$ty> for usize {
+            fn from(id: $ty) -> usize {
+                id.0 as usize
+            }
+        }
+        impl $ty {
+            /// The id as a dense index for table lookups.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+    };
+}
+
+impl_id_fmt!(NodeId, "N");
+impl_id_fmt!(PackageId, "P");
+impl_id_fmt!(CoreId, "C");
+impl_id_fmt!(LinkId, "L");
+impl_id_fmt!(DeviceId, "D");
+
+impl NodeId {
+    /// Convenience constructor from any integer index (panics on overflow;
+    /// hosts with more than 65k NUMA nodes are out of scope).
+    #[inline]
+    pub fn new(i: usize) -> Self {
+        NodeId(u16::try_from(i).expect("node index exceeds u16"))
+    }
+}
+
+impl PackageId {
+    /// Convenience constructor from a dense index.
+    #[inline]
+    pub fn new(i: usize) -> Self {
+        PackageId(u16::try_from(i).expect("package index exceeds u16"))
+    }
+}
+
+impl LinkId {
+    /// Convenience constructor from a dense index.
+    #[inline]
+    pub fn new(i: usize) -> Self {
+        LinkId(u16::try_from(i).expect("link index exceeds u16"))
+    }
+}
+
+impl DeviceId {
+    /// Convenience constructor from a dense index.
+    #[inline]
+    pub fn new(i: usize) -> Self {
+        DeviceId(u16::try_from(i).expect("device index exceeds u16"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_formats_are_prefixed() {
+        assert_eq!(format!("{:?}", NodeId(7)), "N7");
+        assert_eq!(format!("{:?}", PackageId(3)), "P3");
+        assert_eq!(format!("{:?}", CoreId(31)), "C31");
+        assert_eq!(format!("{:?}", LinkId(12)), "L12");
+        assert_eq!(format!("{:?}", DeviceId(2)), "D2");
+    }
+
+    #[test]
+    fn display_is_bare_number() {
+        assert_eq!(NodeId(7).to_string(), "7");
+        assert_eq!(DeviceId(0).to_string(), "0");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for i in [0usize, 1, 7, 255, 65535] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ids_order_by_payload() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(LinkId(0) < LinkId(10));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let id = NodeId(7);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "7");
+        let back: NodeId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u16")]
+    fn new_panics_on_overflow() {
+        let _ = NodeId::new(70_000);
+    }
+}

@@ -1,0 +1,359 @@
+//! Static routing over the coherent fabric.
+//!
+//! HyperTransport routing is table-driven and set by platform firmware; it
+//! is *not* required to be shortest-path or symmetric, and on real
+//! Magny-Cours systems it frequently is neither — one of the reasons the
+//! paper finds hop distance useless as a cost metric. [`RouteTable`]
+//! therefore starts from a deterministic BFS default (shortest hop count,
+//! lowest-id tie-break) and lets presets install explicit **firmware
+//! overrides** for specific ordered pairs.
+
+use crate::error::TopologyError;
+use crate::ids::NodeId;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// One direction of a link: traffic flowing `from -> to`. The fabric layer
+/// attaches per-direction capacities to these (request/response buffer
+/// asymmetry, §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DirectedEdge {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+}
+
+impl DirectedEdge {
+    /// Construct a directed edge.
+    pub fn new(from: NodeId, to: NodeId) -> Self {
+        DirectedEdge { from, to }
+    }
+
+    /// The opposite direction.
+    pub fn reversed(self) -> Self {
+        DirectedEdge { from: self.to, to: self.from }
+    }
+}
+
+/// A concrete path through the fabric: the visited nodes, in order,
+/// including both endpoints. A route from a node to itself is the
+/// single-element path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    nodes: Vec<NodeId>,
+}
+
+impl Route {
+    /// Build a route from a node sequence. Must be non-empty.
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        assert!(!nodes.is_empty(), "route must contain at least the source");
+        Route { nodes }
+    }
+
+    /// Source node.
+    pub fn src(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Destination node.
+    pub fn dst(&self) -> NodeId {
+        *self.nodes.last().unwrap()
+    }
+
+    /// Visited nodes including endpoints.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of links traversed (0 for a local route).
+    pub fn hops(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Directed edges traversed, in order.
+    pub fn edges(&self) -> impl Iterator<Item = DirectedEdge> + '_ {
+        self.nodes
+            .windows(2)
+            .map(|w| DirectedEdge::new(w[0], w[1]))
+    }
+
+    /// Is this a trivial (same-node) route?
+    pub fn is_local(&self) -> bool {
+        self.nodes.len() == 1
+    }
+}
+
+/// Per-ordered-pair routing: BFS defaults plus firmware overrides.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteTable {
+    n: usize,
+    /// routes[src * n + dst] = node path
+    routes: Vec<Route>,
+}
+
+impl RouteTable {
+    /// Build the default table: BFS shortest paths with deterministic
+    /// lowest-next-hop tie-breaking, computed per source.
+    pub fn bfs(topo: &Topology) -> Self {
+        let n = topo.num_nodes();
+        let mut routes = Vec::with_capacity(n * n);
+        for src in topo.node_ids() {
+            let parents = bfs_parents(topo, src);
+            for dst in topo.node_ids() {
+                routes.push(path_from_parents(&parents, src, dst));
+            }
+        }
+        RouteTable { n, routes }
+    }
+
+    /// Build a table with explicit overrides applied on top of BFS.
+    ///
+    /// Each override is an ordered node path `src .. dst`. Overrides are
+    /// validated: every consecutive pair must be linked in `topo`, and the
+    /// path must be simple (no repeated nodes).
+    pub fn with_overrides(
+        topo: &Topology,
+        overrides: &[Vec<NodeId>],
+    ) -> Result<Self, TopologyError> {
+        let mut table = Self::bfs(topo);
+        for path in overrides {
+            table.set_route(topo, path.clone())?;
+        }
+        Ok(table)
+    }
+
+    /// Install one override route.
+    pub fn set_route(&mut self, topo: &Topology, path: Vec<NodeId>) -> Result<(), TopologyError> {
+        let invalid = |src: NodeId, dst: NodeId, reason: &str| TopologyError::InvalidRoute {
+            src,
+            dst,
+            reason: reason.to_string(),
+        };
+        if path.is_empty() {
+            return Err(invalid(NodeId(0), NodeId(0), "empty path"));
+        }
+        let src = path[0];
+        let dst = *path.last().unwrap();
+        for &node in &path {
+            if node.index() >= self.n {
+                return Err(invalid(src, dst, "node out of range"));
+            }
+        }
+        let mut seen = vec![false; self.n];
+        for &node in &path {
+            if seen[node.index()] {
+                return Err(invalid(src, dst, "path revisits a node"));
+            }
+            seen[node.index()] = true;
+        }
+        for w in path.windows(2) {
+            if topo.link_between(w[0], w[1]).is_none() {
+                return Err(invalid(src, dst, "consecutive nodes are not linked"));
+            }
+        }
+        self.routes[src.index() * self.n + dst.index()] = Route::new(path);
+        Ok(())
+    }
+
+    /// The route for an ordered pair.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> &Route {
+        &self.routes[src.index() * self.n + dst.index()]
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// True if any ordered pair routes differently in the two directions
+    /// (i.e. `route(a,b)` reversed is not `route(b,a)`), which defeats any
+    /// symmetric distance metric.
+    pub fn is_asymmetric(&self) -> bool {
+        for s in 0..self.n {
+            for d in 0..self.n {
+                let fwd = &self.routes[s * self.n + d];
+                let rev = &self.routes[d * self.n + s];
+                let mut fwd_nodes: Vec<NodeId> = fwd.nodes().to_vec();
+                fwd_nodes.reverse();
+                if fwd_nodes != rev.nodes() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Count how many ordered pairs route through directed edge `e`.
+    /// Useful for spotting hot links in a topology.
+    pub fn edge_load(&self) -> HashMap<DirectedEdge, usize> {
+        let mut load = HashMap::new();
+        for r in &self.routes {
+            for e in r.edges() {
+                *load.entry(e).or_insert(0) += 1;
+            }
+        }
+        load
+    }
+}
+
+fn bfs_parents(topo: &Topology, src: NodeId) -> Vec<Option<NodeId>> {
+    let n = topo.num_nodes();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut dist = vec![u32::MAX; n];
+    dist[src.index()] = 0;
+    let mut q = VecDeque::from([src]);
+    while let Some(cur) = q.pop_front() {
+        // neighbours() is sorted by peer id => deterministic tie-break.
+        for &(peer, _) in topo.neighbours(cur) {
+            if dist[peer.index()] == u32::MAX {
+                dist[peer.index()] = dist[cur.index()] + 1;
+                parent[peer.index()] = Some(cur);
+                q.push_back(peer);
+            }
+        }
+    }
+    parent
+}
+
+fn path_from_parents(parents: &[Option<NodeId>], src: NodeId, dst: NodeId) -> Route {
+    let mut rev = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        let p = parents[cur.index()].expect("validated topology is connected");
+        rev.push(p);
+        cur = p;
+    }
+    rev.reverse();
+    Route::new(rev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::HtWidth;
+    use crate::node::NodeSpec;
+    use crate::ids::PackageId;
+
+    fn ring4() -> Topology {
+        let mut b = Topology::builder("ring4");
+        let ids: Vec<NodeId> = (0..4)
+            .map(|i| b.node(NodeSpec::magny_cours(PackageId(i / 2))))
+            .collect();
+        b.link(ids[0], ids[1], HtWidth::W16);
+        b.link(ids[1], ids[2], HtWidth::W8);
+        b.link(ids[2], ids[3], HtWidth::W16);
+        b.link(ids[3], ids[0], HtWidth::W8);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bfs_routes_shortest() {
+        let t = ring4();
+        let rt = RouteTable::bfs(&t);
+        assert_eq!(rt.route(NodeId(0), NodeId(1)).hops(), 1);
+        assert_eq!(rt.route(NodeId(0), NodeId(2)).hops(), 2);
+        assert_eq!(rt.route(NodeId(0), NodeId(0)).hops(), 0);
+        assert!(rt.route(NodeId(0), NodeId(0)).is_local());
+    }
+
+    #[test]
+    fn bfs_tie_break_prefers_low_ids() {
+        let t = ring4();
+        let rt = RouteTable::bfs(&t);
+        // 0->2 could go 0-1-2 or 0-3-2; BFS visits peer 1 first.
+        assert_eq!(
+            rt.route(NodeId(0), NodeId(2)).nodes(),
+            &[NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn route_edges_enumerate_directions() {
+        let t = ring4();
+        let rt = RouteTable::bfs(&t);
+        let edges: Vec<DirectedEdge> = rt.route(NodeId(0), NodeId(2)).edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                DirectedEdge::new(NodeId(0), NodeId(1)),
+                DirectedEdge::new(NodeId(1), NodeId(2))
+            ]
+        );
+    }
+
+    #[test]
+    fn override_replaces_route_and_creates_asymmetry() {
+        let t = ring4();
+        let mut rt = RouteTable::bfs(&t);
+        assert!(!rt.is_asymmetric());
+        rt.set_route(&t, vec![NodeId(0), NodeId(3), NodeId(2)]).unwrap();
+        assert_eq!(
+            rt.route(NodeId(0), NodeId(2)).nodes(),
+            &[NodeId(0), NodeId(3), NodeId(2)]
+        );
+        // reverse direction still goes 2-1-0 => asymmetric table.
+        assert!(rt.is_asymmetric());
+    }
+
+    #[test]
+    fn override_must_follow_links() {
+        let t = ring4();
+        let mut rt = RouteTable::bfs(&t);
+        let err = rt.set_route(&t, vec![NodeId(0), NodeId(2)]).unwrap_err();
+        assert!(matches!(err, TopologyError::InvalidRoute { .. }));
+    }
+
+    #[test]
+    fn override_must_be_simple() {
+        let t = ring4();
+        let mut rt = RouteTable::bfs(&t);
+        let err = rt
+            .set_route(&t, vec![NodeId(0), NodeId(1), NodeId(0)])
+            .unwrap_err();
+        assert!(matches!(err, TopologyError::InvalidRoute { .. }));
+    }
+
+    #[test]
+    fn override_rejects_out_of_range() {
+        let t = ring4();
+        let mut rt = RouteTable::bfs(&t);
+        assert!(rt.set_route(&t, vec![NodeId(0), NodeId(9)]).is_err());
+        assert!(rt.set_route(&t, vec![]).is_err());
+    }
+
+    #[test]
+    fn edge_load_counts_paths() {
+        let t = ring4();
+        let rt = RouteTable::bfs(&t);
+        let load = rt.edge_load();
+        // Edge 0->1 is used by 0->1 and 0->2 at least.
+        assert!(load[&DirectedEdge::new(NodeId(0), NodeId(1))] >= 2);
+        // Reversed key is distinct.
+        let fwd = DirectedEdge::new(NodeId(0), NodeId(1));
+        assert_eq!(fwd.reversed(), DirectedEdge::new(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn with_overrides_batch() {
+        let t = ring4();
+        let rt = RouteTable::with_overrides(
+            &t,
+            &[vec![NodeId(0), NodeId(3), NodeId(2)], vec![NodeId(1), NodeId(0), NodeId(3)]],
+        )
+        .unwrap();
+        assert_eq!(rt.route(NodeId(1), NodeId(3)).hops(), 2);
+        assert_eq!(
+            rt.route(NodeId(1), NodeId(3)).nodes(),
+            &[NodeId(1), NodeId(0), NodeId(3)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "route must contain at least the source")]
+    fn route_new_rejects_empty() {
+        let _ = Route::new(vec![]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests over randomly generated connected topologies.
+
+use numa_topology::{
+    distance, HtWidth, NodeId, NodeSpec, PackageId, Route, RouteTable, Topology,
+};
+use proptest::prelude::*;
+
+/// Generate a random connected topology with `n` nodes: a random spanning
+/// tree plus a random subset of extra edges.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (2usize..12, any::<u64>()).prop_map(|(n, seed)| {
+        let mut b = Topology::builder(format!("prop-{n}-{seed}"));
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| b.node(NodeSpec::magny_cours(PackageId::new(i / 2))))
+            .collect();
+        // Spanning tree: attach node i to a pseudo-random earlier node.
+        let mut state = seed | 1;
+        let mut next = move || {
+            // xorshift64
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 1..n {
+            let parent = (next() as usize) % i;
+            b.link(ids[i], ids[parent], HtWidth::W8);
+        }
+        // Extra edges (skip duplicates).
+        let extras = (next() as usize) % n;
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for i in 1..n {
+            pairs.push((i, ((next() as usize) % i)));
+        }
+        let mut t = b.clone();
+        for &(i, j) in pairs.iter().take(extras) {
+            let mut trial = t.clone();
+            trial.link(ids[i], ids[j], HtWidth::W16);
+            if trial.clone().build().is_ok() {
+                t = trial;
+            }
+        }
+        t.build().expect("spanning tree guarantees connectivity")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hop_distance_is_a_metric(topo in arb_topology()) {
+        let n = topo.num_nodes();
+        for a in topo.node_ids() {
+            prop_assert_eq!(topo.hop_distance(a, a), 0);
+        }
+        for a in topo.node_ids() {
+            for b in topo.node_ids() {
+                let d = topo.hop_distance(a, b);
+                prop_assert_eq!(d, topo.hop_distance(b, a));
+                if a != b {
+                    prop_assert!(d >= 1);
+                    prop_assert!((d as usize) < n);
+                }
+                // triangle inequality through any intermediate node
+                for c in topo.node_ids() {
+                    prop_assert!(d <= topo.hop_distance(a, c) + topo.hop_distance(c, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_routes_are_valid_shortest_walks(topo in arb_topology()) {
+        let rt = RouteTable::bfs(&topo);
+        for a in topo.node_ids() {
+            for b in topo.node_ids() {
+                let r: &Route = rt.route(a, b);
+                prop_assert_eq!(r.src(), a);
+                prop_assert_eq!(r.dst(), b);
+                prop_assert_eq!(r.hops() as u32, topo.hop_distance(a, b));
+                for e in r.edges() {
+                    prop_assert!(topo.link_between(e.from, e.to).is_some(),
+                        "route edge {:?} not a link", e);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slit_matrix_is_consistent_with_hops(topo in arb_topology()) {
+        let hops = distance::hop_matrix(&topo);
+        let slit = distance::slit_matrix(&topo);
+        for i in 0..topo.num_nodes() {
+            prop_assert_eq!(slit[i][i], distance::SLIT_LOCAL);
+            for j in 0..topo.num_nodes() {
+                if i != j {
+                    prop_assert!(slit[i][j] > distance::SLIT_LOCAL);
+                    prop_assert_eq!(slit[i][j], distance::SLIT_LOCAL + 6 * hops[i][j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locality_agrees_with_packages(topo in arb_topology()) {
+        use numa_topology::Locality;
+        for a in topo.node_ids() {
+            for b in topo.node_ids() {
+                let loc = topo.locality(a, b);
+                match loc {
+                    Locality::Local => prop_assert_eq!(a, b),
+                    Locality::Neighbour => {
+                        prop_assert_ne!(a, b);
+                        prop_assert_eq!(topo.node(a).package, topo.node(b).package);
+                    }
+                    Locality::Remote(h) => {
+                        prop_assert_ne!(topo.node(a).package, topo.node(b).package);
+                        prop_assert_eq!(h, topo.hop_distance(a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trips(topo in arb_topology()) {
+        let json = serde_json::to_string(&topo).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, topo);
+    }
+
+    #[test]
+    fn edge_load_covers_every_reachable_pair(topo in arb_topology()) {
+        let rt = RouteTable::bfs(&topo);
+        let load = rt.edge_load();
+        let total: usize = load.values().sum();
+        let expected: usize = (0..topo.num_nodes())
+            .flat_map(|a| (0..topo.num_nodes()).map(move |b| (a, b)))
+            .map(|(a, b)| topo.hop_distance(NodeId::new(a), NodeId::new(b)) as usize)
+            .sum();
+        prop_assert_eq!(total, expected);
+    }
+}

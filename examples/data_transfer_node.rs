@@ -1,0 +1,86 @@
+//! A data-transfer-node scenario (the paper's motivating workload class:
+//! bulk wide-area transfers landing on SSDs): concurrent network receive,
+//! SSD write and SSD read-back traffic from several users, placed either
+//! naively (everything on the device-local node 7) or by the model-driven
+//! advisor (§V-B) — with each direction advised by its own model, since
+//! Tables IV and V have *different* class structures.
+//!
+//! ```sh
+//! cargo run --example data_transfer_node
+//! ```
+
+use numio::core::{IoModeler, ScheduleAdvisor, SimPlatform, TransferMode};
+use numio::fio::{run_jobs, FioReport, JobSpec};
+use numio::iodev::NicOp;
+use numio::topology::NodeId;
+
+/// The workload: 2 wide-area ingest users (RDMA_READ pulling remote data,
+/// 2 streams each), 4 SSD writers persisting it, and 2 SSD read-back
+/// users re-exporting yesterday's data. `recv_nodes` and `write_nodes`
+/// supply bindings for device-read-direction and device-write-direction
+/// tasks. Volumes are sized so the advised run finishes its phases
+/// together (a balanced pipeline, as a real DTN scheduler would target).
+fn workload(recv_nodes: &[NodeId], write_nodes: &[NodeId]) -> Vec<JobSpec> {
+    let r = |i: usize| recv_nodes[i % recv_nodes.len()];
+    let w = |i: usize| write_nodes[i % write_nodes.len()];
+    let mut jobs = Vec::new();
+    for i in 0..2 {
+        jobs.push(JobSpec::nic(NicOp::RdmaRead, r(i)).numjobs(2).size_gbytes(15.0));
+    }
+    for i in 0..4 {
+        jobs.push(JobSpec::ssd(true, w(i)).numjobs(1).size_gbytes(20.0));
+    }
+    for i in 0..2 {
+        jobs.push(JobSpec::ssd(false, r(i + 1)).numjobs(1).size_gbytes(44.0));
+    }
+    jobs
+}
+
+fn describe(report: &FioReport, label: &str) {
+    println!(
+        "{label:<28} aggregate {:>6.2} Gbit/s   makespan {:>6.1} s",
+        report.aggregate_gbps, report.makespan_s
+    );
+}
+
+fn main() {
+    let platform = SimPlatform::dl585();
+    let fabric = platform.fabric();
+
+    // One model per direction — the whole point of Tables IV vs V.
+    let modeler = IoModeler::new();
+    let read_model = modeler.characterize(&platform, NodeId(7), TransferMode::Read);
+    let write_model = modeler.characterize(&platform, NodeId(7), TransferMode::Write);
+    let advisor = ScheduleAdvisor { equivalence_tolerance: 0.12, avoid_irq_node: true };
+    let recv_nodes = advisor.eligible_nodes(&read_model);
+    let write_nodes = advisor.eligible_nodes(&write_model);
+    println!("read-direction classes (Table V shape):");
+    for (i, c) in read_model.classes().iter().enumerate() {
+        println!("  class {}: {:?} avg {:.1} Gbit/s", i + 1, c.nodes, c.avg_gbps);
+    }
+    println!("write-direction classes (Table IV shape):");
+    for (i, c) in write_model.classes().iter().enumerate() {
+        println!("  class {}: {:?} avg {:.1} Gbit/s", i + 1, c.nodes, c.avg_gbps);
+    }
+    println!("advised bindings: receive/read-back on {recv_nodes:?}, writes on {write_nodes:?}\n");
+
+    // Baseline: every user binds to the device-local node 7.
+    let local = [NodeId(7)];
+    let naive = run_jobs(fabric, &workload(&local, &local)).expect("naive run");
+    describe(&naive, "all tasks on local node 7:");
+
+    // Advised: spread each direction across its equivalent top classes.
+    let spread = run_jobs(fabric, &workload(&recv_nodes, &write_nodes)).expect("advised run");
+    describe(&spread, "advisor-spread placement:");
+
+    let gain = (spread.aggregate_gbps / naive.aggregate_gbps - 1.0) * 100.0;
+    println!(
+        "\nspreading wins {gain:+.1}% aggregate bandwidth: node 7's memory\n\
+         controller stops being the single funnel for NIC DMA, SSD DMA and\n\
+         interrupt handling at once — the paper's §V-B scheduling argument."
+    );
+    assert!(
+        spread.aggregate_gbps > naive.aggregate_gbps,
+        "advisor should beat naive-local here"
+    );
+}

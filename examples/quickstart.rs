@@ -1,0 +1,33 @@
+//! Quickstart: characterize the simulated testbed's device node and print
+//! its I/O performance model.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use numio::core::{render_model, IoModeler, SimPlatform, TransferMode};
+
+fn main() {
+    // The paper's HP DL585 G7 testbed: 8 NUMA nodes, NIC + 2 SSDs on node 7.
+    let platform = SimPlatform::dl585();
+    let target = platform
+        .fabric()
+        .topology()
+        .io_hub_nodes()
+        .first()
+        .copied()
+        .expect("testbed has an I/O node");
+
+    println!("characterizing node {target} with the memcpy methodology (Algorithm 1)\n");
+    let modeler = IoModeler::new();
+    for mode in TransferMode::ALL {
+        let model = modeler.characterize(&platform, target, mode);
+        println!("{}", render_model(&model));
+    }
+
+    println!(
+        "Write classes match Table IV ({{6,7}} > {{0,1,4,5}} > {{2,3}}) and read\n\
+         classes match Table V ({{6,7}} ≈ {{2,3}} > {{0,1,5}} > {{4}}) — without ever\n\
+         touching the NIC or the SSDs."
+    );
+}

@@ -1,0 +1,65 @@
+//! End-to-end transfers between the two testbed hosts (Fig. 2): how much
+//! bandwidth does placement at *either* end cost?
+//!
+//! Reproduces the paper's motivating citation ([3]): mis-placing the
+//! process at sender or receiver loses up to ~30% of TCP throughput — and
+//! shows the wide-area regime where the window/RTT product takes over.
+//!
+//! ```sh
+//! cargo run --example two_host_transfer
+//! ```
+
+use numio::fabric::calibration::dl585_fabric;
+use numio::iodev::{NicOp, TwoHostPath};
+use numio::topology::NodeId;
+
+fn main() {
+    let local = dl585_fabric();
+    let remote = dl585_fabric();
+    let path = TwoHostPath::paper();
+
+    println!("== end-to-end TCP send matrix (sender binding x receiver binding, Gbit/s) ==");
+    let m = path.matrix(NicOp::TcpSend, &local, &remote);
+    print!("{:>8}", "tx\\rx");
+    for r in 0..8 {
+        print!("{:>8}", r);
+    }
+    println!();
+    for (l, row) in m.iter().enumerate() {
+        print!("{l:>8}");
+        for v in row {
+            print!("{v:>8.2}");
+        }
+        println!();
+    }
+
+    let best = m[6][7];
+    let bad_rx = m[6][4];
+    let bad_tx = m[3][7];
+    println!(
+        "\nbest pair (tx node 6, rx node 7): {best:.2} Gbit/s\n\
+         receiver mis-bound to node 4:     {bad_rx:.2}  ({:.0}% loss)\n\
+         sender mis-bound to node 3:       {bad_tx:.2}  ({:.0}% loss)\n\
+         — the intro's 'as much as a 30% loss ... at either sender or\n\
+         receiver side' ([3]), from composed per-host class models.",
+        (1.0 - bad_rx / best) * 100.0,
+        (1.0 - bad_tx / best) * 100.0
+    );
+
+    println!("\n== the wide-area regime (RDMA_WRITE, both ends optimally bound) ==");
+    for rtt in [0.005, 1.0, 10.0, 50.0, 100.0] {
+        let wan = TwoHostPath::wide_area(rtt);
+        let bw = wan.op_bandwidth(NicOp::RdmaWrite, (&local, NodeId(6)), (&remote, NodeId(6)));
+        let limiter = if (bw - wan.window_cap_gbps()).abs() < 1e-9 {
+            "window/RTT"
+        } else {
+            "NUMA class / port"
+        };
+        println!("  RTT {rtt:>7.3} ms -> {bw:>7.3} Gbit/s  (limited by {limiter})");
+    }
+    println!(
+        "\nonce the RTT grows, the window product replaces NUMA placement as\n\
+         the binding constraint — the regime the authors' companion work on\n\
+         wide-area protocols [25] addresses."
+    );
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # numio — NUMA I/O bandwidth performance models
+//!
+//! Umbrella crate for the `numio` workspace, a reproduction of Li et al.,
+//! *"Characterization of Input/Output Bandwidth Performance Models in NUMA
+//! Architecture for Data Intensive Applications"* (ICPP 2013).
+//!
+//! The workspace is layered bottom-up:
+//!
+//! * [`topology`] — structural machine description (nodes, packages, links,
+//!   routing, presets including the DL585 G7 testbed).
+//! * [`fabric`] — directed-capacity interconnect model: path bandwidth,
+//!   max-min fair sharing, latency / NUMA factor.
+//! * [`engine`] — discrete-event flow simulator.
+//! * [`memsys`] — memory subsystem: policies, numastat, STREAM simulation.
+//! * [`iodev`] — NIC (TCP/RDMA) and SSD device models.
+//! * [`fio`] — fio-like benchmark job harness.
+//! * [`core`] — **the paper's contribution**: the memcpy-based I/O
+//!   characterization methodology (Algorithm 1), performance-class
+//!   classifier, Eq. 1 aggregate-bandwidth predictor, and scheduler advisor.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use numio::core::{IoModeler, SimPlatform, TransferMode};
+//! use numio::topology::NodeId;
+//!
+//! // A simulated DL585 G7 — the paper's testbed.
+//! let platform = SimPlatform::dl585();
+//! // Characterize I/O writes targeting node 7 (where the NIC/SSDs live).
+//! let model = IoModeler::new().characterize(&platform, NodeId(7), TransferMode::Write);
+//! // Nodes cluster into the performance classes of Table IV.
+//! assert_eq!(model.classes().len(), 3);
+//! ```
+
+pub use numa_engine as engine;
+pub use numa_fabric as fabric;
+pub use numa_fio as fio;
+pub use numa_iodev as iodev;
+pub use numa_memsys as memsys;
+pub use numa_topology as topology;
+pub use numa_sched as sched;
+pub use numio_core as core;

@@ -1,0 +1,66 @@
+//! Observability: the engine's event trace makes contention dynamics
+//! inspectable through the fio lowering, end to end.
+
+use numio::engine::TraceEvent;
+use numio::fio::{build_sim, JobSpec};
+use numio::iodev::NicOp;
+use numio::core::SimPlatform;
+use numio::topology::NodeId;
+
+#[test]
+fn trace_shows_fair_sharing_then_recovery() {
+    // Two RDMA_READ jobs against the shared adapter: a class-2 stream
+    // (node 2, small volume) and a class-4 stream (node 4, large volume).
+    // The trace must show (a) the mixture-limited port splitting rates
+    // *equally* while both run (max-min fairness — neither class level is
+    // reachable under contention), then (b) the survivor recovering to its
+    // own class level (16.1) once the port frees up.
+    let platform = SimPlatform::dl585();
+    let jobs = [
+        JobSpec::nic(NicOp::RdmaRead, NodeId(2)).size_gbytes(10.0),
+        JobSpec::nic(NicOp::RdmaRead, NodeId(4)).size_gbytes(20.0),
+    ];
+    let (sim, flow_job) = build_sim(platform.fabric(), &jobs).unwrap();
+    assert_eq!(flow_job, vec![0, 1]);
+    let (report, trace) = sim.run_traced().unwrap();
+
+    let fast = report.flows[0].id;
+    let slow = report.flows[1].id;
+    assert!(trace.finish_of(fast).unwrap() < trace.finish_of(slow).unwrap());
+
+    // (a): fair split of the mixed-class engine (~18.5 Gbps / 2 each),
+    // well below both class levels.
+    let early_fast = trace.rate_at(fast, 0.01).unwrap();
+    let early_slow = trace.rate_at(slow, 0.01).unwrap();
+    assert!((early_fast - early_slow).abs() < 1e-9, "max-min splits equally");
+    assert!(early_fast < 10.0, "mixture throttles: {early_fast}");
+
+    // (b): after the fast stream leaves, the slow one recovers to its own
+    // class level (16.1).
+    let t_mid = (trace.finish_of(fast).unwrap() + trace.finish_of(slow).unwrap()) / 2.0;
+    let late_slow = trace.rate_at(slow, t_mid).unwrap();
+    assert!(late_slow > early_slow * 1.5, "{early_slow} -> {late_slow}");
+    assert!((late_slow - 16.1).abs() < 0.2, "{late_slow}");
+
+    // Trace bookkeeping is consistent with the report.
+    assert_eq!(trace.rounds(), 2, "two allocation regimes");
+    for e in trace.events() {
+        assert!(e.time_s() <= report.makespan_s + 1e-9);
+    }
+    assert!(matches!(trace.events()[0], TraceEvent::Rates { .. }));
+}
+
+#[test]
+fn traced_fio_run_matches_untraced_aggregates() {
+    let platform = SimPlatform::dl585();
+    let jobs = [
+        JobSpec::ssd(true, NodeId(6)).numjobs(2).size_gbytes(5.0),
+        JobSpec::nic(NicOp::TcpSend, NodeId(5)).numjobs(4).size_gbytes(5.0),
+    ];
+    let (sim_a, _) = build_sim(platform.fabric(), &jobs).unwrap();
+    let (sim_b, _) = build_sim(platform.fabric(), &jobs).unwrap();
+    let plain = sim_a.run().unwrap();
+    let (traced, trace) = sim_b.run_traced().unwrap();
+    assert_eq!(plain, traced);
+    assert!(trace.rounds() >= 1);
+}
