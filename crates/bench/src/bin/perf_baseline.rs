@@ -1,0 +1,155 @@
+//! Machine-readable performance baseline for the repo's hot paths.
+//!
+//! Times the four algorithmic kernels the criterion benches cover —
+//! max-min allocator, topology routing, Algorithm 1 modeler, engine event
+//! loop — plus a full scheduler episode, and writes `BENCH_baseline.json`
+//! so perf regressions are diffable across commits without a criterion
+//! run. Usage:
+//!
+//! ```sh
+//! cargo run --release -p numa-bench --bin perf_baseline [-- <out.json>]
+//! ```
+//!
+//! Timings are wall-clock medians and therefore machine-dependent; the
+//! `checks` section (Eq. 1 prediction, class counts) is deterministic and
+//! must match the paper on any machine.
+
+use numa_fabric::{solve_max_min, FlowSpec, MaxMinProblem};
+use numa_topology::{presets, NodeId, RouteTable};
+use numio_core::{IoModeler, SimPlatform, TransferMode};
+use std::time::Instant;
+
+/// Deterministic pseudo-random allocator problem (mirrors the criterion
+/// bench's generator so both report the same workload shape).
+fn problem(n: usize, r: usize) -> MaxMinProblem {
+    let mut state = 0x1234_5678_9abc_def0_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let capacities: Vec<f64> = (0..r).map(|_| 10.0 + (next() % 90) as f64).collect();
+    let flows = (0..n)
+        .map(|_| {
+            let k = 1 + (next() as usize % 4).min(r - 1);
+            let resources: Vec<usize> = (0..k).map(|_| next() as usize % r).collect();
+            let ceiling = if next() % 3 == 0 { 5.0 + (next() % 40) as f64 } else { f64::INFINITY };
+            FlowSpec { resources, ceiling, weight: 1.0 }
+        })
+        .collect();
+    MaxMinProblem { capacities, flows }
+}
+
+/// Median wall-clock seconds of `iters` runs of `f`.
+fn time_op<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let iters = 9;
+    let mut ops = serde_json::Map::new();
+    let mut record = |name: &str, median_s: f64| {
+        eprintln!("{name:<32} {:.3} ms", median_s * 1e3);
+        ops.insert(name.to_string(), serde_json::json!({ "median_s": median_s }));
+    };
+
+    // Allocator: water-filling at small and contended sizes.
+    for (flows, resources) in [(64usize, 64usize), (1024, 256)] {
+        let p = problem(flows, resources);
+        let s = time_op(iters, || {
+            std::hint::black_box(solve_max_min(std::hint::black_box(&p)));
+        });
+        record(&format!("allocator_maxmin_{flows}f_{resources}r"), s);
+    }
+
+    // Routing: BFS route-table construction on the largest preset.
+    let topo = presets::blade32();
+    record(
+        "routing_bfs_blade32",
+        time_op(iters, || {
+            std::hint::black_box(RouteTable::bfs(std::hint::black_box(&topo)));
+        }),
+    );
+    let fabric = numa_fabric::calibration::dl585_fabric();
+    record(
+        "routing_dma_matrix_dl585",
+        time_op(iters, || {
+            std::hint::black_box(std::hint::black_box(&fabric).dma_matrix());
+        }),
+    );
+
+    // Modeler: Algorithm 1, paper reps, both directions.
+    let platform = SimPlatform::dl585();
+    record(
+        "modeler_characterize_write_100reps",
+        time_op(iters, || {
+            std::hint::black_box(IoModeler::new().characterize(
+                std::hint::black_box(&platform),
+                NodeId(7),
+                TransferMode::Write,
+            ));
+        }),
+    );
+
+    // Engine: a contended multi-flow run to completion.
+    let run_engine = || {
+        let jobs = [
+            numa_fio::JobSpec::nic(numa_iodev::NicOp::RdmaRead, NodeId(2))
+                .numjobs(4)
+                .size_gbytes(10.0),
+            numa_fio::JobSpec::nic(numa_iodev::NicOp::RdmaRead, NodeId(0))
+                .numjobs(4)
+                .size_gbytes(10.0),
+            numa_fio::JobSpec::ssd(true, NodeId(5)).numjobs(4).size_gbytes(10.0),
+        ];
+        numa_fio::run_jobs(&fabric, &jobs).expect("engine baseline run")
+    };
+    record(
+        "engine_run_12flows",
+        time_op(iters, || {
+            std::hint::black_box(run_engine());
+        }),
+    );
+
+    // Scheduler: one model-driven episode over a 16-task trace.
+    let run_episode = || {
+        let tasks = numa_sched::trace::poisson(16, 1.0, numa_sched::trace::MixProfile::Ingest, 42);
+        numa_sched::Scheduler::new(&platform)
+            .run(tasks, numa_sched::policy::ModelDriven::from_platform(&platform))
+            .expect("scheduler baseline episode")
+    };
+    record(
+        "sched_episode_16tasks",
+        time_op(iters, || {
+            std::hint::black_box(run_episode());
+        }),
+    );
+
+    // Deterministic correctness anchors riding along with the timings.
+    let write = IoModeler::new().characterize(&platform, NodeId(7), TransferMode::Write);
+    let read = IoModeler::new().characterize(&platform, NodeId(7), TransferMode::Read);
+    let report = run_engine();
+    let doc = serde_json::json!({
+        "schema": "numio-bench-baseline/1",
+        "iters_per_op": iters,
+        "ops": ops,
+        "checks": {
+            "write_classes": write.classes().len(),
+            "read_classes": read.classes().len(),
+            "engine_aggregate_gbps": report.aggregate_gbps,
+        },
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("baseline serialization");
+    std::fs::write(&out_path, &text).unwrap_or_else(|e| panic!("{out_path}: {e}"));
+    println!("wrote {out_path}");
+}

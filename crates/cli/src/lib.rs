@@ -16,6 +16,19 @@
 //! iomodel host        [--nodes N] [--reps N]
 //! iomodel numastat
 //! ```
+//!
+//! Every subcommand additionally accepts the global observability flags:
+//!
+//! ```text
+//! --trace <path>     write the structured event stream as JSON lines
+//! --metrics <path>   write a Prometheus text snapshot of all metrics
+//! --profile          enable wall-clock self-profiling spans and append
+//!                    the metrics table to the output
+//! ```
+//!
+//! Traces and metrics are timestamped with *simulation* time, so a seeded
+//! run writes byte-identical files every time (`--profile` adds wall-clock
+//! `numio_op_seconds` series and is therefore not reproducible).
 
 use numa_fabric::calibration::dl585_fabric;
 use numa_fio::{sweep as fio_sweep, JobSpec, Workload};
@@ -30,15 +43,44 @@ use std::fmt::Write as _;
 
 /// Run the CLI against an argument list (excluding argv[0]); returns the
 /// rendered output or a usage error.
+///
+/// Extracts the global observability flags (`--trace <path>`,
+/// `--metrics <path>`, `--profile`) before subcommand parsing, runs the
+/// command through [`run_observed`], then writes the requested exports.
 pub fn run(args: &[String]) -> Result<String, String> {
+    let (core_args, trace_path, metrics_path, profile) = extract_global(args)?;
+    let obs = numa_obs::Obs::new();
+    obs.set_profiling(profile);
+    let mut out = run_observed(&core_args, &obs)?;
+    if let Some(path) = trace_path {
+        std::fs::write(&path, obs.jsonl()).map_err(|e| format!("--trace {path}: {e}"))?;
+    }
+    if let Some(path) = metrics_path {
+        std::fs::write(&path, obs.prometheus()).map_err(|e| format!("--metrics {path}: {e}"))?;
+    }
+    if profile {
+        out.push('\n');
+        out.push_str(&obs.report());
+    }
+    Ok(out)
+}
+
+/// Run the CLI recording into a caller-supplied [`numa_obs::Obs`] handle.
+/// Every invocation emits a `cli_invoked` event and bumps
+/// `numio_cli_invocations_total{cmd=...}`, so even read-only subcommands
+/// produce a non-empty trace.
+pub fn run_observed(args: &[String], obs: &numa_obs::Obs) -> Result<String, String> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(usage)?;
     let rest: Vec<String> = it.cloned().collect();
     let opts = Opts::parse(&rest)?;
+    obs.counter("numio_cli_invocations_total", &[("cmd", cmd.as_str())]).inc();
+    obs.event("cli_invoked", 0.0, &[("cmd", cmd.as_str().into())]);
+    let _span = obs.span("cli.command");
     match cmd.as_str() {
         "topo" => cmd_topo(&opts),
         "stream" => cmd_stream(&opts),
-        "characterize" => cmd_characterize(&opts),
+        "characterize" => cmd_characterize(&opts, obs),
         "classes" => cmd_classes(&opts),
         "predict" => cmd_predict(&opts),
         "advise" => cmd_advise(&opts),
@@ -46,9 +88,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "host" => cmd_host(&opts),
         "numastat" => cmd_numastat(&opts),
         "numademo" => cmd_numademo(&opts),
-        "run" => cmd_run(&opts),
+        "run" => cmd_run(&opts, obs),
         "diff" => cmd_diff(&opts),
-        "sched" => cmd_sched(&opts),
+        "sched" => cmd_sched(&opts, obs),
         "latency" => cmd_latency(&opts),
         "probe" => cmd_probe(&opts),
         "emit-script" => cmd_emit_script(&opts),
@@ -61,8 +103,46 @@ pub fn run(args: &[String]) -> Result<String, String> {
     }
 }
 
+/// Split the global observability flags out of the raw argument list so
+/// they work uniformly on every subcommand.
+fn extract_global(
+    args: &[String],
+) -> Result<(Vec<String>, Option<String>, Option<String>, bool), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut trace = None;
+    let mut metrics = None;
+    let mut profile = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            key @ ("--trace" | "--metrics") => {
+                let v = args
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or_else(|| format!("{key} requires a file path"))?;
+                if key == "--trace" {
+                    trace = Some(v.clone());
+                } else {
+                    metrics = Some(v.clone());
+                }
+                i += 2;
+            }
+            "--profile" => {
+                profile = true;
+                i += 1;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Ok((rest, trace, metrics, profile))
+}
+
 fn usage() -> String {
     "usage: iomodel <topo|stream|characterize|classes|predict|advise|sweep|host|numastat|numademo|run|diff|sched|latency|netpath|probe|emit-script|import|atlas|sysfs> [options]\n\
+     global flags: --trace <path> (JSONL events)  --metrics <path> (Prometheus snapshot)  --profile (wall-clock spans)\n\
      run `iomodel help` for the full option list (see crate docs)"
         .to_string()
 }
@@ -204,12 +284,18 @@ fn platform_for(opts: &Opts) -> Result<SimPlatform, String> {
     }
 }
 
-fn cmd_characterize(opts: &Opts) -> Result<String, String> {
+fn cmd_characterize(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, String> {
     let target = opts.node("target", 7)?;
     let reps: u32 = opts.num("reps", 100)?;
     let mode = opts.mode()?;
     let platform = platform_for(opts)?;
-    let model = IoModeler::new().reps(reps).characterize(&platform, target, mode);
+    let model = IoModeler::new().reps(reps).characterize_observed(
+        &platform,
+        platform.fabric().topology(),
+        target,
+        mode,
+        obs,
+    );
     if opts.flag("json") {
         Ok(model.to_json())
     } else {
@@ -509,7 +595,7 @@ fn cmd_numademo(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_run(opts: &Opts) -> Result<String, String> {
+fn cmd_run(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, String> {
     let path = opts.get("jobfile").ok_or("--jobfile <path> required")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let named = numa_fio::parse_jobfile(&text).map_err(|e| e.to_string())?;
@@ -518,7 +604,7 @@ fn cmd_run(opts: &Opts) -> Result<String, String> {
     }
     let jobs: Vec<numa_fio::JobSpec> = named.iter().map(|(_, j)| j.clone()).collect();
     let fabric = dl585_fabric();
-    let report = numa_fio::run_jobs(&fabric, &jobs).map_err(|e| e.to_string())?;
+    let report = numa_fio::run_jobs_observed(&fabric, &jobs, obs).map_err(|e| e.to_string())?;
     let mut out = String::new();
     for ((name, _), jr) in named.iter().zip(&report.jobs) {
         let _ = writeln!(
@@ -558,7 +644,7 @@ fn cmd_diff(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_sched(opts: &Opts) -> Result<String, String> {
+fn cmd_sched(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, String> {
     use numa_sched::policy::{HopGreedy, LocalOnly, ModelDriven, ModelDrivenMigrating, SpreadAll};
     use numa_sched::{metrics, trace, Scheduler};
     let tasks_n: usize = opts.num("tasks", 12)?;
@@ -580,14 +666,24 @@ fn cmd_sched(opts: &Opts) -> Result<String, String> {
     };
     let scheduler = Scheduler::new(&platform);
     let reports = vec![
-        scheduler.run(tasks.clone(), LocalOnly::new()).map_err(|e| e.to_string())?,
-        scheduler.run(tasks.clone(), HopGreedy::new()).map_err(|e| e.to_string())?,
-        scheduler.run(tasks.clone(), SpreadAll::new()).map_err(|e| e.to_string())?,
         scheduler
-            .run(tasks.clone(), ModelDriven::from_platform(&platform))
+            .run_observed(tasks.clone(), LocalOnly::new(), obs)
             .map_err(|e| e.to_string())?,
         scheduler
-            .run(tasks, ModelDrivenMigrating::new(ModelDriven::from_platform(&platform), 2.0, 3))
+            .run_observed(tasks.clone(), HopGreedy::new(), obs)
+            .map_err(|e| e.to_string())?,
+        scheduler
+            .run_observed(tasks.clone(), SpreadAll::new(), obs)
+            .map_err(|e| e.to_string())?,
+        scheduler
+            .run_observed(tasks.clone(), ModelDriven::from_platform(&platform), obs)
+            .map_err(|e| e.to_string())?,
+        scheduler
+            .run_observed(
+                tasks,
+                ModelDrivenMigrating::new(ModelDriven::from_platform(&platform), 2.0, 3),
+                obs,
+            )
             .map_err(|e| e.to_string())?,
     ];
     Ok(metrics::render_comparison(&reports))
@@ -946,6 +1042,86 @@ mod tests {
         .unwrap();
         assert!(out.contains("STABLE"));
         assert!(run_str(&["diff", "--old", a.to_str().unwrap()]).is_err());
+    }
+
+    #[test]
+    fn global_trace_and_metrics_flags_write_files() {
+        let dir = std::env::temp_dir().join("numio-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("sched_trace.jsonl");
+        let metrics = dir.join("sched_metrics.prom");
+        let out = run_str(&[
+            "sched",
+            "--tasks",
+            "4",
+            "--burst",
+            "--seed",
+            "7",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("best mean latency"));
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.contains("\"ev\":\"cli_invoked\""), "{t}");
+        assert!(t.contains("\"ev\":\"alloc_round\""), "{t}");
+        assert!(t.contains("\"ev\":\"task_finished\""), "{t}");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("numio_alloc_rounds_total{component=\"sched\"}"), "{m}");
+        assert!(m.contains("numio_flow_completions_total{component=\"sched\"}"), "{m}");
+        assert!(m.contains("numio_episode_latency_seconds_bucket"), "{m}");
+        // No wall-clock series without --profile: exports stay reproducible.
+        assert!(!m.contains("numio_op_seconds"), "{m}");
+    }
+
+    #[test]
+    fn seeded_runs_write_identical_traces() {
+        let dir = std::env::temp_dir().join("numio-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let go = |name: &str| {
+            let trace = dir.join(name);
+            run_str(&["sched", "--tasks", "4", "--seed", "9", "--trace", trace.to_str().unwrap()])
+                .unwrap();
+            std::fs::read(&trace).unwrap()
+        };
+        let a = go("det_a.jsonl");
+        let b = go("det_b.jsonl");
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_subcommand_produces_a_nonempty_trace() {
+        let obs = numa_obs::Obs::new();
+        let args: Vec<String> = ["topo"].iter().map(|s| s.to_string()).collect();
+        run_observed(&args, &obs).unwrap();
+        assert!(obs.jsonl().contains("\"cmd\":\"topo\""));
+        assert_eq!(obs.counter("numio_cli_invocations_total", &[("cmd", "topo")]).get(), 1);
+    }
+
+    #[test]
+    fn characterize_records_probe_metrics() {
+        let obs = numa_obs::Obs::new();
+        let args: Vec<String> =
+            ["characterize", "--reps", "3"].iter().map(|s| s.to_string()).collect();
+        run_observed(&args, &obs).unwrap();
+        assert_eq!(obs.counter("numio_probes_total", &[("node", "N7")]).get(), 3);
+        assert!(obs.prometheus().contains("numio_probe_gbps_bucket"));
+    }
+
+    #[test]
+    fn profile_flag_appends_report_and_times_ops() {
+        let out = run_str(&["sched", "--tasks", "3", "--burst", "--profile"]).unwrap();
+        assert!(out.contains("numio_op_seconds"), "{out}");
+        assert!(out.contains("sched.alloc_round"), "{out}");
+    }
+
+    #[test]
+    fn trace_flag_requires_a_path() {
+        let e = run_str(&["topo", "--trace"]).unwrap_err();
+        assert!(e.contains("requires a file path"), "{e}");
     }
 
     #[test]

@@ -47,11 +47,7 @@ impl MemCostModel {
     /// place tasks whose data sits at the device node.
     pub fn rank_for_target(&self, target: NodeId) -> Vec<NodeId> {
         let mut nodes: Vec<NodeId> = (0..self.matrix.len()).map(NodeId::new).collect();
-        nodes.sort_by(|&a, &b| {
-            self.bandwidth(b, target)
-                .partial_cmp(&self.bandwidth(a, target))
-                .expect("finite bandwidths")
-        });
+        nodes.sort_by(|&a, &b| self.bandwidth(b, target).total_cmp(&self.bandwidth(a, target)));
         nodes
     }
 }

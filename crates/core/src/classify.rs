@@ -58,7 +58,7 @@ pub fn classify(
         .filter(|&n| !in_class1(n))
         .map(|n| (n, means[n.index()]))
         .collect();
-    remote.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite bandwidths"));
+    remote.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     let mut classes: Vec<PerfClass> = if class1.is_empty() {
         Vec::new()
@@ -110,7 +110,7 @@ pub fn rank_correlation(a: &[f64], b: &[f64]) -> f64 {
 /// Fractional ranks (average rank for ties), 1-based.
 fn ranks(v: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..v.len()).collect();
-    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).expect("finite"));
+    idx.sort_by(|&i, &j| v[i].total_cmp(&v[j]));
     let mut r = vec![0.0; v.len()];
     let mut i = 0;
     while i < idx.len() {

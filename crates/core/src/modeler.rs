@@ -66,10 +66,40 @@ impl IoModeler {
         target: NodeId,
         mode: TransferMode,
     ) -> IoPerfModel {
+        self.characterize_inner(platform, topo, target, mode, None)
+    }
+
+    /// [`Self::characterize_with_topo`], recording per-rep bandwidth
+    /// histograms (`numio_probe_gbps{node,mode}`) and per-node probe
+    /// counters (`numio_probes_total{node}`) into `obs`.
+    pub fn characterize_observed<P: Platform>(
+        &self,
+        platform: &P,
+        topo: &Topology,
+        target: NodeId,
+        mode: TransferMode,
+        obs: &numa_obs::Obs,
+    ) -> IoPerfModel {
+        self.characterize_inner(platform, topo, target, mode, Some(obs))
+    }
+
+    fn characterize_inner<P: Platform>(
+        &self,
+        platform: &P,
+        topo: &Topology,
+        target: NodeId,
+        mode: TransferMode,
+        obs: Option<&numa_obs::Obs>,
+    ) -> IoPerfModel {
         let n = platform.num_nodes();
         assert_eq!(n, topo.num_nodes(), "platform and topology disagree on node count");
         assert!(target.index() < n, "target out of range");
         let m = self.threads.unwrap_or_else(|| platform.cores_per_node(target));
+        let _span = obs.map(|o| o.span("modeler.characterize"));
+        let mode_label = match mode {
+            TransferMode::Write => "write",
+            TransferMode::Read => "read",
+        };
 
         let mut per_node = Vec::with_capacity(n);
         for i in 0..n {
@@ -78,6 +108,7 @@ impl IoModeler {
                 TransferMode::Write => (node, target),
                 TransferMode::Read => (target, node),
             };
+            let probe_span = obs.map(|o| o.span("modeler.probe_node"));
             let samples = platform.run_copy(&CopySpec {
                 bind: target,
                 src,
@@ -86,7 +117,32 @@ impl IoModeler {
                 bytes_per_thread: self.bytes_per_thread,
                 reps: self.reps,
             });
-            per_node.push(Summary::from(&samples));
+            drop(probe_span);
+            let summary = Summary::from(&samples);
+            if let Some(o) = obs {
+                let node_label = node.to_string();
+                o.counter("numio_probes_total", &[("node", node_label.as_str())])
+                    .add(samples.len() as u64);
+                let hist = o.histogram(
+                    "numio_probe_gbps",
+                    &[("node", node_label.as_str()), ("mode", mode_label)],
+                    numa_obs::buckets::GBPS,
+                );
+                for &s in &samples {
+                    hist.observe(s);
+                }
+                o.event(
+                    "probe_summary",
+                    i as f64,
+                    &[
+                        ("node", node_label.as_str().into()),
+                        ("mode", mode_label.into()),
+                        ("mean_gbps", numa_obs::Value::from(summary.mean)),
+                        ("reps", numa_obs::Value::from(summary.n)),
+                    ],
+                );
+            }
+            per_node.push(summary);
         }
         let means: Vec<f64> = per_node.iter().map(|s| s.mean).collect();
         let classes = classify(topo, target, &means, self.classify);
@@ -196,6 +252,34 @@ mod tests {
         let model = IoModeler::new().characterize(&p, NodeId(7), TransferMode::Read);
         assert!((model.probe_savings() - 0.5).abs() < 1e-12);
         assert_eq!(model.representatives().len(), 4);
+    }
+
+    #[test]
+    fn observed_characterization_records_probes() {
+        let p = SimPlatform::dl585();
+        let obs = numa_obs::Obs::new();
+        let reps = 5u32;
+        let model = IoModeler::new().reps(reps).characterize_observed(
+            &p,
+            p.fabric().topology(),
+            NodeId(7),
+            TransferMode::Write,
+            &obs,
+        );
+        // Same result as the unobserved path.
+        let plain = IoModeler::new().reps(reps).characterize(&p, NodeId(7), TransferMode::Write);
+        assert_eq!(model, plain);
+        // 8 nodes probed `reps` times each.
+        assert_eq!(
+            obs.counter("numio_probes_total", &[("node", "N0")]).get(),
+            u64::from(reps)
+        );
+        let prom = obs.prometheus();
+        assert!(
+            prom.contains("numio_probe_gbps_count{mode=\"write\",node=\"N7\"} 5"),
+            "{prom}"
+        );
+        assert!(obs.jsonl().contains("\"ev\":\"probe_summary\""));
     }
 
     #[test]

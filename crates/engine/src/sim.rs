@@ -87,6 +87,7 @@ pub struct Simulation<'f> {
     registry: ResourceRegistry,
     flows: Vec<FlowSpec>,
     jitter: JitterCfg,
+    obs: Option<numa_obs::Obs>,
 }
 
 impl<'f> Simulation<'f> {
@@ -97,12 +98,22 @@ impl<'f> Simulation<'f> {
             registry: ResourceRegistry::new(),
             flows: Vec::new(),
             jitter: JitterCfg::none(),
+            obs: None,
         }
     }
 
     /// Enable jitter.
     pub fn with_jitter(mut self, cfg: JitterCfg) -> Self {
         self.jitter = cfg;
+        self
+    }
+
+    /// Attach an observability handle: the run emits `alloc_round` /
+    /// `flow_finished` / `jitter_refresh` events (timestamped with
+    /// simulation time, so seeded runs trace identically) and feeds the
+    /// `numio_*` engine metric series.
+    pub fn with_obs(mut self, obs: numa_obs::Obs) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -269,7 +280,7 @@ impl<'f> Simulation<'f> {
                 (self.registry.key(h), used[i], cap, util)
             })
             .collect();
-        report.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("finite utilizations"));
+        report.sort_by(|a, b| b.3.total_cmp(&a.3));
         report
     }
 
@@ -329,7 +340,21 @@ impl<'f> Simulation<'f> {
                     })
                     .collect(),
             };
+            let alloc_span = self.obs.as_ref().map(|o| o.span("engine.alloc_round"));
             let rates = solve_max_min(&problem);
+            drop(alloc_span);
+            if let Some(o) = &self.obs {
+                let n_active = active.iter().filter(|&&a| a).count();
+                o.counter("numio_alloc_rounds_total", &[("component", "engine")]).inc();
+                o.event(
+                    "alloc_round",
+                    t,
+                    &[
+                        ("component", "engine".into()),
+                        ("flows", numa_obs::Value::from(n_active)),
+                    ],
+                );
+            }
             if let Some(tr) = trace.as_mut() {
                 tr.push(crate::trace::TraceEvent::Rates {
                     time_s: t,
@@ -365,6 +390,18 @@ impl<'f> Simulation<'f> {
                     active[i] = false;
                     remaining[i] = 0.0;
                     finish[i] = t;
+                    if let Some(o) = &self.obs {
+                        o.counter("numio_flow_completions_total", &[("component", "engine")])
+                            .inc();
+                        o.event(
+                            "flow_finished",
+                            t,
+                            &[
+                                ("flow", numa_obs::Value::from(i)),
+                                ("label", self.flows[i].label.clone().into()),
+                            ],
+                        );
+                    }
                     if let Some(tr) = trace.as_mut() {
                         tr.push(crate::trace::TraceEvent::Finished {
                             time_s: t,
@@ -376,6 +413,9 @@ impl<'f> Simulation<'f> {
             if jitter_enabled && t + 1e-12 >= next_jitter {
                 jitter.refresh();
                 next_jitter += jitter.refresh_s();
+                if let Some(o) = &self.obs {
+                    o.event("jitter_refresh", t, &[]);
+                }
                 if let Some(tr) = trace.as_mut() {
                     tr.push(crate::trace::TraceEvent::JitterRefresh { time_s: t });
                 }
@@ -591,6 +631,47 @@ mod tests {
         assert!((trace.rate_at(id1, 0.5).unwrap() - 23.25).abs() < 1e-9);
         assert!((trace.rate_at(id1, 1.2).unwrap() - 46.5).abs() < 1e-9);
         assert!(trace.render().contains("finish"));
+    }
+
+    #[test]
+    fn observed_run_emits_events_and_metrics() {
+        let f = fabric();
+        let obs = numa_obs::Obs::new();
+        let mut sim = Simulation::new(&f).with_obs(obs.clone());
+        sim.add_flow(FlowSpec::dma(NodeId(4), NodeId(7)).gbits(23.25).label("a"));
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(46.5).label("b"));
+        let r = sim.run().unwrap();
+        assert_eq!(
+            obs.counter("numio_alloc_rounds_total", &[("component", "engine")]).get(),
+            2
+        );
+        assert_eq!(
+            obs.counter("numio_flow_completions_total", &[("component", "engine")]).get(),
+            2
+        );
+        let jsonl = obs.jsonl();
+        assert!(jsonl.contains("\"ev\":\"alloc_round\""), "{jsonl}");
+        assert!(jsonl.contains("\"label\":\"b\""), "{jsonl}");
+        // Event timestamps are simulation time, not wall time.
+        let last = obs.events().last().unwrap().clone();
+        assert_eq!(last.name, "flow_finished");
+        assert!((last.time_s - r.makespan_s).abs() < 1e-9);
+        // Profiling off by default: no wall-clock series pollute the snapshot.
+        assert!(!obs.prometheus().contains("numio_op_seconds"));
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved() {
+        let f = fabric();
+        let build = || {
+            let mut sim = Simulation::new(&f);
+            sim.add_flow(FlowSpec::dma(NodeId(0), NodeId(7)).gbits(30.0));
+            sim.add_flow(FlowSpec::dma(NodeId(3), NodeId(7)).gbits(30.0));
+            sim
+        };
+        let plain = build().run().unwrap();
+        let observed = build().with_obs(numa_obs::Obs::new()).run().unwrap();
+        assert_eq!(plain, observed);
     }
 
     #[test]

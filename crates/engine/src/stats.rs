@@ -18,9 +18,18 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarize a non-empty slice. Panics on empty input.
+    /// The summary of zero samples: `n == 0` and all moments zero.
+    pub fn empty() -> Self {
+        Summary { n: 0, min: 0.0, max: 0.0, mean: 0.0, std: 0.0 }
+    }
+
+    /// Summarize a slice. An empty slice yields [`Summary::empty`]
+    /// rather than panicking, so callers aggregating filtered sample
+    /// sets (e.g. a probe run that produced no samples) stay total.
     pub fn from(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "cannot summarize an empty sample set");
+        if samples.is_empty() {
+            return Summary::empty();
+        }
         let n = samples.len();
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
@@ -79,9 +88,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn empty_panics() {
-        let _ = Summary::from(&[]);
+    fn empty_input_yields_well_defined_summary() {
+        // Regression: this used to panic, taking down any caller that
+        // summarized a filtered-to-nothing sample set.
+        let s = Summary::from(&[]);
+        assert_eq!(s, Summary::empty());
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.rel_spread(), 0.0);
+        assert_eq!(s.range_avg(), "0.0 – 0.0 / 0.0");
     }
 
     #[test]

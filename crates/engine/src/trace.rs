@@ -101,6 +101,31 @@ impl Trace {
             .count()
     }
 
+    /// Replay this trace into an observability handle as structured
+    /// events — the thin adapter that gives legacy traces the shared
+    /// `numa-obs` vocabulary (`alloc_round` / `flow_finished` /
+    /// `jitter_refresh`).
+    pub fn emit_to(&self, obs: &numa_obs::Obs) {
+        for e in &self.events {
+            match e {
+                TraceEvent::Rates { time_s, rates } => obs.event(
+                    "alloc_round",
+                    *time_s,
+                    &[
+                        ("component", "engine".into()),
+                        ("flows", numa_obs::Value::from(rates.len())),
+                    ],
+                ),
+                TraceEvent::Finished { time_s, flow } => obs.event(
+                    "flow_finished",
+                    *time_s,
+                    &[("flow", numa_obs::Value::from(flow.0))],
+                ),
+                TraceEvent::JitterRefresh { time_s } => obs.event("jitter_refresh", *time_s, &[]),
+            }
+        }
+    }
+
     /// Render a compact timeline.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -154,6 +179,19 @@ mod tests {
         let t = sample();
         assert_eq!(t.finish_of(FlowId(0)), Some(2.0));
         assert_eq!(t.finish_of(FlowId(1)), None);
+    }
+
+    #[test]
+    fn emit_to_adapts_trace_to_obs_events() {
+        let t = sample();
+        let obs = numa_obs::Obs::new();
+        t.emit_to(&obs);
+        let events = obs.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "alloc_round");
+        assert_eq!(events[2].name, "flow_finished");
+        assert_eq!(events[2].time_s, 2.0);
+        assert!(obs.jsonl().contains("\"flows\":2"));
     }
 
     #[test]

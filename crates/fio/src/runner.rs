@@ -310,14 +310,46 @@ pub fn run_jobs_with(
 ) -> Result<FioReport, FioError> {
     let (sim, flow_job) = build_sim_with(fabric, jobs, nic, ssd)?;
     let report = sim.run().map_err(FioError::Sim)?;
+    Ok(assemble_report(jobs, report, &flow_job))
+}
 
-    // ---- Aggregate per job.
+/// [`run_jobs`] with an observability handle attached to the underlying
+/// simulation. Engine-level events (allocation rounds, flow completions)
+/// carry each flow's `job<i>.<stream> <describe>` label, so the stream is
+/// already tagged with job metadata; on top of that, each job's aggregate
+/// is emitted as a `job_finished` event at its makespan.
+pub fn run_jobs_observed(
+    fabric: &Fabric,
+    jobs: &[JobSpec],
+    obs: &numa_obs::Obs,
+) -> Result<FioReport, FioError> {
+    let (sim, flow_job) = build_sim(fabric, jobs)?;
+    let report = sim.with_obs(obs.clone()).run().map_err(FioError::Sim)?;
+    let out = assemble_report(jobs, report, &flow_job);
+    for (ji, j) in out.jobs.iter().enumerate() {
+        obs.counter("numio_jobs_completed_total", &[("component", "fio")]).inc();
+        obs.event(
+            "job_finished",
+            j.makespan_s,
+            &[
+                ("job", numa_obs::Value::from(ji)),
+                ("describe", j.describe.as_str().into()),
+                ("aggregate_gbps", numa_obs::Value::from(j.aggregate_gbps)),
+                ("streams", numa_obs::Value::from(j.per_stream_gbps.len())),
+            ],
+        );
+    }
+    Ok(out)
+}
+
+/// Fold raw simulator output into per-job aggregates.
+fn assemble_report(jobs: &[JobSpec], report: SimReport, flow_job: &[usize]) -> FioReport {
     let mut job_reports = Vec::with_capacity(jobs.len());
     for (ji, job) in jobs.iter().enumerate() {
         let streams: Vec<&numa_engine::FlowResult> = report
             .flows
             .iter()
-            .zip(&flow_job)
+            .zip(flow_job)
             .filter(|(_, &owner)| owner == ji)
             .map(|(f, _)| f)
             .collect();
@@ -331,12 +363,12 @@ pub fn run_jobs_with(
         });
     }
 
-    Ok(FioReport {
+    FioReport {
         aggregate_gbps: report.aggregate_gbps,
         makespan_s: report.makespan_s,
         jobs: job_reports,
         sim: report,
-    })
+    }
 }
 
 /// Instantaneous max-min aggregate rate of each job with every stream
@@ -508,6 +540,25 @@ mod tests {
         assert_eq!(r.jobs[0].per_stream_gbps.len(), 2);
         assert_eq!(r.jobs[1].per_stream_gbps.len(), 1);
         assert!(r.jobs[0].aggregate_gbps > r.jobs[1].aggregate_gbps);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_tags_jobs() {
+        let f = fabric();
+        let jobs = [
+            JobSpec::nic(NicOp::RdmaWrite, NodeId(6)).numjobs(2).size_gbytes(5.0),
+            JobSpec::nic(NicOp::RdmaWrite, NodeId(3)).numjobs(1).size_gbytes(5.0),
+        ];
+        let plain = run_jobs(&f, &jobs).unwrap();
+        let obs = numa_obs::Obs::new();
+        let observed = run_jobs_observed(&f, &jobs, &obs).unwrap();
+        assert_eq!(plain, observed);
+        assert_eq!(obs.counter("numio_jobs_completed_total", &[("component", "fio")]).get(), 2);
+        let jsonl = obs.jsonl();
+        // Engine flow completions carry the job-tagged flow label...
+        assert!(jsonl.contains("\"label\":\"job0.0 RdmaWrite"), "{jsonl}");
+        // ...and job-level aggregates ride along as events.
+        assert!(jsonl.contains("\"ev\":\"job_finished\""), "{jsonl}");
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Exporters: Prometheus text format and a human report table.
+//!
+//! Both operate on a sorted registry snapshot, so output is deterministic
+//! for a deterministic run — the property the golden tests pin down.
+
+use crate::event::fmt_f64;
+use crate::registry::{MetricKey, MetricSnapshot};
+use std::fmt::Write as _;
+
+/// Format a sample value for the Prometheus exposition format, which
+/// (unlike JSON) spells non-finite values `NaN` / `+Inf` / `-Inf`.
+fn prom_f64(v: f64) -> String {
+    if v.is_finite() {
+        fmt_f64(v)
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", prom_escape(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+pub(crate) fn prometheus(snapshot: &[(MetricKey, MetricSnapshot)]) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for (key, snap) in snapshot {
+        if last_name != Some(key.name.as_str()) {
+            let kind = match snap {
+                MetricSnapshot::Counter(_) => "counter",
+                MetricSnapshot::Gauge(_) => "gauge",
+                MetricSnapshot::Histogram { .. } => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {} {kind}", key.name);
+            last_name = Some(key.name.as_str());
+        }
+        match snap {
+            MetricSnapshot::Counter(v) => {
+                let _ = writeln!(out, "{}{} {v}", key.name, label_block(&key.labels, None));
+            }
+            MetricSnapshot::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    key.name,
+                    label_block(&key.labels, None),
+                    prom_f64(*v)
+                );
+            }
+            MetricSnapshot::Histogram { bounds, counts, sum, count } => {
+                let mut cum = 0u64;
+                for (i, b) in bounds.iter().enumerate() {
+                    cum += counts[i];
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {cum}",
+                        key.name,
+                        label_block(&key.labels, Some(("le", &prom_f64(*b))))
+                    );
+                }
+                cum += counts[bounds.len()];
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {cum}",
+                    key.name,
+                    label_block(&key.labels, Some(("le", "+Inf")))
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    key.name,
+                    label_block(&key.labels, None),
+                    prom_f64(*sum)
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {count}",
+                    key.name,
+                    label_block(&key.labels, None)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Render a snapshot as a human table: one line per series.
+pub(crate) fn report(snapshot: &[(MetricKey, MetricSnapshot)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<44} {:<28} value", "metric", "labels");
+    for (key, snap) in snapshot {
+        let labels = if key.labels.is_empty() {
+            "-".to_string()
+        } else {
+            key.labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let value = match snap {
+            MetricSnapshot::Counter(v) => v.to_string(),
+            MetricSnapshot::Gauge(v) => fmt_f64(*v),
+            MetricSnapshot::Histogram { sum, count, .. } => {
+                let mean = if *count == 0 { 0.0 } else { sum / *count as f64 };
+                format!("n={count} sum={} mean={}", fmt_f64(*sum), fmt_f64(mean))
+            }
+        };
+        let _ = writeln!(out, "{:<44} {labels:<28} {value}", key.name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Obs;
+
+    #[test]
+    fn prometheus_golden() {
+        let obs = Obs::new();
+        obs.counter("numio_alloc_rounds_total", &[("component", "engine")]).add(4);
+        obs.gauge("numio_makespan_seconds", &[("policy", "local-only")]).set(8.0);
+        let h = obs.histogram("numio_latency_seconds", &[("policy", "x")], &[1.0, 5.0]);
+        h.observe(0.5);
+        h.observe(2.0);
+        h.observe(30.0);
+        assert_eq!(
+            obs.prometheus(),
+            "\
+# TYPE numio_alloc_rounds_total counter
+numio_alloc_rounds_total{component=\"engine\"} 4
+# TYPE numio_latency_seconds histogram
+numio_latency_seconds_bucket{policy=\"x\",le=\"1\"} 1
+numio_latency_seconds_bucket{policy=\"x\",le=\"5\"} 2
+numio_latency_seconds_bucket{policy=\"x\",le=\"+Inf\"} 3
+numio_latency_seconds_sum{policy=\"x\"} 32.5
+numio_latency_seconds_count{policy=\"x\"} 3
+# TYPE numio_makespan_seconds gauge
+numio_makespan_seconds{policy=\"local-only\"} 8
+"
+        );
+    }
+
+    #[test]
+    fn non_finite_samples_use_prometheus_spelling() {
+        // The exposition format spells non-finite values NaN/+Inf/-Inf;
+        // only the JSONL exporter uses JSON's null.
+        let obs = Obs::new();
+        obs.gauge("g", &[]).set(f64::NEG_INFINITY);
+        obs.histogram("h_seconds", &[], &[1.0]).observe(f64::NAN);
+        let prom = obs.prometheus();
+        assert!(prom.contains("g -Inf"), "{prom}");
+        assert!(prom.contains("h_seconds_sum NaN"), "{prom}");
+        assert!(prom.contains("h_seconds_bucket{le=\"+Inf\"} 1"), "{prom}");
+        assert!(!prom.contains("null"), "{prom}");
+    }
+
+    #[test]
+    fn report_lists_every_series() {
+        let obs = Obs::new();
+        obs.counter("a_total", &[]).inc();
+        obs.histogram("b_seconds", &[("op", "alloc")], &[1.0]).observe(0.5);
+        let s = obs.report();
+        assert!(s.contains("a_total"));
+        assert!(s.contains("op=alloc"));
+        assert!(s.contains("n=1"));
+        assert!(s.contains("mean=0.5"));
+    }
+}

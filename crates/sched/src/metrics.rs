@@ -29,7 +29,7 @@ impl EpisodeReport {
     /// 95th-percentile sojourn time (nearest-rank).
     pub fn p95_latency_s(&self) -> f64 {
         let mut lat: Vec<f64> = self.outcomes.iter().map(TaskOutcome::latency_s).collect();
-        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        lat.sort_by(f64::total_cmp);
         if lat.is_empty() {
             return 0.0;
         }
@@ -96,10 +96,10 @@ pub fn render_comparison(reports: &[EpisodeReport]) -> String {
     if let (Some(best), Some(worst)) = (
         reports
             .iter()
-            .min_by(|a, b| a.mean_latency_s().partial_cmp(&b.mean_latency_s()).unwrap()),
+            .min_by(|a, b| a.mean_latency_s().total_cmp(&b.mean_latency_s())),
         reports
             .iter()
-            .max_by(|a, b| a.mean_latency_s().partial_cmp(&b.mean_latency_s()).unwrap()),
+            .max_by(|a, b| a.mean_latency_s().total_cmp(&b.mean_latency_s())),
     ) {
         let _ = writeln!(
             out,
@@ -155,6 +155,19 @@ mod tests {
         let lats: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         let r = report(&lats);
         assert_eq!(r.p95_latency_s(), 95.0);
+    }
+
+    #[test]
+    fn p95_tolerates_non_finite_latencies() {
+        // Regression: the old partial_cmp().unwrap() sort panicked if a
+        // degenerate outcome produced a NaN sojourn time.
+        let mut r = report(&[1.0, 2.0, 3.0]);
+        r.outcomes[1].finish_s = f64::NAN;
+        let p95 = r.p95_latency_s();
+        // total_cmp orders NaN after all finite values; nearest-rank p95
+        // of three samples is the last one, so NaN surfaces rather than
+        // panicking — the caller sees the bad data instead of an abort.
+        assert!(p95.is_nan(), "{p95}");
     }
 
     #[test]

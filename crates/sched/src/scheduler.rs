@@ -88,13 +88,36 @@ impl<'a> Scheduler<'a> {
     /// Run one episode.
     pub fn run<P: Policy>(
         &self,
+        tasks: Vec<IoTask>,
+        policy: P,
+    ) -> Result<EpisodeReport, SchedError> {
+        self.run_impl(tasks, policy, None)
+    }
+
+    /// Run one episode, emitting structured events (placements, migrations,
+    /// completions) and metrics (allocation-round counters, per-policy
+    /// latency histograms) into `obs`. Timestamps are simulation time, so
+    /// the emitted stream is deterministic for a deterministic trace.
+    pub fn run_observed<P: Policy>(
+        &self,
+        tasks: Vec<IoTask>,
+        policy: P,
+        obs: &numa_obs::Obs,
+    ) -> Result<EpisodeReport, SchedError> {
+        self.run_impl(tasks, policy, Some(obs))
+    }
+
+    fn run_impl<P: Policy>(
+        &self,
         mut tasks: Vec<IoTask>,
         mut policy: P,
+        obs: Option<&numa_obs::Obs>,
     ) -> Result<EpisodeReport, SchedError> {
         if tasks.is_empty() {
             return Err(SchedError::NoTasks);
         }
-        tasks.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).unwrap());
+        let _episode_span = obs.map(|o| o.span("sched.episode"));
+        tasks.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
         let fabric = self.platform.fabric();
         let total_gbit: f64 = tasks.iter().map(|t| t.volume_gbytes * 8.0).sum();
 
@@ -121,7 +144,22 @@ impl<'a> Scheduler<'a> {
                 Vec::new()
             } else {
                 let jobs: Vec<JobSpec> = runnable.iter().map(|&i| active[i].job()).collect();
-                steady_job_rates(fabric, &jobs).expect("job lowering cannot fail mid-episode")
+                let alloc_span = obs.map(|o| o.span("sched.alloc_round"));
+                let r =
+                    steady_job_rates(fabric, &jobs).expect("job lowering cannot fail mid-episode");
+                drop(alloc_span);
+                if let Some(o) = obs {
+                    o.counter("numio_alloc_rounds_total", &[("component", "sched")]).inc();
+                    o.event(
+                        "alloc_round",
+                        t,
+                        &[
+                            ("component", "sched".into()),
+                            ("tasks", numa_obs::Value::from(runnable.len())),
+                        ],
+                    );
+                }
+                r
             };
 
             // Next event time.
@@ -159,6 +197,26 @@ impl<'a> Scheduler<'a> {
             while i < active.len() {
                 if active[i].remaining_gbit <= 1e-9 {
                     let done = active.swap_remove(i);
+                    let latency_s = t - done.arrival_s;
+                    if let Some(o) = obs {
+                        o.counter("numio_flow_completions_total", &[("component", "sched")])
+                            .inc();
+                        o.histogram(
+                            "numio_episode_latency_seconds",
+                            &[("policy", policy.name())],
+                            numa_obs::buckets::LATENCY_SECONDS,
+                        )
+                        .observe(latency_s);
+                        o.event(
+                            "task_finished",
+                            t,
+                            &[
+                                ("task", numa_obs::Value::from(done.id.0)),
+                                ("node", done.node.to_string().into()),
+                                ("latency_s", numa_obs::Value::from(latency_s)),
+                            ],
+                        );
+                    }
                     outcomes.push(TaskOutcome {
                         id: done.id,
                         node: done.node,
@@ -185,6 +243,17 @@ impl<'a> Scheduler<'a> {
                     .collect();
                 let ctx = SchedContext { fabric, active: &views };
                 let node = policy.place(&task, &ctx);
+                if let Some(o) = obs {
+                    o.event(
+                        "task_placed",
+                        t,
+                        &[
+                            ("task", numa_obs::Value::from(id.0)),
+                            ("node", node.to_string().into()),
+                            ("policy", policy.name().into()),
+                        ],
+                    );
+                }
                 active.push(Active {
                     id,
                     workload: task.workload.clone(),
@@ -211,10 +280,27 @@ impl<'a> Scheduler<'a> {
                     for (tid, new_node) in policy.rebalance(&ctx) {
                         if let Some(a) = active.iter_mut().find(|a| a.id == tid) {
                             if a.node != new_node {
+                                let from = a.node;
                                 a.node = new_node;
                                 a.migrations += 1;
                                 a.paused_until = t + self.migration_pause_s;
                                 migrations_total += 1;
+                                if let Some(o) = obs {
+                                    o.counter(
+                                        "numio_migrations_total",
+                                        &[("component", "sched")],
+                                    )
+                                    .inc();
+                                    o.event(
+                                        "task_migrated",
+                                        t,
+                                        &[
+                                            ("task", numa_obs::Value::from(tid.0)),
+                                            ("from", from.to_string().into()),
+                                            ("to", new_node.to_string().into()),
+                                        ],
+                                    );
+                                }
                             }
                         }
                     }
@@ -227,6 +313,18 @@ impl<'a> Scheduler<'a> {
         }
 
         outcomes.sort_by_key(|o| o.id);
+        if let Some(o) = obs {
+            o.event(
+                "episode_finished",
+                t,
+                &[
+                    ("policy", policy.name().into()),
+                    ("tasks", numa_obs::Value::from(outcomes.len())),
+                    ("makespan_s", numa_obs::Value::from(t)),
+                    ("migrations", numa_obs::Value::from(migrations_total)),
+                ],
+            );
+        }
         Ok(EpisodeReport {
             policy: policy.name().to_string(),
             outcomes,
@@ -321,6 +419,48 @@ mod tests {
         // Migration accounting is consistent.
         let per_task: u32 = report.outcomes.iter().map(|o| o.migrations).sum();
         assert_eq!(per_task, report.migrations);
+    }
+
+    #[test]
+    fn observed_episode_matches_plain_and_emits_series() {
+        let p = platform();
+        let tasks = poisson(6, 1.0, MixProfile::Uniform, 7);
+        let plain = Scheduler::new(&p).run(tasks.clone(), SpreadAll::new()).unwrap();
+        let obs = numa_obs::Obs::new();
+        let observed = Scheduler::new(&p)
+            .run_observed(tasks, SpreadAll::new(), &obs)
+            .unwrap();
+        assert_eq!(plain, observed);
+        assert_eq!(
+            obs.counter("numio_flow_completions_total", &[("component", "sched")]).get(),
+            6
+        );
+        assert!(obs.counter("numio_alloc_rounds_total", &[("component", "sched")]).get() >= 6);
+        let prom = obs.prometheus();
+        assert!(
+            prom.contains("numio_episode_latency_seconds_count{policy=\"spread-all\"} 6"),
+            "{prom}"
+        );
+        let jsonl = obs.jsonl();
+        assert!(jsonl.contains("\"ev\":\"task_placed\""), "{jsonl}");
+        assert!(jsonl.contains("\"ev\":\"task_finished\""), "{jsonl}");
+        assert!(jsonl.contains("\"ev\":\"episode_finished\""), "{jsonl}");
+    }
+
+    #[test]
+    fn observed_migrations_emit_events() {
+        let p = platform();
+        let tasks = poisson(12, 0.5, MixProfile::Ingest, 21);
+        let policy = ModelDrivenMigrating::new(ModelDriven::from_platform(&p), 1.0, 2);
+        let obs = numa_obs::Obs::new();
+        let report = Scheduler::new(&p).run_observed(tasks, policy, &obs).unwrap();
+        assert_eq!(
+            obs.counter("numio_migrations_total", &[("component", "sched")]).get(),
+            u64::from(report.migrations)
+        );
+        if report.migrations > 0 {
+            assert!(obs.jsonl().contains("\"ev\":\"task_migrated\""));
+        }
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`memsys`] — memory subsystem: policies, numastat, STREAM simulation.
 //! * [`iodev`] — NIC (TCP/RDMA) and SSD device models.
 //! * [`fio`] — fio-like benchmark job harness.
+//! * [`obs`] — unified observability: structured events, metrics registry,
+//!   self-profiling spans, JSONL/Prometheus exporters.
 //! * [`core`] — **the paper's contribution**: the memcpy-based I/O
 //!   characterization methodology (Algorithm 1), performance-class
 //!   classifier, Eq. 1 aggregate-bandwidth predictor, and scheduler advisor.
@@ -34,6 +36,7 @@
 //! ```
 
 pub use numa_engine as engine;
+pub use numa_obs as obs;
 pub use numa_fabric as fabric;
 pub use numa_fio as fio;
 pub use numa_iodev as iodev;

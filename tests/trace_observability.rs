@@ -1,5 +1,6 @@
 //! Observability: the engine's event trace makes contention dynamics
-//! inspectable through the fio lowering, end to end.
+//! inspectable through the fio lowering, end to end — and the `numa-obs`
+//! exporters turn deterministic runs into byte-stable artifacts.
 
 use numio::engine::TraceEvent;
 use numio::fio::{build_sim, JobSpec};
@@ -63,4 +64,102 @@ fn traced_fio_run_matches_untraced_aggregates() {
     let (traced, trace) = sim_b.run_traced().unwrap();
     assert_eq!(plain, traced);
     assert!(trace.rounds() >= 1);
+}
+
+// ---- numa-obs exporter golden tests -----------------------------------
+
+/// JSONL exporter golden: an observed two-flow engine run produces this
+/// exact byte stream (simulation timestamps, insertion-ordered fields).
+#[test]
+fn jsonl_export_golden() {
+    use numio::engine::{FlowSpec, Simulation};
+    let platform = SimPlatform::dl585();
+    let obs = numio::obs::Obs::new();
+    let mut sim = Simulation::new(platform.fabric()).with_obs(obs.clone());
+    // Both flows cross the shared 46.5 Gbps edge 6->7: max-min splits it
+    // 23.25 each, flow "a" (93 Gbit) finishes at t=4, then "b" runs alone
+    // at 46.5 and its remaining 46.5 Gbit take one more second.
+    sim.add_flow(FlowSpec::dma(NodeId(4), NodeId(7)).gbits(93.0).label("a"));
+    sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(139.5).label("b"));
+    sim.run().unwrap();
+    assert_eq!(
+        obs.jsonl(),
+        "{\"t\":0,\"ev\":\"alloc_round\",\"component\":\"engine\",\"flows\":2}\n\
+         {\"t\":4,\"ev\":\"flow_finished\",\"flow\":0,\"label\":\"a\"}\n\
+         {\"t\":4,\"ev\":\"alloc_round\",\"component\":\"engine\",\"flows\":1}\n\
+         {\"t\":5,\"ev\":\"flow_finished\",\"flow\":1,\"label\":\"b\"}\n"
+    );
+}
+
+/// Prometheus exporter golden: series sorted by name then labels, exact
+/// text format.
+#[test]
+fn prometheus_export_golden() {
+    use numio::engine::{FlowSpec, Simulation};
+    let platform = SimPlatform::dl585();
+    let obs = numio::obs::Obs::new();
+    let mut sim = Simulation::new(platform.fabric()).with_obs(obs.clone());
+    sim.add_flow(FlowSpec::dma(NodeId(4), NodeId(7)).gbits(93.0));
+    sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(139.5));
+    sim.run().unwrap();
+    assert_eq!(
+        obs.prometheus(),
+        "\
+# TYPE numio_alloc_rounds_total counter
+numio_alloc_rounds_total{component=\"engine\"} 2
+# TYPE numio_flow_completions_total counter
+numio_flow_completions_total{component=\"engine\"} 2
+"
+    );
+}
+
+/// A seeded scheduler run through the CLI writes byte-identical trace and
+/// metrics artifacts on every invocation.
+#[test]
+fn seeded_cli_sched_exports_are_byte_identical() {
+    let args: Vec<String> = ["sched", "--tasks", "5", "--seed", "11"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let go = || {
+        let obs = numio::obs::Obs::new();
+        numio_cli::run_observed(&args, &obs).unwrap();
+        (obs.jsonl(), obs.prometheus())
+    };
+    let (trace_a, prom_a) = go();
+    let (trace_b, prom_b) = go();
+    assert!(!trace_a.is_empty());
+    assert_eq!(trace_a, trace_b, "seeded trace must be byte-identical");
+    assert_eq!(prom_a, prom_b, "seeded metrics must be byte-identical");
+    // The three series the observability layer promises for sched runs.
+    assert!(prom_a.contains("numio_alloc_rounds_total{component=\"sched\"}"));
+    assert!(prom_a.contains("numio_flow_completions_total{component=\"sched\"}"));
+    assert!(prom_a.contains("numio_episode_latency_seconds_bucket{"));
+    assert!(trace_a.contains("\"ev\":\"episode_finished\""));
+}
+
+/// The modeler's observed path feeds per-rep samples into per-node
+/// histograms whose counts reconcile with the probe counters.
+#[test]
+fn modeler_probe_series_reconcile() {
+    use numio::core::{IoModeler, TransferMode};
+    let platform = SimPlatform::dl585();
+    let obs = numio::obs::Obs::new();
+    let reps = 4u32;
+    IoModeler::new().reps(reps).characterize_observed(
+        &platform,
+        platform.fabric().topology(),
+        NodeId(7),
+        TransferMode::Read,
+        &obs,
+    );
+    let prom = obs.prometheus();
+    for node in 0..8 {
+        assert!(
+            prom.contains(&format!("numio_probes_total{{node=\"N{node}\"}} {reps}")),
+            "node {node} missing: {prom}"
+        );
+        assert!(prom
+            .contains(&format!("numio_probe_gbps_count{{mode=\"read\",node=\"N{node}\"}} {reps}")));
+    }
 }
