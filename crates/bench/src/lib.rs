@@ -52,10 +52,10 @@ impl Experiment {
 }
 
 /// Every experiment, in paper order, generated in parallel (each
-/// experiment is seeded and independent; rayon cuts `make_all` wall time
-/// roughly by the core count).
+/// experiment is seeded and independent; [`numa_par`] cuts `make_all`
+/// wall time roughly by the core count while keeping the output order —
+/// and every report byte — identical to a serial loop).
 pub fn all_experiments() -> Vec<Experiment> {
-    use rayon::prelude::*;
     let generators: Vec<fn() -> Experiment> = vec![
         experiments::table1::run,
         experiments::fig1::run,
@@ -76,7 +76,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         experiments::netpath::run,
         experiments::latbench::run,
     ];
-    generators.into_par_iter().map(|g| g()).collect()
+    numa_par::parallel_map(&generators, |g| g())
 }
 
 #[cfg(test)]

@@ -101,24 +101,42 @@ impl IoModeler {
             TransferMode::Read => "read",
         };
 
-        let mut per_node = Vec::with_capacity(n);
-        for i in 0..n {
+        let spec_for = |i: usize| {
             let node = NodeId::new(i);
             let (src, dst) = match mode {
                 TransferMode::Write => (node, target),
                 TransferMode::Read => (target, node),
             };
-            let probe_span = obs.map(|o| o.span("modeler.probe_node"));
-            let samples = platform.run_copy(&CopySpec {
+            CopySpec {
                 bind: target,
                 src,
                 dst,
                 threads: m,
                 bytes_per_thread: self.bytes_per_thread,
                 reps: self.reps,
-            });
-            drop(probe_span);
-            let summary = Summary::from(&samples);
+            }
+        };
+        // Per-node probes are independent; fan out when the platform's
+        // probes are pure (per-cell seeding => results are byte-identical
+        // to the serial loop, in the same node order). With obs attached
+        // keep the serial path so probe spans and events interleave the
+        // way the exporters' golden tests expect.
+        let all_samples: Vec<Vec<f64>> = if obs.is_none() && platform.parallel_probes() {
+            numa_par::map_indexed(n, |i| platform.run_copy(&spec_for(i)))
+        } else {
+            (0..n)
+                .map(|i| {
+                    let probe_span = obs.map(|o| o.span("modeler.probe_node"));
+                    let samples = platform.run_copy(&spec_for(i));
+                    drop(probe_span);
+                    samples
+                })
+                .collect()
+        };
+        let mut per_node = Vec::with_capacity(n);
+        for (i, samples) in all_samples.iter().enumerate() {
+            let node = NodeId::new(i);
+            let summary = Summary::from(samples);
             if let Some(o) = obs {
                 let node_label = node.to_string();
                 o.counter("numio_probes_total", &[("node", node_label.as_str())])
@@ -128,7 +146,7 @@ impl IoModeler {
                     &[("node", node_label.as_str()), ("mode", mode_label)],
                     numa_obs::buckets::GBPS,
                 );
-                for &s in &samples {
+                for &s in samples {
                     hist.observe(s);
                 }
                 o.event(
@@ -177,24 +195,21 @@ impl IoModeler {
 
 impl IoModeler {
     /// Characterize **every node** of the platform as a hypothetical device
-    /// site, both directions, in parallel (rayon). Returns `2 * n` models
-    /// ordered `(node 0 write, node 0 read, node 1 write, ...)` — the full
-    /// host atlas a cluster scheduler would persist.
+    /// site, both directions, in parallel ([`numa_par::map_indexed`]).
+    /// Returns `2 * n` models ordered `(node 0 write, node 0 read,
+    /// node 1 write, ...)` — the full host atlas a cluster scheduler would
+    /// persist. Deterministic: every model equals what the serial loop
+    /// would produce in the same slot.
     pub fn characterize_full_host(
         &self,
         platform: &crate::platform::SimPlatform,
     ) -> Vec<IoPerfModel> {
-        use rayon::prelude::*;
         let n = platform.num_nodes();
-        (0..n)
-            .into_par_iter()
-            .flat_map_iter(|i| {
-                TransferMode::ALL
-                    .into_iter()
-                    .map(move |mode| (NodeId::new(i), mode))
-            })
-            .map(|(target, mode)| self.characterize(platform, target, mode))
-            .collect()
+        numa_par::map_indexed(2 * n, |k| {
+            let target = NodeId::new(k / 2);
+            let mode = TransferMode::ALL[k % 2];
+            self.characterize(platform, target, mode)
+        })
     }
 }
 

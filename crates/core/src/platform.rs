@@ -41,7 +41,10 @@ impl CopySpec {
 
 /// Anything the modeler can probe: the simulator, a real host, or (on a
 /// real NUMA machine, outside this repo's scope) `libnuma`-pinned threads.
-pub trait Platform {
+///
+/// `Sync` is a supertrait so the modeler may fan probes out across
+/// threads when [`parallel_probes`](Self::parallel_probes) allows it.
+pub trait Platform: Sync {
     /// Number of NUMA nodes visible.
     fn num_nodes(&self) -> usize;
 
@@ -52,6 +55,16 @@ pub trait Platform {
     /// Execute a probe, returning one aggregate bandwidth sample (Gbit/s)
     /// per repetition.
     fn run_copy(&self, spec: &CopySpec) -> Vec<f64>;
+
+    /// May the modeler run several [`run_copy`](Self::run_copy) probes
+    /// concurrently? Opt-in: only platforms whose probes are pure
+    /// functions of the spec (per-cell seeding, no shared measured
+    /// hardware) should return `true`. Defaults to `false` — the safe
+    /// answer for real-measurement backends, where concurrent probes
+    /// would contend for the very memory system being measured.
+    fn parallel_probes(&self) -> bool {
+        false
+    }
 
     /// Nodes with I/O devices attached — characterization targets.
     /// Platforms that cannot tell return an empty list.
@@ -138,6 +151,12 @@ impl Platform for SimPlatform {
                 }
             })
             .collect()
+    }
+
+    fn parallel_probes(&self) -> bool {
+        // Every simulated cell is seeded from (bind, src, dst) alone, so
+        // probes are order-independent and safe to run concurrently.
+        true
     }
 
     fn io_nodes(&self) -> Vec<NodeId> {

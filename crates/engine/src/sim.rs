@@ -3,7 +3,7 @@
 use crate::flow::{FlowId, FlowResult, FlowSpec};
 use crate::jitter::{JitterCfg, JitterState};
 use crate::resources::{ResourceHandle, ResourceKey, ResourceRegistry};
-use numa_fabric::{solve_max_min, Fabric, MaxMinProblem, TrafficClass};
+use numa_fabric::{Fabric, MaxMinSolver, TrafficClass};
 use serde::{Deserialize, Serialize};
 
 /// Simulation failure modes.
@@ -223,9 +223,32 @@ impl<'f> Simulation<'f> {
             for h in &spec.extra_resources {
                 rs.push(h.index());
             }
-            resource_lists.push(rs);
+            // Canonicalize: the solver charges a resource once per
+            // listing, so a handle passed to `charge` twice (or
+            // duplicating a route resource) would silently double-bill.
+            // Within the engine "uses the resource" is a set property;
+            // keep the first occurrence of each index.
+            let mut canon = Vec::with_capacity(rs.len());
+            for r in rs {
+                if !canon.contains(&r) {
+                    canon.push(r);
+                }
+            }
+            resource_lists.push(canon);
         }
         (resource_lists, base_ceilings)
+    }
+
+    /// Build a validated solver over the current registry capacities and
+    /// the lowered flow set. Shared by the event loop (which retunes
+    /// ceilings between solves) and the one-shot analysis views.
+    fn solver_for(&self, resource_lists: &[Vec<usize>], base_ceilings: &[f64]) -> MaxMinSolver {
+        let mut solver = MaxMinSolver::new(self.registry.capacities().to_vec());
+        for ((rs, &c), spec) in resource_lists.iter().zip(base_ceilings).zip(&self.flows) {
+            solver.add_flow(rs, c, spec.weight);
+        }
+        solver.validate();
+        solver
     }
 
     /// Jitter needs a finite scale even for uncapped flows; use the
@@ -243,20 +266,8 @@ impl<'f> Simulation<'f> {
     /// jitter) — the steady-state allocation.
     pub fn steady_rates(&mut self) -> Vec<f64> {
         let (resource_lists, base_ceilings) = self.lower_flows();
-        let problem = MaxMinProblem {
-            capacities: self.registry.capacities().to_vec(),
-            flows: resource_lists
-                .iter()
-                .zip(&base_ceilings)
-                .zip(&self.flows)
-                .map(|((rs, &c), spec)| numa_fabric::FlowSpec {
-                    resources: rs.clone(),
-                    ceiling: c,
-                    weight: spec.weight,
-                })
-                .collect(),
-        };
-        solve_max_min(&problem)
+        let mut solver = self.solver_for(&resource_lists, &base_ceilings);
+        solver.solve().to_vec()
     }
 
     /// Steady-state resource utilization: for every registered resource,
@@ -264,8 +275,11 @@ impl<'f> Simulation<'f> {
     /// sorted most-loaded first. The contention-analysis view: the top
     /// entries are the hardware a placement change must relieve.
     pub fn bottlenecks(&mut self) -> Vec<(ResourceKey, f64, f64, f64)> {
-        let (resource_lists, _) = self.lower_flows();
-        let rates = self.steady_rates();
+        // Lower once; the same lists feed both the solve and the
+        // per-resource usage sums.
+        let (resource_lists, base_ceilings) = self.lower_flows();
+        let mut solver = self.solver_for(&resource_lists, &base_ceilings);
+        let rates = solver.solve().to_vec();
         let mut used = vec![0.0_f64; self.registry.len()];
         for (rs, &rate) in resource_lists.iter().zip(&rates) {
             for &r in rs {
@@ -303,13 +317,23 @@ impl<'f> Simulation<'f> {
             return Err(SimError::NoFlows);
         }
         let (resource_lists, base_ceilings) = self.lower_flows();
-        let caps = self.registry.capacities().to_vec();
         let n = self.flows.len();
+        // Lower into the solver once; between rounds only ceilings move
+        // (jitter multipliers, and 0.0 for completed flows — the active
+        // mask), so every round after the first solves with zero heap
+        // allocation instead of rebuilding a MaxMinProblem.
+        let mut solver = self.solver_for(&resource_lists, &base_ceilings);
         let mut remaining: Vec<f64> = self.flows.iter().map(|f| f.volume_gbit).collect();
         let mut finish = vec![0.0_f64; n];
         let mut active: Vec<bool> = vec![true; n];
         let mut jitter = JitterState::new(self.jitter, n);
         let jitter_enabled = !self.jitter.is_none();
+        // Jitter scales are fixed per flow; compute them once.
+        let jitter_bases: Vec<f64> = if jitter_enabled {
+            (0..n).map(|i| self.jitter_base(i, base_ceilings[i])).collect()
+        } else {
+            Vec::new()
+        };
 
         let mut t = 0.0_f64;
         let mut next_jitter = if jitter_enabled { jitter.refresh_s() } else { f64::INFINITY };
@@ -319,29 +343,15 @@ impl<'f> Simulation<'f> {
                 break;
             }
             // Allocate rates for the active set.
-            let problem = MaxMinProblem {
-                capacities: caps.clone(),
-                flows: (0..n)
-                    .map(|i| {
-                        let ceiling = if active[i] {
-                            if jitter_enabled {
-                                self.jitter_base(i, base_ceilings[i]) * jitter.multiplier(i)
-                            } else {
-                                base_ceilings[i]
-                            }
-                        } else {
-                            0.0
-                        };
-                        numa_fabric::FlowSpec {
-                            resources: resource_lists[i].clone(),
-                            ceiling,
-                            weight: self.flows[i].weight,
-                        }
-                    })
-                    .collect(),
-            };
+            if jitter_enabled {
+                for i in 0..n {
+                    if active[i] {
+                        solver.set_ceiling(i, jitter_bases[i] * jitter.multiplier(i));
+                    }
+                }
+            }
             let alloc_span = self.obs.as_ref().map(|o| o.span("engine.alloc_round"));
-            let rates = solve_max_min(&problem);
+            let rates = solver.solve();
             drop(alloc_span);
             if let Some(o) = &self.obs {
                 let n_active = active.iter().filter(|&&a| a).count();
@@ -390,6 +400,9 @@ impl<'f> Simulation<'f> {
                     active[i] = false;
                     remaining[i] = 0.0;
                     finish[i] = t;
+                    // Completed flows drop out of the allocation: a zero
+                    // ceiling deactivates the flow in the solver.
+                    solver.set_ceiling(i, 0.0);
                     if let Some(o) = &self.obs {
                         o.counter("numio_flow_completions_total", &[("component", "engine")])
                             .inc();
@@ -523,6 +536,29 @@ mod tests {
         sim.add_flow(FlowSpec::dma(NodeId(5), NodeId(7)).gbits(100.0).charge(port));
         let rates = sim.steady_rates();
         assert!((rates[0] + rates[1] - 20.0).abs() < 1e-6, "{rates:?}");
+    }
+
+    #[test]
+    fn duplicate_extra_charges_count_once() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        let port = sim.register(ResourceKey::Custom(0), 20.0);
+        // The same handle charged twice: lowering canonicalizes the
+        // resource list, so the flow is billed once per unit of rate
+        // (the raw solver contract is charge-per-listing).
+        sim.add_flow(
+            FlowSpec::dma(NodeId(6), NodeId(7)).gbits(100.0).charge(port).charge(port),
+        );
+        let rates = sim.steady_rates();
+        assert!((rates[0] - 20.0).abs() < 1e-9, "{rates:?}");
+        // The usage report agrees: the port is exactly saturated, not
+        // accounted at twice the flow rate.
+        let report = sim.bottlenecks();
+        let (key, used, cap, util) = report[0];
+        assert_eq!(key, ResourceKey::Custom(0));
+        assert!((used - 20.0).abs() < 1e-9);
+        assert!((cap - 20.0).abs() < 1e-9);
+        assert!((util - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -14,6 +14,28 @@
 //! The solver is deliberately generic: resources are indices with
 //! capacities, flows are index sets with optional ceilings. `numa-engine`
 //! maps links/nodes/ports onto indices.
+//!
+//! Two entry points share one kernel:
+//!
+//! * [`solve_max_min`] — one-shot convenience over a [`MaxMinProblem`];
+//!   builds a throwaway [`MaxMinSolver`] per call.
+//! * [`MaxMinSolver`] — the reusable form for hot paths that re-solve the
+//!   same flow set many times (the engine event loop re-allocates rates on
+//!   every completion/jitter event). Flows are lowered once into a
+//!   flattened CSR layout; between solves only ceilings (and capacities)
+//!   change, and every solve runs against preallocated scratch with zero
+//!   heap allocation.
+//!
+//! ## Duplicate-resource contract
+//!
+//! A flow listing the same resource index twice is charged **twice** per
+//! unit of rate (`load` and `remaining` see the entry once per listing).
+//! This deliberately models transfers that cross one piece of hardware
+//! more than once — e.g. a local copy whose read and write both land on
+//! the same memory controller. Callers that want "listed twice = charged
+//! once" semantics must canonicalize before handing the list over;
+//! `numa-engine` deduplicates its lowered per-flow resource lists for
+//! exactly that reason.
 
 /// One flow's resource usage.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,110 +99,413 @@ impl MaxMinProblem {
     }
 }
 
+/// Reusable progressive-filling solver over a fixed resource set.
+///
+/// Construction lowers flows into a flattened CSR layout
+/// (`res_idx`/`res_off`); `solve` runs the filling loop against
+/// preallocated scratch (`rate`, `remaining`, `load`, the compact active
+/// list), so after the first call repeated solves perform **zero heap
+/// allocation**. Input invariants are checked once by [`validate`]
+/// (`debug_assert` only inside the hot loop), not on every solve.
+///
+/// Between solves callers may retune the instance with
+/// [`set_ceiling`](Self::set_ceiling) (a ceiling of `0.0` deactivates a
+/// flow — the engine's active mask) and
+/// [`set_capacity`](Self::set_capacity); the flow set and its resource
+/// lists are fixed at construction.
+///
+/// The filling loop performs the same floating-point operations in the
+/// same order as the historical one-shot implementation, so solutions are
+/// bit-for-bit identical to progressive filling over the equivalent
+/// [`MaxMinProblem`] — the property tests in
+/// `tests/allocator_properties.rs` pin this down against a reference
+/// implementation.
+#[derive(Debug, Clone)]
+pub struct MaxMinSolver {
+    /// Resource capacities.
+    capacities: Vec<f64>,
+    /// Concatenated per-flow resource indices (CSR values).
+    res_idx: Vec<usize>,
+    /// CSR offsets: flow `i` uses `res_idx[res_off[i]..res_off[i + 1]]`.
+    res_off: Vec<usize>,
+    /// Per-flow fairness weights.
+    weights: Vec<f64>,
+    /// Per-flow rate ceilings (mutable between solves).
+    ceilings: Vec<f64>,
+    // ---- reverse adjacency (resource -> flows), built lazily ----
+    /// Concatenated per-resource user-flow indices, each list ascending.
+    users_idx: Vec<usize>,
+    /// Reverse CSR offsets (`users_off.len() == num_resources + 1`).
+    users_off: Vec<usize>,
+    /// `res_idx.len()` the reverse adjacency was built for (rebuilt when
+    /// flows were added since).
+    users_built_nnz: usize,
+    // ---- scratch reused across solves ----
+    /// Last computed allocation.
+    rate: Vec<f64>,
+    /// Capacity left per resource during a solve.
+    remaining: Vec<f64>,
+    /// Weighted active load per resource, maintained incrementally: when
+    /// a flow freezes, each of its resources is recomputed from the
+    /// reverse adjacency in ascending flow order — the same summation
+    /// order as a from-scratch rescan, hence bit-identical.
+    load: Vec<f64>,
+    /// Indices of still-active flows, ascending (so per-round sums run in
+    /// the same order as a dense 0..nf scan).
+    active: Vec<usize>,
+    /// Dense mirror of `active` for O(1) membership tests.
+    is_active: Vec<bool>,
+    /// Resources with at least one active user (live `load[r] > 0`).
+    live: Vec<usize>,
+    /// Has this resource been seen saturated already?
+    sat: Vec<bool>,
+    /// Resources that saturated this round.
+    newly_sat: Vec<usize>,
+    /// Flows marked this round as crossing a newly saturated resource.
+    hit_sat: Vec<bool>,
+    /// The flows behind the `hit_sat` marks (for cheap clearing).
+    marked: Vec<usize>,
+    /// Flows frozen this round.
+    frozen: Vec<usize>,
+    /// Resources needing a load recompute after this round's freezes.
+    dirty: Vec<bool>,
+    /// The resources behind the `dirty` marks.
+    dirty_list: Vec<usize>,
+}
+
+impl MaxMinSolver {
+    /// New solver over the given resource capacities with no flows yet.
+    pub fn new(capacities: Vec<f64>) -> Self {
+        let nr = capacities.len();
+        MaxMinSolver {
+            capacities,
+            res_idx: Vec::new(),
+            res_off: vec![0],
+            weights: Vec::new(),
+            ceilings: Vec::new(),
+            users_idx: Vec::new(),
+            users_off: Vec::new(),
+            users_built_nnz: usize::MAX,
+            rate: Vec::new(),
+            remaining: Vec::with_capacity(nr),
+            load: vec![0.0; nr],
+            active: Vec::new(),
+            is_active: Vec::new(),
+            live: Vec::with_capacity(nr),
+            sat: vec![false; nr],
+            newly_sat: Vec::new(),
+            hit_sat: Vec::new(),
+            marked: Vec::new(),
+            frozen: Vec::new(),
+            dirty: vec![false; nr],
+            dirty_list: Vec::new(),
+        }
+    }
+
+    /// Build the resource -> flows reverse adjacency (each user list
+    /// ascending, duplicate listings kept — a flow listing a resource
+    /// twice appears twice, so recomputed loads charge it per listing
+    /// exactly like the forward scan).
+    fn build_users(&mut self) {
+        let nr = self.capacities.len();
+        self.users_off.clear();
+        self.users_off.resize(nr + 1, 0);
+        for &r in &self.res_idx {
+            self.users_off[r + 1] += 1;
+        }
+        for r in 0..nr {
+            self.users_off[r + 1] += self.users_off[r];
+        }
+        self.users_idx.clear();
+        self.users_idx.resize(self.res_idx.len(), 0);
+        let mut cursor = self.users_off.clone();
+        for i in 0..self.num_flows() {
+            for &r in &self.res_idx[self.res_off[i]..self.res_off[i + 1]] {
+                self.users_idx[cursor[r]] = i;
+                cursor[r] += 1;
+            }
+        }
+        self.users_built_nnz = self.res_idx.len();
+    }
+
+    /// Lower a whole [`MaxMinProblem`] (does not [`validate`](Self::validate)).
+    pub fn from_problem(problem: &MaxMinProblem) -> Self {
+        let mut s = Self::new(problem.capacities.clone());
+        for f in &problem.flows {
+            s.add_flow(&f.resources, f.ceiling, f.weight);
+        }
+        s
+    }
+
+    /// Add a flow over `resources` (duplicate indices are charged per
+    /// listing — see the module docs); returns its index.
+    pub fn add_flow(&mut self, resources: &[usize], ceiling: f64, weight: f64) -> usize {
+        self.res_idx.extend_from_slice(resources);
+        self.res_off.push(self.res_idx.len());
+        self.ceilings.push(ceiling);
+        self.weights.push(weight);
+        self.rate.push(0.0);
+        self.ceilings.len() - 1
+    }
+
+    /// Check the solver's preconditions, once, before the first solve:
+    ///
+    /// * resource indices are in range;
+    /// * every flow has a finite ceiling or at least one resource
+    ///   (otherwise its fair rate would be unbounded);
+    /// * capacities and ceilings are non-negative, weights positive.
+    ///
+    /// Panics on violation with the same messages the one-shot
+    /// [`solve_max_min`] has always used. [`solve`](Self::solve) assumes
+    /// these hold and only `debug_assert`s.
+    pub fn validate(&self) {
+        let nr = self.capacities.len();
+        for i in 0..self.num_flows() {
+            let resources = &self.res_idx[self.res_off[i]..self.res_off[i + 1]];
+            assert!(
+                self.ceilings[i].is_finite() || !resources.is_empty(),
+                "flow {i} is unbounded: no ceiling and no resources"
+            );
+            assert!(self.ceilings[i] >= 0.0, "flow {i} has negative ceiling");
+            assert!(
+                self.weights[i] > 0.0 && self.weights[i].is_finite(),
+                "flow {i} has non-positive weight"
+            );
+            for &r in resources {
+                assert!(r < nr, "flow {i} references resource {r} out of range");
+            }
+        }
+        for (r, &c) in self.capacities.iter().enumerate() {
+            assert!(c >= 0.0, "resource {r} has negative capacity");
+        }
+    }
+
+    /// Number of flows lowered into the solver.
+    pub fn num_flows(&self) -> usize {
+        self.ceilings.len()
+    }
+
+    /// Number of resources.
+    pub fn num_resources(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Current ceiling of a flow.
+    pub fn ceiling(&self, flow: usize) -> f64 {
+        self.ceilings[flow]
+    }
+
+    /// Retune a flow's ceiling for the next solve. `0.0` deactivates the
+    /// flow (it receives rate 0 and charges nothing) — the engine's
+    /// active-mask mechanism; a later non-zero ceiling reactivates it.
+    pub fn set_ceiling(&mut self, flow: usize, ceiling: f64) {
+        self.ceilings[flow] = ceiling;
+    }
+
+    /// Retune a resource capacity for the next solve.
+    pub fn set_capacity(&mut self, resource: usize, cap: f64) {
+        self.capacities[resource] = cap;
+    }
+
+    /// The allocation computed by the last [`solve`](Self::solve) (zeros
+    /// before the first).
+    pub fn rates(&self) -> &[f64] {
+        &self.rate
+    }
+
+    /// Solve by progressive filling; returns one rate per flow (borrowed
+    /// from the solver's scratch — copy out if it must outlive the next
+    /// mutation).
+    ///
+    /// The loop is incremental: per-resource loads are maintained across
+    /// rounds (recomputed only for resources that lost a user, via the
+    /// reverse adjacency, in ascending flow order — the same summation
+    /// order as a from-scratch rescan, hence bit-identical), and the
+    /// freeze check exploits monotonicity: `remaining` never increases
+    /// during a solve, so a resource that saturates freezes all its
+    /// active users *that same round* — later rounds only need to look at
+    /// *newly* saturated resources instead of rescanning every flow's
+    /// resource list. Per-round cost is O(active flows + live resources)
+    /// plus the rate/charge update; all saturation bookkeeping is
+    /// amortized O(total resource listings) over the whole solve.
+    pub fn solve(&mut self) -> &[f64] {
+        const EPS: f64 = 1e-12;
+        if self.users_built_nnz != self.res_idx.len() {
+            self.build_users();
+        }
+        // Destructured so the loops below can borrow fields disjointly.
+        let MaxMinSolver {
+            capacities,
+            res_idx,
+            res_off,
+            weights,
+            ceilings,
+            users_idx,
+            users_off,
+            users_built_nnz: _,
+            rate,
+            remaining,
+            load,
+            active,
+            is_active,
+            live,
+            sat,
+            newly_sat,
+            hit_sat,
+            marked,
+            frozen,
+            dirty,
+            dirty_list,
+        } = self;
+        let nf = ceilings.len();
+
+        rate.iter_mut().for_each(|r| *r = 0.0);
+        remaining.clear();
+        remaining.extend_from_slice(capacities);
+        load.iter_mut().for_each(|l| *l = 0.0);
+        sat.iter_mut().for_each(|s| *s = false);
+        is_active.clear();
+        is_active.resize(nf, false);
+        hit_sat.clear();
+        hit_sat.resize(nf, false);
+        active.clear();
+        for i in 0..nf {
+            if ceilings[i] > 0.0 {
+                active.push(i);
+                is_active[i] = true;
+            }
+        }
+        // Initial weighted load per resource: each active flow consumes
+        // weight x lambda of every resource it lists (listed twice =
+        // charged twice). Accumulated in ascending flow order —
+        // bit-identical to a dense scan. `live` collects the resources
+        // with at least one active user; only those can constrain lambda.
+        live.clear();
+        for &i in active.iter() {
+            let w = weights[i];
+            for &r in &res_idx[res_off[i]..res_off[i + 1]] {
+                if load[r] == 0.0 {
+                    live.push(r);
+                }
+                load[r] += w;
+            }
+        }
+
+        while !active.is_empty() {
+            // Fair increment permitted by each saturating constraint
+            // (min is order-independent, so any scan order is fine).
+            let mut lambda = f64::INFINITY;
+            for &r in live.iter() {
+                lambda = lambda.min(remaining[r].max(0.0) / load[r]);
+            }
+            for &i in active.iter() {
+                // Uncapped flows contribute +inf — skip the divide.
+                let c = ceilings[i];
+                if c.is_finite() {
+                    lambda = lambda.min((c - rate[i]) / weights[i]);
+                }
+            }
+            debug_assert!(lambda.is_finite(), "some active flow must be bounded");
+            let lambda = lambda.max(0.0);
+
+            // Raise every active flow by weight x lambda and charge
+            // resources.
+            for &i in active.iter() {
+                let dw = lambda * weights[i];
+                rate[i] += dw;
+                for &r in &res_idx[res_off[i]..res_off[i + 1]] {
+                    remaining[r] -= dw;
+                }
+            }
+            // Resources that saturated *this* round. Any resource that
+            // saturated earlier froze all its active users back then
+            // (remaining is monotone non-increasing), so only new
+            // saturations can freeze flows now; mark their users via the
+            // reverse adjacency.
+            newly_sat.clear();
+            for &r in live.iter() {
+                if !sat[r] && remaining[r] <= EPS.max(capacities[r] * 1e-12) {
+                    sat[r] = true;
+                    newly_sat.push(r);
+                }
+            }
+            marked.clear();
+            for &r in newly_sat.iter() {
+                for &u in &users_idx[users_off[r]..users_off[r + 1]] {
+                    if is_active[u] && !hit_sat[u] {
+                        hit_sat[u] = true;
+                        marked.push(u);
+                    }
+                }
+            }
+            // Freeze flows at ceilings or on saturated resources (retain
+            // keeps the list ascending).
+            frozen.clear();
+            active.retain(|&i| {
+                if rate[i] + EPS >= ceilings[i] || hit_sat[i] {
+                    is_active[i] = false;
+                    frozen.push(i);
+                    false
+                } else {
+                    true
+                }
+            });
+            for &u in marked.iter() {
+                hit_sat[u] = false;
+            }
+            // Numerical safety: if lambda rounded to zero and nothing
+            // froze we would spin; freeze the most constrained flow
+            // explicitly.
+            if frozen.is_empty() && lambda <= EPS && !active.is_empty() {
+                let i = active.remove(0);
+                is_active[i] = false;
+                frozen.push(i);
+            }
+            // Recompute the loads of resources that lost a user
+            // (ascending flow order via the reverse adjacency — the bit
+            // pattern a full rescan would produce); drop fully-frozen
+            // resources out of the live set.
+            if !frozen.is_empty() {
+                for &i in frozen.iter() {
+                    for &r in &res_idx[res_off[i]..res_off[i + 1]] {
+                        if !dirty[r] {
+                            dirty[r] = true;
+                            dirty_list.push(r);
+                        }
+                    }
+                }
+                for &r in dirty_list.iter() {
+                    dirty[r] = false;
+                    let mut l = 0.0;
+                    for &u in &users_idx[users_off[r]..users_off[r + 1]] {
+                        if is_active[u] {
+                            l += weights[u];
+                        }
+                    }
+                    load[r] = l;
+                }
+                dirty_list.clear();
+                live.retain(|&r| load[r] > 0.0);
+            }
+        }
+        &self.rate
+    }
+}
+
 /// Solve by progressive filling. Returns one rate per flow.
 ///
-/// Preconditions (checked):
+/// Preconditions (checked per call — see [`MaxMinSolver::validate`]):
 /// * resource indices are in range;
 /// * every flow has a finite ceiling or at least one resource (otherwise
 ///   its fair rate would be unbounded);
 /// * capacities and ceilings are non-negative.
 ///
-/// Complexity: O(iterations x (flows + resources)) with at most
-/// `flows + resources` iterations — every round freezes at least one flow
-/// or saturates at least one resource.
+/// One-shot convenience over [`MaxMinSolver`]; hot paths that re-solve
+/// the same flow set should build the solver once and retune it instead.
 pub fn solve_max_min(problem: &MaxMinProblem) -> Vec<f64> {
-    let caps = &problem.capacities;
-    let flows = &problem.flows;
-    for (i, f) in flows.iter().enumerate() {
-        assert!(
-            f.ceiling.is_finite() || !f.resources.is_empty(),
-            "flow {i} is unbounded: no ceiling and no resources"
-        );
-        assert!(f.ceiling >= 0.0, "flow {i} has negative ceiling");
-        assert!(f.weight > 0.0 && f.weight.is_finite(), "flow {i} has non-positive weight");
-        for &r in &f.resources {
-            assert!(r < caps.len(), "flow {i} references resource {r} out of range");
-        }
-    }
-    for (r, &c) in caps.iter().enumerate() {
-        assert!(c >= 0.0, "resource {r} has negative capacity");
-    }
-
-    let nf = flows.len();
-    let nr = caps.len();
-    let mut rate = vec![0.0_f64; nf];
-    let mut active: Vec<bool> = (0..nf).map(|i| flows[i].ceiling > 0.0).collect();
-    let mut remaining: Vec<f64> = caps.clone();
-    // users[r] = number of *active* flows using resource r (refreshed each
-    // round; flow and resource counts are small in our workloads).
-    const EPS: f64 = 1e-12;
-
-    loop {
-        // Weighted user load per resource: each active flow consumes
-        // weight x lambda of every resource it lists (listed twice =
-        // charged twice).
-        let mut load = vec![0.0_f64; nr];
-        for (i, f) in flows.iter().enumerate() {
-            if active[i] {
-                for &r in &f.resources {
-                    load[r] += f.weight;
-                }
-            }
-        }
-        // Fair increment permitted by each saturating constraint.
-        let mut lambda = f64::INFINITY;
-        for r in 0..nr {
-            if load[r] > 0.0 {
-                lambda = lambda.min(remaining[r].max(0.0) / load[r]);
-            }
-        }
-        let mut any_active = false;
-        for i in 0..nf {
-            if active[i] {
-                any_active = true;
-                lambda = lambda.min((flows[i].ceiling - rate[i]) / flows[i].weight);
-            }
-        }
-        if !any_active {
-            break;
-        }
-        debug_assert!(lambda.is_finite(), "some active flow must be bounded");
-        let lambda = lambda.max(0.0);
-
-        // Raise every active flow by weight x lambda and charge resources.
-        for i in 0..nf {
-            if active[i] {
-                rate[i] += lambda * flows[i].weight;
-                for &r in &flows[i].resources {
-                    remaining[r] -= lambda * flows[i].weight;
-                }
-            }
-        }
-        // Freeze flows at ceilings or on saturated resources.
-        let mut frozen_any = false;
-        for i in 0..nf {
-            if !active[i] {
-                continue;
-            }
-            let at_ceiling = rate[i] + EPS >= flows[i].ceiling;
-            let on_saturated = flows[i]
-                .resources
-                .iter()
-                .any(|&r| remaining[r] <= EPS.max(caps[r] * 1e-12));
-            if at_ceiling || on_saturated {
-                active[i] = false;
-                frozen_any = true;
-            }
-        }
-        // Numerical safety: if lambda rounded to zero and nothing froze we
-        // would spin; freeze the most constrained flow explicitly.
-        if !frozen_any && lambda <= EPS {
-            if let Some(i) = (0..nf).find(|&i| active[i]) {
-                active[i] = false;
-            }
-        }
-    }
-    rate
+    let mut solver = MaxMinSolver::from_problem(problem);
+    solver.validate();
+    solver.solve().to_vec()
 }
 
 /// Convenience: the aggregate rate of a solution.
@@ -337,5 +662,82 @@ mod tests {
     #[test]
     fn aggregate_sums() {
         assert_eq!(aggregate(&[1.0, 2.5, 3.5]), 7.0);
+    }
+
+    #[test]
+    fn solver_matches_one_shot_solution() {
+        let p = MaxMinProblem {
+            capacities: vec![10.0, 10.0],
+            flows: vec![
+                FlowSpec::shared(vec![0, 1]),
+                FlowSpec::shared(vec![0]),
+                FlowSpec::capped(vec![1], 3.0),
+            ],
+        };
+        let mut solver = MaxMinSolver::from_problem(&p);
+        solver.validate();
+        assert_eq!(solver.num_flows(), 3);
+        assert_eq!(solver.num_resources(), 2);
+        assert_eq!(solver.solve(), solve_max_min(&p).as_slice());
+    }
+
+    #[test]
+    fn solver_reuse_matches_fresh_solves_bit_for_bit() {
+        let mut p = MaxMinProblem {
+            capacities: vec![12.0, 30.0],
+            flows: vec![
+                FlowSpec::capped(vec![0], 9.0),
+                FlowSpec::shared(vec![0, 1]).weighted(2.0),
+                FlowSpec::capped(vec![1], 25.0),
+            ],
+        };
+        let mut solver = MaxMinSolver::from_problem(&p);
+        solver.validate();
+        // Sweep one flow's ceiling across re-solves; every retuned solve
+        // must equal a from-scratch solve of the retuned problem.
+        for ceiling in [9.0, 4.0, 0.0, 17.5, 0.25] {
+            solver.set_ceiling(0, ceiling);
+            p.flows[0].ceiling = ceiling;
+            assert_eq!(solver.solve(), solve_max_min(&p).as_slice(), "ceiling {ceiling}");
+        }
+    }
+
+    #[test]
+    fn zero_ceiling_deactivates_and_reactivates() {
+        let p = MaxMinProblem {
+            capacities: vec![12.0],
+            flows: vec![FlowSpec::shared(vec![0]), FlowSpec::shared(vec![0])],
+        };
+        let mut solver = MaxMinSolver::from_problem(&p);
+        solver.validate();
+        assert_eq!(solver.solve(), &[6.0, 6.0]);
+        solver.set_ceiling(0, 0.0);
+        assert_eq!(solver.solve(), &[0.0, 12.0], "deactivated flow charges nothing");
+        solver.set_ceiling(0, f64::INFINITY);
+        assert_eq!(solver.solve(), &[6.0, 6.0], "reactivation restores the split");
+        assert_eq!(solver.rates(), &[6.0, 6.0], "rates() reports the last solve");
+    }
+
+    #[test]
+    fn capacity_retune_applies_to_next_solve() {
+        let p = MaxMinProblem {
+            capacities: vec![10.0],
+            flows: vec![FlowSpec::shared(vec![0])],
+        };
+        let mut solver = MaxMinSolver::from_problem(&p);
+        solver.validate();
+        assert_eq!(solver.solve(), &[10.0]);
+        solver.set_capacity(0, 4.0);
+        assert_eq!(solver.solve(), &[4.0]);
+        assert_eq!(solver.ceiling(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn solver_rates_are_zero_before_first_solve() {
+        let solver = MaxMinSolver::from_problem(&MaxMinProblem {
+            capacities: vec![5.0],
+            flows: vec![FlowSpec::shared(vec![0])],
+        });
+        assert_eq!(solver.rates(), &[0.0]);
     }
 }

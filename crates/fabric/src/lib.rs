@@ -47,7 +47,7 @@ pub mod fabric;
 pub mod latency;
 pub mod traffic;
 
-pub use allocator::{solve_max_min, FlowSpec, MaxMinProblem};
+pub use allocator::{solve_max_min, FlowSpec, MaxMinProblem, MaxMinSolver};
 pub use fabric::{Fabric, FabricBuilder, PioModel};
 
 pub use latency::{numa_factor, LatencyModel};

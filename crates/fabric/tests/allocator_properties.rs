@@ -1,6 +1,6 @@
 //! Property-based tests for the max-min fair allocator.
 
-use numa_fabric::{solve_max_min, FlowSpec, MaxMinProblem};
+use numa_fabric::{solve_max_min, FlowSpec, MaxMinProblem, MaxMinSolver};
 use proptest::prelude::*;
 
 fn arb_problem() -> impl Strategy<Value = MaxMinProblem> {
@@ -15,6 +15,95 @@ fn arb_problem() -> impl Strategy<Value = MaxMinProblem> {
         proptest::collection::vec(flow, 0..10)
             .prop_map(move |flows| MaxMinProblem { capacities: capacities.clone(), flows })
     })
+}
+
+/// Larger instances for pinning the incremental solver against the
+/// reference: up to 64 flows, mixed weights, duplicate resource listings
+/// allowed (sampling with replacement), zero-capacity resources possible.
+fn arb_problem_rich() -> impl Strategy<Value = MaxMinProblem> {
+    let caps = proptest::collection::vec(prop_oneof![Just(0.0f64), 0.1f64..100.0], 1..10);
+    caps.prop_flat_map(|capacities| {
+        let nr = capacities.len();
+        let flow = (
+            proptest::collection::vec(0..nr, 1..=nr.min(5)),
+            prop_oneof![Just(f64::INFINITY), Just(0.0f64), (0.1f64..60.0)],
+            0.25f64..4.25,
+        )
+            .prop_map(|(resources, ceiling, weight)| FlowSpec { resources, ceiling, weight });
+        proptest::collection::vec(flow, 0..64)
+            .prop_map(move |flows| MaxMinProblem { capacities: capacities.clone(), flows })
+    })
+}
+
+/// The historical one-shot progressive-filling implementation, verbatim —
+/// the ground truth the incremental [`MaxMinSolver`] must reproduce
+/// bit-for-bit.
+fn reference_solve(problem: &MaxMinProblem) -> Vec<f64> {
+    let caps = &problem.capacities;
+    let flows = &problem.flows;
+    let nf = flows.len();
+    let nr = caps.len();
+    let mut rate = vec![0.0_f64; nf];
+    let mut active: Vec<bool> = (0..nf).map(|i| flows[i].ceiling > 0.0).collect();
+    let mut remaining: Vec<f64> = caps.clone();
+    const EPS: f64 = 1e-12;
+
+    loop {
+        let mut load = vec![0.0_f64; nr];
+        for (i, f) in flows.iter().enumerate() {
+            if active[i] {
+                for &r in &f.resources {
+                    load[r] += f.weight;
+                }
+            }
+        }
+        let mut lambda = f64::INFINITY;
+        for r in 0..nr {
+            if load[r] > 0.0 {
+                lambda = lambda.min(remaining[r].max(0.0) / load[r]);
+            }
+        }
+        let mut any_active = false;
+        for i in 0..nf {
+            if active[i] {
+                any_active = true;
+                lambda = lambda.min((flows[i].ceiling - rate[i]) / flows[i].weight);
+            }
+        }
+        if !any_active {
+            break;
+        }
+        let lambda = lambda.max(0.0);
+        for i in 0..nf {
+            if active[i] {
+                rate[i] += lambda * flows[i].weight;
+                for &r in &flows[i].resources {
+                    remaining[r] -= lambda * flows[i].weight;
+                }
+            }
+        }
+        let mut frozen_any = false;
+        for i in 0..nf {
+            if !active[i] {
+                continue;
+            }
+            let at_ceiling = rate[i] + EPS >= flows[i].ceiling;
+            let on_saturated = flows[i]
+                .resources
+                .iter()
+                .any(|&r| remaining[r] <= EPS.max(caps[r] * 1e-12));
+            if at_ceiling || on_saturated {
+                active[i] = false;
+                frozen_any = true;
+            }
+        }
+        if !frozen_any && lambda <= EPS {
+            if let Some(i) = (0..nf).find(|&i| active[i]) {
+                active[i] = false;
+            }
+        }
+    }
+    rate
 }
 
 const EPS: f64 = 1e-6;
@@ -132,6 +221,88 @@ proptest! {
         prop_assert!((total - cap).abs() < 1e-4, "work conservation: {total} vs {cap}");
         for ((ra, wa), (rb, wb)) in rates.iter().zip(&weights).zip(rates.iter().zip(&weights)) {
             prop_assert!((ra * wb - rb * wa).abs() < 1e-4, "proportionality violated");
+        }
+    }
+
+    #[test]
+    fn incremental_solver_matches_reference_bit_for_bit(p in arb_problem_rich()) {
+        // The rewritten solver must perform the same floating-point
+        // operations in the same order as progressive filling — not just
+        // "close", the identical bit pattern per rate.
+        let want = reference_solve(&p);
+        let got = solve_max_min(&p);
+        prop_assert_eq!(want.len(), got.len());
+        for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+            prop_assert!(
+                a.to_bits() == b.to_bits(),
+                "flow {}: reference {:?} != solver {:?}", i, a, b
+            );
+        }
+    }
+
+    #[test]
+    fn solver_reuse_is_bit_identical_across_ceiling_retunes(
+        p in arb_problem_rich(),
+        retunes in proptest::collection::vec(
+            (any::<prop::sample::Index>(),
+             prop_oneof![Just(0.0f64), Just(f64::INFINITY), (0.1f64..50.0)]),
+            0..24,
+        ),
+    ) {
+        prop_assume!(!p.flows.is_empty());
+        let mut solver = MaxMinSolver::from_problem(&p);
+        solver.validate();
+        let mut q = p.clone();
+        // First solve, then retune ceilings a few at a time: every reused
+        // solve must equal a from-scratch reference solve of the retuned
+        // problem, bit for bit (scratch state cannot leak across solves).
+        for chunk in std::iter::once(&[][..]).chain(retunes.chunks(6)) {
+            for (idx, ceiling) in chunk {
+                let i = idx.index(q.flows.len());
+                // Keep the allocator's invariant: a flow with no
+                // resources must keep a finite ceiling.
+                if q.flows[i].resources.is_empty() && !ceiling.is_finite() {
+                    continue;
+                }
+                q.flows[i].ceiling = *ceiling;
+                solver.set_ceiling(i, *ceiling);
+            }
+            let want = reference_solve(&q);
+            let got = solver.solve();
+            for (i, (a, b)) in want.iter().zip(got).enumerate() {
+                prop_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "flow {}: fresh {:?} != reused {:?}", i, a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rich_solutions_are_feasible_and_pareto_blocked(p in arb_problem_rich()) {
+        let rates = solve_max_min(&p);
+        // Duplicate listings charge per listing, so usage accumulates per
+        // listing too.
+        let mut used = vec![0.0; p.capacities.len()];
+        for (f, &rate) in p.flows.iter().zip(&rates) {
+            prop_assert!(rate >= 0.0);
+            prop_assert!(rate <= f.ceiling + EPS, "rate {} above ceiling {}", rate, f.ceiling);
+            for &r in &f.resources {
+                used[r] += rate;
+            }
+        }
+        for (r, (&u, &c)) in used.iter().zip(&p.capacities).enumerate() {
+            prop_assert!(u <= c + EPS, "resource {}: used {} > cap {}", r, u, c);
+        }
+        // Pareto: no flow can be raised without lowering another — each
+        // sits at its ceiling or crosses a saturated resource.
+        for (i, (f, &rate)) in p.flows.iter().zip(&rates).enumerate() {
+            let at_ceiling = rate + 1e-4 >= f.ceiling;
+            let saturated = f
+                .resources
+                .iter()
+                .any(|&r| used[r] + 1e-4 >= p.capacities[r]);
+            prop_assert!(at_ceiling || saturated, "flow {} unblocked at {}", i, rate);
         }
     }
 

@@ -23,6 +23,12 @@ pub struct SweepPoint {
 /// Jitter seeds mix in the node and stream count so that contention noise
 /// differs across configurations (the paper: with 8–16 streams "sometimes
 /// the performance of node 5 appears to be the best").
+///
+/// Grid points run in parallel ([`numa_par::map_indexed`]) — every point
+/// is seeded purely from `(base_seed, node, streams)`, so the output is
+/// byte-identical to the historical serial row-major loop, including
+/// which error surfaces when several points fail (the first in row-major
+/// order).
 pub fn sweep(
     fabric: &Fabric,
     workload: &Workload,
@@ -31,36 +37,37 @@ pub fn sweep(
     size_gbytes: f64,
     base_seed: u64,
 ) -> Result<Vec<SweepPoint>, FioError> {
-    let mut points = Vec::with_capacity(nodes.len() * stream_counts.len());
-    for &node in nodes {
-        for &streams in stream_counts {
-            let mut job = match workload {
-                Workload::Nic(op) => JobSpec::nic(*op, node),
-                Workload::Ssd { write, engine, direct } => {
-                    let mut j = JobSpec::ssd(*write, node);
-                    j.workload =
-                        Workload::Ssd { write: *write, engine: *engine, direct: *direct };
-                    j
-                }
+    let grid: Vec<(NodeId, u32)> = nodes
+        .iter()
+        .flat_map(|&node| stream_counts.iter().map(move |&streams| (node, streams)))
+        .collect();
+    let points = numa_par::map_indexed(grid.len(), |k| {
+        let (node, streams) = grid[k];
+        let mut job = match workload {
+            Workload::Nic(op) => JobSpec::nic(*op, node),
+            Workload::Ssd { write, engine, direct } => {
+                let mut j = JobSpec::ssd(*write, node);
+                j.workload = Workload::Ssd { write: *write, engine: *engine, direct: *direct };
+                j
             }
-            .numjobs(streams)
-            .size_gbytes(size_gbytes);
-            // Contention noise beyond the per-node core count, mild
-            // measurement noise below it.
-            let cores = fabric.topology().node(node).cores;
-            let seed = base_seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add((u64::from(node.0) << 8) | u64::from(streams));
-            job = job.jitter(if streams > cores {
-                JitterCfg::contention(seed)
-            } else {
-                JitterCfg::measurement(seed)
-            });
-            let report = run_jobs(fabric, &[job])?;
-            points.push(SweepPoint { node, streams, aggregate_gbps: report.aggregate_gbps });
         }
-    }
-    Ok(points)
+        .numjobs(streams)
+        .size_gbytes(size_gbytes);
+        // Contention noise beyond the per-node core count, mild
+        // measurement noise below it.
+        let cores = fabric.topology().node(node).cores;
+        let seed = base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((u64::from(node.0) << 8) | u64::from(streams));
+        job = job.jitter(if streams > cores {
+            JitterCfg::contention(seed)
+        } else {
+            JitterCfg::measurement(seed)
+        });
+        let report = run_jobs(fabric, &[job])?;
+        Ok(SweepPoint { node, streams, aggregate_gbps: report.aggregate_gbps })
+    });
+    points.into_iter().collect()
 }
 
 /// Extract one node's curve from sweep output (ordered by stream count).
