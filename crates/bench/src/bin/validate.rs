@@ -161,6 +161,33 @@ fn main() {
             }
             Ok(format!("{:.0}% receiver-side loss", loss * 100.0))
         }),
+        check("§IV: injected faults reorder Table IV classes, deterministically", || {
+            use numa_faults::{degraded_platform, run_demo, FaultKind};
+            let faults = [
+                FaultKind::LinkDegrade { from: 6, to: 7, factor: 0.25 },
+                FaultKind::IrqStorm { node: 7, intensity: 0.5 },
+            ];
+            let degraded = degraded_platform(&platform, &faults).map_err(|e| e.to_string())?;
+            let faulted =
+                IoModeler::new().characterize(&degraded, NodeId(7), TransferMode::Write);
+            if faulted.class_of(NodeId(6)) == 0 {
+                return Err("node 6 kept its top class under a 6->7 throttle".into());
+            }
+            let d = numio_core::diff_models(&write_model, &faulted).map_err(|e| e.to_string())?;
+            if d.is_stable(0.05) {
+                return Err("drift monitor missed the fault".into());
+            }
+            let a = run_demo(fabric, 42, None).map_err(|e| e.to_string())?;
+            let b = run_demo(fabric, 42, None).map_err(|e| e.to_string())?;
+            if a.render() != b.render() {
+                return Err("fault demo is not deterministic".into());
+            }
+            Ok(format!(
+                "node 6: class 0 -> {}, max drift {:.0}%",
+                faulted.class_of(NodeId(6)),
+                d.max_rel_delta * 100.0
+            ))
+        }),
     ];
 
     let mut failed = 0;

@@ -15,6 +15,10 @@
 //! iomodel sweep       --op tcp_send [--streams 1,2,4,8,16] [--size GB]
 //! iomodel host        [--nodes N] [--reps N]
 //! iomodel numastat
+//! iomodel run         --jobfile job.fio [--faults plan.json]
+//! iomodel faults      demo [--seed N] [--check]
+//! iomodel faults      validate --plan plan.json
+//! iomodel faults      run --plan plan.json
 //! ```
 //!
 //! Every subcommand additionally accepts the global observability flags:
@@ -73,10 +77,14 @@ pub fn run_observed(args: &[String], obs: &numa_obs::Obs) -> Result<String, Stri
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(usage)?;
     let rest: Vec<String> = it.cloned().collect();
-    let opts = Opts::parse(&rest)?;
     obs.counter("numio_cli_invocations_total", &[("cmd", cmd.as_str())]).inc();
     obs.event("cli_invoked", 0.0, &[("cmd", cmd.as_str().into())]);
     let _span = obs.span("cli.command");
+    if cmd == "faults" {
+        // `faults` takes a positional action before the --key options.
+        return cmd_faults(&rest, obs);
+    }
+    let opts = Opts::parse(&rest)?;
     match cmd.as_str() {
         "topo" => cmd_topo(&opts),
         "stream" => cmd_stream(&opts),
@@ -141,7 +149,9 @@ fn extract_global(
 }
 
 fn usage() -> String {
-    "usage: iomodel <topo|stream|characterize|classes|predict|advise|sweep|host|numastat|numademo|run|diff|sched|latency|netpath|probe|emit-script|import|atlas|sysfs> [options]\n\
+    "usage: iomodel <topo|stream|characterize|classes|predict|advise|sweep|host|numastat|numademo|run|diff|sched|faults|latency|netpath|probe|emit-script|import|atlas|sysfs> [options]\n\
+     faults: iomodel faults demo [--seed N] [--check] | validate --plan p.json | run --plan p.json\n\
+     run:    iomodel run --jobfile job.fio [--faults plan.json]\n\
      global flags: --trace <path> (JSONL events)  --metrics <path> (Prometheus snapshot)  --profile (wall-clock spans)\n\
      run `iomodel help` for the full option list (see crate docs)"
         .to_string()
@@ -595,6 +605,66 @@ fn cmd_numademo(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parse a fault plan JSON file into a validated [`numa_faults::FaultPlan`].
+fn load_fault_plan(path: &str) -> Result<numa_faults::FaultPlan, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    numa_faults::FaultPlan::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `iomodel faults <demo|validate|run>` — the fault-injection subsystem.
+///
+/// * `demo [--seed N] [--check]` — run the canonical seeded scenario
+///   (link throttle on the 6->7 hop plus an IRQ storm on node 7) against
+///   the Table IV workload; `--check` asserts the run degrades and is
+///   deterministic, printing one OK line (the CI smoke test).
+/// * `validate --plan p.json` — parse and validate a plan file.
+/// * `run --plan p.json [--seed N]` — run an explicit plan file against
+///   the demo workload.
+fn cmd_faults(args: &[String], obs: &numa_obs::Obs) -> Result<String, String> {
+    let (action, rest) = match args.first() {
+        Some(a) if !a.starts_with("--") => (a.as_str(), &args[1..]),
+        _ => ("demo", args),
+    };
+    let opts = Opts::parse(rest)?;
+    let fabric = dl585_fabric();
+    match action {
+        "demo" => {
+            let seed: u64 = opts.num("seed", 42)?;
+            let report =
+                numa_faults::run_demo(&fabric, seed, Some(obs)).map_err(|e| e.to_string())?;
+            if opts.flag("check") {
+                let again =
+                    numa_faults::run_demo(&fabric, seed, None).map_err(|e| e.to_string())?;
+                if again.render() != report.render() {
+                    return Err("fault demo is not deterministic across runs".into());
+                }
+                if report.degradation() <= 0.0 {
+                    return Err("fault demo produced no degradation".into());
+                }
+                Ok(format!(
+                    "fault demo OK: seed {seed}, {:.1}% aggregate degradation, deterministic\n",
+                    100.0 * report.degradation()
+                ))
+            } else {
+                Ok(report.render())
+            }
+        }
+        "validate" => {
+            let path = opts.get("plan").ok_or("--plan <plan.json> required")?;
+            let plan = load_fault_plan(path)?;
+            Ok(format!("{path}: OK ({} faults, seed {})\n", plan.faults.len(), plan.seed))
+        }
+        "run" => {
+            let path = opts.get("plan").ok_or("--plan <plan.json> required")?;
+            let plan = load_fault_plan(path)?;
+            let report =
+                numa_faults::run_plan(&fabric, &plan, Some(obs)).map_err(|e| e.to_string())?;
+            Ok(report.render())
+        }
+        other => Err(format!("faults: unknown action '{other}' (want demo|validate|run)")),
+    }
+}
+
 fn cmd_run(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, String> {
     let path = opts.get("jobfile").ok_or("--jobfile <path> required")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -604,7 +674,20 @@ fn cmd_run(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, String> {
     }
     let jobs: Vec<numa_fio::JobSpec> = named.iter().map(|(_, j)| j.clone()).collect();
     let fabric = dl585_fabric();
-    let report = numa_fio::run_jobs_observed(&fabric, &jobs, obs).map_err(|e| e.to_string())?;
+    let report = if let Some(plan_path) = opts.get("faults") {
+        // Arm the fault plan between lowering and running, then fold the
+        // raw simulator output into the standard per-job report.
+        let plan = load_fault_plan(plan_path)?;
+        let (sim, flow_job) = numa_fio::build_sim(&fabric, &jobs).map_err(|e| e.to_string())?;
+        let mut sim = sim.with_obs(obs.clone());
+        numa_faults::FaultInjector::new(plan)
+            .arm(&mut sim, &fabric)
+            .map_err(|e| e.to_string())?;
+        let raw = sim.run().map_err(|e| e.to_string())?;
+        numa_fio::assemble_report(&jobs, raw, &flow_job)
+    } else {
+        numa_fio::run_jobs_observed(&fabric, &jobs, obs).map_err(|e| e.to_string())?
+    };
     let mut out = String::new();
     for ((name, _), jr) in named.iter().zip(&report.jobs) {
         let _ = writeln!(
@@ -1023,6 +1106,83 @@ mod tests {
         assert!(out.contains("17.0"), "node 3 class level: {out}");
         assert!(run_str(&["run", "--jobfile", "/no/such/file"]).is_err());
         assert!(run_str(&["run"]).is_err());
+    }
+
+    #[test]
+    fn faults_demo_renders_and_is_deterministic() {
+        let a = run_str(&["faults", "demo", "--seed", "11"]).unwrap();
+        let b = run_str(&["faults", "demo", "--seed", "11"]).unwrap();
+        assert_eq!(a, b, "seeded demo must render bit-identically");
+        assert!(a.contains("fault plan (seed 11)"), "{a}");
+        assert!(a.contains("BASELINE"));
+        assert!(a.contains("FAULTED"));
+        assert!(a.contains("degradation:"));
+        // Bare `faults` defaults to the demo action.
+        assert!(run_str(&["faults", "--seed", "11"]).unwrap().contains("FAULTED"));
+    }
+
+    #[test]
+    fn faults_demo_check_is_the_smoke_test() {
+        let out = run_str(&["faults", "demo", "--check"]).unwrap();
+        assert!(out.contains("fault demo OK"), "{out}");
+        assert!(out.contains("deterministic"), "{out}");
+    }
+
+    #[test]
+    fn faults_validate_and_run_accept_a_plan_file() {
+        let dir = std::env::temp_dir().join("numio-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.json");
+        std::fs::write(&path, numa_faults::FaultPlan::demo(5).to_json()).unwrap();
+        let ok = run_str(&["faults", "validate", "--plan", path.to_str().unwrap()]).unwrap();
+        assert!(ok.contains("OK (2 faults, seed 5)"), "{ok}");
+        let run = run_str(&["faults", "run", "--plan", path.to_str().unwrap()]).unwrap();
+        assert!(run.contains("degradation:"), "{run}");
+        // Malformed plan files are reported with the offending path.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"seed\": 1, \"faults\": [{\"kind\": \"gremlins\"}]}").unwrap();
+        let e = run_str(&["faults", "validate", "--plan", bad.to_str().unwrap()]).unwrap_err();
+        assert!(e.contains("malformed fault plan"), "{e}");
+        assert!(run_str(&["faults", "validate"]).is_err());
+        assert!(run_str(&["faults", "sabotage"]).is_err());
+    }
+
+    #[test]
+    fn run_with_faults_degrades_the_jobfile_total() {
+        let dir = std::env::temp_dir().join("numio-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let job = dir.join("faulted.fio");
+        std::fs::write(&job, "[j]\nioengine=rdma\nverb=write\ncpunodebind=6\nsize=4g\n")
+            .unwrap();
+        let plan = dir.join("halve.json");
+        std::fs::write(
+            &plan,
+            "{\"seed\": 0, \"faults\": [{\"kind\": \"link_degrade\", \"from\": 6, \"to\": 7, \"factor\": 0.1, \"start_s\": 0.0}]}",
+        )
+        .unwrap();
+        let healthy = run_str(&["run", "--jobfile", job.to_str().unwrap()]).unwrap();
+        let faulted = run_str(&[
+            "run",
+            "--jobfile",
+            job.to_str().unwrap(),
+            "--faults",
+            plan.to_str().unwrap(),
+        ])
+        .unwrap();
+        let total = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.starts_with("TOTAL:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            total(&faulted) < total(&healthy) * 0.5,
+            "faulted {faulted} vs healthy {healthy}"
+        );
+        assert!(run_str(&["run", "--jobfile", job.to_str().unwrap(), "--faults", "/no/plan"])
+            .is_err());
     }
 
     #[test]

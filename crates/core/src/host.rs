@@ -45,7 +45,7 @@ impl Platform for HostPlatform {
     }
 
     fn run_copy(&self, spec: &CopySpec) -> Vec<f64> {
-        spec.validate();
+        spec.validate().unwrap_or_else(|e| panic!("{e}"));
         let bytes = spec.bytes_per_thread as usize;
         let threads = spec.threads as usize;
         // One source/sink pair per worker, touched once to fault pages in.

@@ -60,6 +60,6 @@ pub use drift::{diff as diff_models, DiffError, ModelDiff};
 pub use host::HostPlatform;
 pub use model::{IoPerfModel, PerfClass, TransferMode};
 pub use modeler::IoModeler;
-pub use platform::{CopySpec, Platform, SimPlatform};
+pub use platform::{CopySpec, Platform, PlatformError, SimPlatform};
 pub use predict::{predict_aggregate, predict_for_mix, relative_error, WorkloadMix};
 pub use report::{render_comparison_table, render_model};

@@ -106,11 +106,17 @@ impl IoPerfModel {
     }
 
     /// Class index (0 = best) of a node.
+    ///
+    /// Panics for nodes outside the model; [`Self::try_class_of`] is the
+    /// fallible form for externally supplied node ids.
     pub fn class_of(&self, node: NodeId) -> usize {
-        self.classes
-            .iter()
-            .position(|c| c.contains(node))
-            .expect("classes partition the nodes")
+        self.try_class_of(node).expect("classes partition the nodes")
+    }
+
+    /// Class index (0 = best) of a node, or `None` if the node is not
+    /// covered by this model.
+    pub fn try_class_of(&self, node: NodeId) -> Option<usize> {
+        self.classes.iter().position(|c| c.contains(node))
     }
 
     /// One representative node per class — the reduced probe set that cuts
@@ -175,6 +181,8 @@ mod tests {
         assert_eq!(m.representatives(), vec![NodeId(3), NodeId(0), NodeId(2)]);
         assert!((m.probe_savings() - 0.25).abs() < 1e-12);
         assert_eq!(m.means(), vec![40.0, 41.0, 26.0, 50.0]);
+        assert_eq!(m.try_class_of(NodeId(2)), Some(2));
+        assert_eq!(m.try_class_of(NodeId(9)), None, "foreign node is not a panic");
     }
 
     #[test]

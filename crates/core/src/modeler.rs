@@ -2,7 +2,7 @@
 
 use crate::classify::{classify, ClassifyParams};
 use crate::model::{IoPerfModel, TransferMode};
-use crate::platform::{CopySpec, Platform};
+use crate::platform::{CopySpec, Platform, PlatformError};
 use numa_engine::Summary;
 use numa_topology::{NodeId, Topology};
 
@@ -59,6 +59,9 @@ impl IoModeler {
 
     /// Characterize `target` in one direction. Needs the topology for the
     /// local+neighbour class rule.
+    ///
+    /// Panics on a target/topology mismatch; prefer
+    /// [`Self::try_characterize_with_topo`] when those come from user input.
     pub fn characterize_with_topo<P: Platform>(
         &self,
         platform: &P,
@@ -67,6 +70,18 @@ impl IoModeler {
         mode: TransferMode,
     ) -> IoPerfModel {
         self.characterize_inner(platform, topo, target, mode, None)
+    }
+
+    /// Fallible [`Self::characterize_with_topo`]: a bad target node or a
+    /// platform/topology size mismatch comes back as a typed error.
+    pub fn try_characterize_with_topo<P: Platform>(
+        &self,
+        platform: &P,
+        topo: &Topology,
+        target: NodeId,
+        mode: TransferMode,
+    ) -> Result<IoPerfModel, PlatformError> {
+        self.try_characterize_inner(platform, topo, target, mode, None)
     }
 
     /// [`Self::characterize_with_topo`], recording per-rep bandwidth
@@ -91,9 +106,28 @@ impl IoModeler {
         mode: TransferMode,
         obs: Option<&numa_obs::Obs>,
     ) -> IoPerfModel {
+        self.try_characterize_inner(platform, topo, target, mode, obs)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_characterize_inner<P: Platform>(
+        &self,
+        platform: &P,
+        topo: &Topology,
+        target: NodeId,
+        mode: TransferMode,
+        obs: Option<&numa_obs::Obs>,
+    ) -> Result<IoPerfModel, PlatformError> {
         let n = platform.num_nodes();
-        assert_eq!(n, topo.num_nodes(), "platform and topology disagree on node count");
-        assert!(target.index() < n, "target out of range");
+        if n != topo.num_nodes() {
+            return Err(PlatformError::NodeCountMismatch {
+                platform: n,
+                topology: topo.num_nodes(),
+            });
+        }
+        if target.index() >= n {
+            return Err(PlatformError::NodeOutOfRange { node: target, nodes: n });
+        }
         let m = self.threads.unwrap_or_else(|| platform.cores_per_node(target));
         let _span = obs.map(|o| o.span("modeler.characterize"));
         let mode_label = match mode {
@@ -164,7 +198,7 @@ impl IoModeler {
         }
         let means: Vec<f64> = per_node.iter().map(|s| s.mean).collect();
         let classes = classify(topo, target, &means, self.classify);
-        IoPerfModel::new(target, mode, per_node, classes, platform.label())
+        Ok(IoPerfModel::new(target, mode, per_node, classes, platform.label()))
     }
 
     /// Characterize on a [`crate::SimPlatform`] (topology comes with it).
@@ -175,6 +209,16 @@ impl IoModeler {
         mode: TransferMode,
     ) -> IoPerfModel {
         self.characterize_with_topo(platform, platform.fabric().topology(), target, mode)
+    }
+
+    /// Fallible [`Self::characterize`].
+    pub fn try_characterize(
+        &self,
+        platform: &crate::platform::SimPlatform,
+        target: NodeId,
+        mode: TransferMode,
+    ) -> Result<IoPerfModel, PlatformError> {
+        self.try_characterize_with_topo(platform, platform.fabric().topology(), target, mode)
     }
 
     /// Characterize both directions of every I/O node the platform knows
@@ -352,5 +396,33 @@ mod tests {
     fn bad_target_rejected() {
         let p = SimPlatform::dl585();
         let _ = IoModeler::new().characterize(&p, NodeId(99), TransferMode::Write);
+    }
+
+    #[test]
+    fn try_characterize_reports_typed_errors() {
+        use crate::platform::PlatformError;
+        let p = SimPlatform::dl585();
+        let err = IoModeler::new()
+            .try_characterize(&p, NodeId(99), TransferMode::Write)
+            .unwrap_err();
+        assert_eq!(err, PlatformError::NodeOutOfRange { node: NodeId(99), nodes: 8 });
+        // Mismatched topology: pair the 8-node platform with a 2-node topo.
+        let mut b = numa_topology::Topology::builder("tiny");
+        let n0 = b.node(
+            numa_topology::NodeSpec::magny_cours(numa_topology::PackageId(0)).with_os_home(),
+        );
+        let n1 = b.node(numa_topology::NodeSpec::magny_cours(numa_topology::PackageId(0)));
+        b.link(n0, n1, numa_topology::HtWidth::W16);
+        let small = b.build().unwrap();
+        let err = IoModeler::new()
+            .try_characterize_with_topo(&p, &small, NodeId(0), TransferMode::Write)
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::NodeCountMismatch { platform: 8, topology: 2 }));
+        // The happy path agrees with the panicking one.
+        let ok = IoModeler::new()
+            .reps(3)
+            .try_characterize(&p, NodeId(7), TransferMode::Write)
+            .unwrap();
+        assert_eq!(ok, IoModeler::new().reps(3).characterize(&p, NodeId(7), TransferMode::Write));
     }
 }

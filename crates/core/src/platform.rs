@@ -31,13 +31,70 @@ pub struct CopySpec {
 }
 
 impl CopySpec {
-    /// Sanity-check the spec.
-    pub fn validate(&self) {
-        assert!(self.threads >= 1, "at least one copy thread");
-        assert!(self.reps >= 1, "at least one repetition");
-        assert!(self.bytes_per_thread > 0, "buffers must be non-empty");
+    /// Sanity-check the spec. Returns an error instead of panicking so
+    /// callers driven by user input (job files, fault plans, the CLI) can
+    /// surface the problem; the legacy panicking entry points funnel
+    /// through this and preserve their historical messages.
+    pub fn validate(&self) -> Result<(), PlatformError> {
+        if self.threads < 1 {
+            return Err(PlatformError::ZeroThreads);
+        }
+        if self.reps < 1 {
+            return Err(PlatformError::ZeroReps);
+        }
+        if self.bytes_per_thread == 0 {
+            return Err(PlatformError::EmptyBuffer);
+        }
+        Ok(())
     }
 }
+
+/// Invalid probe requests against a [`Platform`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// `threads == 0`.
+    ZeroThreads,
+    /// `reps == 0`.
+    ZeroReps,
+    /// `bytes_per_thread == 0`.
+    EmptyBuffer,
+    /// A spec references a node the platform does not have.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes actually present.
+        nodes: usize,
+    },
+    /// A platform was paired with a topology of a different size.
+    NodeCountMismatch {
+        /// Nodes the platform reports.
+        platform: usize,
+        /// Nodes the topology has.
+        topology: usize,
+    },
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The wording of the first four variants is load-bearing: the
+        // panicking wrappers format this Display, and downstream
+        // `#[should_panic(expected = ...)]` contracts match on it.
+        match self {
+            PlatformError::ZeroThreads => write!(f, "at least one copy thread"),
+            PlatformError::ZeroReps => write!(f, "at least one repetition"),
+            PlatformError::EmptyBuffer => write!(f, "buffers must be non-empty"),
+            PlatformError::NodeOutOfRange { node, nodes } => {
+                write!(f, "target out of range: {node:?} on a {nodes}-node platform")
+            }
+            PlatformError::NodeCountMismatch { platform, topology } => write!(
+                f,
+                "platform and topology disagree on node count ({platform} vs {topology})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
 
 /// Anything the modeler can probe: the simulator, a real host, or (on a
 /// real NUMA machine, outside this repo's scope) `libnuma`-pinned threads.
@@ -54,7 +111,23 @@ pub trait Platform: Sync {
 
     /// Execute a probe, returning one aggregate bandwidth sample (Gbit/s)
     /// per repetition.
+    ///
+    /// Panics on an invalid spec; use [`try_run_copy`](Self::try_run_copy)
+    /// when the spec comes from user input.
     fn run_copy(&self, spec: &CopySpec) -> Vec<f64>;
+
+    /// Fallible [`run_copy`](Self::run_copy): validates the spec (and, for
+    /// platforms that can tell, its node references) before probing.
+    fn try_run_copy(&self, spec: &CopySpec) -> Result<Vec<f64>, PlatformError> {
+        spec.validate()?;
+        let nodes = self.num_nodes();
+        for node in [spec.bind, spec.src, spec.dst] {
+            if node.index() >= nodes {
+                return Err(PlatformError::NodeOutOfRange { node, nodes });
+            }
+        }
+        Ok(self.run_copy(spec))
+    }
 
     /// May the modeler run several [`run_copy`](Self::run_copy) probes
     /// concurrently? Opt-in: only platforms whose probes are pure
@@ -109,6 +182,20 @@ impl SimPlatform {
         self.noise = 0.0;
         self
     }
+
+    /// Validate a probe spec against this platform: structural sanity
+    /// (threads, reps, buffer size) plus node-range checks against the
+    /// wrapped fabric.
+    pub fn validate(&self, spec: &CopySpec) -> Result<(), PlatformError> {
+        spec.validate()?;
+        let nodes = self.fabric.num_nodes();
+        for node in [spec.bind, spec.src, spec.dst] {
+            if node.index() >= nodes {
+                return Err(PlatformError::NodeOutOfRange { node, nodes });
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Platform for SimPlatform {
@@ -121,7 +208,7 @@ impl Platform for SimPlatform {
     }
 
     fn run_copy(&self, spec: &CopySpec) -> Vec<f64> {
-        spec.validate();
+        self.validate(spec).unwrap_or_else(|e| panic!("{e}"));
         // Pinned copy threads emulate a DMA engine at `bind`: with a full
         // complement of threads the transfer runs at the DMA min-cut of the
         // src->dst route; undersubscribed probes scale down.
@@ -251,6 +338,53 @@ mod tests {
             assert!((s - 45.0).abs() <= 45.0 * 0.021, "{s}");
         }
         assert!(a.iter().any(|&s| (s - 45.0).abs() > 1e-6), "noise present");
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        let p = SimPlatform::dl585();
+        let good = CopySpec {
+            bind: NodeId(0),
+            src: NodeId(0),
+            dst: NodeId(7),
+            threads: 4,
+            bytes_per_thread: 1 << 20,
+            reps: 1,
+        };
+        assert_eq!(p.validate(&good), Ok(()));
+        assert_eq!(
+            p.validate(&CopySpec { threads: 0, ..good }),
+            Err(PlatformError::ZeroThreads)
+        );
+        assert_eq!(
+            p.validate(&CopySpec { reps: 0, ..good }),
+            Err(PlatformError::ZeroReps)
+        );
+        assert_eq!(
+            p.validate(&CopySpec { bytes_per_thread: 0, ..good }),
+            Err(PlatformError::EmptyBuffer)
+        );
+        let bad = p.validate(&CopySpec { dst: NodeId(42), ..good }).unwrap_err();
+        assert_eq!(bad, PlatformError::NodeOutOfRange { node: NodeId(42), nodes: 8 });
+        assert!(bad.to_string().contains("target out of range"), "{bad}");
+    }
+
+    #[test]
+    fn try_run_copy_matches_run_copy_and_rejects_bad_specs() {
+        let p = SimPlatform::dl585();
+        let spec = CopySpec {
+            bind: NodeId(7),
+            src: NodeId(3),
+            dst: NodeId(7),
+            threads: 4,
+            bytes_per_thread: 1 << 20,
+            reps: 3,
+        };
+        assert_eq!(p.try_run_copy(&spec).unwrap(), p.run_copy(&spec));
+        assert_eq!(
+            p.try_run_copy(&CopySpec { src: NodeId(99), ..spec }),
+            Err(PlatformError::NodeOutOfRange { node: NodeId(99), nodes: 8 })
+        );
     }
 
     #[test]

@@ -80,6 +80,19 @@ impl SimReport {
     }
 }
 
+/// A capacity change applied to one resource at a fixed simulation time —
+/// the mechanism behind fault injection (link throttles, IRQ storms,
+/// device stalls) and healing.
+#[derive(Debug, Clone)]
+struct CapEvent {
+    at_s: f64,
+    h: ResourceHandle,
+    cap: f64,
+    /// Event name emitted through the obs handle when the change fires
+    /// (e.g. `fault_injected` / `fault_healed`).
+    tag: String,
+}
+
 /// A configured simulation over one fabric.
 #[derive(Debug, Clone)]
 pub struct Simulation<'f> {
@@ -88,6 +101,7 @@ pub struct Simulation<'f> {
     flows: Vec<FlowSpec>,
     jitter: JitterCfg,
     obs: Option<numa_obs::Obs>,
+    cap_events: Vec<CapEvent>,
 }
 
 impl<'f> Simulation<'f> {
@@ -99,6 +113,7 @@ impl<'f> Simulation<'f> {
             flows: Vec::new(),
             jitter: JitterCfg::none(),
             obs: None,
+            cap_events: Vec::new(),
         }
     }
 
@@ -127,6 +142,40 @@ impl<'f> Simulation<'f> {
     /// CPU for interrupt handling).
     pub fn set_capacity(&mut self, h: ResourceHandle, cap: f64) {
         self.registry.set_capacity(h, cap);
+    }
+
+    /// Look up an already-registered resource by key. Fault injectors use
+    /// this to find the handles lowered by higher layers (device ports,
+    /// CPU budgets) without re-registering them at a different capacity.
+    pub fn resource(&self, key: ResourceKey) -> Option<ResourceHandle> {
+        self.registry.get(key)
+    }
+
+    /// Current capacity of a registered resource, Gbit/s.
+    pub fn capacity(&self, h: ResourceHandle) -> f64 {
+        self.registry.capacity(h)
+    }
+
+    /// Schedule a capacity change: at simulation time `at_s`, resource `h`
+    /// is reset to `cap` Gbit/s (0.0 takes it offline). Events fire in
+    /// time order; ties resolve in insertion order, so seeded plans replay
+    /// deterministically. A flow stalled at zero rate waits for the next
+    /// scheduled change instead of erroring as starved.
+    pub fn schedule_capacity(&mut self, h: ResourceHandle, at_s: f64, cap: f64) {
+        self.schedule_capacity_as(h, at_s, cap, "capacity_change");
+    }
+
+    /// [`Self::schedule_capacity`] with an explicit obs event name, so
+    /// fault layers can tag changes as `fault_injected` / `fault_healed`.
+    pub fn schedule_capacity_as(&mut self, h: ResourceHandle, at_s: f64, cap: f64, event: &str) {
+        assert!(at_s.is_finite() && at_s >= 0.0, "capacity event time must be finite and >= 0");
+        assert!(cap >= 0.0, "capacity must be non-negative");
+        self.cap_events.push(CapEvent { at_s, h, cap, tag: event.to_string() });
+    }
+
+    /// Number of scheduled capacity events.
+    pub fn num_capacity_events(&self) -> usize {
+        self.cap_events.len()
     }
 
     /// Add a flow; returns its id.
@@ -335,6 +384,12 @@ impl<'f> Simulation<'f> {
             Vec::new()
         };
 
+        // Scheduled capacity changes, time-ordered; stable sort keeps
+        // insertion order for ties so seeded fault plans replay exactly.
+        let mut cap_events = std::mem::take(&mut self.cap_events);
+        cap_events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        let mut next_cap_idx = 0usize;
+
         let mut t = 0.0_f64;
         let mut next_jitter = if jitter_enabled { jitter.refresh_s() } else { f64::INFINITY };
 
@@ -382,11 +437,16 @@ impl<'f> Simulation<'f> {
                     dt_complete = dt_complete.min(remaining[i] / rates[i]);
                 }
             }
-            if dt_complete.is_infinite() && next_jitter.is_infinite() {
+            let next_cap =
+                cap_events.get(next_cap_idx).map_or(f64::INFINITY, |e| e.at_s);
+            // A flow at zero rate is only starved if nothing scheduled can
+            // still change the allocation — a pending heal event means the
+            // flow is waiting, not dead.
+            if dt_complete.is_infinite() && next_jitter.is_infinite() && next_cap.is_infinite() {
                 let stuck = (0..n).find(|&i| active[i]).unwrap();
                 return Err(SimError::Starved { flow: FlowId(stuck as u32) });
             }
-            let dt = dt_complete.min(next_jitter - t).max(0.0);
+            let dt = dt_complete.min(next_jitter - t).min(next_cap - t).max(0.0);
 
             // Integrate.
             for i in 0..n {
@@ -431,6 +491,29 @@ impl<'f> Simulation<'f> {
                 }
                 if let Some(tr) = trace.as_mut() {
                     tr.push(crate::trace::TraceEvent::JitterRefresh { time_s: t });
+                }
+            }
+            // Apply every capacity change due at (or before) the new time:
+            // both the registry (analysis views) and the solver, which
+            // retunes incrementally without a rebuild.
+            while next_cap_idx < cap_events.len()
+                && cap_events[next_cap_idx].at_s <= t + 1e-12
+            {
+                let ev = cap_events[next_cap_idx].clone();
+                next_cap_idx += 1;
+                self.registry.set_capacity(ev.h, ev.cap);
+                solver.set_capacity(ev.h.index(), ev.cap);
+                if let Some(o) = &self.obs {
+                    o.counter("numio_capacity_events_total", &[("component", "engine")])
+                        .inc();
+                    o.event(
+                        &ev.tag,
+                        t,
+                        &[
+                            ("resource", format!("{:?}", self.registry.key(ev.h)).into()),
+                            ("cap_gbps", numa_obs::Value::from(ev.cap)),
+                        ],
+                    );
                 }
             }
         }
@@ -758,6 +841,89 @@ mod tests {
     #[should_panic(expected = "weight must be positive")]
     fn non_positive_weight_rejected_at_build() {
         let _ = FlowSpec::dma(NodeId(0), NodeId(1)).weight(0.0);
+    }
+
+    #[test]
+    fn scheduled_throttle_changes_completion_time() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        let e = numa_topology::DirectedEdge::new(NodeId(6), NodeId(7));
+        let h = sim.register(ResourceKey::Edge(e), 46.5);
+        // Full rate for 1 s (46.5 Gbit done), then half rate for the
+        // remaining 46.5 Gbit => finishes at 3 s.
+        sim.schedule_capacity(h, 1.0, 23.25);
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(93.0));
+        let r = sim.run().unwrap();
+        assert!((r.makespan_s - 3.0).abs() < 1e-9, "{}", r.makespan_s);
+    }
+
+    #[test]
+    fn scheduled_heal_revives_stalled_flow() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        let dead = sim.register(ResourceKey::Custom(9), 0.0);
+        sim.schedule_capacity_as(dead, 2.0, 10.0, "fault_healed");
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(10.0).charge(dead));
+        // Stalled until the heal at t=2, then 10 Gbit at 10 Gbps.
+        let r = sim.run().unwrap();
+        assert!((r.makespan_s - 3.0).abs() < 1e-9, "{}", r.makespan_s);
+    }
+
+    #[test]
+    fn unhealed_zero_capacity_still_starves() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        let dead = sim.register(ResourceKey::Custom(9), 0.0);
+        // The only event is another throttle, not a heal: still starved
+        // once the schedule drains.
+        sim.schedule_capacity(dead, 1.0, 0.0);
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(1.0).charge(dead));
+        assert!(matches!(sim.run().unwrap_err(), SimError::Starved { .. }));
+    }
+
+    #[test]
+    fn capacity_events_emit_tagged_obs_events() {
+        let f = fabric();
+        let obs = numa_obs::Obs::new();
+        let mut sim = Simulation::new(&f).with_obs(obs.clone());
+        let e = numa_topology::DirectedEdge::new(NodeId(6), NodeId(7));
+        let h = sim.register(ResourceKey::Edge(e), 46.5);
+        sim.schedule_capacity_as(h, 0.5, 10.0, "fault_injected");
+        sim.schedule_capacity_as(h, 1.5, 46.5, "fault_healed");
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(60.0));
+        sim.run().unwrap();
+        assert_eq!(
+            obs.counter("numio_capacity_events_total", &[("component", "engine")]).get(),
+            2
+        );
+        let jsonl = obs.jsonl();
+        assert!(jsonl.contains("\"ev\":\"fault_injected\""), "{jsonl}");
+        assert!(jsonl.contains("\"ev\":\"fault_healed\""), "{jsonl}");
+    }
+
+    #[test]
+    fn scheduled_runs_are_deterministic() {
+        let f = fabric();
+        let run = || {
+            let mut sim = Simulation::new(&f);
+            let e = numa_topology::DirectedEdge::new(NodeId(6), NodeId(7));
+            let h = sim.register(ResourceKey::Edge(e), 46.5);
+            sim.schedule_capacity(h, 0.75, 20.0);
+            sim.schedule_capacity(h, 2.0, 46.5);
+            sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(80.0));
+            sim.add_flow(FlowSpec::dma(NodeId(4), NodeId(7)).gbits(40.0));
+            sim.run().unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn resource_lookup_finds_registered_keys() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        let h = sim.register(ResourceKey::Custom(3), 5.0);
+        assert_eq!(sim.resource(ResourceKey::Custom(3)), Some(h));
+        assert_eq!(sim.resource(ResourceKey::Custom(4)), None);
     }
 
     #[test]

@@ -103,6 +103,14 @@ impl Fabric {
         }
     }
 
+    /// Non-panicking [`Self::edge_capacity`]: `None` when the edge is not
+    /// a link of the topology. Fault layers use this to validate
+    /// user-supplied fault plans instead of crashing on phantom links.
+    pub fn edge_cap(&self, e: DirectedEdge, class: TrafficClass) -> Option<f64> {
+        self.topo.link_between(e.from, e.to)?;
+        Some(self.edge_capacity(e, class))
+    }
+
     /// Local copy ceiling of one node (both buffers on `n`), Gbit/s.
     pub fn node_copy_cap(&self, n: NodeId) -> f64 {
         self.node_copy_cap[n.index()]
@@ -196,6 +204,17 @@ impl Fabric {
         assert!(gbps > 0.0, "capacity must be positive");
         let mut f = self.clone();
         f.dma_caps.insert(e, gbps);
+        f
+    }
+
+    /// What-if query: a copy of this fabric with one node's local copy
+    /// ceiling overridden — the knob an IRQ storm turns (§IV-C: interrupt
+    /// handling steals memory-controller bandwidth on the device node).
+    pub fn with_node_copy_cap(&self, n: NodeId, gbps: f64) -> Fabric {
+        assert!(n.index() < self.num_nodes(), "node {n:?} out of range");
+        assert!(gbps > 0.0, "capacity must be positive");
+        let mut f = self.clone();
+        f.node_copy_cap[n.index()] = gbps;
         f
     }
 
@@ -523,6 +542,39 @@ mod tests {
         let (t, r) = tiny();
         let f = Fabric::builder(t, r).build();
         let _ = f.with_edge_cap(DirectedEdge::new(NodeId(0), NodeId(2)), 10.0);
+    }
+
+    #[test]
+    fn edge_cap_is_none_for_phantom_links() {
+        let (t, r) = tiny();
+        let f = Fabric::builder(t, r).dma_cap(1, 2, 20.0).build();
+        assert_eq!(
+            f.edge_cap(DirectedEdge::new(NodeId(1), NodeId(2)), TrafficClass::Dma),
+            Some(20.0)
+        );
+        assert_eq!(
+            f.edge_cap(DirectedEdge::new(NodeId(0), NodeId(2)), TrafficClass::Dma),
+            None
+        );
+    }
+
+    #[test]
+    fn what_if_node_copy_override_is_isolated() {
+        let (t, r) = tiny();
+        let f = Fabric::builder(t, r).node_copy_caps(53.5).build();
+        let derated = f.with_node_copy_cap(NodeId(1), 26.75);
+        assert_eq!(derated.node_copy_cap(NodeId(1)), 26.75);
+        assert_eq!(derated.dma_path_bandwidth(NodeId(0), NodeId(1)), 26.75);
+        assert_eq!(f.node_copy_cap(NodeId(1)), 53.5, "original untouched");
+        assert_eq!(derated.node_copy_cap(NodeId(0)), 53.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_copy_override_rejects_bad_node() {
+        let (t, r) = tiny();
+        let f = Fabric::builder(t, r).build();
+        let _ = f.with_node_copy_cap(NodeId(9), 10.0);
     }
 
     #[test]

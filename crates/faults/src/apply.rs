@@ -1,0 +1,239 @@
+//! Static application: degraded what-if copies of fabrics and platforms.
+
+use crate::plan::FaultKind;
+use numa_engine::SimError;
+use numa_fabric::{Fabric, TrafficClass};
+use numa_topology::{DirectedEdge, NodeId};
+use numio_core::SimPlatform;
+
+/// Residual capacity of a downed link, Gbit/s. Not exactly zero: the
+/// fabric builder (reasonably) rejects zero-capacity links, and a dead
+/// link still passes the occasional retried credit. Any flow routed over
+/// it is starved for practical purposes.
+pub const LINK_DOWN_GBPS: f64 = 1e-6;
+
+/// Everything that can go wrong constructing or applying a fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// The plan JSON did not parse or did not match the schema.
+    Parse(String),
+    /// The plan references a directed link the topology does not have.
+    UnknownLink {
+        /// Source node of the missing edge.
+        from: NodeId,
+        /// Destination node of the missing edge.
+        to: NodeId,
+    },
+    /// The plan references a node outside the machine.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes present.
+        nodes: usize,
+    },
+    /// The plan references a device port the simulation never registered.
+    UnknownDevice {
+        /// The offending device index.
+        device: u16,
+    },
+    /// A degradation factor or storm intensity outside its legal range.
+    BadFactor {
+        /// The offending value.
+        value: f64,
+    },
+    /// A window with a non-finite or inverted time range.
+    BadWindow {
+        /// Injection time.
+        start_s: f64,
+        /// Heal time, if any.
+        end_s: Option<f64>,
+    },
+    /// The plan contains no faults.
+    EmptyPlan,
+    /// The underlying simulation failed while the plan was active.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::Parse(msg) => write!(f, "malformed fault plan: {msg}"),
+            FaultError::UnknownLink { from, to } => {
+                write!(f, "fault plan references unknown link {from:?}->{to:?}")
+            }
+            FaultError::NodeOutOfRange { node, nodes } => {
+                write!(f, "fault plan references {node:?} on a {nodes}-node machine")
+            }
+            FaultError::UnknownDevice { device } => {
+                write!(f, "fault plan references unknown device {device}")
+            }
+            FaultError::BadFactor { value } => {
+                write!(f, "fault factor/intensity {value} out of range")
+            }
+            FaultError::BadWindow { start_s, end_s } => {
+                write!(f, "fault window [{start_s}, {end_s:?}) is not a valid time range")
+            }
+            FaultError::EmptyPlan => write!(f, "fault plan has no faults"),
+            FaultError::Sim(e) => write!(f, "simulation failed under faults: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FaultError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for FaultError {
+    fn from(e: SimError) -> Self {
+        FaultError::Sim(e)
+    }
+}
+
+/// A what-if copy of `base` with every fault applied at full strength —
+/// the machine as it looks *while* the faults are active. Feed it back
+/// through [`numio_core::IoModeler`] and `numio_core::drift::diff` to see
+/// which nodes change performance class.
+///
+/// [`FaultKind::DeviceStall`] has no fabric-level effect (device ports
+/// live in the engine's resource registry, and the paper's `memcpy`
+/// methodology deliberately probes without touching devices) and is
+/// skipped here; use [`crate::FaultInjector`] to stall ports mid-run.
+pub fn degraded_fabric(base: &Fabric, faults: &[FaultKind]) -> Result<Fabric, FaultError> {
+    let mut out = base.clone();
+    for &k in faults {
+        match k {
+            FaultKind::LinkDegrade { from, to, factor } => {
+                if !(factor > 0.0 && factor <= 1.0) {
+                    return Err(FaultError::BadFactor { value: factor });
+                }
+                let e = DirectedEdge::new(NodeId(from), NodeId(to));
+                let cap = out
+                    .edge_cap(e, TrafficClass::Dma)
+                    .ok_or(FaultError::UnknownLink { from: NodeId(from), to: NodeId(to) })?;
+                out = out.with_edge_cap(e, cap * factor);
+            }
+            FaultKind::LinkDown { from, to } => {
+                let e = DirectedEdge::new(NodeId(from), NodeId(to));
+                out.edge_cap(e, TrafficClass::Dma)
+                    .ok_or(FaultError::UnknownLink { from: NodeId(from), to: NodeId(to) })?;
+                out = out.with_edge_cap(e, LINK_DOWN_GBPS);
+            }
+            FaultKind::IrqStorm { node, intensity } => {
+                if !(0.0..1.0).contains(&intensity) {
+                    return Err(FaultError::BadFactor { value: intensity });
+                }
+                let n = NodeId(node);
+                if n.index() >= out.num_nodes() {
+                    return Err(FaultError::NodeOutOfRange { node: n, nodes: out.num_nodes() });
+                }
+                out = out.with_node_copy_cap(n, out.node_copy_cap(n) * (1.0 - intensity));
+            }
+            FaultKind::DeviceStall { .. } => {}
+        }
+    }
+    Ok(out)
+}
+
+/// [`degraded_fabric`] lifted to a probe platform: the returned
+/// [`SimPlatform`] keeps the original's noise amplitude and seed, so a
+/// re-characterization differs from the baseline only through the faults.
+pub fn degraded_platform(
+    base: &SimPlatform,
+    faults: &[FaultKind],
+) -> Result<SimPlatform, FaultError> {
+    let mut out = SimPlatform::new(degraded_fabric(base.fabric(), faults)?);
+    out.noise = base.noise;
+    out.seed = base.seed;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_fabric::calibration::dl585_fabric;
+
+    #[test]
+    fn degrade_scales_one_direction_only() {
+        let base = dl585_fabric();
+        let f = degraded_fabric(
+            &base,
+            &[FaultKind::LinkDegrade { from: 6, to: 7, factor: 0.5 }],
+        )
+        .unwrap();
+        let e = DirectedEdge::new(NodeId(6), NodeId(7));
+        let back = DirectedEdge::new(NodeId(7), NodeId(6));
+        assert!(
+            (f.edge_cap(e, TrafficClass::Dma).unwrap()
+                - 0.5 * base.edge_cap(e, TrafficClass::Dma).unwrap())
+            .abs()
+                < 1e-12
+        );
+        assert_eq!(
+            f.edge_cap(back, TrafficClass::Dma),
+            base.edge_cap(back, TrafficClass::Dma),
+            "reverse direction untouched"
+        );
+    }
+
+    #[test]
+    fn link_down_leaves_a_residual_trickle() {
+        let f = dl585_fabric();
+        let d = degraded_fabric(&f, &[FaultKind::LinkDown { from: 6, to: 7 }]).unwrap();
+        let e = DirectedEdge::new(NodeId(6), NodeId(7));
+        assert_eq!(d.edge_cap(e, TrafficClass::Dma), Some(LINK_DOWN_GBPS));
+    }
+
+    #[test]
+    fn irq_storm_derates_the_node_copy_cap() {
+        let f = dl585_fabric();
+        let d = degraded_fabric(&f, &[FaultKind::IrqStorm { node: 7, intensity: 0.5 }]).unwrap();
+        assert!((d.node_copy_cap(NodeId(7)) - 0.5 * f.node_copy_cap(NodeId(7))).abs() < 1e-12);
+        assert_eq!(d.node_copy_cap(NodeId(6)), f.node_copy_cap(NodeId(6)));
+    }
+
+    #[test]
+    fn phantom_link_is_a_typed_error_not_a_panic() {
+        let f = dl585_fabric();
+        let err =
+            degraded_fabric(&f, &[FaultKind::LinkDown { from: 0, to: 7 }]).unwrap_err();
+        assert_eq!(err, FaultError::UnknownLink { from: NodeId(0), to: NodeId(7) });
+    }
+
+    #[test]
+    fn bad_node_and_bad_factor_are_typed_errors() {
+        let f = dl585_fabric();
+        assert_eq!(
+            degraded_fabric(&f, &[FaultKind::IrqStorm { node: 99, intensity: 0.5 }])
+                .unwrap_err(),
+            FaultError::NodeOutOfRange { node: NodeId(99), nodes: 8 }
+        );
+        assert_eq!(
+            degraded_fabric(&f, &[FaultKind::LinkDegrade { from: 6, to: 7, factor: 0.0 }])
+                .unwrap_err(),
+            FaultError::BadFactor { value: 0.0 }
+        );
+    }
+
+    #[test]
+    fn device_stall_is_a_fabric_no_op() {
+        let f = dl585_fabric();
+        let d =
+            degraded_fabric(&f, &[FaultKind::DeviceStall { device: 0, factor: 0.5 }]).unwrap();
+        assert_eq!(d, f);
+    }
+
+    #[test]
+    fn degraded_platform_keeps_noise_and_seed() {
+        let base = SimPlatform::dl585();
+        let p =
+            degraded_platform(&base, &[FaultKind::IrqStorm { node: 7, intensity: 0.5 }]).unwrap();
+        assert_eq!(p.noise, base.noise);
+        assert_eq!(p.seed, base.seed);
+        assert!(p.fabric().node_copy_cap(NodeId(7)) < base.fabric().node_copy_cap(NodeId(7)));
+    }
+}

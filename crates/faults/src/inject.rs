@@ -1,0 +1,199 @@
+//! Dynamic application: lower a fault plan onto a running simulation.
+
+use crate::apply::{FaultError, LINK_DOWN_GBPS};
+use crate::plan::{FaultKind, FaultPlan};
+use numa_engine::{ResourceKey, Simulation};
+use numa_fabric::{Fabric, TrafficClass};
+use numa_topology::{DeviceId, DirectedEdge, NodeId};
+
+/// Lowers a [`FaultPlan`] onto a [`Simulation`] as scheduled capacity
+/// events (`fault_injected` at each window's start, `fault_healed` at its
+/// end). Arm *after* the workload's flows and device resources are
+/// registered — device-stall faults address ports the harness lowers.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Wrap a validated plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Schedule every fault window onto `sim`; returns the number of
+    /// capacity events added (one per injection, one more per heal).
+    ///
+    /// Link and node resources are registered here at their fabric base
+    /// capacities (idempotent with the engine's own lowering), so arming
+    /// works before or after flows are added; device ports must already
+    /// exist, else [`FaultError::UnknownDevice`].
+    pub fn arm(&self, sim: &mut Simulation<'_>, fabric: &Fabric) -> Result<usize, FaultError> {
+        self.plan.validate()?;
+        let mut events = 0usize;
+        for w in &self.plan.faults {
+            // (handle, degraded capacity, base capacity) per resource the
+            // fault touches.
+            let mut touched: Vec<(numa_engine::ResourceHandle, f64, f64)> = Vec::new();
+            match w.kind {
+                FaultKind::LinkDegrade { from, to, factor } => {
+                    let e = DirectedEdge::new(NodeId(from), NodeId(to));
+                    let base = fabric
+                        .edge_cap(e, TrafficClass::Dma)
+                        .ok_or(FaultError::UnknownLink { from: NodeId(from), to: NodeId(to) })?;
+                    let h = sim.register(ResourceKey::Edge(e), base);
+                    touched.push((h, base * factor, base));
+                }
+                FaultKind::LinkDown { from, to } => {
+                    let e = DirectedEdge::new(NodeId(from), NodeId(to));
+                    let base = fabric
+                        .edge_cap(e, TrafficClass::Dma)
+                        .ok_or(FaultError::UnknownLink { from: NodeId(from), to: NodeId(to) })?;
+                    let h = sim.register(ResourceKey::Edge(e), base);
+                    touched.push((h, LINK_DOWN_GBPS, base));
+                }
+                FaultKind::IrqStorm { node, intensity } => {
+                    let n = NodeId(node);
+                    if n.index() >= fabric.num_nodes() {
+                        return Err(FaultError::NodeOutOfRange {
+                            node: n,
+                            nodes: fabric.num_nodes(),
+                        });
+                    }
+                    let base = fabric.node_copy_cap(n);
+                    let h = sim.register(ResourceKey::NodeCopy(n), base);
+                    touched.push((h, base * (1.0 - intensity), base));
+                    // Interrupt handling also burns the node's protocol-CPU
+                    // budget when one was lowered (TCP workloads).
+                    if let Some(h) = sim.resource(ResourceKey::NodeCpu(n)) {
+                        let cpu_base = sim.capacity(h);
+                        touched.push((h, cpu_base * (1.0 - intensity), cpu_base));
+                    }
+                }
+                FaultKind::DeviceStall { device, factor } => {
+                    for to_device in [true, false] {
+                        let key = ResourceKey::DevicePort { dev: DeviceId(device), to_device };
+                        if let Some(h) = sim.resource(key) {
+                            let base = sim.capacity(h);
+                            touched.push((h, base * factor, base));
+                        }
+                    }
+                    if touched.is_empty() {
+                        return Err(FaultError::UnknownDevice { device });
+                    }
+                }
+            }
+            for (h, degraded, base) in touched {
+                sim.schedule_capacity_as(h, w.start_s, degraded, "fault_injected");
+                events += 1;
+                if let Some(end) = w.end_s {
+                    sim.schedule_capacity_as(h, end, base, "fault_healed");
+                    events += 1;
+                }
+            }
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultWindow;
+    use numa_engine::FlowSpec;
+    use numa_fabric::calibration::dl585_fabric;
+
+    #[test]
+    fn armed_throttle_slows_the_run() {
+        let f = dl585_fabric();
+        let baseline = {
+            let mut sim = Simulation::new(&f);
+            sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(93.0));
+            sim.run().unwrap().makespan_s
+        };
+        let mut sim = Simulation::new(&f);
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(93.0));
+        let plan = FaultPlan::new(0).with(FaultWindow::permanent(FaultKind::LinkDegrade {
+            from: 6,
+            to: 7,
+            factor: 0.5,
+        }));
+        let n = FaultInjector::new(plan).arm(&mut sim, &f).unwrap();
+        assert_eq!(n, 1);
+        let faulted = sim.run().unwrap().makespan_s;
+        assert!((faulted - 2.0 * baseline).abs() < 1e-9, "{faulted} vs {baseline}");
+    }
+
+    #[test]
+    fn healed_window_restores_full_rate() {
+        let f = dl585_fabric();
+        let mut sim = Simulation::new(&f);
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(93.0));
+        // Half rate over [0, 2): 46.5 Gbit done by t=2, the rest at full
+        // rate => makespan 3.
+        let plan = FaultPlan::new(0).with(FaultWindow::between(
+            FaultKind::LinkDegrade { from: 6, to: 7, factor: 0.5 },
+            0.0,
+            2.0,
+        ));
+        let n = FaultInjector::new(plan).arm(&mut sim, &f).unwrap();
+        assert_eq!(n, 2);
+        let r = sim.run().unwrap();
+        assert!((r.makespan_s - 3.0).abs() < 1e-9, "{}", r.makespan_s);
+    }
+
+    #[test]
+    fn unknown_link_and_device_are_typed_errors() {
+        let f = dl585_fabric();
+        let mut sim = Simulation::new(&f);
+        let plan =
+            FaultPlan::new(0).with(FaultWindow::permanent(FaultKind::LinkDown { from: 0, to: 7 }));
+        assert_eq!(
+            FaultInjector::new(plan).arm(&mut sim, &f).unwrap_err(),
+            FaultError::UnknownLink { from: NodeId(0), to: NodeId(7) }
+        );
+        let plan = FaultPlan::new(0).with(FaultWindow::permanent(FaultKind::DeviceStall {
+            device: 3,
+            factor: 0.5,
+        }));
+        assert_eq!(
+            FaultInjector::new(plan).arm(&mut sim, &f).unwrap_err(),
+            FaultError::UnknownDevice { device: 3 }
+        );
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected_at_arm_time() {
+        let f = dl585_fabric();
+        let mut sim = Simulation::new(&f);
+        let plan = FaultPlan::new(0);
+        assert_eq!(
+            FaultInjector::new(plan).arm(&mut sim, &f).unwrap_err(),
+            FaultError::EmptyPlan
+        );
+    }
+
+    #[test]
+    fn device_stall_throttles_registered_ports() {
+        let f = dl585_fabric();
+        let mut sim = Simulation::new(&f);
+        let port = sim.register(
+            ResourceKey::DevicePort { dev: DeviceId(0), to_device: true },
+            20.0,
+        );
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(20.0).charge(port));
+        let plan = FaultPlan::new(0).with(FaultWindow::permanent(FaultKind::DeviceStall {
+            device: 0,
+            factor: 0.25,
+        }));
+        FaultInjector::new(plan).arm(&mut sim, &f).unwrap();
+        let r = sim.run().unwrap();
+        // 20 Gbit at 25% of the 20 Gbps port => 4 s.
+        assert!((r.makespan_s - 4.0).abs() < 1e-9, "{}", r.makespan_s);
+    }
+}

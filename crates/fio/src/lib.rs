@@ -38,7 +38,7 @@ pub use job::{JobSpec, Workload};
 pub use jobfile::{parse as parse_jobfile, JobFileError};
 pub use params::NetTestParams;
 pub use runner::{
-    build_sim, build_sim_with, run_jobs, run_jobs_observed, run_jobs_with, steady_job_rates,
-    FioError, FioReport, JobReport,
+    assemble_report, build_sim, build_sim_with, run_jobs, run_jobs_observed, run_jobs_with,
+    steady_job_rates, FioError, FioReport, JobReport,
 };
 pub use sweep::{sweep, SweepPoint};

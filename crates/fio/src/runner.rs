@@ -342,8 +342,10 @@ pub fn run_jobs_observed(
     Ok(out)
 }
 
-/// Fold raw simulator output into per-job aggregates.
-fn assemble_report(jobs: &[JobSpec], report: SimReport, flow_job: &[usize]) -> FioReport {
+/// Fold raw simulator output into per-job aggregates. Public so harnesses
+/// that need the [`Simulation`] between [`build_sim`] and `run` (e.g. to
+/// arm a fault injector) can still produce a standard [`FioReport`].
+pub fn assemble_report(jobs: &[JobSpec], report: SimReport, flow_job: &[usize]) -> FioReport {
     let mut job_reports = Vec::with_capacity(jobs.len());
     for (ji, job) in jobs.iter().enumerate() {
         let streams: Vec<&numa_engine::FlowResult> = report

@@ -40,12 +40,14 @@
 //! assert!(smart.mean_latency_s() <= naive.mean_latency_s());
 //! ```
 
+pub mod fallback;
 pub mod metrics;
 pub mod policy;
 pub mod scheduler;
 pub mod task;
 pub mod trace;
 
+pub use fallback::{ClassRanked, RetryPolicy};
 pub use metrics::EpisodeReport;
 pub use policy::Policy;
 pub use scheduler::{SchedError, Scheduler};

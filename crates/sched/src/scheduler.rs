@@ -1,5 +1,6 @@
 //! The online scheduling episode simulator.
 
+use crate::fallback::RetryPolicy;
 use crate::metrics::EpisodeReport;
 use crate::policy::{ActiveView, Policy, SchedContext};
 use crate::task::{IoTask, TaskId, TaskOutcome};
@@ -19,6 +20,14 @@ pub enum SchedError {
     },
     /// Event-count safety valve tripped.
     EventLimit,
+    /// An allocation round kept failing after every retry (the machine
+    /// degraded under the episode — e.g. the NIC vanished mid-run).
+    AllocFailed {
+        /// Attempts made, including the first.
+        attempts: u32,
+        /// The last underlying failure, rendered.
+        last_error: String,
+    },
 }
 
 impl std::fmt::Display for SchedError {
@@ -27,6 +36,9 @@ impl std::fmt::Display for SchedError {
             SchedError::NoTasks => write!(f, "trace has no tasks"),
             SchedError::Starved { task } => write!(f, "task {task:?} starved"),
             SchedError::EventLimit => write!(f, "scheduler event limit exceeded"),
+            SchedError::AllocFailed { attempts, last_error } => {
+                write!(f, "allocation failed after {attempts} attempts: {last_error}")
+            }
         }
     }
 }
@@ -76,13 +88,16 @@ pub struct Scheduler<'a> {
     /// Migration cost: the task is paused this long while its buffers are
     /// re-registered on the new node.
     pub migration_pause_s: f64,
+    /// Retry policy for transient allocation-round failures.
+    pub retry: RetryPolicy,
 }
 
 impl<'a> Scheduler<'a> {
     /// New scheduler with a 250 ms migration pause (re-pinning buffers and
-    /// re-establishing DMA registrations is not free).
+    /// re-establishing DMA registrations is not free) and the default
+    /// allocation [`RetryPolicy`].
     pub fn new(platform: &'a SimPlatform) -> Self {
-        Scheduler { platform, migration_pause_s: 0.25 }
+        Scheduler { platform, migration_pause_s: 0.25, retry: RetryPolicy::default() }
     }
 
     /// Run one episode.
@@ -145,8 +160,40 @@ impl<'a> Scheduler<'a> {
             } else {
                 let jobs: Vec<JobSpec> = runnable.iter().map(|&i| active[i].job()).collect();
                 let alloc_span = obs.map(|o| o.span("sched.alloc_round"));
-                let r =
-                    steady_job_rates(fabric, &jobs).expect("job lowering cannot fail mid-episode");
+                // Allocation can fail transiently when the machine degrades
+                // under the episode; back off deterministically, then give
+                // up with a typed error instead of panicking.
+                let mut attempt = 0u32;
+                let r = loop {
+                    match steady_job_rates(fabric, &jobs) {
+                        Ok(r) => break r,
+                        Err(e) => {
+                            attempt += 1;
+                            if let Some(o) = obs {
+                                o.counter(
+                                    "numio_sched_retries_total",
+                                    &[("component", "sched")],
+                                )
+                                .inc();
+                                o.event(
+                                    "alloc_retry",
+                                    t,
+                                    &[
+                                        ("attempt", numa_obs::Value::from(attempt)),
+                                        ("error", e.to_string().into()),
+                                    ],
+                                );
+                            }
+                            if attempt >= self.retry.max_attempts {
+                                return Err(SchedError::AllocFailed {
+                                    attempts: attempt,
+                                    last_error: e.to_string(),
+                                });
+                            }
+                            t += self.retry.backoff_s(attempt - 1);
+                        }
+                    }
+                };
                 drop(alloc_span);
                 if let Some(o) = obs {
                     o.counter("numio_alloc_rounds_total", &[("component", "sched")]).inc();
@@ -508,6 +555,61 @@ mod tests {
             }
         }
         assert!(helped >= 1, "weights should speed up at least one premium task");
+    }
+
+    /// A platform whose topology carries no devices at all: every NIC job
+    /// lowering fails with `FioError::NoNic`, exercising the retry path.
+    fn deviceless_platform() -> SimPlatform {
+        use numa_topology::{HtWidth, NodeSpec, PackageId, RouteTable, Topology};
+        let mut b = Topology::builder("no-nic");
+        let n0 = b.node(NodeSpec::magny_cours(PackageId(0)).with_os_home());
+        let n1 = b.node(NodeSpec::magny_cours(PackageId(0)));
+        b.link(n0, n1, HtWidth::W16);
+        let t = b.build().unwrap();
+        let r = RouteTable::bfs(&t);
+        let f = numa_fabric::Fabric::builder(t, r)
+            .dma_defaults(46.5, 27.0)
+            .node_copy_caps(53.5)
+            .build();
+        SimPlatform::new(f)
+    }
+
+    #[test]
+    fn alloc_failure_retries_then_returns_typed_error() {
+        use numa_iodev::NicOp;
+        let p = deviceless_platform();
+        let tasks = vec![IoTask::new(0.0, Workload::Nic(NicOp::RdmaWrite), 1, 1.0)];
+        let obs = numa_obs::Obs::new();
+        let err = Scheduler::new(&p)
+            .run_observed(tasks, LocalOnly::new(), &obs)
+            .unwrap_err();
+        match &err {
+            SchedError::AllocFailed { attempts, last_error } => {
+                assert_eq!(*attempts, 3, "default policy makes three attempts");
+                assert!(last_error.contains("NIC"), "{last_error}");
+            }
+            other => panic!("expected AllocFailed, got {other:?}"),
+        }
+        assert!(err.to_string().contains("allocation failed after 3 attempts"));
+        assert_eq!(
+            obs.counter("numio_sched_retries_total", &[("component", "sched")]).get(),
+            3
+        );
+        assert!(obs.jsonl().contains("\"ev\":\"alloc_retry\""));
+    }
+
+    #[test]
+    fn retry_policy_is_tunable_and_deterministic() {
+        use crate::fallback::RetryPolicy;
+        use numa_iodev::NicOp;
+        let p = deviceless_platform();
+        let tasks = vec![IoTask::new(0.0, Workload::Nic(NicOp::RdmaWrite), 1, 1.0)];
+        let mut s = Scheduler::new(&p);
+        s.retry = RetryPolicy::new(1, 0.0);
+        let a = s.run(tasks.clone(), LocalOnly::new()).unwrap_err();
+        let b = s.run(tasks, LocalOnly::new()).unwrap_err();
+        assert_eq!(a, b, "identical inputs fail identically");
+        assert!(matches!(a, SchedError::AllocFailed { attempts: 1, .. }));
     }
 
     #[test]

@@ -9,10 +9,9 @@
 //! cargo run --example data_transfer_node
 //! ```
 
-use numio::core::{IoModeler, ScheduleAdvisor, SimPlatform, TransferMode};
-use numio::fio::{run_jobs, FioReport, JobSpec};
+use numio::fio::{run_jobs, FioReport};
 use numio::iodev::NicOp;
-use numio::topology::NodeId;
+use numio::prelude::*;
 
 /// The workload: 2 wide-area ingest users (RDMA_READ pulling remote data,
 /// 2 streams each), 4 SSD writers persisting it, and 2 SSD read-back

@@ -7,8 +7,9 @@
 //! cargo run --release --example discover_and_probe
 //! ```
 
-use numio::core::{render_model, HostPlatform, IoModeler, Platform, TransferMode};
-use numio::topology::{sysfs, NodeId};
+use numio::core::{render_model, HostPlatform, Platform};
+use numio::prelude::*;
+use numio::topology::sysfs;
 use std::path::Path;
 
 fn main() {

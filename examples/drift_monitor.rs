@@ -11,13 +11,14 @@
 //! cargo run --example drift_monitor
 //! ```
 
-use numio::core::{diff_models, IoModeler, SimPlatform, TransferMode};
+use numio::core::diff_models;
 use numio::fabric::calibration::{
     dl585_pio_matrix, DL585_DMA_EDGE_CAPS, DL585_DMA_DEFAULT_W16, DL585_DMA_DEFAULT_W8,
     DL585_NODE_COPY_CAP,
 };
-use numio::fabric::{Fabric, PioModel};
-use numio::topology::{presets, NodeId};
+use numio::fabric::PioModel;
+use numio::prelude::*;
+use numio::topology::presets;
 
 /// The host after a "firmware event": the 6->7 request channel lost 40%.
 fn degraded_fabric() -> Fabric {

@@ -11,9 +11,10 @@
 //! cargo run --release --example host_probe
 //! ```
 
-use numio::core::{render_model, HostPlatform, IoModeler, Platform, TransferMode};
+use numio::core::{render_model, HostPlatform, Platform};
 use numio::memsys::RealStream;
-use numio::topology::{presets, NodeId};
+use numio::prelude::*;
+use numio::topology::presets;
 
 fn main() {
     let platform = HostPlatform::new(4);

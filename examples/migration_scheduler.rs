@@ -6,9 +6,9 @@
 //! cargo run --release --example migration_scheduler
 //! ```
 
+use numio::prelude::*;
 use numio::sched::policy::{HopGreedy, LocalOnly, ModelDriven, ModelDrivenMigrating, SpreadAll};
-use numio::sched::{metrics, trace, Scheduler};
-use numio::core::SimPlatform;
+use numio::sched::{metrics, trace};
 
 fn main() {
     let platform = SimPlatform::dl585();

@@ -5,10 +5,10 @@
 //! cargo run --example multi_user_prediction
 //! ```
 
-use numio::core::{predict_aggregate, relative_error, IoModeler, SimPlatform, TransferMode};
-use numio::fio::{run_jobs, JobSpec};
+use numio::core::{predict_aggregate, relative_error};
+use numio::fio::run_jobs;
 use numio::iodev::{NicModel, NicOp};
-use numio::topology::NodeId;
+use numio::prelude::*;
 
 fn main() {
     let platform = SimPlatform::dl585();

@@ -5,14 +5,12 @@
 //! cargo run --release --example paper_tour
 //! ```
 
-use numio::core::{
-    predict_aggregate, rank_correlation, relative_error, IoModeler, ScheduleAdvisor,
-    SimPlatform, TransferMode,
-};
-use numio::fio::{run_jobs, JobSpec};
+use numio::core::{predict_aggregate, rank_correlation, relative_error};
+use numio::fio::run_jobs;
 use numio::iodev::{NicModel, NicOp, SsdModel};
 use numio::memsys::StreamBench;
-use numio::topology::{distance, NodeId};
+use numio::prelude::*;
+use numio::topology::distance;
 
 fn heading(s: &str) {
     println!("\n==== {s} ====");

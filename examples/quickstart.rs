@@ -5,7 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use numio::core::{render_model, IoModeler, SimPlatform, TransferMode};
+use numio::core::render_model;
+use numio::prelude::*;
 
 fn main() {
     // The paper's HP DL585 G7 testbed: 8 NUMA nodes, NIC + 2 SSDs on node 7.

@@ -9,7 +9,8 @@
 use numio::core::rank_correlation;
 use numio::fabric::calibration::dl585_fabric;
 use numio::memsys::StreamBench;
-use numio::topology::{distance, presets, render, NodeId};
+use numio::prelude::*;
+use numio::topology::{distance, presets, render};
 
 fn main() {
     println!("== Candidate 4P Magny-Cours topologies (Figure 1) ==\n");

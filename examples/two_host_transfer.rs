@@ -11,7 +11,7 @@
 
 use numio::fabric::calibration::dl585_fabric;
 use numio::iodev::{NicOp, TwoHostPath};
-use numio::topology::NodeId;
+use numio::prelude::*;
 
 fn main() {
     let local = dl585_fabric();

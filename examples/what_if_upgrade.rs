@@ -10,9 +10,8 @@
 //! cargo run --example what_if_upgrade
 //! ```
 
-use numio::core::{diff_models, IoModeler, ScheduleAdvisor, SimPlatform, TransferMode};
-use numio::engine::{FlowSpec, Simulation};
-use numio::topology::{DirectedEdge, NodeId};
+use numio::core::diff_models;
+use numio::prelude::*;
 
 fn main() {
     let before = SimPlatform::dl585();
