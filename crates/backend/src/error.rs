@@ -1,0 +1,95 @@
+//! Typed failures of the backend layer.
+
+use numa_fio::FioError;
+
+/// Why a backend could not be constructed or driven.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// A fixture file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error, in `std::io::Error` words.
+        reason: String,
+    },
+    /// A fixture line is not valid JSON of the expected shape.
+    Parse {
+        /// 1-based line number in the fixture.
+        line: usize,
+        /// The serde error.
+        reason: String,
+    },
+    /// The fixture declares a schema this build does not speak.
+    SchemaMismatch {
+        /// The schema string found in the header.
+        found: String,
+    },
+    /// The fixture carries a header but no probe records.
+    EmptyFixture,
+    /// The fixture names a preset topology this build does not know and
+    /// embeds none.
+    UnknownPreset {
+        /// The preset name from the header.
+        name: String,
+    },
+    /// A `--backend` specification did not parse.
+    UnknownBackend {
+        /// The offending spec string.
+        spec: String,
+    },
+    /// The selected backend exposes no simulator fabric, but the caller
+    /// needed one (job execution, scheduling, fault injection).
+    NoFabric {
+        /// The backend's label.
+        label: String,
+    },
+    /// Lowering jobs onto the backend's fabric failed.
+    Fio(FioError),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Io { path, reason } => {
+                write!(f, "fixture '{path}': {reason}")
+            }
+            BackendError::Parse { line, reason } => {
+                write!(f, "fixture line {line}: {reason}")
+            }
+            BackendError::SchemaMismatch { found } => write!(
+                f,
+                "unsupported fixture schema '{found}' (this build speaks '{}')",
+                crate::fixture::SCHEMA
+            ),
+            BackendError::EmptyFixture => write!(f, "fixture has no probe records"),
+            BackendError::UnknownPreset { name } => write!(
+                f,
+                "fixture names unknown preset topology '{name}' and embeds none"
+            ),
+            BackendError::UnknownBackend { spec } => write!(
+                f,
+                "unknown backend '{spec}' (expected sim, host, or replay:<file>)"
+            ),
+            BackendError::NoFabric { label } => write!(
+                f,
+                "backend '{label}' exposes no fabric to run jobs on; use a sim backend"
+            ),
+            BackendError::Fio(e) => write!(f, "job execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BackendError::Fio(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FioError> for BackendError {
+    fn from(e: FioError) -> Self {
+        BackendError::Fio(e)
+    }
+}

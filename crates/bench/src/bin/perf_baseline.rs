@@ -3,7 +3,8 @@
 //! Times the algorithmic kernels the criterion benches cover — max-min
 //! allocator (one-shot and persistent-solver reuse), topology routing,
 //! Algorithm 1 modeler, engine event loop — plus a full scheduler
-//! episode, and writes `BENCH_baseline.json` so perf regressions are
+//! episode and a fixture-replayed full-host characterization, and writes
+//! `BENCH_baseline.json` so perf regressions are
 //! diffable across commits without a criterion run. Usage:
 //!
 //! ```sh
@@ -22,6 +23,7 @@
 //! `checks` section (class counts, Eq. 1 prediction, engine aggregate)
 //! is deterministic and must match the paper on any machine.
 
+use numa_backend::{RecordingPlatform, ReplayPlatform};
 use numa_fabric::calibration::paper;
 use numa_fabric::{solve_max_min, FlowSpec, MaxMinProblem, MaxMinSolver};
 use numa_iodev::{NicModel, NicOp};
@@ -95,6 +97,7 @@ fn run_checks(
     read_classes: usize,
     eq1_predicted: f64,
     engine_aggregate: [f64; 2],
+    replay_identical: bool,
 ) -> Vec<String> {
     let mut failures = Vec::new();
     if write_classes != 3 {
@@ -113,6 +116,10 @@ fn run_checks(
             eq1_err * 100.0,
             paper::EQ1_PREDICTED
         ));
+    }
+    if !replay_identical {
+        failures
+            .push("replayed full-host atlas diverges from the live recorded run".to_string());
     }
     if engine_aggregate[0].to_bits() != engine_aggregate[1].to_bits() {
         failures.push(format!(
@@ -228,6 +235,23 @@ fn main() {
         }),
     );
 
+    // Backend layer: full-host characterization answered entirely from a
+    // recorded fixture. Record once outside the timed region, then time
+    // the replayed run; its result doubles as a correctness anchor below.
+    let recorder = RecordingPlatform::new(SimPlatform::dl585());
+    let live_atlas = IoModeler::new().characterize_full_host(&recorder);
+    let replay = ReplayPlatform::from_jsonl(&recorder.fixture().to_jsonl())
+        .expect("replay of a just-recorded fixture");
+    let mut replayed_atlas = Vec::new();
+    record(
+        "replay_characterize_full_host",
+        time_op(iters, || {
+            replayed_atlas =
+                std::hint::black_box(IoModeler::new().characterize_full_host(&replay));
+        }),
+    );
+    let replay_identical = replayed_atlas == live_atlas;
+
     // Engine: a contended multi-flow run to completion.
     let run_engine = || {
         let jobs = [
@@ -280,6 +304,7 @@ fn main() {
             "read_classes": read.classes().len(),
             "eq1_predicted_gbps": eq1_predicted,
             "engine_aggregate_gbps": report.aggregate_gbps,
+            "replay_bit_identical": replay_identical,
         },
     });
     let text = serde_json::to_string_pretty(&doc).expect("baseline serialization");
@@ -308,6 +333,7 @@ fn main() {
             read.classes().len(),
             eq1_predicted,
             [report.aggregate_gbps, report2.aggregate_gbps],
+            replay_identical,
         );
         for f in &failures {
             eprintln!("CHECK FAILED: {f}");

@@ -1,0 +1,13 @@
+//! One module per subcommand family; all share [`crate::backend`] for
+//! measurement-backend construction and [`crate::opts::Opts`] for parsing.
+
+pub(crate) mod characterize;
+pub(crate) mod diff;
+pub(crate) mod faults;
+pub(crate) mod host;
+pub(crate) mod jobs;
+pub(crate) mod mem;
+pub(crate) mod netpath;
+pub(crate) mod predict;
+pub(crate) mod sched;
+pub(crate) mod topo;

@@ -1,0 +1,52 @@
+//! `sched`: the episode scheduler compared across placement policies,
+//! over whatever backend exposes a fabric.
+
+use crate::backend;
+use crate::opts::Opts;
+use numa_sched::policy::{HopGreedy, LocalOnly, ModelDriven, ModelDrivenMigrating, SpreadAll};
+use numa_sched::{metrics, trace, Scheduler};
+
+pub(crate) fn cmd_sched(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, String> {
+    let tasks_n: usize = opts.num("tasks", 12)?;
+    let gap: f64 = opts.num("gap", 1.0)?;
+    let seed: u64 = opts.num("seed", 42)?;
+    let mix = match opts.get("mix").unwrap_or("ingest") {
+        "ingest" => trace::MixProfile::Ingest,
+        "serve" => trace::MixProfile::Serve,
+        "uniform" => trace::MixProfile::Uniform,
+        other => return Err(format!("--mix must be ingest|serve|uniform, got '{other}'")),
+    };
+    let platform = backend::platform_for(opts)?;
+    // Fabric-less backends fail here with a typed explanation before any
+    // policy is characterized.
+    let scheduler = Scheduler::for_backend(&platform).map_err(|e| e.to_string())?;
+    let tasks = if opts.flag("premium") {
+        trace::premium_burst(tasks_n, mix, seed)
+    } else if opts.flag("burst") {
+        trace::burst(tasks_n, mix, seed)
+    } else {
+        trace::poisson(tasks_n, gap, mix, seed)
+    };
+    let reports = vec![
+        scheduler
+            .run_observed(tasks.clone(), LocalOnly::new(), obs)
+            .map_err(|e| e.to_string())?,
+        scheduler
+            .run_observed(tasks.clone(), HopGreedy::new(), obs)
+            .map_err(|e| e.to_string())?,
+        scheduler
+            .run_observed(tasks.clone(), SpreadAll::new(), obs)
+            .map_err(|e| e.to_string())?,
+        scheduler
+            .run_observed(tasks.clone(), ModelDriven::from_platform(&platform), obs)
+            .map_err(|e| e.to_string())?,
+        scheduler
+            .run_observed(
+                tasks,
+                ModelDrivenMigrating::new(ModelDriven::from_platform(&platform), 2.0, 3),
+                obs,
+            )
+            .map_err(|e| e.to_string())?,
+    ];
+    Ok(metrics::render_comparison(&reports))
+}

@@ -3,12 +3,13 @@
 //!
 //! The `iomodel` command-line tool — the paper's characterization software
 //! (its `iomodel` module for `numademo`, §V-B) as a standalone binary over
-//! the simulated testbed or the real host.
+//! the simulated testbed, the real host, or a recorded fixture.
 //!
 //! ```text
 //! iomodel topo        [--preset dl585|fig1a..fig1d|intel4|amd8|blade32] [--dot]
 //! iomodel stream      [--target N]
-//! iomodel characterize [--target N] [--mode write|read] [--reps N] [--json]
+//! iomodel characterize [--target N] [--mode write|read] [--reps N] [--json] [--check]
+//! iomodel record      --out fixture.jsonl [--target N] [--mode write|read] [--reps N]
 //! iomodel classes     [--target N]
 //! iomodel predict     --op rdma_read --mix 2:2,0:2 [--target N]
 //! iomodel advise      --tasks N [--mode write|read] [--tolerance F]
@@ -20,6 +21,24 @@
 //! iomodel faults      validate --plan plan.json
 //! iomodel faults      run --plan plan.json
 //! ```
+//!
+//! Every subcommand accepts the global measurement-backend flag:
+//!
+//! ```text
+//! --backend sim            the calibrated DL585 simulator (default;
+//!                          --fabric dl585|split picks the machine)
+//! --backend host[:N]       real memcpy on this machine, N NUMA nodes
+//! --backend replay:<file>  a recorded JSONL probe fixture, replayed
+//!                          bit-identically
+//! ```
+//!
+//! `record` wraps whatever backend is selected in a recorder and writes
+//! every probe it issues to a fixture; `characterize --check` re-runs the
+//! characterization and fails unless the two models are bit-identical
+//! (the CI replay-smoke gate). Commands that run *flows* rather than
+//! probes (`run`, `sweep`, `sched`, `faults`, `numademo`, `stream`,
+//! `netpath`, `predict`) need the simulator's fabric and report a typed
+//! error on fabric-less backends.
 //!
 //! Every subcommand additionally accepts the global observability flags:
 //!
@@ -34,16 +53,11 @@
 //! run writes byte-identical files every time (`--profile` adds wall-clock
 //! `numio_op_seconds` series and is therefore not reproducible).
 
-use numa_fabric::calibration::dl585_fabric;
-use numa_fio::{sweep as fio_sweep, JobSpec, Workload};
-use numa_iodev::{NicModel, NicOp};
-use numa_memsys::{MemPolicy, MemoryState, StreamBench};
-use numa_topology::{distance, presets, render, NodeId, Topology};
-use numio_core::{
-    predict_aggregate, render_comparison_table, render_model, HostPlatform, IoModeler,
-    Platform, ScheduleAdvisor, SimPlatform, TransferMode,
-};
-use std::fmt::Write as _;
+mod backend;
+mod commands;
+mod opts;
+
+use opts::Opts;
 
 /// Run the CLI against an argument list (excluding argv[0]); returns the
 /// rendered output or a usage error.
@@ -82,30 +96,31 @@ pub fn run_observed(args: &[String], obs: &numa_obs::Obs) -> Result<String, Stri
     let _span = obs.span("cli.command");
     if cmd == "faults" {
         // `faults` takes a positional action before the --key options.
-        return cmd_faults(&rest, obs);
+        return commands::faults::cmd_faults(&rest, obs);
     }
     let opts = Opts::parse(&rest)?;
     match cmd.as_str() {
-        "topo" => cmd_topo(&opts),
-        "stream" => cmd_stream(&opts),
-        "characterize" => cmd_characterize(&opts, obs),
-        "classes" => cmd_classes(&opts),
-        "predict" => cmd_predict(&opts),
-        "advise" => cmd_advise(&opts),
-        "sweep" => cmd_sweep(&opts),
-        "host" => cmd_host(&opts),
-        "numastat" => cmd_numastat(&opts),
-        "numademo" => cmd_numademo(&opts),
-        "run" => cmd_run(&opts, obs),
-        "diff" => cmd_diff(&opts),
-        "sched" => cmd_sched(&opts, obs),
-        "latency" => cmd_latency(&opts),
-        "probe" => cmd_probe(&opts),
-        "emit-script" => cmd_emit_script(&opts),
-        "import" => cmd_import(&opts),
-        "netpath" => cmd_netpath(&opts),
-        "atlas" => cmd_atlas(&opts),
-        "sysfs" => cmd_sysfs(&opts),
+        "topo" => commands::topo::cmd_topo(&opts),
+        "stream" => commands::mem::cmd_stream(&opts),
+        "characterize" => commands::characterize::cmd_characterize(&opts, obs),
+        "record" => commands::characterize::cmd_record(&opts, obs),
+        "classes" => commands::characterize::cmd_classes(&opts),
+        "predict" => commands::predict::cmd_predict(&opts),
+        "advise" => commands::predict::cmd_advise(&opts),
+        "sweep" => commands::jobs::cmd_sweep(&opts),
+        "host" => commands::host::cmd_host(&opts),
+        "numastat" => commands::mem::cmd_numastat(&opts),
+        "numademo" => commands::mem::cmd_numademo(&opts),
+        "run" => commands::jobs::cmd_run(&opts, obs),
+        "diff" => commands::diff::cmd_diff(&opts),
+        "sched" => commands::sched::cmd_sched(&opts, obs),
+        "latency" => commands::mem::cmd_latency(&opts),
+        "probe" => commands::host::cmd_probe(&opts),
+        "emit-script" => commands::host::cmd_emit_script(&opts),
+        "import" => commands::host::cmd_import(&opts),
+        "netpath" => commands::netpath::cmd_netpath(&opts),
+        "atlas" => commands::characterize::cmd_atlas(&opts),
+        "sysfs" => commands::topo::cmd_sysfs(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -149,793 +164,20 @@ fn extract_global(
 }
 
 fn usage() -> String {
-    "usage: iomodel <topo|stream|characterize|classes|predict|advise|sweep|host|numastat|numademo|run|diff|sched|faults|latency|netpath|probe|emit-script|import|atlas|sysfs> [options]\n\
+    "usage: iomodel <topo|stream|characterize|record|classes|predict|advise|sweep|host|numastat|numademo|run|diff|sched|faults|latency|netpath|probe|emit-script|import|atlas|sysfs> [options]\n\
      faults: iomodel faults demo [--seed N] [--check] | validate --plan p.json | run --plan p.json\n\
      run:    iomodel run --jobfile job.fio [--faults plan.json]\n\
-     global flags: --trace <path> (JSONL events)  --metrics <path> (Prometheus snapshot)  --profile (wall-clock spans)\n\
+     record: iomodel record --out fixture.jsonl [--target N] [--mode write|read]\n\
+     global flags: --backend sim|host[:N]|replay:<file> (measurement backend, default sim)\n\
+                   --trace <path> (JSONL events)  --metrics <path> (Prometheus snapshot)  --profile (wall-clock spans)\n\
      run `iomodel help` for the full option list (see crate docs)"
         .to_string()
-}
-
-/// Parsed `--key value` / `--flag` options.
-struct Opts {
-    pairs: Vec<(String, String)>,
-    flags: Vec<String>,
-}
-
-impl Opts {
-    fn parse(args: &[String]) -> Result<Self, String> {
-        let mut pairs = Vec::new();
-        let mut flags = Vec::new();
-        let mut i = 0;
-        while i < args.len() {
-            let a = &args[i];
-            if !a.starts_with("--") {
-                return Err(format!("unexpected argument '{a}'"));
-            }
-            let key = a.trim_start_matches("--").to_string();
-            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
-                pairs.push((key, args[i + 1].clone()));
-                i += 2;
-            } else {
-                flags.push(key);
-                i += 1;
-            }
-        }
-        Ok(Opts { pairs, flags })
-    }
-
-    fn get(&self, key: &str) -> Option<&str> {
-        self.pairs
-            .iter()
-            .rev()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn flag(&self, key: &str) -> bool {
-        self.flags.iter().any(|f| f == key)
-    }
-
-    fn node(&self, key: &str, default: u16) -> Result<NodeId, String> {
-        match self.get(key) {
-            None => Ok(NodeId(default)),
-            Some(v) => v
-                .parse::<u16>()
-                .map(NodeId)
-                .map_err(|_| format!("--{key} expects a node id, got '{v}'")),
-        }
-    }
-
-    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
-        match self.get(key) {
-            None => Ok(default),
-            Some(v) => v.parse::<T>().map_err(|_| format!("--{key}: cannot parse '{v}'")),
-        }
-    }
-
-    fn mode(&self) -> Result<TransferMode, String> {
-        match self.get("mode").unwrap_or("write") {
-            "write" | "w" => Ok(TransferMode::Write),
-            "read" | "r" => Ok(TransferMode::Read),
-            other => Err(format!("--mode must be write|read, got '{other}'")),
-        }
-    }
-
-    fn nic_op(&self) -> Result<NicOp, String> {
-        match self.get("op").unwrap_or("rdma_read") {
-            "tcp_send" => Ok(NicOp::TcpSend),
-            "tcp_recv" => Ok(NicOp::TcpRecv),
-            "rdma_write" => Ok(NicOp::RdmaWrite),
-            "rdma_read" => Ok(NicOp::RdmaRead),
-            "send_recv" => Ok(NicOp::SendRecv),
-            other => Err(format!(
-                "--op must be tcp_send|tcp_recv|rdma_write|rdma_read|send_recv, got '{other}'"
-            )),
-        }
-    }
-
-    fn preset(&self) -> Result<Topology, String> {
-        match self.get("preset").unwrap_or("dl585") {
-            "dl585" => Ok(presets::dl585_testbed()),
-            "fig1a" => Ok(presets::fig1a()),
-            "fig1b" => Ok(presets::fig1b()),
-            "fig1c" => Ok(presets::fig1c()),
-            "fig1d" => Ok(presets::fig1d()),
-            "intel4" => Ok(presets::intel_4s4n()),
-            "amd8" => Ok(presets::amd_8s8n()),
-            "blade32" => Ok(presets::blade32()),
-            other => Err(format!("unknown preset '{other}'")),
-        }
-    }
-}
-
-fn cmd_topo(opts: &Opts) -> Result<String, String> {
-    let topo = opts.preset()?;
-    let mut out = String::new();
-    if opts.flag("dot") {
-        out.push_str(&render::render_dot(&topo));
-        return Ok(out);
-    }
-    out.push_str(&render::render_tree(&topo));
-    out.push_str("\nhop distances:\n");
-    out.push_str(&render::render_matrix("from", "to", &distance::hop_matrix(&topo)));
-    out.push_str("\nSLIT (ideal):\n");
-    out.push_str(&render::render_matrix("from", "to", &distance::slit_matrix(&topo)));
-    Ok(out)
-}
-
-fn cmd_stream(opts: &Opts) -> Result<String, String> {
-    let target = opts.node("target", 7)?;
-    let fabric = dl585_fabric();
-    let bench = StreamBench::paper();
-    let mut out = String::new();
-    let _ = writeln!(out, "STREAM Copy, 4 threads, max of 100 runs (Gbit/s):");
-    out.push_str(&render::render_bw_matrix("cpu", "mem", &bench.matrix(&fabric)));
-    let _ = writeln!(out, "\nCPU-centric model of node {target} (threads on {target}):");
-    for (i, v) in bench.cpu_centric(&fabric, target).iter().enumerate() {
-        let _ = writeln!(out, "  mem {i}: {v:.2}");
-    }
-    let _ = writeln!(out, "\nMemory-centric model of node {target} (data on {target}):");
-    for (i, v) in bench.mem_centric(&fabric, target).iter().enumerate() {
-        let _ = writeln!(out, "  cpu {i}: {v:.2}");
-    }
-    Ok(out)
-}
-
-/// Which calibrated machine a command runs against.
-fn platform_for(opts: &Opts) -> Result<SimPlatform, String> {
-    match opts.get("fabric").unwrap_or("dl585") {
-        "dl585" => Ok(SimPlatform::dl585()),
-        "split" => Ok(SimPlatform::new(
-            numa_fabric::calibration::dl585_split_io_fabric(),
-        )),
-        other => Err(format!("--fabric must be dl585|split, got '{other}'")),
-    }
-}
-
-fn cmd_characterize(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, String> {
-    let target = opts.node("target", 7)?;
-    let reps: u32 = opts.num("reps", 100)?;
-    let mode = opts.mode()?;
-    let platform = platform_for(opts)?;
-    let model = IoModeler::new().reps(reps).characterize_observed(
-        &platform,
-        platform.fabric().topology(),
-        target,
-        mode,
-        obs,
-    );
-    if opts.flag("json") {
-        Ok(model.to_json())
-    } else {
-        Ok(render_model(&model))
-    }
-}
-
-fn cmd_classes(opts: &Opts) -> Result<String, String> {
-    let target = opts.node("target", 7)?;
-    let platform = SimPlatform::dl585();
-    let fabric = platform.fabric().clone();
-    let nic = NicModel::paper();
-    let ssd = numa_iodev::SsdModel::paper();
-    let mut out = String::new();
-    for mode in TransferMode::ALL {
-        let model = IoModeler::new().characterize(&platform, target, mode);
-        let (label, ops): (&str, Vec<(&str, Vec<f64>)>) = match mode {
-            TransferMode::Write => (
-                "DEVICE WRITE model (Table IV)",
-                vec![
-                    ("memcpy", model.means()),
-                    (
-                        "TCP sender",
-                        (0..8)
-                            .map(|n| nic.node_ceiling(NicOp::TcpSend, &fabric, NodeId(n)))
-                            .collect(),
-                    ),
-                    (
-                        "RDMA_WRITE",
-                        (0..8)
-                            .map(|n| nic.node_ceiling(NicOp::RdmaWrite, &fabric, NodeId(n)))
-                            .collect(),
-                    ),
-                    (
-                        "SSD write",
-                        (0..8).map(|n| ssd.node_ceiling(true, &fabric, NodeId(n))).collect(),
-                    ),
-                ],
-            ),
-            TransferMode::Read => (
-                "DEVICE READ model (Table V)",
-                vec![
-                    ("memcpy", model.means()),
-                    (
-                        "TCP receiver",
-                        (0..8)
-                            .map(|n| nic.node_ceiling(NicOp::TcpRecv, &fabric, NodeId(n)))
-                            .collect(),
-                    ),
-                    (
-                        "RDMA_READ",
-                        (0..8)
-                            .map(|n| nic.node_ceiling(NicOp::RdmaRead, &fabric, NodeId(n)))
-                            .collect(),
-                    ),
-                    (
-                        "SSD read",
-                        (0..8).map(|n| ssd.node_ceiling(false, &fabric, NodeId(n))).collect(),
-                    ),
-                ],
-            ),
-        };
-        let _ = writeln!(out, "== {label} ==");
-        out.push_str(&render_comparison_table(&model, &ops));
-        out.push('\n');
-    }
-    Ok(out)
-}
-
-fn cmd_predict(opts: &Opts) -> Result<String, String> {
-    let target = opts.node("target", 7)?;
-    let op = opts.nic_op()?;
-    let mix_str = opts.get("mix").ok_or("--mix node:count,node:count required")?;
-    let mut mix: Vec<(NodeId, u32)> = Vec::new();
-    for part in mix_str.split(',') {
-        let (n, c) = part
-            .split_once(':')
-            .ok_or_else(|| format!("bad mix entry '{part}' (want node:count)"))?;
-        let node: u16 = n.parse().map_err(|_| format!("bad node '{n}'"))?;
-        let count: u32 = c.parse().map_err(|_| format!("bad count '{c}'"))?;
-        mix.push((NodeId(node), count));
-    }
-    if mix.is_empty() {
-        return Err("--mix must contain at least one node:count".into());
-    }
-
-    let platform = SimPlatform::dl585();
-    let mode = if op.to_device() { TransferMode::Write } else { TransferMode::Read };
-    let model = IoModeler::new().characterize(&platform, target, mode);
-    let nic = NicModel::paper();
-    let total: u32 = mix.iter().map(|(_, c)| *c).sum();
-    let terms: Vec<(f64, f64)> = mix
-        .iter()
-        .map(|&(node, count)| {
-            let class = &model.classes()[model.class_of(node)];
-            (nic.map(op).eval(class.avg_gbps), count as f64 / total as f64)
-        })
-        .collect();
-    let predicted = predict_aggregate(&terms);
-
-    let jobs: Vec<JobSpec> = mix
-        .iter()
-        .map(|&(node, count)| JobSpec::nic(op, node).numjobs(count).size_gbytes(50.0))
-        .collect();
-    let measured = numa_fio::run_jobs(platform.fabric(), &jobs)
-        .map_err(|e| e.to_string())?
-        .aggregate_gbps;
-    let err = numio_core::relative_error(predicted, measured);
-    let mut out = String::new();
-    let _ = writeln!(out, "workload: {op:?} mix {mix_str} against node {target}");
-    for (i, ((bw, share), (node, count))) in terms.iter().zip(&mix).enumerate() {
-        let _ = writeln!(
-            out,
-            "  term {i}: node {node} x{count} -> class {} @ {bw:.3} Gbps, share {share:.2}",
-            model.class_of(*node) + 1
-        );
-    }
-    let _ = writeln!(out, "predicted (Eq.1): {predicted:.3} Gbps");
-    let _ = writeln!(out, "measured  (sim) : {measured:.3} Gbps");
-    let _ = writeln!(out, "relative error  : {:.1}%", err * 100.0);
-    Ok(out)
-}
-
-fn cmd_advise(opts: &Opts) -> Result<String, String> {
-    let target = opts.node("target", 7)?;
-    let tasks: usize = opts.num("tasks", 8)?;
-    let tolerance: f64 = opts.num("tolerance", 0.15)?;
-    let mode = opts.mode()?;
-    let platform = SimPlatform::dl585();
-    let model = IoModeler::new().characterize(&platform, target, mode);
-    let advisor = ScheduleAdvisor { equivalence_tolerance: tolerance, avoid_irq_node: true };
-    let placement = advisor.place(&model, tasks);
-    let naive = advisor.naive_local(&model, tasks);
-    let mut out = String::new();
-    let _ = writeln!(out, "model classes:");
-    for (i, c) in model.classes().iter().enumerate() {
-        let nodes: Vec<String> = c.nodes.iter().map(|n| n.to_string()).collect();
-        let _ = writeln!(out, "  class {}: {{{}}} avg {:.1}", i + 1, nodes.join(","), c.avg_gbps);
-    }
-    let _ = writeln!(out, "eligible nodes: {:?}", advisor.eligible_nodes(&model));
-    let _ = writeln!(out, "advised placement ({tasks} tasks): {:?}", placement.histogram());
-    let _ = writeln!(out, "naive local placement:             {:?}", naive.histogram());
-    let _ = writeln!(
-        out,
-        "max per-node load: advised {} vs naive {}",
-        placement.max_load(),
-        naive.max_load()
-    );
-    Ok(out)
-}
-
-fn cmd_sweep(opts: &Opts) -> Result<String, String> {
-    let op = opts.nic_op()?;
-    let size: f64 = opts.num("size", 4.0)?;
-    let seed: u64 = opts.num("seed", 42)?;
-    let streams: Vec<u32> = match opts.get("streams") {
-        None => vec![1, 2, 4, 8, 16],
-        Some(s) => s
-            .split(',')
-            .map(|x| x.parse::<u32>().map_err(|_| format!("bad stream count '{x}'")))
-            .collect::<Result<_, _>>()?,
-    };
-    let fabric = dl585_fabric();
-    let nodes = fio_sweep::paper_nodes();
-    let points = fio_sweep::sweep(&fabric, &Workload::Nic(op), &nodes, &streams, size, seed)
-        .map_err(|e| e.to_string())?;
-    let mut out = format!("{op:?} aggregate bandwidth (Gbit/s):\n");
-    out.push_str(&fio_sweep::render_table(&points, &nodes, &streams));
-    Ok(out)
-}
-
-fn cmd_host(opts: &Opts) -> Result<String, String> {
-    let nodes: usize = opts.num("nodes", 4)?;
-    let reps: u32 = opts.num("reps", 5)?;
-    let platform = HostPlatform::new(nodes);
-    let topo = match nodes {
-        8 => presets::amd_4s8n(),
-        4 => presets::intel_4s4n(),
-        n => {
-            return Err(format!(
-                "--nodes must be 4 or 8 for the built-in topologies, got {n}"
-            ))
-        }
-    };
-    let modeler = IoModeler {
-        reps,
-        bytes_per_thread: 16 << 20,
-        threads: Some(platform.cores_per_node(NodeId(0))),
-        ..IoModeler::new()
-    };
-    let model =
-        modeler.characterize_with_topo(&platform, &topo, NodeId(0), TransferMode::Write);
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "real-host memcpy probe (no pinning; run under numactl on a NUMA box):"
-    );
-    out.push_str(&render_model(&model));
-    Ok(out)
-}
-
-fn cmd_numastat(_opts: &Opts) -> Result<String, String> {
-    let topo = presets::dl585_testbed();
-    let mut mem = MemoryState::dl585_idle(&topo);
-    // Reproduce the paper's §IV-A demonstration: an idle system already
-    // shows node 0 drained, then a local-preferred allocation spills.
-    let mut out = String::new();
-    out.push_str("numactl --hardware (idle system):\n");
-    out.push_str(&mem.render_hardware());
-    let _ = mem
-        .allocate(NodeId(0), &MemPolicy::LocalPreferred, 2000)
-        .map_err(|e| e.to_string())?;
-    out.push_str("\nafter a 2000 MiB local-preferred allocation on node 0:\n");
-    out.push_str(&mem.render_hardware());
-    out.push_str("\nnumastat:\n");
-    out.push_str(&mem.stats().render());
-    Ok(out)
-}
-
-/// Characterize every node of the testbed as a hypothetical device site
-/// (both directions, in parallel) — the full-host atlas.
-fn cmd_atlas(opts: &Opts) -> Result<String, String> {
-    let reps: u32 = opts.num("reps", 20)?;
-    let platform = SimPlatform::dl585();
-    if opts.flag("json") {
-        let atlas = numio_core::Atlas::characterize(&platform, &IoModeler::new().reps(reps));
-        return Ok(atlas.to_json());
-    }
-    let atlas = IoModeler::new().reps(reps).characterize_full_host(&platform);
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "full-host atlas: {} models ({} nodes x write/read)\n",
-        atlas.len(),
-        platform.num_nodes()
-    );
-    for model in &atlas {
-        let dir = match model.mode {
-            TransferMode::Write => "write",
-            TransferMode::Read => "read ",
-        };
-        let classes: Vec<String> = model
-            .classes()
-            .iter()
-            .map(|c| {
-                format!(
-                    "{{{}}}@{:.1}",
-                    c.nodes.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(","),
-                    c.avg_gbps
-                )
-            })
-            .collect();
-        let _ = writeln!(out, "node {} {dir}: {}", model.target, classes.join(" > "));
-    }
-    Ok(out)
-}
-
-/// Discover the machine from a Linux sysfs node directory (default
-/// `/sys/devices/system/node`) — the hwloc role, honest about the SLIT's
-/// limits.
-fn cmd_sysfs(opts: &Opts) -> Result<String, String> {
-    let root = opts.get("root").unwrap_or("/sys/devices/system/node");
-    let d = numa_topology::sysfs::discover_from_root(std::path::Path::new(root), &[])
-        .map_err(|e| e.to_string())?;
-    let mut out = String::new();
-    let _ = writeln!(out, "discovered from {root}:");
-    out.push_str(&render::render_tree(&d.topology));
-    let _ = writeln!(out, "\nfirmware SLIT:");
-    out.push_str(&render::render_matrix("from", "to", &d.slit));
-    if d.slit_was_flat {
-        let _ = writeln!(
-            out,
-            "\nWARNING: flat SLIT — firmware reports one distance for every\n\
-             remote node (the 'often inaccurate' case, ref [18]); the link\n\
-             graph below is a full mesh because nothing better is knowable.\n\
-             Run the memcpy methodology to recover the real structure."
-        );
-    } else {
-        let _ = writeln!(
-            out,
-            "\nnote: links are SLIT-tier approximations; real wiring is not\n\
-             exposed by sysfs (the paper's hwloc observation, §II-B)."
-        );
-    }
-    Ok(out)
-}
-
-fn cmd_numademo(opts: &Opts) -> Result<String, String> {
-    let cpu = opts.node("cpu", 0)?;
-    let remote = opts.node("remote", 7)?;
-    let fabric = dl585_fabric();
-    let results = numa_memsys::numademo::run_all(&fabric, cpu, remote);
-    let mut out = format!(
-        "numademo work-alike: threads on node {cpu}, remote = node {remote} (Gbit/s)\n"
-    );
-    out.push_str(&numa_memsys::numademo::render(&results));
-    Ok(out)
-}
-
-/// Parse a fault plan JSON file into a validated [`numa_faults::FaultPlan`].
-fn load_fault_plan(path: &str) -> Result<numa_faults::FaultPlan, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    numa_faults::FaultPlan::from_json(&text).map_err(|e| format!("{path}: {e}"))
-}
-
-/// `iomodel faults <demo|validate|run>` — the fault-injection subsystem.
-///
-/// * `demo [--seed N] [--check]` — run the canonical seeded scenario
-///   (link throttle on the 6->7 hop plus an IRQ storm on node 7) against
-///   the Table IV workload; `--check` asserts the run degrades and is
-///   deterministic, printing one OK line (the CI smoke test).
-/// * `validate --plan p.json` — parse and validate a plan file.
-/// * `run --plan p.json [--seed N]` — run an explicit plan file against
-///   the demo workload.
-fn cmd_faults(args: &[String], obs: &numa_obs::Obs) -> Result<String, String> {
-    let (action, rest) = match args.first() {
-        Some(a) if !a.starts_with("--") => (a.as_str(), &args[1..]),
-        _ => ("demo", args),
-    };
-    let opts = Opts::parse(rest)?;
-    let fabric = dl585_fabric();
-    match action {
-        "demo" => {
-            let seed: u64 = opts.num("seed", 42)?;
-            let report =
-                numa_faults::run_demo(&fabric, seed, Some(obs)).map_err(|e| e.to_string())?;
-            if opts.flag("check") {
-                let again =
-                    numa_faults::run_demo(&fabric, seed, None).map_err(|e| e.to_string())?;
-                if again.render() != report.render() {
-                    return Err("fault demo is not deterministic across runs".into());
-                }
-                if report.degradation() <= 0.0 {
-                    return Err("fault demo produced no degradation".into());
-                }
-                Ok(format!(
-                    "fault demo OK: seed {seed}, {:.1}% aggregate degradation, deterministic\n",
-                    100.0 * report.degradation()
-                ))
-            } else {
-                Ok(report.render())
-            }
-        }
-        "validate" => {
-            let path = opts.get("plan").ok_or("--plan <plan.json> required")?;
-            let plan = load_fault_plan(path)?;
-            Ok(format!("{path}: OK ({} faults, seed {})\n", plan.faults.len(), plan.seed))
-        }
-        "run" => {
-            let path = opts.get("plan").ok_or("--plan <plan.json> required")?;
-            let plan = load_fault_plan(path)?;
-            let report =
-                numa_faults::run_plan(&fabric, &plan, Some(obs)).map_err(|e| e.to_string())?;
-            Ok(report.render())
-        }
-        other => Err(format!("faults: unknown action '{other}' (want demo|validate|run)")),
-    }
-}
-
-fn cmd_run(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, String> {
-    let path = opts.get("jobfile").ok_or("--jobfile <path> required")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let named = numa_fio::parse_jobfile(&text).map_err(|e| e.to_string())?;
-    if named.is_empty() {
-        return Err("job file defines no jobs".into());
-    }
-    let jobs: Vec<numa_fio::JobSpec> = named.iter().map(|(_, j)| j.clone()).collect();
-    let fabric = dl585_fabric();
-    let report = if let Some(plan_path) = opts.get("faults") {
-        // Arm the fault plan between lowering and running, then fold the
-        // raw simulator output into the standard per-job report.
-        let plan = load_fault_plan(plan_path)?;
-        let (sim, flow_job) = numa_fio::build_sim(&fabric, &jobs).map_err(|e| e.to_string())?;
-        let mut sim = sim.with_obs(obs.clone());
-        numa_faults::FaultInjector::new(plan)
-            .arm(&mut sim, &fabric)
-            .map_err(|e| e.to_string())?;
-        let raw = sim.run().map_err(|e| e.to_string())?;
-        numa_fio::assemble_report(&jobs, raw, &flow_job)
-    } else {
-        numa_fio::run_jobs_observed(&fabric, &jobs, obs).map_err(|e| e.to_string())?
-    };
-    let mut out = String::new();
-    for ((name, _), jr) in named.iter().zip(&report.jobs) {
-        let _ = writeln!(
-            out,
-            "{name}: {} -> {:.2} Gbit/s aggregate ({} streams, {:.1}s)",
-            jr.describe,
-            jr.aggregate_gbps,
-            jr.per_stream_gbps.len(),
-            jr.makespan_s
-        );
-    }
-    let _ = writeln!(
-        out,
-        "TOTAL: {:.2} Gbit/s over {:.1}s",
-        report.aggregate_gbps, report.makespan_s
-    );
-    Ok(out)
-}
-
-fn cmd_diff(opts: &Opts) -> Result<String, String> {
-    let a = opts.get("old").ok_or("--old <model.json> required")?;
-    let b = opts.get("new").ok_or("--new <model.json> required")?;
-    let tolerance: f64 = opts.num("tolerance", 0.05)?;
-    let read = |p: &str| -> Result<numio_core::IoPerfModel, String> {
-        let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
-        numio_core::IoPerfModel::from_json(&text).map_err(|e| format!("{p}: {e}"))
-    };
-    let old = read(a)?;
-    let new = read(b)?;
-    let d = numio_core::diff_models(&old, &new).map_err(|e| e.to_string())?;
-    let mut out = d.render();
-    let _ = writeln!(
-        out,
-        "verdict: {}",
-        if d.is_stable(tolerance) { "STABLE (model still valid)" } else { "DRIFTED (re-characterize)" }
-    );
-    Ok(out)
-}
-
-fn cmd_sched(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, String> {
-    use numa_sched::policy::{HopGreedy, LocalOnly, ModelDriven, ModelDrivenMigrating, SpreadAll};
-    use numa_sched::{metrics, trace, Scheduler};
-    let tasks_n: usize = opts.num("tasks", 12)?;
-    let gap: f64 = opts.num("gap", 1.0)?;
-    let seed: u64 = opts.num("seed", 42)?;
-    let mix = match opts.get("mix").unwrap_or("ingest") {
-        "ingest" => trace::MixProfile::Ingest,
-        "serve" => trace::MixProfile::Serve,
-        "uniform" => trace::MixProfile::Uniform,
-        other => return Err(format!("--mix must be ingest|serve|uniform, got '{other}'")),
-    };
-    let platform = SimPlatform::dl585();
-    let tasks = if opts.flag("premium") {
-        trace::premium_burst(tasks_n, mix, seed)
-    } else if opts.flag("burst") {
-        trace::burst(tasks_n, mix, seed)
-    } else {
-        trace::poisson(tasks_n, gap, mix, seed)
-    };
-    let scheduler = Scheduler::new(&platform);
-    let reports = vec![
-        scheduler
-            .run_observed(tasks.clone(), LocalOnly::new(), obs)
-            .map_err(|e| e.to_string())?,
-        scheduler
-            .run_observed(tasks.clone(), HopGreedy::new(), obs)
-            .map_err(|e| e.to_string())?,
-        scheduler
-            .run_observed(tasks.clone(), SpreadAll::new(), obs)
-            .map_err(|e| e.to_string())?,
-        scheduler
-            .run_observed(tasks.clone(), ModelDriven::from_platform(&platform), obs)
-            .map_err(|e| e.to_string())?,
-        scheduler
-            .run_observed(
-                tasks,
-                ModelDrivenMigrating::new(ModelDriven::from_platform(&platform), 2.0, 3),
-                obs,
-            )
-            .map_err(|e| e.to_string())?,
-    ];
-    Ok(metrics::render_comparison(&reports))
-}
-
-/// One raw memcpy probe, intended to run under `numactl` on a real NUMA
-/// host (see `emit-script`). Prints a CSV line: `node,gbps` per repetition.
-fn cmd_probe(opts: &Opts) -> Result<String, String> {
-    let node: u16 = opts.num("node", 0)?;
-    let threads: u32 = opts.num("threads", 4)?;
-    let reps: u32 = opts.num("reps", 20)?;
-    let mib: u64 = opts.num("mib", 64)?;
-    let platform = HostPlatform { nodes: 1, cores_per_node: threads };
-    let samples = platform.run_copy(&numio_core::CopySpec {
-        bind: NodeId(0),
-        src: NodeId(0),
-        dst: NodeId(0),
-        threads,
-        bytes_per_thread: mib << 20,
-        reps,
-    });
-    let mut out = String::new();
-    for s in samples {
-        let _ = writeln!(out, "{node},{s:.4}");
-    }
-    Ok(out)
-}
-
-/// Emit a shell script that reproduces Algorithm 1 on a real NUMA host by
-/// wrapping `iomodel probe` in `numactl`. Single `--membind` per probe is
-/// the standard approximation without libnuma: it measures the node-i <->
-/// node-k path component (both buffers on i, copiers on k). Collect the
-/// CSV and feed it back through `iomodel import`.
-fn cmd_emit_script(opts: &Opts) -> Result<String, String> {
-    let target = opts.node("target", 7)?;
-    let nodes: usize = opts.num("nodes", 8)?;
-    let reps: u32 = opts.num("reps", 20)?;
-    let mut out = String::new();
-    let _ = writeln!(out, "#!/bin/sh");
-    let _ = writeln!(out, "# Algorithm 1 probes for target node {target} on a real NUMA host.");
-    let _ = writeln!(out, "# Requires numactl and the iomodel binary on PATH.");
-    let _ = writeln!(out, "set -e");
-    let _ = writeln!(out, "OUT=iomodel_probes.csv");
-    let _ = writeln!(out, ": > \"$OUT\"");
-    for i in 0..nodes {
-        let _ = writeln!(
-            out,
-            "numactl --cpunodebind={target} --membind={i} \\\n  iomodel probe --node {i} --reps {reps} >> \"$OUT\""
-        );
-    }
-    let _ = writeln!(
-        out,
-        "echo \"done; build the model with: iomodel import --csv $OUT --target {target} --mode write\""
-    );
-    Ok(out)
-}
-
-/// Build a performance model from probe CSV (`node,gbps` lines, multiple
-/// samples per node) and print/persist it.
-fn cmd_import(opts: &Opts) -> Result<String, String> {
-    let path = opts.get("csv").ok_or("--csv <file> required")?;
-    let target = opts.node("target", 7)?;
-    let mode = opts.mode()?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let topo = presets::dl585_testbed();
-    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); topo.num_nodes()];
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (n, v) = line
-            .split_once(',')
-            .ok_or_else(|| format!("{path}:{}: expected node,gbps", lineno + 1))?;
-        let n: usize = n.trim().parse().map_err(|_| format!("{path}:{}: bad node", lineno + 1))?;
-        let v: f64 = v.trim().parse().map_err(|_| format!("{path}:{}: bad gbps", lineno + 1))?;
-        if n >= samples.len() {
-            return Err(format!("{path}:{}: node {n} out of range", lineno + 1));
-        }
-        samples[n].push(v);
-    }
-    if samples.iter().any(|s| s.is_empty()) {
-        let missing: Vec<usize> =
-            samples.iter().enumerate().filter(|(_, s)| s.is_empty()).map(|(i, _)| i).collect();
-        return Err(format!("no samples for nodes {missing:?}"));
-    }
-    let per_node: Vec<numa_engine::Summary> =
-        samples.iter().map(|s| numa_engine::Summary::from(s)).collect();
-    let means: Vec<f64> = per_node.iter().map(|s| s.mean).collect();
-    let classes = numio_core::classify(
-        &topo,
-        target,
-        &means,
-        numio_core::ClassifyParams::default(),
-    );
-    let model = numio_core::IoPerfModel::new(
-        target,
-        mode,
-        per_node,
-        classes,
-        format!("imported:{path}"),
-    );
-    if opts.flag("json") {
-        Ok(model.to_json())
-    } else {
-        Ok(render_model(&model))
-    }
-}
-
-fn cmd_latency(opts: &Opts) -> Result<String, String> {
-    let cpu = opts.node("cpu", 0)?;
-    let topo = presets::dl585_testbed();
-    let bench = numa_memsys::LatencyBench::paper();
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "pointer-chase latency staircase (lat_mem_rd style), threads on node {cpu}:"
-    );
-    let _ = writeln!(out, "{:>12} {:>12} {:>12} {:>12}", "working set", "local", "neighbour", "remote(n4)");
-    let neighbour = NodeId(cpu.0 ^ 1);
-    for point in bench.curve(&topo, cpu, cpu, 256 << 20) {
-        let nb = bench.latency_ns(&topo, cpu, neighbour, point.bytes);
-        let far = bench.latency_ns(&topo, cpu, NodeId(4), point.bytes);
-        let label = if point.bytes >= 1 << 20 {
-            format!("{} MiB", point.bytes >> 20)
-        } else {
-            format!("{} KiB", point.bytes >> 10)
-        };
-        let _ = writeln!(out, "{label:>12} {:>10.1}ns {nb:>10.1}ns {far:>10.1}ns", point.ns);
-    }
-    let _ = writeln!(
-        out,
-        "
-measured NUMA factor (DRAM plateaus): {:.2} (Table I row 2: 2.7)",
-        bench.measured_numa_factor(&topo)
-    );
-    Ok(out)
-}
-
-fn cmd_netpath(opts: &Opts) -> Result<String, String> {
-    let op = opts.nic_op()?;
-    let rtt: f64 = opts.num("rtt", 0.005)?;
-    let local = dl585_fabric();
-    let remote = dl585_fabric();
-    let mut path = numa_iodev::TwoHostPath::paper();
-    path.rtt_ms = rtt;
-    let m = path.matrix(op, &local, &remote);
-    let mut out = format!(
-        "end-to-end {op:?} between two testbed hosts (RTT {rtt} ms), Gbit/s:\n"
-    );
-    let _ = write!(out, "{:>8}", "tx\\rx");
-    for r in 0..8 {
-        let _ = write!(out, "{r:>8}");
-    }
-    let _ = writeln!(out);
-    for (l, row) in m.iter().enumerate() {
-        let _ = write!(out, "{l:>8}");
-        for v in row {
-            let _ = write!(out, "{v:>8.2}");
-        }
-        let _ = writeln!(out);
-    }
-    let _ = writeln!(out, "window/RTT cap: {:.2} Gbit/s", path.window_cap_gbps());
-    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use numa_topology::NodeId;
 
     fn run_str(args: &[&str]) -> Result<String, String> {
         run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
@@ -1004,6 +246,103 @@ mod tests {
         let out = run_str(&["characterize", "--reps", "5", "--mode", "read"]).unwrap();
         assert!(out.contains("device read"));
         assert!(out.contains("class 4"), "{out}");
+    }
+
+    #[test]
+    fn characterize_check_verifies_sim_determinism() {
+        let out = run_str(&["characterize", "--reps", "3", "--check"]).unwrap();
+        assert!(out.contains("characterize check OK"), "{out}");
+        assert!(out.contains("bit-identical"), "{out}");
+        assert!(out.contains("class partition matches Table IV"), "{out}");
+    }
+
+    #[test]
+    fn record_then_replay_through_the_cli() {
+        let dir = std::env::temp_dir().join("numio-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let fix = dir.join("recorded.jsonl");
+        let out =
+            run_str(&["record", "--out", fix.to_str().unwrap(), "--reps", "3", "--target", "7"])
+                .unwrap();
+        assert!(out.contains("recorded 8 probes (1 models)"), "{out}");
+        let spec = format!("replay:{}", fix.display());
+        // Replay renders exactly what the live simulator run rendered.
+        let live = run_str(&["characterize", "--reps", "3"]).unwrap();
+        let replayed = run_str(&["characterize", "--backend", &spec, "--reps", "3"]).unwrap();
+        assert_eq!(live, replayed, "replay must be bit-identical to the live run");
+        let checked =
+            run_str(&["characterize", "--backend", &spec, "--reps", "3", "--check"]).unwrap();
+        assert!(checked.contains("characterize check OK"), "{checked}");
+        assert!(checked.contains("backend sim:dl585-g7"), "{checked}");
+        // A probe the fixture does not cover is a typed error, not a panic.
+        let e = run_str(&["characterize", "--backend", &spec, "--reps", "4"]).unwrap_err();
+        assert!(e.contains("no recorded probe"), "{e}");
+    }
+
+    #[test]
+    fn shipped_fixture_replays_with_check() {
+        let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/fixtures/dl585.jsonl");
+        let spec = format!("replay:{fixture}");
+        let out = run_str(&["characterize", "--backend", &spec, "--check"]).unwrap();
+        assert!(out.contains("characterize check OK"), "{out}");
+        assert!(out.contains("class partition matches Table IV"), "{out}");
+    }
+
+    #[test]
+    fn backend_flag_rejects_unknown_specs() {
+        let e = run_str(&["characterize", "--backend", "quantum"]).unwrap_err();
+        assert!(e.contains("unknown backend"), "{e}");
+        let e = run_str(&["characterize", "--backend", "replay:/no/such.jsonl"]).unwrap_err();
+        assert!(e.contains("/no/such.jsonl"), "{e}");
+    }
+
+    #[test]
+    fn fabricless_backends_error_clearly() {
+        // Flow-running commands need the simulator fabric.
+        let e = run_str(&["sweep", "--backend", "host:2"]).unwrap_err();
+        assert!(e.contains("exposes no simulator fabric"), "{e}");
+        let e = run_str(&["sched", "--backend", "host:2"]).unwrap_err();
+        assert!(e.contains("no fabric to schedule over"), "{e}");
+        // Probe-running commands need a topology.
+        let e = run_str(&["characterize", "--backend", "host:2", "--reps", "1"]).unwrap_err();
+        assert!(e.contains("carries no topology"), "{e}");
+        // record without a destination is a usage error.
+        assert!(run_str(&["record", "--reps", "1"]).is_err());
+    }
+
+    #[test]
+    fn record_and_replay_emit_probe_events() {
+        let dir = std::env::temp_dir().join("numio-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let fix = dir.join("events.jsonl");
+        let obs = numa_obs::Obs::new();
+        let args: Vec<String> =
+            ["record", "--out", fix.to_str().unwrap(), "--reps", "2", "--target", "7"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        run_observed(&args, &obs).unwrap();
+        assert!(obs.jsonl().contains("\"ev\":\"probe_recorded\""), "{}", obs.jsonl());
+        assert_eq!(
+            obs.counter("numio_probes_recorded_total", &[("backend", "sim")]).get(),
+            8
+        );
+        let obs2 = numa_obs::Obs::new();
+        let spec = format!("replay:{}", fix.display());
+        let args: Vec<String> = ["characterize", "--backend", &spec, "--reps", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run_observed(&args, &obs2).unwrap();
+        assert!(obs2.jsonl().contains("\"ev\":\"probe_replayed\""), "{}", obs2.jsonl());
+        assert_eq!(
+            obs2.counter("numio_probes_replayed_total", &[("backend", "replay")]).get(),
+            8
+        );
+        assert_eq!(
+            obs2.counter("numio_probes_total", &[("node", "N7"), ("backend", "replay")]).get(),
+            2
+        );
     }
 
     #[test]
@@ -1267,7 +606,10 @@ mod tests {
         let args: Vec<String> =
             ["characterize", "--reps", "3"].iter().map(|s| s.to_string()).collect();
         run_observed(&args, &obs).unwrap();
-        assert_eq!(obs.counter("numio_probes_total", &[("node", "N7")]).get(), 3);
+        assert_eq!(
+            obs.counter("numio_probes_total", &[("node", "N7"), ("backend", "sim")]).get(),
+            3
+        );
         assert!(obs.prometheus().contains("numio_probe_gbps_bucket"));
     }
 

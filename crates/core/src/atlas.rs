@@ -9,7 +9,7 @@
 
 use crate::model::{IoPerfModel, TransferMode};
 use crate::modeler::IoModeler;
-use crate::platform::SimPlatform;
+use crate::platform::Platform;
 use numa_topology::NodeId;
 use serde::{Deserialize, Serialize};
 
@@ -33,8 +33,9 @@ impl Atlas {
         Atlas { platform, models }
     }
 
-    /// Characterize every node of a platform, both directions, in parallel.
-    pub fn characterize(platform: &SimPlatform, modeler: &IoModeler) -> Self {
+    /// Characterize every node of any backend, both directions (in
+    /// parallel when the platform's probes are pure).
+    pub fn characterize<P: Platform>(platform: &P, modeler: &IoModeler) -> Self {
         Self::new(modeler.characterize_full_host(platform))
     }
 
@@ -89,6 +90,7 @@ impl Atlas {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::platform::SimPlatform;
 
     fn atlas() -> Atlas {
         let platform = SimPlatform::dl585();

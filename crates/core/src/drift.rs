@@ -8,6 +8,8 @@
 //! only re-characterize fully when membership moved).
 
 use crate::model::IoPerfModel;
+use crate::modeler::IoModeler;
+use crate::platform::{Platform, PlatformError};
 use numa_topology::NodeId;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -34,6 +36,46 @@ impl std::fmt::Display for DiffError {
 }
 
 impl std::error::Error for DiffError {}
+
+/// Why [`recharacterize_and_diff`] could not produce a drift report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecheckError {
+    /// Re-probing the backend failed (no topology, missing replay probe,
+    /// host measurement failure, ...).
+    Probe(PlatformError),
+    /// The fresh model could not be compared against the stored one.
+    Diff(DiffError),
+}
+
+impl std::fmt::Display for RecheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecheckError::Probe(e) => write!(f, "re-characterization failed: {e}"),
+            RecheckError::Diff(e) => write!(f, "models are not comparable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecheckError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecheckError::Probe(e) => Some(e),
+            RecheckError::Diff(e) => Some(e),
+        }
+    }
+}
+
+impl From<PlatformError> for RecheckError {
+    fn from(e: PlatformError) -> Self {
+        RecheckError::Probe(e)
+    }
+}
+
+impl From<DiffError> for RecheckError {
+    fn from(e: DiffError) -> Self {
+        RecheckError::Diff(e)
+    }
+}
 
 /// Comparison of two models (`old` vs `new`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,6 +144,18 @@ pub fn diff(old: &IoPerfModel, new: &IoPerfModel) -> Result<ModelDiff, DiffError
     Ok(ModelDiff { rel_delta, moved, max_rel_delta })
 }
 
+/// Re-run `old`'s characterization against `platform` (any backend: live
+/// sim, real host, replay fixture) and diff the fresh model against the
+/// stored one — the one-call revalidation loop the module docs describe.
+pub fn recharacterize_and_diff<P: Platform>(
+    old: &IoPerfModel,
+    platform: &P,
+    modeler: &IoModeler,
+) -> Result<ModelDiff, RecheckError> {
+    let fresh = modeler.try_characterize(platform, old.target, old.mode)?;
+    Ok(diff(old, &fresh)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +211,20 @@ mod tests {
         assert!(!d.moved.is_empty(), "membership should shift: {}", d.render());
         // Node 6 specifically lost bandwidth.
         assert!(d.rel_delta[6] < -0.3, "{}", d.rel_delta[6]);
+    }
+
+    #[test]
+    fn recharacterize_and_diff_closes_the_loop() {
+        let p = SimPlatform::dl585();
+        let stored = model(&p);
+        // Against the same backend: stable.
+        let d = recharacterize_and_diff(&stored, &p, &IoModeler::new().reps(10)).unwrap();
+        assert!(d.is_stable(1e-9));
+        // A backend without a topology is a typed probe error, not a panic.
+        let bare = crate::host::HostPlatform::with_shape(8, 2);
+        let e = recharacterize_and_diff(&stored, &bare, &IoModeler::new().reps(1)).unwrap_err();
+        assert!(matches!(e, RecheckError::Probe(PlatformError::NoTopology { .. })), "{e}");
+        assert!(e.to_string().contains("re-characterization failed"), "{e}");
     }
 
     #[test]

@@ -2,36 +2,75 @@
 //!
 //! [`HostPlatform`] runs the same Algorithm 1 probes as the simulator, but
 //! with real threads doing real `memcpy` on the machine executing this
-//! code. It does **not** pin threads or memory (that requires `libnuma` /
-//! `numactl`, outside this reproduction's dependency budget — see
-//! DESIGN.md §7): on a NUMA host, run the binary under
-//! `numactl --cpunodebind=K --membind=I` exactly as the paper ran STREAM;
-//! on a UMA host every "node" measures the same and the classifier
+//! code (the measurement loop itself lives in `numa_memsys::CopyProbe`,
+//! next to the real STREAM kernels). It does **not** pin threads or memory
+//! (that requires `libnuma` / `numactl`, outside this reproduction's
+//! dependency budget — see DESIGN.md §7): on a NUMA host, run the binary
+//! under `numactl --cpunodebind=K --membind=I` exactly as the paper ran
+//! STREAM; on a UMA host every "node" measures the same and the classifier
 //! correctly reports a single remote class.
+//!
+//! Shape comes from one of three places: an explicit node count
+//! ([`HostPlatform::new`], which also attaches a matching preset topology
+//! for the 4- and 8-node shapes), a fully explicit shape
+//! ([`HostPlatform::with_shape`]), or real sysfs discovery
+//! ([`HostPlatform::discover`]).
 
-use crate::platform::{CopySpec, Platform};
-use bytes::BytesMut;
-use numa_topology::NodeId;
-use parking_lot::Mutex;
-use std::time::Instant;
+use crate::platform::{ClockSource, CopySpec, Platform, PlatformError};
+use numa_memsys::CopyProbe;
+use numa_topology::{presets, sysfs, NodeId, Topology};
 
 /// Real-memcpy probe backend.
 #[derive(Debug, Clone)]
 pub struct HostPlatform {
-    /// How many NUMA nodes to pretend the host has (probe labelling only;
-    /// without pinning all probes hit the same physical memory).
-    pub nodes: usize,
-    /// Reported cores per node.
-    pub cores_per_node: u32,
+    nodes: usize,
+    cores_per_node: u32,
+    topology: Option<Topology>,
 }
 
 impl HostPlatform {
-    /// A platform mirroring the testbed's 8x4 shape.
+    /// A platform with `nodes` NUMA nodes and up to 4 worker cores each
+    /// (probe labelling only; without pinning all probes hit the same
+    /// physical memory). The 4- and 8-node shapes get a matching preset
+    /// topology attached so the modeler's convenience entry points work
+    /// without an explicit topology.
     pub fn new(nodes: usize) -> Self {
         let parallelism = std::thread::available_parallelism()
             .map(|n| n.get() as u32)
             .unwrap_or(4);
-        HostPlatform { nodes, cores_per_node: parallelism.clamp(1, 4) }
+        let topology = match nodes {
+            4 => Some(presets::intel_4s4n()),
+            8 => Some(presets::amd_4s8n()),
+            _ => None,
+        };
+        HostPlatform { nodes, cores_per_node: parallelism.clamp(1, 4), topology }
+    }
+
+    /// A platform with a fully explicit shape and no topology attached.
+    pub fn with_shape(nodes: usize, cores_per_node: u32) -> Self {
+        HostPlatform { nodes, cores_per_node: cores_per_node.max(1), topology: None }
+    }
+
+    /// Discover the shape of the machine we are running on from a sysfs
+    /// node tree rooted at `root` (pass `/sys/devices/system/node` for the
+    /// live system). The discovered [`Topology`] is attached, so
+    /// `characterize` works directly on the result.
+    pub fn discover_from_root(root: &std::path::Path) -> Result<Self, sysfs::SysfsError> {
+        let discovered = sysfs::discover_from_root(root, &[])?;
+        let topo = discovered.topology;
+        let nodes = topo.num_nodes();
+        let cores = (0..nodes)
+            .map(|n| topo.node(NodeId(n as u16)).cores)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        Ok(HostPlatform { nodes, cores_per_node: cores, topology: Some(topo) })
+    }
+
+    /// [`discover_from_root`](Self::discover_from_root) against the live
+    /// `/sys` tree.
+    pub fn discover() -> Result<Self, sysfs::SysfsError> {
+        Self::discover_from_root(std::path::Path::new("/sys/devices/system/node"))
     }
 }
 
@@ -44,54 +83,33 @@ impl Platform for HostPlatform {
         self.cores_per_node
     }
 
-    fn run_copy(&self, spec: &CopySpec) -> Vec<f64> {
-        spec.validate().unwrap_or_else(|e| panic!("{e}"));
-        let bytes = spec.bytes_per_thread as usize;
-        let threads = spec.threads as usize;
-        // One source/sink pair per worker, touched once to fault pages in.
-        let mut buffers: Vec<(BytesMut, BytesMut)> = (0..threads)
-            .map(|_| {
-                let src = BytesMut::zeroed(bytes);
-                let dst = BytesMut::zeroed(bytes);
-                (src, dst)
-            })
-            .collect();
-
-        let mut samples = Vec::with_capacity(spec.reps as usize);
-        for _ in 0..spec.reps {
-            // Per-thread timings land in a shared vector; the repetition's
-            // bandwidth is total bytes over the slowest worker (all workers
-            // must finish, as in Algorithm 1's thread_join loop).
-            let durations: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(threads));
-            crossbeam::thread::scope(|s| {
-                for (src, dst) in buffers.iter_mut() {
-                    let src: &[u8] = &src[..];
-                    let dst: &mut [u8] = &mut dst[..];
-                    let durations = &durations;
-                    s.spawn(move |_| {
-                        let start = Instant::now();
-                        dst.copy_from_slice(src);
-                        // Keep the copy observable.
-                        std::hint::black_box(dst.first().copied());
-                        durations.lock().push(start.elapsed().as_secs_f64());
-                    });
-                }
-            })
-            .expect("copy worker panicked");
-            let slowest = durations
-                .lock()
-                .iter()
-                .cloned()
-                .fold(0.0_f64, f64::max)
-                .max(1e-9);
-            let gbits = (bytes * threads) as f64 * 8.0 / 1e9;
-            samples.push(gbits / slowest);
-        }
-        samples
+    fn probe(&self, spec: &CopySpec) -> Result<Vec<f64>, PlatformError> {
+        spec.validate()?;
+        let probe = CopyProbe {
+            threads: spec.threads,
+            bytes_per_thread: spec.bytes_per_thread,
+            reps: spec.reps,
+        };
+        probe.run().map_err(|e| PlatformError::Probe {
+            label: Platform::label(self),
+            reason: e.to_string(),
+        })
     }
 
     fn label(&self) -> String {
         format!("host:{}-nodes", self.nodes)
+    }
+
+    fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    fn clock(&self) -> ClockSource {
+        ClockSource::WallClock
+    }
+
+    fn backend_kind(&self) -> &'static str {
+        "host"
     }
 }
 
@@ -150,5 +168,31 @@ mod tests {
         assert_eq!(p.num_nodes(), 8);
         assert!(p.cores_per_node(NodeId(0)) >= 1);
         assert!(p.cores_per_node(NodeId(0)) <= 4);
+    }
+
+    #[test]
+    fn known_shapes_carry_a_topology() {
+        assert_eq!(
+            HostPlatform::new(4).topology().map(|t| t.num_nodes()),
+            Some(4)
+        );
+        assert_eq!(
+            HostPlatform::new(8).topology().map(|t| t.num_nodes()),
+            Some(8)
+        );
+        assert!(HostPlatform::new(3).topology().is_none());
+        assert!(HostPlatform::with_shape(2, 2).topology().is_none());
+    }
+
+    #[test]
+    fn host_capability_metadata() {
+        let p = HostPlatform::new(2);
+        assert_eq!(p.clock(), ClockSource::WallClock);
+        assert!(!p.deterministic());
+        assert_eq!(p.backend_kind(), "host");
+        assert!(Platform::fabric(&p).is_none());
+        // Bad specs come back typed, not as panics.
+        let e = p.try_run_copy(&CopySpec { threads: 0, ..quick_spec() }).unwrap_err();
+        assert_eq!(e, PlatformError::ZeroThreads);
     }
 }

@@ -14,10 +14,12 @@
 //! ## Layout
 //!
 //! * [`Platform`] — the probe surface: "run `m` copy threads bound to node
-//!   `k`, copying from node `i` to node `j`, report bandwidth".
-//!   [`SimPlatform`] backs it with the calibrated simulator;
-//!   [`HostPlatform`] backs it with real threads and real `memcpy` on the
-//!   machine running this code.
+//!   `k`, copying from node `i` to node `j`, report bandwidth", plus
+//!   capability metadata (topology handle, clock source, determinism,
+//!   backend kind). [`SimPlatform`] backs it with the calibrated
+//!   simulator; [`HostPlatform`] backs it with real threads and real
+//!   `memcpy` on the machine running this code; the `numa-backend` crate
+//!   adds record/replay wrappers over any of them.
 //! * [`IoModeler`] — Algorithm 1, verbatim structure.
 //! * [`IoPerfModel`] / [`classify`] — per-node bandwidths + gap-based class
 //!   construction with the paper's local+neighbour rule.
@@ -56,10 +58,10 @@ pub use advisor::{Placement, ScheduleAdvisor};
 pub use atlas::Atlas;
 pub use cbench::{MemCostModel, StreamAdvisor};
 pub use classify::{classify, rank_correlation, ClassifyParams};
-pub use drift::{diff as diff_models, DiffError, ModelDiff};
+pub use drift::{diff as diff_models, recharacterize_and_diff, DiffError, ModelDiff, RecheckError};
 pub use host::HostPlatform;
 pub use model::{IoPerfModel, PerfClass, TransferMode};
 pub use modeler::IoModeler;
-pub use platform::{CopySpec, Platform, PlatformError, SimPlatform};
+pub use platform::{ClockSource, CopySpec, Platform, PlatformError, SimPlatform};
 pub use predict::{predict_aggregate, predict_for_mix, relative_error, WorkloadMix};
 pub use report::{render_comparison_table, render_model};

@@ -156,16 +156,18 @@ impl IoModeler {
         // keep the serial path so probe spans and events interleave the
         // way the exporters' golden tests expect.
         let all_samples: Vec<Vec<f64>> = if obs.is_none() && platform.parallel_probes() {
-            numa_par::map_indexed(n, |i| platform.run_copy(&spec_for(i)))
+            numa_par::map_indexed(n, |i| platform.try_run_copy(&spec_for(i)))
+                .into_iter()
+                .collect::<Result<_, _>>()?
         } else {
-            (0..n)
-                .map(|i| {
-                    let probe_span = obs.map(|o| o.span("modeler.probe_node"));
-                    let samples = platform.run_copy(&spec_for(i));
-                    drop(probe_span);
-                    samples
-                })
-                .collect()
+            let mut collected = Vec::with_capacity(n);
+            for i in 0..n {
+                let probe_span = obs.map(|o| o.span("modeler.probe_node"));
+                let samples = platform.try_run_copy(&spec_for(i))?;
+                drop(probe_span);
+                collected.push(samples);
+            }
+            collected
         };
         let mut per_node = Vec::with_capacity(n);
         for (i, samples) in all_samples.iter().enumerate() {
@@ -173,8 +175,11 @@ impl IoModeler {
             let summary = Summary::from(samples);
             if let Some(o) = obs {
                 let node_label = node.to_string();
-                o.counter("numio_probes_total", &[("node", node_label.as_str())])
-                    .add(samples.len() as u64);
+                o.counter(
+                    "numio_probes_total",
+                    &[("node", node_label.as_str()), ("backend", platform.backend_kind())],
+                )
+                .add(samples.len() as u64);
                 let hist = o.histogram(
                     "numio_probe_gbps",
                     &[("node", node_label.as_str()), ("mode", mode_label)],
@@ -201,32 +206,50 @@ impl IoModeler {
         Ok(IoPerfModel::new(target, mode, per_node, classes, platform.label()))
     }
 
-    /// Characterize on a [`crate::SimPlatform`] (topology comes with it).
-    pub fn characterize(
+    /// Characterize on a platform that carries its own topology (the
+    /// simulator, a discovered host, a replay fixture).
+    ///
+    /// Panics when the platform has no topology; prefer
+    /// [`Self::try_characterize`] for user-driven backends.
+    pub fn characterize<P: Platform>(
         &self,
-        platform: &crate::platform::SimPlatform,
+        platform: &P,
         target: NodeId,
         mode: TransferMode,
     ) -> IoPerfModel {
-        self.characterize_with_topo(platform, platform.fabric().topology(), target, mode)
+        self.try_characterize(platform, target, mode)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible [`Self::characterize`].
-    pub fn try_characterize(
+    /// Fallible [`Self::characterize`]: a platform without a topology
+    /// handle yields [`PlatformError::NoTopology`].
+    pub fn try_characterize<P: Platform>(
         &self,
-        platform: &crate::platform::SimPlatform,
+        platform: &P,
         target: NodeId,
         mode: TransferMode,
     ) -> Result<IoPerfModel, PlatformError> {
-        self.try_characterize_with_topo(platform, platform.fabric().topology(), target, mode)
+        let topo = platform
+            .topology()
+            .ok_or_else(|| PlatformError::NoTopology { label: platform.label() })?;
+        self.try_characterize_inner(platform, topo, target, mode, None)
+    }
+
+    /// Fallible [`Self::characterize_observed`].
+    pub fn try_characterize_observed<P: Platform>(
+        &self,
+        platform: &P,
+        topo: &Topology,
+        target: NodeId,
+        mode: TransferMode,
+        obs: &numa_obs::Obs,
+    ) -> Result<IoPerfModel, PlatformError> {
+        self.try_characterize_inner(platform, topo, target, mode, Some(obs))
     }
 
     /// Characterize both directions of every I/O node the platform knows
     /// about — the full system model.
-    pub fn characterize_all(
-        &self,
-        platform: &crate::platform::SimPlatform,
-    ) -> Vec<IoPerfModel> {
+    pub fn characterize_all<P: Platform>(&self, platform: &P) -> Vec<IoPerfModel> {
         let mut models = Vec::new();
         for target in platform.io_nodes() {
             for mode in TransferMode::ALL {
@@ -239,21 +262,27 @@ impl IoModeler {
 
 impl IoModeler {
     /// Characterize **every node** of the platform as a hypothetical device
-    /// site, both directions, in parallel ([`numa_par::map_indexed`]).
-    /// Returns `2 * n` models ordered `(node 0 write, node 0 read,
-    /// node 1 write, ...)` — the full host atlas a cluster scheduler would
-    /// persist. Deterministic: every model equals what the serial loop
-    /// would produce in the same slot.
-    pub fn characterize_full_host(
-        &self,
-        platform: &crate::platform::SimPlatform,
-    ) -> Vec<IoPerfModel> {
+    /// site, both directions. Returns `2 * n` models ordered `(node 0
+    /// write, node 0 read, node 1 write, ...)` — the full host atlas a
+    /// cluster scheduler would persist.
+    ///
+    /// Platforms with pure probes ([`Platform::parallel_probes`]) fan out
+    /// across threads ([`numa_par::map_indexed`]); everything else — real
+    /// hardware, recording wrappers that must log probes in a stable
+    /// order — runs serially. Deterministic either way: every model
+    /// equals what the serial loop would produce in the same slot.
+    pub fn characterize_full_host<P: Platform>(&self, platform: &P) -> Vec<IoPerfModel> {
         let n = platform.num_nodes();
-        numa_par::map_indexed(2 * n, |k| {
+        let model_for = |k: usize| {
             let target = NodeId::new(k / 2);
             let mode = TransferMode::ALL[k % 2];
             self.characterize(platform, target, mode)
-        })
+        };
+        if platform.parallel_probes() {
+            numa_par::map_indexed(2 * n, model_for)
+        } else {
+            (0..2 * n).map(model_for).collect()
+        }
     }
 }
 
@@ -328,9 +357,9 @@ mod tests {
         // Same result as the unobserved path.
         let plain = IoModeler::new().reps(reps).characterize(&p, NodeId(7), TransferMode::Write);
         assert_eq!(model, plain);
-        // 8 nodes probed `reps` times each.
+        // 8 nodes probed `reps` times each, attributed to the sim backend.
         assert_eq!(
-            obs.counter("numio_probes_total", &[("node", "N0")]).get(),
+            obs.counter("numio_probes_total", &[("node", "N0"), ("backend", "sim")]).get(),
             u64::from(reps)
         );
         let prom = obs.prometheus();

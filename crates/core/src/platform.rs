@@ -2,7 +2,7 @@
 
 use numa_fabric::calibration::dl585_fabric;
 use numa_fabric::Fabric;
-use numa_topology::NodeId;
+use numa_topology::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// In the paper's methodology `bind` is always the *target* node (the one
 /// with the I/O devices) so the copy threads stand in for the device's DMA
 /// engine (Fig. 9); `src`/`dst` carry the direction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CopySpec {
     /// Node the copy threads are pinned to.
     pub bind: NodeId,
@@ -72,6 +72,25 @@ pub enum PlatformError {
         /// Nodes the topology has.
         topology: usize,
     },
+    /// The platform carries no topology handle, but the caller needed one
+    /// (e.g. `IoModeler::characterize` without an explicit topology).
+    NoTopology {
+        /// The platform's [`Platform::label`].
+        label: String,
+    },
+    /// The probe itself failed on a real-measurement backend (thread
+    /// spawn, affinity binding, ...).
+    Probe {
+        /// The platform's [`Platform::label`].
+        label: String,
+        /// What went wrong, in the backend's own words.
+        reason: String,
+    },
+    /// A replay backend has no recorded sample set for this exact spec.
+    NoRecordedProbe {
+        /// The spec that missed.
+        spec: CopySpec,
+    },
 }
 
 impl std::fmt::Display for PlatformError {
@@ -90,11 +109,56 @@ impl std::fmt::Display for PlatformError {
                 f,
                 "platform and topology disagree on node count ({platform} vs {topology})"
             ),
+            PlatformError::NoTopology { label } => write!(
+                f,
+                "platform '{label}' carries no topology; pass one explicitly \
+                 (characterize_with_topo) or use a backend that embeds it"
+            ),
+            PlatformError::Probe { label, reason } => {
+                write!(f, "probe failed on '{label}': {reason}")
+            }
+            PlatformError::NoRecordedProbe { spec } => write!(
+                f,
+                "no recorded probe for bind {} src {} dst {} ({} threads, {} bytes, {} reps); \
+                 the replay fixture does not cover this spec",
+                spec.bind.index(),
+                spec.src.index(),
+                spec.dst.index(),
+                spec.threads,
+                spec.bytes_per_thread,
+                spec.reps
+            ),
         }
     }
 }
 
 impl std::error::Error for PlatformError {}
+
+/// Where a platform's bandwidth samples come from in time.
+///
+/// Purely informational metadata: reports and fixtures carry it so a
+/// reader can tell a simulated result from a wall-clock measurement from
+/// a replayed capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ClockSource {
+    /// Samples are functions of simulated time (deterministic).
+    SimTime,
+    /// Samples are real wall-clock measurements.
+    WallClock,
+    /// Samples were captured earlier and are replayed verbatim.
+    Recorded,
+}
+
+impl std::fmt::Display for ClockSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClockSource::SimTime => write!(f, "sim-time"),
+            ClockSource::WallClock => write!(f, "wall-clock"),
+            ClockSource::Recorded => write!(f, "recorded"),
+        }
+    }
+}
 
 /// Anything the modeler can probe: the simulator, a real host, or (on a
 /// real NUMA machine, outside this repo's scope) `libnuma`-pinned threads.
@@ -110,14 +174,25 @@ pub trait Platform: Sync {
     fn cores_per_node(&self, node: NodeId) -> u32;
 
     /// Execute a probe, returning one aggregate bandwidth sample (Gbit/s)
-    /// per repetition.
+    /// per repetition — the one required measurement entry point.
     ///
-    /// Panics on an invalid spec; use [`try_run_copy`](Self::try_run_copy)
-    /// when the spec comes from user input.
-    fn run_copy(&self, spec: &CopySpec) -> Vec<f64>;
+    /// Implementations may assume nothing about the spec and should return
+    /// a typed [`PlatformError`] (not panic) on anything unexpected:
+    /// callers normally reach this through
+    /// [`try_run_copy`](Self::try_run_copy), which has already validated
+    /// the spec structurally and range-checked its nodes.
+    fn probe(&self, spec: &CopySpec) -> Result<Vec<f64>, PlatformError>;
 
-    /// Fallible [`run_copy`](Self::run_copy): validates the spec (and, for
-    /// platforms that can tell, its node references) before probing.
+    /// Execute a probe, panicking on an invalid spec or a failed
+    /// measurement; use [`try_run_copy`](Self::try_run_copy) when the spec
+    /// comes from user input. Kept for the historical call sites — the
+    /// panic message is the typed error's `Display`.
+    fn run_copy(&self, spec: &CopySpec) -> Vec<f64> {
+        self.try_run_copy(spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`run_copy`](Self::run_copy): validates the spec (and its
+    /// node references) before delegating to [`probe`](Self::probe).
     fn try_run_copy(&self, spec: &CopySpec) -> Result<Vec<f64>, PlatformError> {
         spec.validate()?;
         let nodes = self.num_nodes();
@@ -126,7 +201,7 @@ pub trait Platform: Sync {
                 return Err(PlatformError::NodeOutOfRange { node, nodes });
             }
         }
-        Ok(self.run_copy(spec))
+        self.probe(spec)
     }
 
     /// May the modeler run several [`run_copy`](Self::run_copy) probes
@@ -148,6 +223,42 @@ pub trait Platform: Sync {
     /// A short label for reports.
     fn label(&self) -> String {
         "platform".to_string()
+    }
+
+    /// The topology this platform measures, when it knows one. The modeler
+    /// uses this for the `characterize*` conveniences; platforms without a
+    /// topology (e.g. a bare-shape host) return `None` and callers must
+    /// supply one via `characterize_with_topo`.
+    fn topology(&self) -> Option<&Topology> {
+        None
+    }
+
+    /// The interconnect fabric behind this platform, when the backend is
+    /// (or wraps) the simulator. Consumers that lower work onto the
+    /// simulator — `fio::run_jobs`, the scheduler, fault injection — need
+    /// this; measurement-only backends (host, replay) return `None` and
+    /// those consumers surface a typed "no fabric" error.
+    fn fabric(&self) -> Option<&Fabric> {
+        None
+    }
+
+    /// Where this platform's samples come from in time.
+    fn clock(&self) -> ClockSource {
+        ClockSource::WallClock
+    }
+
+    /// Whether repeated identical probes return bit-identical samples.
+    /// `true` for the seeded simulator and for replay; `false` for real
+    /// hardware.
+    fn deterministic(&self) -> bool {
+        false
+    }
+
+    /// Stable short name of the backend family (`"sim"`, `"host"`,
+    /// `"record"`, `"replay"`) — used as the `backend` label on probe
+    /// metrics.
+    fn backend_kind(&self) -> &'static str {
+        "custom"
     }
 }
 
@@ -207,8 +318,8 @@ impl Platform for SimPlatform {
         self.fabric.topology().node(node).cores
     }
 
-    fn run_copy(&self, spec: &CopySpec) -> Vec<f64> {
-        self.validate(spec).unwrap_or_else(|e| panic!("{e}"));
+    fn probe(&self, spec: &CopySpec) -> Result<Vec<f64>, PlatformError> {
+        self.validate(spec)?;
         // Pinned copy threads emulate a DMA engine at `bind`: with a full
         // complement of threads the transfer runs at the DMA min-cut of the
         // src->dst route; undersubscribed probes scale down.
@@ -229,7 +340,7 @@ impl Platform for SimPlatform {
             .wrapping_add((spec.src.index() as u64) << 20)
             .wrapping_add(spec.dst.index() as u64);
         let mut rng = StdRng::seed_from_u64(cell_seed);
-        (0..spec.reps)
+        Ok((0..spec.reps)
             .map(|_| {
                 if self.noise == 0.0 {
                     base
@@ -237,7 +348,7 @@ impl Platform for SimPlatform {
                     base * (1.0 + rng.gen_range(-self.noise..=self.noise))
                 }
             })
-            .collect()
+            .collect())
     }
 
     fn parallel_probes(&self) -> bool {
@@ -253,6 +364,26 @@ impl Platform for SimPlatform {
     fn label(&self) -> String {
         format!("sim:{}", self.fabric.topology().name())
     }
+
+    fn topology(&self) -> Option<&Topology> {
+        Some(self.fabric.topology())
+    }
+
+    fn fabric(&self) -> Option<&Fabric> {
+        Some(&self.fabric)
+    }
+
+    fn clock(&self) -> ClockSource {
+        ClockSource::SimTime
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn backend_kind(&self) -> &'static str {
+        "sim"
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +397,26 @@ mod tests {
         assert_eq!(p.cores_per_node(NodeId(3)), 4);
         assert_eq!(p.io_nodes(), vec![NodeId(7)]);
         assert!(p.label().contains("dl585"));
+    }
+
+    #[test]
+    fn sim_capability_metadata() {
+        let p = SimPlatform::dl585();
+        assert_eq!(Platform::topology(&p).map(|t| t.name()), Some("dl585-g7"));
+        assert!(Platform::fabric(&p).is_some());
+        assert_eq!(p.clock(), ClockSource::SimTime);
+        assert!(p.deterministic());
+        assert_eq!(p.backend_kind(), "sim");
+        // The trait's probe and the legacy run_copy agree.
+        let spec = CopySpec {
+            bind: NodeId(7),
+            src: NodeId(3),
+            dst: NodeId(7),
+            threads: 4,
+            bytes_per_thread: 1 << 20,
+            reps: 3,
+        };
+        assert_eq!(p.probe(&spec).unwrap(), p.run_copy(&spec));
     }
 
     #[test]

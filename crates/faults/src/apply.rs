@@ -50,6 +50,12 @@ pub enum FaultError {
     },
     /// The plan contains no faults.
     EmptyPlan,
+    /// The selected backend exposes no simulator fabric to degrade
+    /// (faults are what-if views over the simulator).
+    NoFabric {
+        /// The backend's label.
+        label: String,
+    },
     /// The underlying simulation failed while the plan was active.
     Sim(SimError),
 }
@@ -74,6 +80,9 @@ impl std::fmt::Display for FaultError {
                 write!(f, "fault window [{start_s}, {end_s:?}) is not a valid time range")
             }
             FaultError::EmptyPlan => write!(f, "fault plan has no faults"),
+            FaultError::NoFabric { label } => {
+                write!(f, "backend '{label}' exposes no fabric to degrade")
+            }
             FaultError::Sim(e) => write!(f, "simulation failed under faults: {e}"),
         }
     }
@@ -152,10 +161,44 @@ pub fn degraded_platform(
     Ok(out)
 }
 
+/// [`degraded_platform`] generalized to any backend: pulls the fabric out
+/// of the selected [`Platform`](numio_core::Platform) and returns a
+/// degraded [`SimPlatform`] what-if view, or a typed
+/// [`FaultError::NoFabric`] when the backend is measurement-only (a real
+/// host, a replay fixture).
+pub fn degraded_backend<P: numio_core::Platform>(
+    base: &P,
+    faults: &[FaultKind],
+) -> Result<SimPlatform, FaultError> {
+    let fabric = base
+        .fabric()
+        .ok_or_else(|| FaultError::NoFabric { label: base.label() })?;
+    Ok(SimPlatform::new(degraded_fabric(fabric, faults)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use numa_fabric::calibration::dl585_fabric;
+
+    #[test]
+    fn degraded_backend_needs_a_fabric() {
+        let sim = SimPlatform::dl585();
+        let faults = [FaultKind::LinkDegrade { from: 6, to: 7, factor: 0.5 }];
+        // Over a sim backend it matches degraded_platform's fabric view.
+        let via_backend = degraded_backend(&sim, &faults).unwrap();
+        let via_platform = degraded_platform(&sim, &faults).unwrap();
+        let e = DirectedEdge::new(NodeId(6), NodeId(7));
+        assert_eq!(
+            via_backend.fabric().edge_cap(e, TrafficClass::Dma),
+            via_platform.fabric().edge_cap(e, TrafficClass::Dma)
+        );
+        // A fabric-less backend is a typed error.
+        let host = numio_core::HostPlatform::with_shape(8, 4);
+        let err = degraded_backend(&host, &faults).unwrap_err();
+        assert_eq!(err, FaultError::NoFabric { label: "host:8-nodes".to_string() });
+        assert!(err.to_string().contains("no fabric to degrade"), "{err}");
+    }
 
     #[test]
     fn degrade_scales_one_direction_only() {

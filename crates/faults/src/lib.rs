@@ -31,7 +31,7 @@ pub mod inject;
 pub mod plan;
 pub mod scenario;
 
-pub use apply::{degraded_fabric, degraded_platform, FaultError, LINK_DOWN_GBPS};
+pub use apply::{degraded_backend, degraded_fabric, degraded_platform, FaultError, LINK_DOWN_GBPS};
 pub use inject::FaultInjector;
 pub use plan::{FaultKind, FaultPlan, FaultWindow};
 pub use scenario::{run_demo, run_plan, ScenarioReport};

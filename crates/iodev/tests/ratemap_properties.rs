@@ -1,0 +1,109 @@
+//! Property-based tests for [`RateMap`]: clamping, segment-local
+//! interpolation, piecewise linearity, and serde round-tripping — the
+//! invariants the calibrated Tables IV/V curves rely on.
+
+use numa_iodev::ratemap::calibrated;
+use numa_iodev::RateMap;
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    // Strictly increasing x, positive y.
+    proptest::collection::vec((0.1f64..50.0, 0.1f64..100.0), 2..10).prop_map(|mut pts| {
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut x = 0.0;
+        pts.into_iter()
+            .map(|(dx, y)| {
+                x += dx + 0.001;
+                (x, y)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn eval_clamps_outside_the_calibrated_range(pts in arb_points(), d in 0.001f64..1000.0) {
+        let map = RateMap::empirical(pts.clone());
+        let (x0, y0) = pts[0];
+        let (xn, yn) = pts[pts.len() - 1];
+        prop_assert_eq!(map.eval(x0 - d), y0, "below range clamps to first y");
+        prop_assert_eq!(map.eval(xn + d), yn, "above range clamps to last y");
+    }
+
+    #[test]
+    fn eval_stays_inside_the_bracketing_segment(pts in arb_points(), t in 0.0f64..1.0) {
+        let map = RateMap::empirical(pts.clone());
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let x = x0 + t * (x1 - x0);
+            let y = map.eval(x);
+            let (lo, hi) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+            prop_assert!(
+                y >= lo - 1e-9 && y <= hi + 1e-9,
+                "eval({x}) = {y} escapes segment [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn interpolation_is_piecewise_linear(pts in arb_points(), t in 0.01f64..0.99) {
+        let map = RateMap::empirical(pts.clone());
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let x = x0 + t * (x1 - x0);
+            let want = y0 + t * (y1 - y0);
+            let got = map.eval(x);
+            prop_assert!(
+                (got - want).abs() < 1e-6 * want.abs().max(1.0),
+                "eval({x}) = {got}, linear prediction {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_output_is_attained_at_a_control_point(pts in arb_points()) {
+        let map = RateMap::empirical(pts.clone());
+        let best = map.max_output();
+        prop_assert!(pts.iter().any(|&(_, y)| (y - best).abs() < 1e-12));
+        // No control point beats it.
+        for &(_, y) in &pts {
+            prop_assert!(y <= best);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_evaluation(pts in arb_points(), x in 0.0f64..500.0) {
+        let map = RateMap::empirical(pts);
+        let json = serde_json::to_string(&map).unwrap();
+        let back: RateMap = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.points(), map.points());
+        // Bit-identical, not merely close: fixtures depend on it.
+        prop_assert_eq!(back.eval(x).to_bits(), map.eval(x).to_bits());
+    }
+
+    #[test]
+    fn calibrated_curves_hold_their_invariants(x in 0.0f64..100.0) {
+        // Every shipped curve clamps, stays positive, and never exceeds its
+        // own ceiling — the properties Eq. 1 predictions rest on.
+        for map in [
+            calibrated::tcp_send(),
+            calibrated::tcp_recv(),
+            calibrated::rdma_write(),
+            calibrated::rdma_read(),
+            calibrated::ssd_write(),
+            calibrated::ssd_read(),
+        ] {
+            let y = map.eval(x);
+            prop_assert!(y > 0.0);
+            prop_assert!(y <= map.max_output() + 1e-9);
+        }
+        // The monotone write-direction curves really are monotone.
+        for map in [calibrated::tcp_send(), calibrated::rdma_write(), calibrated::ssd_write()] {
+            prop_assert!(map.eval(x) <= map.eval(x + 1.0) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Typed errors for the real-measurement half of this crate.
+//!
+//! The simulated benchmarks cannot fail at runtime, but the host-side
+//! kernels ([`RealStream`](crate::RealStream), [`CopyProbe`](crate::CopyProbe))
+//! drive real OS threads: spawning can fail under resource pressure and a
+//! bad configuration used to either `assert!` or silently measure nothing.
+//! Both now surface here, and `numio::Error` wraps this as its `Memsys`
+//! variant.
+
+/// A real measurement could not be taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemsysError {
+    /// The OS refused to spawn a worker thread (resource exhaustion,
+    /// ulimits, ...). Previously this panicked mid-measurement or, worse,
+    /// produced a zero-bandwidth sample.
+    SpawnFailed {
+        /// Index of the worker that failed to start.
+        thread: usize,
+        /// The OS error, in `std::io::Error` words.
+        reason: String,
+    },
+    /// The measurement configuration cannot produce a meaningful sample.
+    InvalidConfig {
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for MemsysError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemsysError::SpawnFailed { thread, reason } => {
+                write!(f, "could not spawn measurement worker {thread}: {reason}")
+            }
+            MemsysError::InvalidConfig { reason } => {
+                write!(f, "invalid measurement config: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemsysError {}

@@ -30,18 +30,22 @@
 //! assert_eq!(placement, vec![(NodeId(3), 1024)]);
 //! ```
 
+pub mod error;
 pub mod latency_bench;
 pub mod numademo;
 pub mod numastat;
 pub mod policy;
+pub mod probe;
 pub mod state;
 pub mod stream;
 pub mod stream_host;
 
+pub use error::MemsysError;
 pub use latency_bench::{CacheHierarchy, LatencyBench, LatencyPoint};
 pub use numademo::{run_all as numademo_all, Affinity, DemoResult, TestModule};
 pub use numastat::{NumastatCounters, NumastatTable};
 pub use policy::MemPolicy;
+pub use probe::CopyProbe;
 pub use state::{AllocError, MemoryState};
 pub use stream::{StreamBench, StreamOp, StreamResult};
 pub use stream_host::{RealStream, RealStreamResult};

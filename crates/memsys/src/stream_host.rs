@@ -8,6 +8,7 @@
 //! the paper's ≥4× LLC sizing rule checkable against the machine you are
 //! on. Pin externally with `numactl` exactly as the paper did (§IV-A).
 
+use crate::error::MemsysError;
 use crate::stream::StreamOp;
 use std::time::Instant;
 
@@ -53,9 +54,43 @@ pub fn bytes_per_elem(op: StreamOp) -> u64 {
 }
 
 impl RealStream {
-    /// Run one kernel for real.
+    /// Check the configuration without measuring anything.
+    pub fn validate(&self) -> Result<(), MemsysError> {
+        if self.threads < 1 {
+            return Err(MemsysError::InvalidConfig {
+                reason: "at least one worker thread".to_string(),
+            });
+        }
+        if self.reps < 1 {
+            return Err(MemsysError::InvalidConfig {
+                reason: "at least one repetition".to_string(),
+            });
+        }
+        if self.elems < self.threads {
+            return Err(MemsysError::InvalidConfig {
+                reason: format!(
+                    "arrays must cover every thread: {} elems < {} threads",
+                    self.elems, self.threads
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Run one kernel for real, panicking on a bad configuration or a
+    /// failed thread spawn. Use [`try_run`](Self::try_run) when the
+    /// configuration comes from user input; the panic message is the
+    /// typed error's `Display`.
     pub fn run(&self, op: StreamOp) -> RealStreamResult {
-        assert!(self.elems >= self.threads && self.threads >= 1 && self.reps >= 1);
+        self.try_run(op).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run one kernel for real. Returns a typed [`MemsysError`] instead of
+    /// panicking (or, as an older revision did, silently reporting zero
+    /// bandwidth) when the configuration is unusable or the OS refuses to
+    /// spawn a worker.
+    pub fn try_run(&self, op: StreamOp) -> Result<RealStreamResult, MemsysError> {
+        self.validate()?;
         const Q: f64 = 3.0; // STREAM's scalar
         let n = self.elems;
         let mut a = vec![1.0_f64; n];
@@ -67,10 +102,12 @@ impl RealStream {
             let start = Instant::now();
             // Split all three arrays into matching per-thread chunks.
             let chunk = n.div_ceil(self.threads);
+            let mut spawn_err = None;
             std::thread::scope(|s| {
                 let mut az: &mut [f64] = &mut a;
                 let mut bz: &mut [f64] = &mut b;
                 let mut cz: &mut [f64] = &mut c;
+                let mut idx = 0usize;
                 while !az.is_empty() {
                     let take = chunk.min(az.len());
                     let (ah, at) = az.split_at_mut(take);
@@ -79,28 +116,41 @@ impl RealStream {
                     az = at;
                     bz = bt;
                     cz = ct;
-                    s.spawn(move || match op {
-                        StreamOp::Copy => {
-                            ch.copy_from_slice(ah);
-                        }
-                        StreamOp::Scale => {
-                            for (bi, ci) in bh.iter_mut().zip(ch.iter()) {
-                                *bi = Q * ci;
+                    let spawned = std::thread::Builder::new()
+                        .name(format!("stream-{op:?}-{idx}"))
+                        .spawn_scoped(s, move || match op {
+                            StreamOp::Copy => {
+                                ch.copy_from_slice(ah);
                             }
-                        }
-                        StreamOp::Add => {
-                            for ((ci, ai), bi) in ch.iter_mut().zip(ah.iter()).zip(bh.iter()) {
-                                *ci = ai + bi;
+                            StreamOp::Scale => {
+                                for (bi, ci) in bh.iter_mut().zip(ch.iter()) {
+                                    *bi = Q * ci;
+                                }
                             }
-                        }
-                        StreamOp::Triad => {
-                            for ((ai, bi), ci) in ah.iter_mut().zip(bh.iter()).zip(ch.iter()) {
-                                *ai = bi + Q * ci;
+                            StreamOp::Add => {
+                                for ((ci, ai), bi) in ch.iter_mut().zip(ah.iter()).zip(bh.iter()) {
+                                    *ci = ai + bi;
+                                }
                             }
-                        }
-                    });
+                            StreamOp::Triad => {
+                                for ((ai, bi), ci) in ah.iter_mut().zip(bh.iter()).zip(ch.iter()) {
+                                    *ai = bi + Q * ci;
+                                }
+                            }
+                        });
+                    if let Err(e) = spawned {
+                        spawn_err = Some(MemsysError::SpawnFailed {
+                            thread: idx,
+                            reason: e.to_string(),
+                        });
+                        break; // already-spawned workers join at scope end
+                    }
+                    idx += 1;
                 }
             });
+            if let Some(e) = spawn_err {
+                return Err(e);
+            }
             let secs = start.elapsed().as_secs_f64().max(1e-9);
             let gbits = (n as u64 * bytes_per_elem(op)) as f64 * 8.0 / 1e9;
             samples.push(gbits / secs);
@@ -111,12 +161,18 @@ impl RealStream {
             StreamOp::Scale => b.iter().sum(),
             StreamOp::Triad => a.iter().sum(),
         };
-        RealStreamResult { op, max_gbps, samples, checksum }
+        Ok(RealStreamResult { op, max_gbps, samples, checksum })
     }
 
-    /// Run all four kernels (the classic STREAM report order).
+    /// Run all four kernels (the classic STREAM report order), panicking
+    /// on failure; see [`try_run_all`](Self::try_run_all).
     pub fn run_all(&self) -> Vec<RealStreamResult> {
-        StreamOp::ALL.iter().map(|&op| self.run(op)).collect()
+        self.try_run_all().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run all four kernels, stopping at the first failure.
+    pub fn try_run_all(&self) -> Result<Vec<RealStreamResult>, MemsysError> {
+        StreamOp::ALL.iter().map(|&op| self.try_run(op)).collect()
     }
 
     /// Does this configuration defeat a cache of `llc_bytes` (the paper's
@@ -188,6 +244,32 @@ mod tests {
             assert!(r.max_gbps > 0.0, "{:?}", r.op);
             assert!(r.max_gbps.is_finite());
         }
+    }
+
+    #[test]
+    fn bad_configs_surface_typed_errors() {
+        let no_threads = RealStream { threads: 0, ..small() };
+        assert_eq!(
+            no_threads.try_run(StreamOp::Copy),
+            Err(MemsysError::InvalidConfig { reason: "at least one worker thread".to_string() })
+        );
+        let no_reps = RealStream { reps: 0, ..small() };
+        assert!(no_reps.try_run_all().is_err());
+        let undersized = RealStream { elems: 1, threads: 2, reps: 1 };
+        let e = undersized.validate().unwrap_err();
+        assert!(e.to_string().contains("arrays must cover every thread"), "{e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn panicking_run_reports_the_typed_message() {
+        let _ = RealStream { threads: 0, ..small() }.run(StreamOp::Copy);
+    }
+
+    #[test]
+    fn try_run_matches_run_checksums() {
+        let r = small().try_run(StreamOp::Add).unwrap();
+        assert_eq!(r.checksum, 3.0 * 64.0 * 1024.0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use crate::policy::{Policy, SchedContext};
 use crate::task::IoTask;
 use numa_topology::NodeId;
-use numio_core::{IoModeler, IoPerfModel, SimPlatform, TransferMode};
+use numio_core::{IoModeler, IoPerfModel, Platform, TransferMode};
 
 /// Deterministic retry-with-backoff for transient allocation failures.
 ///
@@ -87,12 +87,12 @@ impl ClassRanked {
         }
     }
 
-    /// Characterize `platform` in both directions and keep the rankings.
-    pub fn from_platform(platform: &SimPlatform) -> Self {
+    /// Characterize any backend in both directions and keep the rankings.
+    /// Panics when the backend has no I/O node or no topology, like
+    /// [`IoModeler::characterize`].
+    pub fn from_platform<P: Platform>(platform: &P) -> Self {
         let target = platform
-            .fabric()
-            .topology()
-            .io_hub_nodes()
+            .io_nodes()
             .first()
             .copied()
             .expect("platform has an I/O node");
@@ -171,6 +171,7 @@ mod tests {
     use crate::task::TaskId;
     use numa_fio::Workload;
     use numa_iodev::NicOp;
+    use numio_core::SimPlatform;
 
     fn task(op: NicOp) -> IoTask {
         IoTask::new(0.0, Workload::Nic(op), 2, 10.0)

@@ -3,7 +3,7 @@
 use crate::task::{IoTask, TaskId};
 use numa_fabric::Fabric;
 use numa_topology::NodeId;
-use numio_core::{IoModeler, ScheduleAdvisor, SimPlatform, TransferMode};
+use numio_core::{IoModeler, Platform, ScheduleAdvisor, SimPlatform, TransferMode};
 
 /// What a policy sees when deciding: the machine and the running tasks.
 #[derive(Debug, Clone)]
@@ -164,13 +164,14 @@ pub struct ModelDriven {
 }
 
 impl ModelDriven {
-    /// Characterize the platform's device node in both directions and keep
-    /// the advisor-eligible node sets.
-    pub fn from_platform(platform: &SimPlatform) -> Self {
+    /// Characterize the backend's device node in both directions and keep
+    /// the advisor-eligible node sets. Works over any [`Platform`] that
+    /// carries a topology (sim, replay, discovered host); panics when the
+    /// backend has no I/O node or no topology, like
+    /// [`IoModeler::characterize`].
+    pub fn from_platform<P: Platform>(platform: &P) -> Self {
         let target = platform
-            .fabric()
-            .topology()
-            .io_hub_nodes()
+            .io_nodes()
             .first()
             .copied()
             .expect("platform has an I/O node");

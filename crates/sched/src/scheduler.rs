@@ -4,9 +4,10 @@ use crate::fallback::RetryPolicy;
 use crate::metrics::EpisodeReport;
 use crate::policy::{ActiveView, Policy, SchedContext};
 use crate::task::{IoTask, TaskId, TaskOutcome};
+use numa_fabric::Fabric;
 use numa_fio::{steady_job_rates, JobSpec, Workload};
 use numa_topology::NodeId;
-use numio_core::SimPlatform;
+use numio_core::{Platform, SimPlatform};
 
 /// Scheduler failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +29,13 @@ pub enum SchedError {
         /// The last underlying failure, rendered.
         last_error: String,
     },
+    /// The selected measurement backend exposes no simulator fabric, so
+    /// there is nothing to run episodes against (episodes are fluid
+    /// simulations over the fabric's max-min allocator).
+    NoFabric {
+        /// The backend's label.
+        label: String,
+    },
 }
 
 impl std::fmt::Display for SchedError {
@@ -38,6 +46,9 @@ impl std::fmt::Display for SchedError {
             SchedError::EventLimit => write!(f, "scheduler event limit exceeded"),
             SchedError::AllocFailed { attempts, last_error } => {
                 write!(f, "allocation failed after {attempts} attempts: {last_error}")
+            }
+            SchedError::NoFabric { label } => {
+                write!(f, "backend '{label}' exposes no fabric to schedule over")
             }
         }
     }
@@ -84,7 +95,7 @@ impl Active {
 /// Episode driver: replays a task trace against a platform under a policy.
 #[derive(Debug, Clone)]
 pub struct Scheduler<'a> {
-    platform: &'a SimPlatform,
+    fabric: &'a Fabric,
     /// Migration cost: the task is paused this long while its buffers are
     /// re-registered on the new node.
     pub migration_pause_s: f64,
@@ -97,7 +108,25 @@ impl<'a> Scheduler<'a> {
     /// re-establishing DMA registrations is not free) and the default
     /// allocation [`RetryPolicy`].
     pub fn new(platform: &'a SimPlatform) -> Self {
-        Scheduler { platform, migration_pause_s: 0.25, retry: RetryPolicy::default() }
+        Self::for_fabric(platform.fabric())
+    }
+
+    /// New scheduler directly over a fabric (same defaults as [`new`]).
+    ///
+    /// [`new`]: Scheduler::new
+    pub fn for_fabric(fabric: &'a Fabric) -> Self {
+        Scheduler { fabric, migration_pause_s: 0.25, retry: RetryPolicy::default() }
+    }
+
+    /// New scheduler over any measurement backend. Episodes are fluid
+    /// simulations against the fabric's max-min allocator, so a backend
+    /// that carries no fabric (a real host, a replay fixture) yields a
+    /// typed [`SchedError::NoFabric`] instead of a panic.
+    pub fn for_backend<P: Platform>(platform: &'a P) -> Result<Self, SchedError> {
+        let fabric = platform
+            .fabric()
+            .ok_or_else(|| SchedError::NoFabric { label: platform.label() })?;
+        Ok(Self::for_fabric(fabric))
     }
 
     /// Run one episode.
@@ -133,7 +162,7 @@ impl<'a> Scheduler<'a> {
         }
         let _episode_span = obs.map(|o| o.span("sched.episode"));
         tasks.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
-        let fabric = self.platform.fabric();
+        let fabric = self.fabric;
         let total_gbit: f64 = tasks.iter().map(|t| t.volume_gbytes * 8.0).sum();
 
         let mut pending: std::collections::VecDeque<(TaskId, IoTask)> = tasks
@@ -610,6 +639,25 @@ mod tests {
         let b = s.run(tasks, LocalOnly::new()).unwrap_err();
         assert_eq!(a, b, "identical inputs fail identically");
         assert!(matches!(a, SchedError::AllocFailed { attempts: 1, .. }));
+    }
+
+    #[test]
+    fn backend_constructors_match_and_fail_typed() {
+        use numa_iodev::NicOp;
+        let p = platform();
+        let tasks = vec![IoTask::new(0.0, Workload::Nic(NicOp::RdmaWrite), 2, 23.3)];
+        let via_new = Scheduler::new(&p).run(tasks.clone(), LocalOnly::new()).unwrap();
+        let via_fabric =
+            Scheduler::for_fabric(p.fabric()).run(tasks.clone(), LocalOnly::new()).unwrap();
+        let via_backend =
+            Scheduler::for_backend(&p).unwrap().run(tasks, LocalOnly::new()).unwrap();
+        assert_eq!(via_new, via_fabric);
+        assert_eq!(via_new, via_backend);
+        // A fabric-less backend is a typed error, not a panic.
+        let host = numio_core::HostPlatform::with_shape(8, 4);
+        let err = Scheduler::for_backend(&host).unwrap_err();
+        assert_eq!(err, SchedError::NoFabric { label: "host:8-nodes".to_string() });
+        assert!(err.to_string().contains("no fabric to schedule over"), "{err}");
     }
 
     #[test]

@@ -19,7 +19,12 @@
 //!   self-profiling spans, JSONL/Prometheus exporters.
 //! * [`core`] — **the paper's contribution**: the memcpy-based I/O
 //!   characterization methodology (Algorithm 1), performance-class
-//!   classifier, Eq. 1 aggregate-bandwidth predictor, and scheduler advisor.
+//!   classifier, Eq. 1 aggregate-bandwidth predictor, scheduler advisor,
+//!   and the pluggable [`Platform`](core::Platform) measurement trait with
+//!   sim and real-host executors.
+//! * [`backend`] — backend selection plus record/replay: capture every
+//!   probe a characterization makes into a versioned JSONL fixture and
+//!   replay it bit-identically.
 //! * [`sched`] — online placement/migration episodes driven by the model.
 //! * [`faults`] — deterministic fault injection: degraded links, IRQ
 //!   storms, device stalls, and scheduled inject/heal timelines.
@@ -41,6 +46,7 @@
 //! assert_eq!(model.classes().len(), 3);
 //! ```
 
+pub use numa_backend as backend;
 pub use numa_engine as engine;
 pub use numa_faults as faults;
 pub use numa_obs as obs;
@@ -79,6 +85,12 @@ pub enum Error {
     Diff(core::DiffError),
     /// A copy specification or probe platform was invalid ([`core`]).
     Platform(core::PlatformError),
+    /// A real-host measurement failed ([`memsys`]).
+    Memsys(memsys::MemsysError),
+    /// A probe fixture or backend selection was invalid ([`backend`]).
+    Backend(backend::BackendError),
+    /// Re-characterizing against a live backend for drift failed ([`core`]).
+    Recheck(core::RecheckError),
     /// A fault plan was malformed or inapplicable ([`faults`]).
     Fault(faults::FaultError),
 }
@@ -95,6 +107,9 @@ impl std::fmt::Display for Error {
             Error::Alloc(e) => write!(f, "allocation: {e}"),
             Error::Diff(e) => write!(f, "model diff: {e}"),
             Error::Platform(e) => write!(f, "platform: {e}"),
+            Error::Memsys(e) => write!(f, "measurement: {e}"),
+            Error::Backend(e) => write!(f, "backend: {e}"),
+            Error::Recheck(e) => write!(f, "drift recheck: {e}"),
             Error::Fault(e) => write!(f, "faults: {e}"),
         }
     }
@@ -112,6 +127,9 @@ impl std::error::Error for Error {
             Error::Alloc(e) => Some(e),
             Error::Diff(e) => Some(e),
             Error::Platform(e) => Some(e),
+            Error::Memsys(e) => Some(e),
+            Error::Backend(e) => Some(e),
+            Error::Recheck(e) => Some(e),
             Error::Fault(e) => Some(e),
         }
     }
@@ -137,6 +155,9 @@ impl_from_error!(
     Alloc(memsys::AllocError),
     Diff(core::DiffError),
     Platform(core::PlatformError),
+    Memsys(memsys::MemsysError),
+    Backend(backend::BackendError),
+    Recheck(core::RecheckError),
     Fault(faults::FaultError),
 );
 
@@ -152,6 +173,7 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// ```
 pub mod prelude {
     pub use crate::Error;
+    pub use numa_backend::{AnyPlatform, BackendError, RecordingPlatform, ReplayPlatform};
     pub use numa_engine::{FlowSpec, SimError, SimReport, Simulation};
     pub use numa_fabric::{Fabric, TrafficClass};
     pub use numa_faults::{FaultInjector, FaultKind, FaultPlan, FaultWindow};
@@ -159,8 +181,8 @@ pub mod prelude {
     pub use numa_sched::{ClassRanked, Policy, RetryPolicy, SchedError, Scheduler};
     pub use numa_topology::{DeviceId, DirectedEdge, NodeId, Topology};
     pub use numio_core::{
-        CopySpec, IoModeler, IoPerfModel, PlatformError, ScheduleAdvisor, SimPlatform,
-        TransferMode,
+        ClockSource, CopySpec, HostPlatform, IoModeler, IoPerfModel, Platform, PlatformError,
+        ScheduleAdvisor, SimPlatform, TransferMode,
     };
 }
 
@@ -183,6 +205,18 @@ mod tests {
         assert!(matches!(
             roundtrip(core::PlatformError::ZeroThreads),
             Error::Platform(_)
+        ));
+        assert!(matches!(
+            roundtrip(memsys::MemsysError::InvalidConfig { reason: "x".into() }),
+            Error::Memsys(_)
+        ));
+        assert!(matches!(
+            roundtrip(backend::BackendError::EmptyFixture),
+            Error::Backend(_)
+        ));
+        assert!(matches!(
+            roundtrip(core::RecheckError::Diff(core::DiffError::ShapeMismatch)),
+            Error::Recheck(_)
         ));
     }
 

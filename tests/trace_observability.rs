@@ -156,7 +156,7 @@ fn modeler_probe_series_reconcile() {
     let prom = obs.prometheus();
     for node in 0..8 {
         assert!(
-            prom.contains(&format!("numio_probes_total{{node=\"N{node}\"}} {reps}")),
+            prom.contains(&format!("numio_probes_total{{backend=\"sim\",node=\"N{node}\"}} {reps}")),
             "node {node} missing: {prom}"
         );
         assert!(prom
