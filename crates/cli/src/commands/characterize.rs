@@ -162,8 +162,9 @@ pub(crate) fn cmd_atlas(opts: &Opts) -> Result<String, String> {
     let reps: u32 = opts.num("reps", 20)?;
     let platform = backend::platform_for(opts)?;
     if opts.flag("json") {
-        let atlas = numio_core::Atlas::characterize(&platform, &IoModeler::new().reps(reps));
-        return Ok(atlas.to_json());
+        let atlas = numio_core::Atlas::characterize(&platform, &IoModeler::new().reps(reps))
+            .map_err(|e| e.to_string())?;
+        return atlas.to_json().map_err(|e| e.to_string());
     }
     let atlas = IoModeler::new().reps(reps).characterize_full_host(&platform);
     let mut out = String::new();

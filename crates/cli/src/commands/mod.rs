@@ -10,4 +10,5 @@ pub(crate) mod mem;
 pub(crate) mod netpath;
 pub(crate) mod predict;
 pub(crate) mod sched;
+pub(crate) mod serve;
 pub(crate) mod topo;

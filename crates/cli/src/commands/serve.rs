@@ -1,0 +1,141 @@
+//! `iomodel serve` / `iomodel client` — the long-running prediction
+//! service over any measurement backend, plus its scripted smoke client.
+
+use crate::backend;
+use crate::opts::Opts;
+use numa_serve::{Client, ModelService, Request, Response};
+use numio_core::IoModeler;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Default service port (no registered meaning; stays out of the
+/// well-known range).
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+/// `iomodel serve --backend <spec> --addr <host:port>`: bind, announce,
+/// and block until a wire-side `{"op":"shutdown"}` stops the server.
+///
+/// `--reps N` sets the characterization probe count (default 100, the
+/// same plan `iomodel record` captures, so replay fixtures line up);
+/// `--drift-threshold F` tunes cache eviction; `--port-file <path>`
+/// writes the actually-bound address (useful with `--addr host:0`).
+pub(crate) fn cmd_serve(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, String> {
+    let addr = opts.get("addr").unwrap_or(DEFAULT_ADDR).to_string();
+    let reps: u32 = opts.num("reps", 100)?;
+    let threshold: f64 = opts.num("drift-threshold", numa_serve::DEFAULT_DRIFT_THRESHOLD)?;
+    let platform = backend::platform_for(opts)?;
+    let label = numio_core::Platform::label(&platform);
+    let service = Arc::new(
+        ModelService::new(platform)
+            .with_modeler(IoModeler::new().reps(reps))
+            .with_drift_threshold(threshold)
+            .with_obs(obs),
+    );
+    let server = numa_serve::spawn(service, &addr).map_err(|e| format!("serve: {e}"))?;
+    let bound = server.addr();
+    if let Some(path) = opts.get("port-file") {
+        std::fs::write(path, bound.to_string()).map_err(|e| format!("--port-file {path}: {e}"))?;
+    }
+    // Announce before blocking so a foreground user sees liveness; the
+    // final summary only prints after shutdown.
+    println!("iomodel serve: listening on {bound} (backend {label}, reps {reps})");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+    Ok(format!("iomodel serve: {bound} shut down"))
+}
+
+/// `iomodel client --addr <host:port>`: scripted smoke requests.
+///
+/// Default script pings and prints stats. `--check` gates the answers:
+/// a Table-IV-consistent `classify` (node 2 in the starved class {2,3}
+/// of 3), a repeated `predict` answered bit-identically with the second
+/// reply a cache hit, and a hit count ≥ 1 in `stats`. `--shutdown`
+/// stops the server afterwards.
+pub(crate) fn cmd_client(opts: &Opts) -> Result<String, String> {
+    let addr = opts.get("addr").unwrap_or(DEFAULT_ADDR);
+    let mut client = connect_with_retry(addr)?;
+    let mut out = String::new();
+    if opts.flag("check") {
+        run_check(&mut client, &mut out)?;
+    } else {
+        let pong = client.call(&Request::Ping).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "ping -> {pong:?}");
+        let stats = client.call(&Request::Stats).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "stats -> {stats:?}");
+    }
+    if opts.flag("shutdown") {
+        match client.call(&Request::Shutdown).map_err(|e| e.to_string())? {
+            Response::ShuttingDown => {
+                let _ = writeln!(out, "server shutting down");
+            }
+            other => return Err(format!("shutdown refused: {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// The served answers change with the backend's machine, but the CI smoke
+/// runs against the DL585 fixture — so the gate checks the paper's
+/// Table IV partition exactly.
+fn run_check(client: &mut Client, out: &mut String) -> Result<(), String> {
+    // 1. Table-IV-consistent classify: node 2 sits in the starved class
+    //    {2,3}, the third of three write classes.
+    let classify = Request::Classify { node: 2, target: 7, mode: numa_serve::WireMode::Write };
+    match client.call(&classify).map_err(|e| e.to_string())? {
+        Response::Classify { class, classes, class_nodes, .. } => {
+            if classes != 3 || class != 2 || class_nodes != vec![2, 3] {
+                return Err(format!(
+                    "classify drifted from Table IV: class {class} of {classes}, \
+                     nodes {class_nodes:?} (want class 2 of 3, nodes [2, 3])"
+                ));
+            }
+            let _ = writeln!(out, "classify OK: node 2 in class 3/3 {{2,3}} (Table IV)");
+        }
+        other => return Err(format!("classify failed: {other:?}")),
+    }
+    // 2. Repeated predict: bit-identical lines, second reply a cache hit.
+    let predict = numa_serve::encode(&Request::Predict {
+        target: 7,
+        mode: numa_serve::WireMode::Write,
+        mix: vec![(6, 1), (2, 1)],
+    })
+    .map_err(|e| e.to_string())?;
+    let first = client.call_raw(&predict).map_err(|e| e.to_string())?;
+    let second = client.call_raw(&predict).map_err(|e| e.to_string())?;
+    if first != second {
+        return Err(format!("repeated predict not bit-identical:\n  {first}\n  {second}"));
+    }
+    match numa_serve::decode_response(&second).map_err(|e| e.to_string())? {
+        Response::Predict { cached: true, predicted_gbps, .. } => {
+            let _ = writeln!(
+                out,
+                "predict OK: {predicted_gbps:.3} Gbit/s, bit-identical, second request a cache hit"
+            );
+        }
+        other => return Err(format!("second predict was not a cache hit: {other:?}")),
+    }
+    // 3. The hit is visible in the counters.
+    match client.call(&Request::Stats).map_err(|e| e.to_string())? {
+        Response::Stats { hits, misses, .. } if hits >= 1 => {
+            let _ = writeln!(out, "stats OK: {hits} hits / {misses} misses");
+        }
+        other => return Err(format!("stats show no cache hit: {other:?}")),
+    }
+    let _ = writeln!(out, "serve check OK");
+    Ok(())
+}
+
+/// The server may still be binding when a scripted client starts (CI
+/// backgrounds `iomodel serve`); retry briefly before giving up.
+fn connect_with_retry(addr: &str) -> Result<Client, String> {
+    let mut last = String::new();
+    for _ in 0..25 {
+        match Client::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) => last = e.to_string(),
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    Err(format!("client: cannot connect to {addr}: {last}"))
+}

@@ -20,6 +20,8 @@
 //! iomodel faults      demo [--seed N] [--check]
 //! iomodel faults      validate --plan plan.json
 //! iomodel faults      run --plan plan.json
+//! iomodel serve       [--addr host:port] [--reps N] [--drift-threshold F] [--port-file p]
+//! iomodel client      [--addr host:port] [--check] [--shutdown]
 //! ```
 //!
 //! Every subcommand accepts the global measurement-backend flag:
@@ -120,6 +122,8 @@ pub fn run_observed(args: &[String], obs: &numa_obs::Obs) -> Result<String, Stri
         "import" => commands::host::cmd_import(&opts),
         "netpath" => commands::netpath::cmd_netpath(&opts),
         "atlas" => commands::characterize::cmd_atlas(&opts),
+        "serve" => commands::serve::cmd_serve(&opts, obs),
+        "client" => commands::serve::cmd_client(&opts),
         "sysfs" => commands::topo::cmd_sysfs(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
@@ -164,10 +168,12 @@ fn extract_global(
 }
 
 fn usage() -> String {
-    "usage: iomodel <topo|stream|characterize|record|classes|predict|advise|sweep|host|numastat|numademo|run|diff|sched|faults|latency|netpath|probe|emit-script|import|atlas|sysfs> [options]\n\
+    "usage: iomodel <topo|stream|characterize|record|classes|predict|advise|sweep|host|numastat|numademo|run|diff|sched|faults|latency|netpath|probe|emit-script|import|atlas|serve|client|sysfs> [options]\n\
      faults: iomodel faults demo [--seed N] [--check] | validate --plan p.json | run --plan p.json\n\
      run:    iomodel run --jobfile job.fio [--faults plan.json]\n\
      record: iomodel record --out fixture.jsonl [--target N] [--mode write|read]\n\
+     serve:  iomodel serve [--addr host:port] [--reps N] [--drift-threshold F] [--port-file p]\n\
+     client: iomodel client [--addr host:port] [--check] [--shutdown]\n\
      global flags: --backend sim|host[:N]|replay:<file> (measurement backend, default sim)\n\
                    --trace <path> (JSONL events)  --metrics <path> (Prometheus snapshot)  --profile (wall-clock spans)\n\
      run `iomodel help` for the full option list (see crate docs)"
@@ -692,6 +698,52 @@ mod tests {
         assert!(out.contains("window/RTT"));
         let wan = run_str(&["netpath", "--op", "rdma_write", "--rtt", "50"]).unwrap();
         assert!(wan.contains("0.67"), "window-limited WAN: {wan}");
+    }
+
+    #[test]
+    fn serve_and_client_smoke_over_loopback() {
+        let dir = std::env::temp_dir().join("numio-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("serve.addr");
+        let _ = std::fs::remove_file(&port_file);
+        let pf = port_file.to_str().unwrap().to_string();
+        // `serve` blocks until a wire shutdown; run it on its own thread
+        // with an OS-assigned port published through --port-file.
+        let server = std::thread::spawn({
+            let pf = pf.clone();
+            move || {
+                run_str(&[
+                    "serve", "--addr", "127.0.0.1:0", "--reps", "2", "--port-file", &pf,
+                ])
+            }
+        });
+        let mut addr = String::new();
+        for _ in 0..50 {
+            if let Ok(a) = std::fs::read_to_string(&port_file) {
+                if !a.is_empty() {
+                    addr = a;
+                    break;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        assert!(!addr.is_empty(), "serve never published its address");
+        let out = run_str(&["client", "--addr", &addr, "--check", "--shutdown"]).unwrap();
+        assert!(out.contains("classify OK"), "{out}");
+        assert!(out.contains("Table IV"), "{out}");
+        assert!(out.contains("cache hit"), "{out}");
+        assert!(out.contains("serve check OK"), "{out}");
+        assert!(out.contains("server shutting down"), "{out}");
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("shut down"), "{served}");
+    }
+
+    #[test]
+    fn client_without_a_server_is_a_clear_error() {
+        // Port 1 on loopback refuses immediately, so the retry loop
+        // exhausts quickly into its final error.
+        let e = run_str(&["client", "--addr", "127.0.0.1:1"]).unwrap_err();
+        assert!(e.contains("cannot connect"), "{e}");
     }
 
     #[test]

@@ -9,9 +9,57 @@
 
 use crate::model::{IoPerfModel, TransferMode};
 use crate::modeler::IoModeler;
-use crate::platform::Platform;
+use crate::platform::{Platform, PlatformError};
 use numa_topology::NodeId;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from building or persisting an [`Atlas`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtlasError {
+    /// An atlas needs at least one model.
+    Empty,
+    /// Models from more than one platform were mixed.
+    PlatformMismatch {
+        /// Label of the first model.
+        expected: String,
+        /// The conflicting label encountered.
+        found: String,
+    },
+    /// A characterization probe failed.
+    Probe(PlatformError),
+    /// JSON serialization failed.
+    Serialize(String),
+}
+
+impl fmt::Display for AtlasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtlasError::Empty => write!(f, "atlas needs at least one model"),
+            AtlasError::PlatformMismatch { expected, found } => write!(
+                f,
+                "all models must come from one platform (expected {expected:?}, found {found:?})"
+            ),
+            AtlasError::Probe(e) => write!(f, "atlas characterization probe failed: {e}"),
+            AtlasError::Serialize(e) => write!(f, "atlas does not serialize: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AtlasError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AtlasError::Probe(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlatformError> for AtlasError {
+    fn from(e: PlatformError) -> Self {
+        AtlasError::Probe(e)
+    }
+}
 
 /// A complete set of models for one host.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -23,20 +71,27 @@ pub struct Atlas {
 
 impl Atlas {
     /// Build from models (all must share the platform label).
-    pub fn new(models: Vec<IoPerfModel>) -> Self {
-        assert!(!models.is_empty(), "atlas needs at least one model");
-        let platform = models[0].platform.clone();
-        assert!(
-            models.iter().all(|m| m.platform == platform),
-            "all models must come from one platform"
-        );
-        Atlas { platform, models }
+    pub fn new(models: Vec<IoPerfModel>) -> Result<Self, AtlasError> {
+        let Some(first) = models.first() else {
+            return Err(AtlasError::Empty);
+        };
+        let platform = first.platform.clone();
+        if let Some(stray) = models.iter().find(|m| m.platform != platform) {
+            return Err(AtlasError::PlatformMismatch {
+                expected: platform,
+                found: stray.platform.clone(),
+            });
+        }
+        Ok(Atlas { platform, models })
     }
 
     /// Characterize every node of any backend, both directions (in
     /// parallel when the platform's probes are pure).
-    pub fn characterize<P: Platform>(platform: &P, modeler: &IoModeler) -> Self {
-        Self::new(modeler.characterize_full_host(platform))
+    pub fn characterize<P: Platform>(
+        platform: &P,
+        modeler: &IoModeler,
+    ) -> Result<Self, AtlasError> {
+        Self::new(modeler.try_characterize_full_host(platform)?)
     }
 
     /// Look up the model for a device node and direction.
@@ -60,8 +115,8 @@ impl Atlas {
     }
 
     /// Persist as JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("atlas serializes")
+    pub fn to_json(&self) -> Result<String, AtlasError> {
+        serde_json::to_string_pretty(self).map_err(|e| AtlasError::Serialize(e.to_string()))
     }
 
     /// Load from JSON.
@@ -94,7 +149,7 @@ mod tests {
 
     fn atlas() -> Atlas {
         let platform = SimPlatform::dl585();
-        Atlas::characterize(&platform, &IoModeler::new().reps(3))
+        Atlas::characterize(&platform, &IoModeler::new().reps(3)).unwrap()
     }
 
     #[test]
@@ -115,7 +170,7 @@ mod tests {
     #[test]
     fn json_round_trip_preserves_lookups() {
         let a = atlas();
-        let back = Atlas::from_json(&a.to_json()).unwrap();
+        let back = Atlas::from_json(&a.to_json().unwrap()).unwrap();
         assert_eq!(back.platform, a.platform);
         assert_eq!(
             back.model(NodeId(7), TransferMode::Write).unwrap().classes().len(),
@@ -134,8 +189,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one model")]
     fn empty_atlas_rejected() {
-        let _ = Atlas::new(vec![]);
+        // Regression: this was an `assert!` that panicked before the
+        // fallible-API migration.
+        assert_eq!(Atlas::new(vec![]).unwrap_err(), AtlasError::Empty);
+    }
+
+    #[test]
+    fn mixed_platforms_rejected() {
+        let a = atlas();
+        let mut models = a.models().to_vec();
+        models[1].platform = "other:host".to_string();
+        let expected = models[0].platform.clone();
+        assert_eq!(
+            Atlas::new(models).unwrap_err(),
+            AtlasError::PlatformMismatch { expected, found: "other:host".to_string() }
+        );
+    }
+
+    #[test]
+    fn probe_failure_surfaces_as_typed_error() {
+        // A platform with no recorded probes cannot be characterized; the
+        // probe error must surface through `characterize`, not panic.
+        struct NoProbe(numa_topology::Topology);
+        impl Platform for NoProbe {
+            fn num_nodes(&self) -> usize {
+                self.0.num_nodes()
+            }
+            fn cores_per_node(&self, _node: NodeId) -> u32 {
+                4
+            }
+            fn probe(&self, _spec: &crate::CopySpec) -> Result<Vec<f64>, PlatformError> {
+                Err(PlatformError::Probe {
+                    label: self.label(),
+                    reason: "always fails".to_string(),
+                })
+            }
+            fn topology(&self) -> Option<&numa_topology::Topology> {
+                Some(&self.0)
+            }
+            fn label(&self) -> String {
+                "test:noprobe".into()
+            }
+        }
+        let p = NoProbe(numa_topology::presets::fig1a());
+        let err = Atlas::characterize(&p, &IoModeler::new().reps(2)).unwrap_err();
+        assert!(matches!(err, AtlasError::Probe(PlatformError::Probe { .. })), "{err:?}");
     }
 }

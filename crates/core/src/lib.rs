@@ -55,7 +55,7 @@ pub mod predict;
 pub mod report;
 
 pub use advisor::{Placement, ScheduleAdvisor};
-pub use atlas::Atlas;
+pub use atlas::{Atlas, AtlasError};
 pub use cbench::{MemCostModel, StreamAdvisor};
 pub use classify::{classify, rank_correlation, ClassifyParams};
 pub use drift::{diff as diff_models, recharacterize_and_diff, DiffError, ModelDiff, RecheckError};

@@ -272,17 +272,29 @@ impl IoModeler {
     /// order — runs serially. Deterministic either way: every model
     /// equals what the serial loop would produce in the same slot.
     pub fn characterize_full_host<P: Platform>(&self, platform: &P) -> Vec<IoPerfModel> {
+        self.try_characterize_full_host(platform)
+            .unwrap_or_else(|e| panic!("characterize_full_host: {e}"))
+    }
+
+    /// Fallible [`Self::characterize_full_host`]: a probe failure in any
+    /// slot surfaces as the lowest-index error instead of a panic. Same
+    /// ordering and parallelism contract as the panicking variant.
+    pub fn try_characterize_full_host<P: Platform>(
+        &self,
+        platform: &P,
+    ) -> Result<Vec<IoPerfModel>, PlatformError> {
         let n = platform.num_nodes();
         let model_for = |k: usize| {
             let target = NodeId::new(k / 2);
             let mode = TransferMode::ALL[k % 2];
-            self.characterize(platform, target, mode)
+            self.try_characterize(platform, target, mode)
         };
-        if platform.parallel_probes() {
+        let slots: Vec<Result<IoPerfModel, PlatformError>> = if platform.parallel_probes() {
             numa_par::map_indexed(2 * n, model_for)
         } else {
             (0..2 * n).map(model_for).collect()
-        }
+        };
+        slots.into_iter().collect()
     }
 }
 

@@ -50,7 +50,7 @@ proptest! {
         }
         for c in &classes[1..] {
             let mut bws: Vec<f64> = c.nodes.iter().map(|n| means[n.index()]).collect();
-            bws.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            bws.sort_by(|a, b| b.total_cmp(a));
             for w in bws.windows(2) {
                 let gap = (w[0] - w[1]) / w[0];
                 prop_assert!(gap <= threshold + 1e-9, "intra-class gap {gap} > {threshold}");

@@ -208,7 +208,7 @@ pub fn build_sim_with<'f>(
             let label = format!("job{ji}.{s} {}", job.describe());
             let spec = match &job.workload {
                 Workload::Nic(op) => {
-                    let nic = nic.as_ref().unwrap();
+                    let nic = nic.as_ref().ok_or(FioError::NoNic)?;
                     let (src, dst) =
                         if op.to_device() { (buffer, nic.node) } else { (nic.node, buffer) };
                     let level = nic.node_ceiling(*op, fabric, buffer);
@@ -239,7 +239,7 @@ pub fn build_sim_with<'f>(
                     f
                 }
                 Workload::Ssd { write, engine, direct } => {
-                    let ssd = ssd.as_ref().unwrap();
+                    let ssd = ssd.as_ref().ok_or(FioError::NoSsd)?;
                     let (src, dst) =
                         if *write { (buffer, ssd.node) } else { (ssd.node, buffer) };
                     let level =
@@ -581,6 +581,27 @@ mod tests {
         assert_eq!(err, FioError::NoNic);
         let err = run_jobs(&bare, &[JobSpec::ssd(true, NodeId(0))]).unwrap_err();
         assert_eq!(err, FioError::NoSsd);
+    }
+
+    #[test]
+    fn jobfile_naming_a_missing_device_is_a_typed_error() {
+        // Regression for the pass-3 `nic/ssd.as_ref().unwrap()` sites:
+        // a parsed jobfile whose jobs need devices the fabric does not
+        // host must surface `FioError::{NoNic,NoSsd}` end to end, never
+        // panic while emitting flows.
+        use numa_fabric::calibration::generic_fabric;
+        let bare = generic_fabric(numa_topology::presets::fig1a());
+        let jobs = |text: &str| -> Vec<JobSpec> {
+            crate::jobfile::parse(text)
+                .unwrap()
+                .into_iter()
+                .map(|(_, job)| job)
+                .collect()
+        };
+        let nic_jobs = jobs("[net]\nioengine=rdma\nverb=write\ncpunodebind=0\nsize=1g\n");
+        assert_eq!(run_jobs(&bare, &nic_jobs).unwrap_err(), FioError::NoNic);
+        let ssd_jobs = jobs("[disk]\nioengine=libaio\nrw=write\ncpunodebind=0\nsize=1g\n");
+        assert_eq!(run_jobs(&bare, &ssd_jobs).unwrap_err(), FioError::NoSsd);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 fn arb_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
     // Strictly increasing x, positive y.
     proptest::collection::vec((0.1f64..100.0, 0.1f64..100.0), 1..8).prop_map(|mut pts| {
-        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut x = 0.0;
         pts.into_iter()
             .map(|(dx, y)| {
@@ -39,7 +39,7 @@ proptest! {
     fn monotone_maps_are_monotone_everywhere(pts in arb_points(), a in 0.0f64..500.0, b in 0.0f64..500.0) {
         // Sort y ascending to make the map monotone.
         let mut ys: Vec<f64> = pts.iter().map(|&(_, y)| y).collect();
-        ys.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        ys.sort_by(|p, q| p.total_cmp(q));
         let pts: Vec<(f64, f64)> = pts.iter().zip(&ys).map(|(&(x, _), &y)| (x, y)).collect();
         let map = RateMap::monotone(pts);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 fn arb_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
     // Strictly increasing x, positive y.
     proptest::collection::vec((0.1f64..50.0, 0.1f64..100.0), 2..10).prop_map(|mut pts| {
-        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut x = 0.0;
         pts.into_iter()
             .map(|(dx, y)| {

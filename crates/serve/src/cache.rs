@@ -1,0 +1,601 @@
+//! The memoized characterization cache: characterize once per
+//! `(backend label, topology hash, fault-view hash)`, then answer from
+//! memory until drift or a fault-view change invalidates that one key.
+//!
+//! This is the §V discipline made long-running: the paper characterizes a
+//! host once and reuses the model for every placement/prediction decision;
+//! Bergstrom's STREAM study and bandwidth-aware placement work assume the
+//! same memoize-don't-remeasure contract. The cache key deliberately
+//! captures everything a characterization depends on — which backend
+//! measured it, what machine shape it saw, and which fault view was
+//! applied — so invalidation can be *targeted*: arming a fault plan evicts
+//! exactly the stale key, never the whole cache.
+//!
+//! Within one key, models are memoized **lazily per `(target, mode)`**: a
+//! `classify` against node 7's write model characterizes exactly that
+//! model, nothing else. This is what lets the service run over a partial
+//! replay fixture (e.g. the shipped `dl585.jsonl`, which records only the
+//! write direction against node 7) — a request the fixture covers is
+//! answered and cached; one it doesn't is a typed error, not a panic. The
+//! full [`Atlas`] is assembled only when asked for, then cached too.
+
+use crate::error::ServeError;
+use numa_faults::{degraded_backend, FaultKind};
+use numa_obs::Obs;
+use numa_topology::{NodeId, Topology};
+use numio_core::{
+    recharacterize_and_diff, Atlas, IoModeler, IoPerfModel, Platform, TransferMode,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Stable FNV-1a over a byte string. Not `DefaultHasher`: cache keys show
+/// up in obs events and fixtures, so they must be reproducible across
+/// processes and Rust versions.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable hash of a topology (via its canonical JSON serialization).
+pub fn topology_hash(topo: &Topology) -> Result<u64, ServeError> {
+    Ok(fnv1a(&serde_json::to_vec(topo)?))
+}
+
+/// Stable hash of a fault view. The view is canonicalized (sorted by wire
+/// name, deduplicated) first, so `[LinkDown, IrqStorm]` and
+/// `[IrqStorm, LinkDown, IrqStorm]` key identically.
+pub fn fault_view_hash(faults: &[FaultKind]) -> Result<u64, ServeError> {
+    let mut names: Vec<String> = faults
+        .iter()
+        .map(|k| serde_json::to_string(k).map_err(ServeError::from))
+        .collect::<Result<_, _>>()?;
+    names.sort();
+    names.dedup();
+    Ok(fnv1a(names.join(",").as_bytes()))
+}
+
+/// What one cached characterization view is keyed by.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheKey {
+    /// `Platform::label()` of the backend that measured (or would measure).
+    pub backend: String,
+    /// [`topology_hash`] of the machine shape, or a node-count fallback
+    /// for topology-less backends.
+    pub topology_hash: u64,
+    /// [`fault_view_hash`] of the applied fault view.
+    pub fault_hash: u64,
+}
+
+/// One answered atlas lookup: the atlas, whether it was served from
+/// memory, and the key it lives under.
+#[derive(Debug, Clone)]
+pub struct CacheLookup {
+    /// The (shared) full-host characterization.
+    pub atlas: Arc<Atlas>,
+    /// `true` when served from memory, `false` on the cold miss that
+    /// computed it.
+    pub hit: bool,
+    /// The key the atlas is cached under.
+    pub key: CacheKey,
+}
+
+/// One answered single-model lookup.
+#[derive(Debug, Clone)]
+pub struct ModelLookup {
+    /// The (shared) model for the requested `(target, mode)`.
+    pub model: Arc<IoPerfModel>,
+    /// `true` when served from memory, `false` on the cold miss that
+    /// characterized it.
+    pub hit: bool,
+    /// The view key the model is cached under.
+    pub key: CacheKey,
+}
+
+/// Monotonic cache counters (mirrored as obs metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups that paid a characterization.
+    pub misses: u64,
+    /// View keys evicted by drift or fault-view changes.
+    pub invalidations: u64,
+    /// View keys currently cached.
+    pub entries: usize,
+}
+
+/// Outcome of a drift re-check against the live backend.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "drift", rename_all = "snake_case")]
+pub enum DriftOutcome {
+    /// Nothing cached under the key; nothing to re-check.
+    NotCached,
+    /// Re-measured model within tolerance; entry kept.
+    Stable {
+        /// Largest relative per-node delta observed.
+        max_rel_delta: f64,
+    },
+    /// Re-measured model drifted past the threshold; entry evicted.
+    Invalidated {
+        /// Largest relative per-node delta observed.
+        max_rel_delta: f64,
+    },
+}
+
+/// Everything cached under one view key: the per-`(target, mode)` models
+/// characterized so far, plus the assembled full atlas once it has been
+/// asked for (so repeated `atlas` requests share one `Arc`).
+#[derive(Default)]
+struct ViewEntry {
+    models: HashMap<(u16, TransferMode), Arc<IoPerfModel>>,
+    full: Option<Arc<Atlas>>,
+}
+
+impl ViewEntry {
+    fn from_atlas(atlas: Atlas) -> Self {
+        let models = atlas
+            .models()
+            .iter()
+            .map(|m| ((m.target.0, m.mode), Arc::new(m.clone())))
+            .collect();
+        ViewEntry { models, full: Some(Arc::new(atlas)) }
+    }
+}
+
+/// Thread-safe memoization of characterizations.
+///
+/// Reads take a shared lock; the cold path characterizes while holding the
+/// write lock, so concurrent first requests for one model pay exactly one
+/// characterization and the miss counter increments exactly once.
+pub struct CharacterizationCache {
+    entries: RwLock<HashMap<CacheKey, ViewEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    obs: Obs,
+}
+
+impl CharacterizationCache {
+    /// Empty cache with a private obs handle.
+    pub fn new() -> Self {
+        CharacterizationCache {
+            entries: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            obs: Obs::new(),
+        }
+    }
+
+    /// Share an obs pipeline (events + `numio_serve_cache_*` counters).
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// The key a `(platform, fault view)` pair caches under. Backends
+    /// without a topology key on their node count, so they still cache —
+    /// the characterization itself will fail with a typed `NoTopology`
+    /// error if the modeler needs one.
+    pub fn key_for<P: Platform>(
+        &self,
+        platform: &P,
+        faults: &[FaultKind],
+    ) -> Result<CacheKey, ServeError> {
+        let topology_hash = match platform.topology() {
+            Some(t) => topology_hash(t)?,
+            None => fnv1a(format!("nodes:{}", platform.num_nodes()).as_bytes()),
+        };
+        Ok(CacheKey {
+            backend: platform.label(),
+            topology_hash,
+            fault_hash: fault_view_hash(faults)?,
+        })
+    }
+
+    /// Serve the `(target, mode)` model for `(platform, fault view)`,
+    /// characterizing exactly that model on the cold miss. A non-empty
+    /// fault view characterizes the degraded what-if backend
+    /// ([`degraded_backend`]) instead of the base one.
+    ///
+    /// Only this model's probes are needed, so partial backends (a replay
+    /// fixture recorded for one target and direction) serve the requests
+    /// they cover and fail the rest with a typed error.
+    pub fn get_or_model<P: Platform>(
+        &self,
+        platform: &P,
+        modeler: &IoModeler,
+        faults: &[FaultKind],
+        target: NodeId,
+        mode: TransferMode,
+    ) -> Result<ModelLookup, ServeError> {
+        let key = self.key_for(platform, faults)?;
+        let slot = (target.0, mode);
+        if let Some(model) = self.read_entries().get(&key).and_then(|e| e.models.get(&slot)) {
+            let model = Arc::clone(model);
+            self.count_hit(&key);
+            return Ok(ModelLookup { model, hit: true, key });
+        }
+        let mut entries = self.write_entries();
+        // Double-checked: another worker may have filled the slot while we
+        // waited for the write lock — that is a hit, not a second miss.
+        if let Some(model) = entries.get(&key).and_then(|e| e.models.get(&slot)) {
+            let model = Arc::clone(model);
+            self.count_hit(&key);
+            return Ok(ModelLookup { model, hit: true, key });
+        }
+        self.count_miss(&key);
+        let model = if faults.is_empty() {
+            modeler.try_characterize(platform, target, mode)?
+        } else {
+            let degraded = degraded_backend(platform, faults)?;
+            modeler.try_characterize(&degraded, target, mode)?
+        };
+        let model = Arc::new(model);
+        entries.entry(key.clone()).or_default().models.insert(slot, Arc::clone(&model));
+        Ok(ModelLookup { model, hit: false, key })
+    }
+
+    /// Serve the full-host atlas for `(platform, fault view)`. The cold
+    /// path characterizes every `(target, mode)` the view hasn't cached
+    /// yet — reusing single-model results already in the entry — then
+    /// memoizes the assembled [`Atlas`], so the request counts as one
+    /// lookup (one miss cold, one hit warm) and repeats share one `Arc`.
+    pub fn get_or_characterize<P: Platform>(
+        &self,
+        platform: &P,
+        modeler: &IoModeler,
+        faults: &[FaultKind],
+    ) -> Result<CacheLookup, ServeError> {
+        let key = self.key_for(platform, faults)?;
+        if let Some(atlas) = self.read_entries().get(&key).and_then(|e| e.full.clone()) {
+            self.count_hit(&key);
+            return Ok(CacheLookup { atlas, hit: true, key });
+        }
+        let mut entries = self.write_entries();
+        if let Some(atlas) = entries.get(&key).and_then(|e| e.full.clone()) {
+            self.count_hit(&key);
+            return Ok(CacheLookup { atlas, hit: true, key });
+        }
+        self.count_miss(&key);
+        let entry = entries.entry(key.clone()).or_default();
+        // Same slot order as `characterize_full_host`: targets ascending,
+        // write before read — the assembled atlas is bit-stable.
+        let degraded = if faults.is_empty() {
+            None
+        } else {
+            Some(degraded_backend(platform, faults)?)
+        };
+        let mut models = Vec::with_capacity(2 * platform.num_nodes());
+        for k in 0..2 * platform.num_nodes() {
+            let target = NodeId::new(k / 2);
+            let mode = TransferMode::ALL[k % 2];
+            let slot = (target.0, mode);
+            let model = match entry.models.get(&slot) {
+                Some(m) => Arc::clone(m),
+                None => {
+                    let fresh = match &degraded {
+                        Some(d) => modeler.try_characterize(d, target, mode)?,
+                        None => modeler.try_characterize(platform, target, mode)?,
+                    };
+                    let fresh = Arc::new(fresh);
+                    entry.models.insert(slot, Arc::clone(&fresh));
+                    fresh
+                }
+            };
+            models.push((*model).clone());
+        }
+        let atlas = Arc::new(Atlas::new(models)?);
+        entry.full = Some(Arc::clone(&atlas));
+        Ok(CacheLookup { atlas, hit: false, key })
+    }
+
+    /// Evict one view key (all its models and its atlas). Returns whether
+    /// an entry was actually removed (and only then counts an
+    /// invalidation).
+    pub fn invalidate(&self, key: &CacheKey) -> bool {
+        let removed = self.write_entries().remove(key).is_some();
+        if removed {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.obs.counter("numio_serve_cache_invalidations_total", &[]).inc();
+            self.emit("cache_invalidate", key);
+        }
+        removed
+    }
+
+    /// Re-measure one representative cached model against the live backend
+    /// and evict the key if the drift exceeds `threshold` (relative delta,
+    /// e.g. `0.1` = 10%). Deterministic backends (sim, replay) are always
+    /// stable; this is the hook a host deployment runs periodically.
+    pub fn check_drift<P: Platform>(
+        &self,
+        platform: &P,
+        modeler: &IoModeler,
+        faults: &[FaultKind],
+        threshold: f64,
+    ) -> Result<DriftOutcome, ServeError> {
+        let key = self.key_for(platform, faults)?;
+        // Deterministic representative: the lowest cached (target, mode).
+        let old = {
+            let entries = self.read_entries();
+            let Some(entry) = entries.get(&key) else {
+                return Ok(DriftOutcome::NotCached);
+            };
+            let Some(slot) =
+                entry.models.keys().min_by_key(|(t, m)| (*t, *m == TransferMode::Read))
+            else {
+                return Ok(DriftOutcome::NotCached);
+            };
+            Arc::clone(&entry.models[slot])
+        };
+        let diff = if faults.is_empty() {
+            recharacterize_and_diff(&old, platform, modeler)?
+        } else {
+            let degraded = degraded_backend(platform, faults)?;
+            recharacterize_and_diff(&old, &degraded, modeler)?
+        };
+        let max_rel_delta = diff.max_rel_delta;
+        if diff.is_stable(threshold) {
+            Ok(DriftOutcome::Stable { max_rel_delta })
+        } else {
+            self.invalidate(&key);
+            Ok(DriftOutcome::Invalidated { max_rel_delta })
+        }
+    }
+
+    /// Monotonic counters + current size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.read_entries().len(),
+        }
+    }
+
+    /// Number of cached view keys.
+    pub fn len(&self) -> usize {
+        self.read_entries().len()
+    }
+
+    /// No cached views yet?
+    pub fn is_empty(&self) -> bool {
+        self.read_entries().is_empty()
+    }
+
+    /// Is this view key currently cached?
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.read_entries().contains_key(key)
+    }
+
+    /// Number of individual models cached under `key`.
+    pub fn models_cached(&self, key: &CacheKey) -> usize {
+        self.read_entries().get(key).map_or(0, |e| e.models.len())
+    }
+
+    fn count_hit(&self, key: &CacheKey) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter("numio_serve_cache_hits_total", &[]).inc();
+        self.emit("cache_hit", key);
+    }
+
+    fn count_miss(&self, key: &CacheKey) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter("numio_serve_cache_misses_total", &[]).inc();
+        self.emit("cache_miss", key);
+    }
+
+    fn emit(&self, name: &str, key: &CacheKey) {
+        let seq = self.hits.load(Ordering::Relaxed) + self.misses.load(Ordering::Relaxed);
+        self.obs.event(
+            name,
+            seq as f64,
+            &[
+                ("backend", key.backend.as_str().into()),
+                ("topology_hash", numa_obs::Value::U64(key.topology_hash)),
+                ("fault_hash", numa_obs::Value::U64(key.fault_hash)),
+            ],
+        );
+    }
+
+    fn read_entries(&self) -> std::sync::RwLockReadGuard<'_, HashMap<CacheKey, ViewEntry>> {
+        self.entries.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_entries(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<CacheKey, ViewEntry>> {
+        self.entries.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Default for CharacterizationCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numio_core::SimPlatform;
+
+    fn modeler() -> IoModeler {
+        IoModeler::new().reps(3)
+    }
+
+    #[test]
+    fn cold_miss_then_hits_share_one_atlas() {
+        let cache = CharacterizationCache::new();
+        let p = SimPlatform::dl585();
+        let first = cache.get_or_characterize(&p, &modeler(), &[]).unwrap();
+        assert!(!first.hit);
+        let second = cache.get_or_characterize(&p, &modeler(), &[]).unwrap();
+        assert!(second.hit);
+        assert!(Arc::ptr_eq(&first.atlas, &second.atlas));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn single_model_lookups_characterize_only_that_model() {
+        let cache = CharacterizationCache::new();
+        let p = SimPlatform::dl585();
+        let first = cache
+            .get_or_model(&p, &modeler(), &[], NodeId(7), TransferMode::Write)
+            .unwrap();
+        assert!(!first.hit);
+        assert_eq!(cache.models_cached(&first.key), 1, "nothing else characterized");
+        let second = cache
+            .get_or_model(&p, &modeler(), &[], NodeId(7), TransferMode::Write)
+            .unwrap();
+        assert!(second.hit);
+        assert!(Arc::ptr_eq(&first.model, &second.model));
+        // A different direction is its own slot under the same view key.
+        let read = cache
+            .get_or_model(&p, &modeler(), &[], NodeId(7), TransferMode::Read)
+            .unwrap();
+        assert!(!read.hit);
+        assert_eq!(read.key, first.key);
+        assert_eq!(cache.models_cached(&first.key), 2);
+        assert_eq!(cache.len(), 1, "slots share one view key");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn atlas_reuses_models_cached_by_single_lookups() {
+        let cache = CharacterizationCache::new();
+        let p = SimPlatform::dl585();
+        let single = cache
+            .get_or_model(&p, &modeler(), &[], NodeId(7), TransferMode::Write)
+            .unwrap();
+        let atlas = cache.get_or_characterize(&p, &modeler(), &[]).unwrap();
+        assert!(!atlas.hit, "the full atlas was not cached yet");
+        assert_eq!(
+            atlas.atlas.model(NodeId(7), TransferMode::Write).unwrap(),
+            &*single.model,
+            "the atlas reuses the already-characterized model bit-for-bit"
+        );
+        // And the filled slots now serve single lookups as hits.
+        assert!(cache
+            .get_or_model(&p, &modeler(), &[], NodeId(3), TransferMode::Read)
+            .unwrap()
+            .hit);
+    }
+
+    #[test]
+    fn fault_view_changes_the_key_not_the_base_entry() {
+        let cache = CharacterizationCache::new();
+        let p = SimPlatform::dl585();
+        let base = cache.get_or_characterize(&p, &modeler(), &[]).unwrap();
+        let faulted = cache
+            .get_or_characterize(&p, &modeler(), &[FaultKind::LinkDown { from: 6, to: 7 }])
+            .unwrap();
+        assert_ne!(base.key, faulted.key);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+        // Evicting the faulted view leaves the base entry hot.
+        assert!(cache.invalidate(&faulted.key));
+        assert!(cache.contains(&base.key));
+        assert!(cache.get_or_characterize(&p, &modeler(), &[]).unwrap().hit);
+    }
+
+    #[test]
+    fn fault_view_hash_is_canonical() {
+        let down = FaultKind::LinkDown { from: 6, to: 7 };
+        let storm = FaultKind::IrqStorm { node: 7, intensity: 0.5 };
+        let a = fault_view_hash(&[down, storm]).unwrap();
+        let b = fault_view_hash(&[storm, down, storm]).unwrap();
+        assert_eq!(a, b);
+        let c = fault_view_hash(&[]).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn invalidating_an_uncached_key_counts_nothing() {
+        let cache = CharacterizationCache::new();
+        let key = CacheKey { backend: "x".into(), topology_hash: 1, fault_hash: 2 };
+        assert!(!cache.invalidate(&key));
+        assert_eq!(cache.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn deterministic_backend_never_drifts() {
+        let cache = CharacterizationCache::new();
+        let p = SimPlatform::dl585();
+        assert_eq!(
+            cache.check_drift(&p, &modeler(), &[], 0.1).unwrap(),
+            DriftOutcome::NotCached
+        );
+        cache.get_or_characterize(&p, &modeler(), &[]).unwrap();
+        match cache.check_drift(&p, &modeler(), &[], 0.1).unwrap() {
+            DriftOutcome::Stable { max_rel_delta } => assert!(max_rel_delta < 1e-12),
+            other => panic!("expected stable, got {other:?}"),
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn drift_past_threshold_evicts_exactly_the_stale_key() {
+        let cache = CharacterizationCache::new();
+        // Characterize the split-I/O machine but cache it under the dl585
+        // key: a re-check against the real dl585 then shows real drift.
+        let dl585 = SimPlatform::dl585();
+        let split = SimPlatform::new(numa_fabric::calibration::dl585_split_io_fabric());
+        let other = cache.get_or_characterize(&split, &modeler(), &[]).unwrap();
+        let key = cache.key_for(&dl585, &[]).unwrap();
+        let planted = Atlas::characterize(&split, &modeler()).unwrap();
+        cache.write_entries().insert(key.clone(), ViewEntry::from_atlas(planted));
+        match cache.check_drift(&dl585, &modeler(), &[], 1e-6).unwrap() {
+            DriftOutcome::Invalidated { max_rel_delta } => assert!(max_rel_delta > 1e-6),
+            other => panic!("expected invalidation, got {other:?}"),
+        }
+        assert!(!cache.contains(&key));
+        // The unrelated entry is untouched.
+        assert!(cache.contains(&other.key));
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn partial_replay_fixture_serves_what_it_covers() {
+        use numa_backend::{RecordingPlatform, ReplayPlatform};
+        // Record only node 7's write-direction probes — the shape of the
+        // shipped results/fixtures/dl585.jsonl.
+        let rec = RecordingPlatform::new(SimPlatform::dl585());
+        let live = modeler().characterize(&rec, NodeId(7), TransferMode::Write);
+        let replay = ReplayPlatform::from_jsonl(&rec.fixture().to_jsonl()).unwrap();
+
+        let cache = CharacterizationCache::new();
+        // The covered model serves, caches, and matches the live run.
+        let lookup = cache
+            .get_or_model(&replay, &modeler(), &[], NodeId(7), TransferMode::Write)
+            .unwrap();
+        assert_eq!(*lookup.model, live);
+        assert!(cache
+            .get_or_model(&replay, &modeler(), &[], NodeId(7), TransferMode::Read)
+            .is_err());
+        // An uncovered model — and the full atlas — are typed errors, and
+        // the covered model stays served from cache afterwards.
+        assert!(cache.get_or_characterize(&replay, &modeler(), &[]).is_err());
+        assert!(cache
+            .get_or_model(&replay, &modeler(), &[], NodeId(7), TransferMode::Write)
+            .unwrap()
+            .hit);
+    }
+
+    #[test]
+    fn obs_counters_mirror_the_stats() {
+        let obs = Obs::new();
+        let cache = CharacterizationCache::new().with_obs(&obs);
+        let p = SimPlatform::dl585();
+        cache.get_or_characterize(&p, &modeler(), &[]).unwrap();
+        cache.get_or_characterize(&p, &modeler(), &[]).unwrap();
+        assert_eq!(obs.counter("numio_serve_cache_hits_total", &[]).get(), 1);
+        assert_eq!(obs.counter("numio_serve_cache_misses_total", &[]).get(), 1);
+    }
+}

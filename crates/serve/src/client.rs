@@ -1,0 +1,42 @@
+//! A minimal blocking JSONL client — what `iomodel client` and the smoke
+//! tests drive the server with.
+
+use crate::error::ServeError;
+use crate::proto::{self, Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// One connection to a running server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `host:port`.
+    pub fn connect(addr: &str) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Send one request, wait for its reply.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let line = self.call_raw(&proto::encode(req)?)?;
+        proto::decode_response(&line)
+    }
+
+    /// Send one raw line, return the raw reply line (without the newline).
+    /// Bit-identity tests compare these lines directly.
+    pub fn call_raw(&mut self, line: &str) -> Result<String, ServeError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ServeError::Io { reason: "server closed the connection".into() });
+        }
+        Ok(reply.trim_end_matches(['\r', '\n']).to_string())
+    }
+}

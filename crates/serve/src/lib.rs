@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+//! # numa-serve
+//!
+//! The paper's §V contribution, production-shaped: characterize a host
+//! **once**, then serve `predict` (Eq. 1), `classify` (Tables IV/V class
+//! membership), `place` (class-ranked scheduling), and `atlas` requests
+//! from a long-running concurrent service — the memoize-don't-remeasure
+//! discipline a cluster scheduler needs when the model answers millions
+//! of placement queries but the machine is only probed on cold start,
+//! drift, or a fault-view change.
+//!
+//! ## Pieces
+//!
+//! * [`CharacterizationCache`] — characterizations memoized per
+//!   `(backend label, topology hash, fault-view hash)` behind an
+//!   `RwLock`; within a key, models are cached lazily per
+//!   `(target, mode)` (so partial replay fixtures serve what they cover)
+//!   and the full atlas is assembled on demand; cold misses characterize
+//!   via the generic [`Platform`](numio_core::Platform) pipeline;
+//!   invalidation is *targeted* (one key) on drift past a threshold or a
+//!   fault-view swap.
+//! * [`ModelService`] — the request handler; never panics, shares one
+//!   `Arc` across every worker thread.
+//! * [`spawn`] / [`ServerHandle`] — thread-per-connection TCP server.
+//! * [`Client`] — blocking JSONL client for smoke tests and the CLI.
+//! * [`Request`] / [`Response`] — the wire vocabulary.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use numa_serve::{spawn, Client, ModelService, Request, Response};
+//! use numio_core::{IoModeler, SimPlatform};
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(
+//!     ModelService::new(SimPlatform::dl585()).with_modeler(IoModeler::new().reps(3)),
+//! );
+//! let server = spawn(service, "127.0.0.1:0").unwrap();
+//! let mut client = Client::connect(&server.addr().to_string()).unwrap();
+//! // First classify pays the characterization; the repeat is a cache hit.
+//! let req = Request::Classify { node: 2, target: 7, mode: Default::default() };
+//! client.call(&req).unwrap();
+//! match client.call(&req).unwrap() {
+//!     Response::Classify { class, cached, .. } => {
+//!         assert_eq!(class, 2); // Table IV: {6,7} > {0,1,4,5} > {2,3}
+//!         assert!(cached);
+//!     }
+//!     other => panic!("{other:?}"),
+//! }
+//! server.shutdown();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use cache::{
+    fault_view_hash, topology_hash, CacheKey, CacheLookup, CacheStats, CharacterizationCache,
+    DriftOutcome, ModelLookup,
+};
+pub use client::Client;
+pub use error::ServeError;
+pub use proto::{decode_request, decode_response, encode, Request, Response, WireMode};
+pub use server::{spawn, ServerHandle};
+pub use service::{ModelService, DEFAULT_DRIFT_THRESHOLD};

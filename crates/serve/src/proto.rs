@@ -1,0 +1,306 @@
+//! The wire protocol: newline-delimited JSON (JSONL), one request per
+//! line, one response per line, over a plain TCP stream.
+//!
+//! Requests are tagged with `"op"`, responses with `"reply"`:
+//!
+//! ```text
+//! -> {"op":"classify","node":2}
+//! <- {"reply":"classify","node":2,"class":2,"classes":3,...,"cached":true}
+//! -> {"op":"predict","target":7,"mode":"read","mix":[[2,2],[0,2]]}
+//! <- {"reply":"predict","predicted_gbps":20.017,...,"cached":true}
+//! ```
+//!
+//! Every cache-touching reply carries `cached`: `false` exactly on the
+//! cold request that paid the characterization. Failures come back as
+//! `{"reply":"error","message":"..."}` — the connection stays usable.
+
+use crate::error::ServeError;
+use numa_faults::FaultPlan;
+use numio_core::{Atlas, TransferMode};
+use serde::{Deserialize, Serialize};
+
+/// Transfer direction, as spelled on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WireMode {
+    /// Into the device (Table IV).
+    #[default]
+    Write,
+    /// Out of the device (Table V).
+    Read,
+}
+
+impl From<WireMode> for TransferMode {
+    fn from(m: WireMode) -> Self {
+        match m {
+            WireMode::Write => TransferMode::Write,
+            WireMode::Read => TransferMode::Read,
+        }
+    }
+}
+
+impl WireMode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WireMode::Write => "write",
+            WireMode::Read => "read",
+        }
+    }
+}
+
+fn default_target() -> u16 {
+    7
+}
+
+fn default_tasks() -> u32 {
+    1
+}
+
+fn default_to_device() -> bool {
+    true
+}
+
+/// One client request. Unknown `op` tags decode to a protocol error (and
+/// an `error` reply), never a panic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum Request {
+    /// Eq. 1 aggregate bandwidth for a `(node, access count)` mix against
+    /// the `target` device node's model.
+    Predict {
+        /// Device node whose model to predict against (default 7, the
+        /// paper's NIC/SSD node).
+        #[serde(default = "default_target")]
+        target: u16,
+        /// Direction (default write).
+        #[serde(default)]
+        mode: WireMode,
+        /// `(node, access count)` pairs.
+        mix: Vec<(u16, u32)>,
+    },
+    /// Performance class of one node in the `target` model.
+    Classify {
+        /// The node to classify.
+        node: u16,
+        /// Device node whose model to classify against (default 7).
+        #[serde(default = "default_target")]
+        target: u16,
+        /// Direction (default write).
+        #[serde(default)]
+        mode: WireMode,
+    },
+    /// ClassRanked placement of `tasks` unit streams (needs a sim fabric).
+    Place {
+        /// Device node whose models rank the classes (default 7).
+        #[serde(default = "default_target")]
+        target: u16,
+        /// How many single-stream tasks to place.
+        #[serde(default = "default_tasks")]
+        tasks: u32,
+        /// Direction: into the device (default) or out of it.
+        #[serde(default = "default_to_device")]
+        to_device: bool,
+    },
+    /// The full cached atlas.
+    Atlas,
+    /// Service + cache counters.
+    Stats,
+    /// Arm a fault plan: subsequent answers reflect the degraded view and
+    /// the old view's cache key is invalidated (targeted, not a flush).
+    SetFaults {
+        /// The plan whose fault kinds form the new view.
+        plan: FaultPlan,
+    },
+    /// Clear the fault view (targeted invalidation of the faulted key).
+    ClearFaults,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Short op label for metrics (`numio_serve_requests_total{op=...}`).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Predict { .. } => "predict",
+            Request::Classify { .. } => "classify",
+            Request::Place { .. } => "place",
+            Request::Atlas => "atlas",
+            Request::Stats => "stats",
+            Request::SetFaults { .. } => "set_faults",
+            Request::ClearFaults => "clear_faults",
+            Request::Ping => "ping",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One server reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "reply", rename_all = "snake_case")]
+pub enum Response {
+    /// The request failed; the connection stays open.
+    Error {
+        /// Human-readable cause (the typed error's `Display`).
+        message: String,
+    },
+    /// Eq. 1 prediction.
+    Predict {
+        /// Predicted aggregate bandwidth, Gbit/s.
+        predicted_gbps: f64,
+        /// Echo of the device node.
+        target: u16,
+        /// Echo of the direction.
+        mode: WireMode,
+        /// Served from the characterization cache?
+        cached: bool,
+    },
+    /// Class membership of one node.
+    Classify {
+        /// Echo of the node.
+        node: u16,
+        /// Class index, 0 = best.
+        class: usize,
+        /// Total class count in the model.
+        classes: usize,
+        /// All nodes sharing the class.
+        class_nodes: Vec<u16>,
+        /// Class average bandwidth, Gbit/s.
+        avg_gbps: f64,
+        /// Served from the characterization cache?
+        cached: bool,
+    },
+    /// Placement decision: binding node per task, in order.
+    Place {
+        /// Chosen nodes.
+        nodes: Vec<u16>,
+        /// Served from the characterization cache?
+        cached: bool,
+    },
+    /// The full atlas.
+    Atlas {
+        /// Every (target, mode) model of the host.
+        atlas: Atlas,
+        /// Served from the characterization cache?
+        cached: bool,
+    },
+    /// Service counters.
+    Stats {
+        /// Requests handled (including this one).
+        requests: u64,
+        /// Cache hits so far.
+        hits: u64,
+        /// Cache misses so far.
+        misses: u64,
+        /// Cache invalidations so far.
+        invalidations: u64,
+        /// Characterizations currently cached.
+        entries: usize,
+        /// Backend label answers come from.
+        backend: String,
+        /// Fault kinds currently applied.
+        active_faults: usize,
+    },
+    /// Fault view updated.
+    Faults {
+        /// Fault kinds now applied.
+        active: usize,
+        /// Whether a cached key was evicted by the change.
+        invalidated: bool,
+    },
+    /// Liveness answer.
+    Pong,
+    /// The server will stop accepting connections.
+    ShuttingDown,
+}
+
+/// Encode any wire message as one JSONL line (no trailing newline —
+/// the transport adds it). Compact JSON never contains raw newlines.
+pub fn encode<T: Serialize>(msg: &T) -> Result<String, ServeError> {
+    Ok(serde_json::to_string(msg)?)
+}
+
+/// Decode one request line.
+pub fn decode_request(line: &str) -> Result<Request, ServeError> {
+    Ok(serde_json::from_str(line.trim())?)
+}
+
+/// Decode one response line.
+pub fn decode_response(line: &str) -> Result<Response, ServeError> {
+    Ok(serde_json::from_str(line.trim())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Predict {
+                target: 7,
+                mode: WireMode::Read,
+                mix: vec![(2, 2), (0, 2)],
+            },
+            Request::Classify { node: 2, target: 7, mode: WireMode::Write },
+            Request::Place { target: 7, tasks: 4, to_device: true },
+            Request::Atlas,
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = encode(&req).unwrap();
+            assert!(!line.contains('\n'), "JSONL lines must be single-line: {line}");
+            assert_eq!(decode_request(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn sparse_requests_fill_paper_defaults() {
+        let req = decode_request(r#"{"op":"predict","mix":[[0,1]]}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Predict { target: 7, mode: WireMode::Write, mix: vec![(0, 1)] }
+        );
+        let req = decode_request(r#"{"op":"classify","node":3}"#).unwrap();
+        assert_eq!(req, Request::Classify { node: 3, target: 7, mode: WireMode::Write });
+        let req = decode_request(r#"{"op":"place"}"#).unwrap();
+        assert_eq!(req, Request::Place { target: 7, tasks: 1, to_device: true });
+    }
+
+    #[test]
+    fn unknown_ops_are_typed_errors() {
+        let err = decode_request(r#"{"op":"mine_bitcoin"}"#).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol { .. }), "{err:?}");
+        let err = decode_request("not json").unwrap_err();
+        assert!(matches!(err, ServeError::Protocol { .. }));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resp = Response::Classify {
+            node: 2,
+            class: 2,
+            classes: 3,
+            class_nodes: vec![2, 3],
+            avg_gbps: 9.7,
+            cached: true,
+        };
+        let line = encode(&resp).unwrap();
+        assert_eq!(decode_response(&line).unwrap(), resp);
+        let err = Response::Error { message: "bad request: empty mix".into() };
+        assert_eq!(decode_response(&encode(&err).unwrap()).unwrap(), err);
+    }
+
+    #[test]
+    fn op_labels_are_stable() {
+        assert_eq!(Request::Atlas.op(), "atlas");
+        assert_eq!(
+            Request::SetFaults { plan: FaultPlan::demo(1) }.op(),
+            "set_faults"
+        );
+    }
+}

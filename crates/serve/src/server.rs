@@ -1,0 +1,186 @@
+//! Thread-per-connection TCP server speaking the JSONL protocol.
+//!
+//! The accept loop runs on its own thread; each connection gets a worker
+//! thread that shares the [`ModelService`] through an `Arc`. A
+//! `{"op":"shutdown"}` request (or [`ServerHandle::shutdown`]) stops the
+//! accept loop; in-flight connections finish their current line.
+
+use crate::error::ServeError;
+use crate::proto::{self, Request, Response};
+use crate::service::ModelService;
+use numio_core::Platform;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running server: its bound address plus shutdown/join control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves `:0` to the chosen port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Has a shutdown been requested (locally or over the wire)?
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting connections and wait for the accept loop to exit.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        poke(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until a wire-side `shutdown` request stops the server.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Unblock a listener stuck in `accept` by connecting to it once.
+fn poke(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+/// Bind `addr` and serve `service` until shut down. Returns immediately
+/// with a [`ServerHandle`]; use [`ServerHandle::join`] to block.
+pub fn spawn<P>(service: Arc<ModelService<P>>, addr: &str) -> Result<ServerHandle, ServeError>
+where
+    P: Platform + Send + Sync + 'static,
+{
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| ServeError::Io { reason: format!("address '{addr}' resolves to nothing") })?;
+    let listener = TcpListener::bind(sock_addr)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let svc = Arc::clone(&service);
+            let conn_stop = Arc::clone(&accept_stop);
+            std::thread::spawn(move || {
+                let _ = serve_connection(&svc, stream, bound, &conn_stop);
+            });
+        }
+    });
+    Ok(ServerHandle { addr: bound, stop, accept_thread: Some(accept_thread) })
+}
+
+/// Drain one connection: a request line in, a response line out, until
+/// EOF or a shutdown request.
+fn serve_connection<P: Platform>(
+    service: &ModelService<P>,
+    stream: TcpStream,
+    bound: SocketAddr,
+    stop: &AtomicBool,
+) -> Result<(), ServeError> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = match proto::decode_request(&line) {
+            Ok(req) => {
+                let resp = service.handle(&req);
+                let shutdown = matches!(req, Request::Shutdown);
+                (resp, shutdown)
+            }
+            Err(e) => (Response::Error { message: e.to_string() }, false),
+        };
+        writer.write_all(proto::encode(&response)?.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            poke(bound);
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::proto::WireMode;
+    use numio_core::{IoModeler, SimPlatform};
+
+    fn start() -> (ServerHandle, Arc<ModelService<SimPlatform>>) {
+        let service = Arc::new(
+            ModelService::new(SimPlatform::dl585()).with_modeler(IoModeler::new().reps(3)),
+        );
+        let handle = spawn(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        (handle, service)
+    }
+
+    #[test]
+    fn loopback_round_trip_and_cache_hit() {
+        let (handle, service) = start();
+        let addr = handle.addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+        let req = Request::Predict {
+            target: 7,
+            mode: WireMode::Write,
+            mix: vec![(6, 1), (2, 1)],
+        };
+        let cold = client.call(&req).unwrap();
+        // A second client over a fresh connection hits the shared cache.
+        let mut other = Client::connect(&addr).unwrap();
+        let warm = other.call(&req).unwrap();
+        match (cold, warm) {
+            (
+                Response::Predict { predicted_gbps: a, cached: false, .. },
+                Response::Predict { predicted_gbps: b, cached: true, .. },
+            ) => assert_eq!(a.to_bits(), b.to_bits()),
+            other => panic!("unexpected replies: {other:?}"),
+        }
+        assert_eq!(service.cache().stats().misses, 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_keep_the_connection_alive() {
+        let (handle, _service) = start();
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+        let resp = client.call_raw("this is not json").unwrap();
+        assert!(resp.contains("\"reply\":\"error\""), "{resp}");
+        // Still serviceable afterwards.
+        assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn wire_shutdown_stops_the_accept_loop() {
+        let (handle, _service) = start();
+        let addr = handle.addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        assert_eq!(
+            client.call(&Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        );
+        handle.join();
+    }
+}

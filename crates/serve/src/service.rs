@@ -1,0 +1,433 @@
+//! The request handler: one [`ModelService`] per backend, shared across
+//! worker threads, answering every protocol op from the characterization
+//! cache.
+
+use crate::cache::{CacheLookup, CharacterizationCache, DriftOutcome, ModelLookup};
+use crate::error::ServeError;
+use crate::proto::{Request, Response, WireMode};
+use numa_faults::{FaultKind, FaultPlan};
+use numa_fio::Workload;
+use numa_iodev::NicOp;
+use numa_obs::Obs;
+use numa_sched::policy::{ActiveView, SchedContext};
+use numa_sched::{ClassRanked, IoTask, Policy, TaskId};
+use numa_topology::NodeId;
+use numio_core::{predict_for_mix, IoModeler, IoPerfModel, Platform, TransferMode, WorkloadMix};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Default drift tolerance before a cached key is evicted (10%, roughly
+/// three times the paper's reported Eq. 1 prediction error).
+pub const DEFAULT_DRIFT_THRESHOLD: f64 = 0.10;
+
+/// A long-lived prediction service over one backend.
+///
+/// `handle` never panics: every failure becomes a typed [`ServeError`]
+/// and, on the wire, an `error` reply. All state is interior-mutable so
+/// one `Arc<ModelService<_>>` serves every connection thread.
+pub struct ModelService<P: Platform> {
+    platform: P,
+    modeler: IoModeler,
+    cache: CharacterizationCache,
+    faults: RwLock<Vec<FaultKind>>,
+    drift_threshold: f64,
+    requests: AtomicU64,
+    obs: Obs,
+}
+
+impl<P: Platform> ModelService<P> {
+    /// Serve `platform` with the default modeler (the same probe plan
+    /// `iomodel record` captures, so replay fixtures line up).
+    pub fn new(platform: P) -> Self {
+        ModelService {
+            platform,
+            modeler: IoModeler::new(),
+            cache: CharacterizationCache::new(),
+            faults: RwLock::new(Vec::new()),
+            drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+            requests: AtomicU64::new(0),
+            obs: Obs::new(),
+        }
+    }
+
+    /// Replace the modeler (probe reps, thread counts).
+    pub fn with_modeler(mut self, modeler: IoModeler) -> Self {
+        self.modeler = modeler;
+        self
+    }
+
+    /// Set the drift tolerance used by [`Self::check_drift`].
+    pub fn with_drift_threshold(mut self, threshold: f64) -> Self {
+        self.drift_threshold = threshold;
+        self
+    }
+
+    /// Share an obs pipeline: `serve_request` events plus the
+    /// `numio_serve_*` counters (cache events ride the same handle).
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self.cache = std::mem::take(&mut self.cache).with_obs(obs);
+        self
+    }
+
+    /// The backend answers come from.
+    pub fn platform(&self) -> &P {
+        &self.platform
+    }
+
+    /// The underlying cache (counters, targeted invalidation).
+    pub fn cache(&self) -> &CharacterizationCache {
+        &self.cache
+    }
+
+    /// Requests handled so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// The fault kinds currently applied to answers.
+    pub fn fault_view(&self) -> Vec<FaultKind> {
+        self.read_faults().clone()
+    }
+
+    /// Serve the full atlas for the current fault view (cold path
+    /// characterizes whatever the view hasn't cached yet). Needs the
+    /// backend to cover every `(target, mode)` — partial replay fixtures
+    /// answer single-model ops but fail this one with a typed error.
+    pub fn atlas(&self) -> Result<CacheLookup, ServeError> {
+        let faults = self.fault_view();
+        self.cache.get_or_characterize(&self.platform, &self.modeler, &faults)
+    }
+
+    /// Serve one `(target, mode)` model for the current fault view,
+    /// characterizing exactly that model on the cold miss. This is what
+    /// `predict`/`classify`/`place` run on, so a replay fixture recorded
+    /// for a single target and direction still serves those requests.
+    pub fn model_view(&self, target: u16, mode: WireMode) -> Result<ModelLookup, ServeError> {
+        let nodes = self.platform.num_nodes() as u16;
+        if target >= nodes {
+            return Err(ServeError::BadRequest {
+                reason: format!("target {target} out of range (backend has {nodes} nodes)"),
+            });
+        }
+        let faults = self.fault_view();
+        self.cache.get_or_model(
+            &self.platform,
+            &self.modeler,
+            &faults,
+            NodeId(target),
+            TransferMode::from(mode),
+        )
+    }
+
+    /// Arm a fault plan: answers now reflect the degraded view. The *old*
+    /// view's cache key is invalidated — targeted, never a full flush.
+    /// Returns `(active fault kinds, whether a key was evicted)`.
+    pub fn set_fault_plan(&self, plan: &FaultPlan) -> Result<(usize, bool), ServeError> {
+        plan.validate()?;
+        self.swap_fault_view(canonical_kinds(&plan.kinds())?)
+    }
+
+    /// Drop the fault view (evicts the faulted key, keeps the base one).
+    pub fn clear_faults(&self) -> Result<(usize, bool), ServeError> {
+        self.swap_fault_view(Vec::new())
+    }
+
+    fn swap_fault_view(&self, new: Vec<FaultKind>) -> Result<(usize, bool), ServeError> {
+        let old = {
+            let mut guard = self.write_faults();
+            if *guard == new {
+                return Ok((new.len(), false));
+            }
+            std::mem::replace(&mut *guard, new.clone())
+        };
+        let old_key = self.cache.key_for(&self.platform, &old)?;
+        let invalidated = self.cache.invalidate(&old_key);
+        Ok((new.len(), invalidated))
+    }
+
+    /// Re-measure one model against the live backend; evict the current
+    /// view's key if drift exceeds the configured threshold.
+    pub fn check_drift(&self) -> Result<DriftOutcome, ServeError> {
+        let faults = self.fault_view();
+        self.cache.check_drift(&self.platform, &self.modeler, &faults, self.drift_threshold)
+    }
+
+    /// Answer one request. Infallible at this layer: errors become
+    /// [`Response::Error`] so the connection survives bad input.
+    pub fn handle(&self, req: &Request) -> Response {
+        let seq = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        self.obs
+            .counter(
+                "numio_serve_requests_total",
+                &[("op", req.op()), ("backend", self.platform.backend_kind())],
+            )
+            .inc();
+        self.obs.event(
+            "serve_request",
+            seq as f64,
+            &[
+                ("op", req.op().into()),
+                ("backend", self.platform.label().as_str().into()),
+            ],
+        );
+        self.dispatch(req, seq)
+            .unwrap_or_else(|e| Response::Error { message: e.to_string() })
+    }
+
+    fn dispatch(&self, req: &Request, seq: u64) -> Result<Response, ServeError> {
+        match req {
+            Request::Ping => Ok(Response::Pong),
+            Request::Shutdown => Ok(Response::ShuttingDown),
+            Request::Stats => {
+                let s = self.cache.stats();
+                Ok(Response::Stats {
+                    requests: seq,
+                    hits: s.hits,
+                    misses: s.misses,
+                    invalidations: s.invalidations,
+                    entries: s.entries,
+                    backend: self.platform.label(),
+                    active_faults: self.read_faults().len(),
+                })
+            }
+            Request::Atlas => {
+                let lookup = self.atlas()?;
+                Ok(Response::Atlas { atlas: (*lookup.atlas).clone(), cached: lookup.hit })
+            }
+            Request::Predict { target, mode, mix } => {
+                let lookup = self.model_view(*target, *mode)?;
+                let wl = validated_mix(&lookup.model, mix)?;
+                Ok(Response::Predict {
+                    predicted_gbps: predict_for_mix(&lookup.model, &wl),
+                    target: *target,
+                    mode: *mode,
+                    cached: lookup.hit,
+                })
+            }
+            Request::Classify { node, target, mode } => {
+                let lookup = self.model_view(*target, *mode)?;
+                let model = &lookup.model;
+                let class = model.try_class_of(NodeId(*node)).ok_or_else(|| {
+                    ServeError::BadRequest {
+                        reason: format!("node {node} is not covered by the model"),
+                    }
+                })?;
+                let c = &model.classes()[class];
+                Ok(Response::Classify {
+                    node: *node,
+                    class,
+                    classes: model.classes().len(),
+                    class_nodes: c.nodes.iter().map(|n| n.0).collect(),
+                    avg_gbps: c.avg_gbps,
+                    cached: lookup.hit,
+                })
+            }
+            Request::Place { target, tasks, to_device } => {
+                let fabric = self
+                    .platform
+                    .fabric()
+                    .ok_or_else(|| ServeError::NoFabric { label: self.platform.label() })?;
+                if *tasks == 0 {
+                    return Err(ServeError::BadRequest {
+                        reason: "place needs at least one task".into(),
+                    });
+                }
+                let write = self.model_view(*target, WireMode::Write)?;
+                let read = self.model_view(*target, WireMode::Read)?;
+                let mut policy = ClassRanked::from_models(&write.model, &read.model);
+                let op = if *to_device { NicOp::RdmaWrite } else { NicOp::RdmaRead };
+                let mut active: Vec<ActiveView> = Vec::with_capacity(*tasks as usize);
+                let mut nodes = Vec::with_capacity(*tasks as usize);
+                for i in 0..*tasks {
+                    let task = IoTask::new(0.0, Workload::Nic(op), 1, 1.0);
+                    let ctx = SchedContext { fabric, active: &active };
+                    let node = policy.place(&task, &ctx);
+                    active.push(ActiveView {
+                        id: TaskId(i),
+                        node,
+                        streams: 1,
+                        to_device: *to_device,
+                    });
+                    nodes.push(node.0);
+                }
+                Ok(Response::Place { nodes, cached: write.hit && read.hit })
+            }
+            Request::SetFaults { plan } => {
+                let (active, invalidated) = self.set_fault_plan(plan)?;
+                Ok(Response::Faults { active, invalidated })
+            }
+            Request::ClearFaults => {
+                let (active, invalidated) = self.clear_faults()?;
+                Ok(Response::Faults { active, invalidated })
+            }
+        }
+    }
+
+    fn read_faults(&self) -> std::sync::RwLockReadGuard<'_, Vec<FaultKind>> {
+        self.faults.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_faults(&self) -> std::sync::RwLockWriteGuard<'_, Vec<FaultKind>> {
+        self.faults.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Canonical order for a fault view: sorted by serialized form, deduped —
+/// the same canonicalization [`crate::cache::fault_view_hash`] applies.
+fn canonical_kinds(kinds: &[FaultKind]) -> Result<Vec<FaultKind>, ServeError> {
+    let mut tagged: Vec<(String, FaultKind)> = kinds
+        .iter()
+        .map(|k| Ok((serde_json::to_string(k)?, *k)))
+        .collect::<Result<_, ServeError>>()?;
+    tagged.sort_by(|a, b| a.0.cmp(&b.0));
+    tagged.dedup_by(|a, b| a.0 == b.0);
+    Ok(tagged.into_iter().map(|(_, k)| k).collect())
+}
+
+fn validated_mix(model: &IoPerfModel, mix: &[(u16, u32)]) -> Result<WorkloadMix, ServeError> {
+    if mix.is_empty() {
+        return Err(ServeError::BadRequest { reason: "empty mix".into() });
+    }
+    let mut wl = WorkloadMix::new();
+    for &(node, count) in mix {
+        if count == 0 {
+            return Err(ServeError::BadRequest {
+                reason: format!("zero-count entry for node {node}"),
+            });
+        }
+        if model.try_class_of(NodeId(node)).is_none() {
+            return Err(ServeError::BadRequest {
+                reason: format!("node {node} is not covered by the model"),
+            });
+        }
+        wl = wl.from_node(NodeId(node), count);
+    }
+    Ok(wl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::WireMode;
+    use numio_core::SimPlatform;
+
+    fn service() -> ModelService<SimPlatform> {
+        ModelService::new(SimPlatform::dl585()).with_modeler(IoModeler::new().reps(3))
+    }
+
+    #[test]
+    fn classify_reproduces_table_iv_from_the_cache() {
+        let svc = service();
+        let cold = svc.handle(&Request::Classify { node: 2, target: 7, mode: WireMode::Write });
+        let warm = svc.handle(&Request::Classify { node: 2, target: 7, mode: WireMode::Write });
+        match (&cold, &warm) {
+            (
+                Response::Classify { class: c0, classes: n0, class_nodes: k0, cached: false, .. },
+                Response::Classify { class: c1, classes: n1, class_nodes: k1, cached: true, .. },
+            ) => {
+                assert_eq!((c0, n0, k0), (c1, n1, k1));
+                assert_eq!(*c0, 2, "Table IV: node 2 sits in the starved class");
+                assert_eq!(*n0, 3);
+                assert_eq!(k0, &vec![2, 3]);
+            }
+            other => panic!("unexpected replies: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predict_is_bit_identical_and_cached_on_repeat() {
+        let svc = service();
+        let req = Request::Predict {
+            target: 7,
+            mode: WireMode::Read,
+            mix: vec![(2, 2), (0, 2)],
+        };
+        let a = svc.handle(&req);
+        let b = svc.handle(&req);
+        match (a, b) {
+            (
+                Response::Predict { predicted_gbps: p0, cached: false, .. },
+                Response::Predict { predicted_gbps: p1, cached: true, .. },
+            ) => assert_eq!(p0.to_bits(), p1.to_bits()),
+            other => panic!("unexpected replies: {other:?}"),
+        }
+        assert_eq!(svc.cache().stats().misses, 1);
+    }
+
+    #[test]
+    fn bad_requests_are_error_replies_not_panics() {
+        let svc = service();
+        for req in [
+            Request::Predict { target: 7, mode: WireMode::Write, mix: vec![] },
+            Request::Predict { target: 7, mode: WireMode::Write, mix: vec![(0, 0)] },
+            Request::Predict { target: 7, mode: WireMode::Write, mix: vec![(99, 1)] },
+            Request::Classify { node: 99, target: 7, mode: WireMode::Write },
+            Request::Classify { node: 0, target: 99, mode: WireMode::Write },
+            Request::Place { target: 7, tasks: 0, to_device: true },
+        ] {
+            match svc.handle(&req) {
+                Response::Error { .. } => {}
+                other => panic!("{req:?} should fail, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn place_spreads_across_the_top_classes() {
+        let svc = service();
+        let resp = svc.handle(&Request::Place { target: 7, tasks: 4, to_device: true });
+        let Response::Place { nodes, .. } = resp else {
+            panic!("unexpected reply: {resp:?}");
+        };
+        assert_eq!(nodes.len(), 4);
+        // Table IV's top class is {6, 7}: the first placements stay there.
+        assert!(nodes.iter().take(2).all(|n| *n == 6 || *n == 7), "{nodes:?}");
+    }
+
+    #[test]
+    fn arming_faults_invalidates_only_the_old_view() {
+        let svc = service();
+        // Warm the base view.
+        svc.handle(&Request::Atlas);
+        let plan = FaultPlan::demo(42);
+        let resp = svc.handle(&Request::SetFaults { plan: plan.clone() });
+        let Response::Faults { active, invalidated } = resp else {
+            panic!("unexpected reply: {resp:?}");
+        };
+        assert!(active > 0);
+        assert!(invalidated, "base key must be evicted on view change");
+        // Same plan again: view unchanged, nothing else evicted.
+        let resp = svc.handle(&Request::SetFaults { plan });
+        assert_eq!(resp, Response::Faults { active, invalidated: false });
+        // The faulted view characterizes fresh (a miss), then hits.
+        let cold = svc.handle(&Request::Atlas);
+        let warm = svc.handle(&Request::Atlas);
+        match (cold, warm) {
+            (Response::Atlas { cached: false, .. }, Response::Atlas { cached: true, .. }) => {}
+            other => panic!("unexpected replies: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_and_ping_round_out_the_surface() {
+        let obs = Obs::new();
+        let svc = ModelService::new(SimPlatform::dl585())
+            .with_modeler(IoModeler::new().reps(3))
+            .with_obs(&obs);
+        assert_eq!(svc.handle(&Request::Ping), Response::Pong);
+        svc.handle(&Request::Classify { node: 6, target: 7, mode: WireMode::Write });
+        let resp = svc.handle(&Request::Stats);
+        let Response::Stats { requests, misses, backend, .. } = resp else {
+            panic!("unexpected reply: {resp:?}");
+        };
+        assert_eq!(requests, 3);
+        assert_eq!(misses, 1);
+        assert_eq!(backend, "sim:dl585-g7");
+        assert_eq!(
+            obs.counter("numio_serve_requests_total", &[("op", "ping"), ("backend", "sim")])
+                .get(),
+            1
+        );
+    }
+}

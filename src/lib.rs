@@ -28,6 +28,10 @@
 //! * [`sched`] — online placement/migration episodes driven by the model.
 //! * [`faults`] — deterministic fault injection: degraded links, IRQ
 //!   storms, device stalls, and scheduled inject/heal timelines.
+//! * [`serve`] — long-running TCP/JSONL prediction service with a
+//!   memoized characterization cache: characterize once, answer
+//!   `predict`/`classify`/`place`/`atlas` requests from the cache until
+//!   drift or an armed fault plan invalidates the affected key.
 //!
 //! Fallible entry points across the workspace return per-crate error
 //! types; the workspace-level [`Error`] unifies them (every one converts
@@ -56,6 +60,7 @@ pub use numa_iodev as iodev;
 pub use numa_memsys as memsys;
 pub use numa_topology as topology;
 pub use numa_sched as sched;
+pub use numa_serve as serve;
 pub use numio_core as core;
 
 /// Workspace-level error: any failure a `numio` API can return.
@@ -93,6 +98,10 @@ pub enum Error {
     Recheck(core::RecheckError),
     /// A fault plan was malformed or inapplicable ([`faults`]).
     Fault(faults::FaultError),
+    /// Building or persisting a host atlas failed ([`core`]).
+    Atlas(core::AtlasError),
+    /// The prediction service failed ([`serve`]).
+    Serve(serve::ServeError),
 }
 
 impl std::fmt::Display for Error {
@@ -111,6 +120,8 @@ impl std::fmt::Display for Error {
             Error::Backend(e) => write!(f, "backend: {e}"),
             Error::Recheck(e) => write!(f, "drift recheck: {e}"),
             Error::Fault(e) => write!(f, "faults: {e}"),
+            Error::Atlas(e) => write!(f, "atlas: {e}"),
+            Error::Serve(e) => write!(f, "serve: {e}"),
         }
     }
 }
@@ -131,6 +142,8 @@ impl std::error::Error for Error {
             Error::Backend(e) => Some(e),
             Error::Recheck(e) => Some(e),
             Error::Fault(e) => Some(e),
+            Error::Atlas(e) => Some(e),
+            Error::Serve(e) => Some(e),
         }
     }
 }
@@ -159,6 +172,8 @@ impl_from_error!(
     Backend(backend::BackendError),
     Recheck(core::RecheckError),
     Fault(faults::FaultError),
+    Atlas(core::AtlasError),
+    Serve(serve::ServeError),
 );
 
 /// Convenience alias: `Result` with the workspace [`Error`].
@@ -179,10 +194,11 @@ pub mod prelude {
     pub use numa_faults::{FaultInjector, FaultKind, FaultPlan, FaultWindow};
     pub use numa_fio::{FioError, JobSpec, Workload};
     pub use numa_sched::{ClassRanked, Policy, RetryPolicy, SchedError, Scheduler};
+    pub use numa_serve::{CharacterizationCache, ModelService, ServeError};
     pub use numa_topology::{DeviceId, DirectedEdge, NodeId, Topology};
     pub use numio_core::{
-        ClockSource, CopySpec, HostPlatform, IoModeler, IoPerfModel, Platform, PlatformError,
-        ScheduleAdvisor, SimPlatform, TransferMode,
+        Atlas, AtlasError, ClockSource, CopySpec, HostPlatform, IoModeler, IoPerfModel, Platform,
+        PlatformError, ScheduleAdvisor, SimPlatform, TransferMode,
     };
 }
 
@@ -217,6 +233,11 @@ mod tests {
         assert!(matches!(
             roundtrip(core::RecheckError::Diff(core::DiffError::ShapeMismatch)),
             Error::Recheck(_)
+        ));
+        assert!(matches!(roundtrip(core::AtlasError::Empty), Error::Atlas(_)));
+        assert!(matches!(
+            roundtrip(serve::ServeError::BadRequest { reason: "x".into() }),
+            Error::Serve(_)
         ));
     }
 
