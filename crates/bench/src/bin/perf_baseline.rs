@@ -3,7 +3,9 @@
 //! Times the algorithmic kernels the criterion benches cover — max-min
 //! allocator (one-shot and persistent-solver reuse), topology routing,
 //! Algorithm 1 modeler, engine event loop — plus a full scheduler
-//! episode and a fixture-replayed full-host characterization, and writes
+//! episode, a fixture-replayed full-host characterization, and a
+//! closed-loop serve load run (concurrent clients over loopback,
+//! deterministic request mix, p50/p99 latency), and writes
 //! `BENCH_baseline.json` so perf regressions are
 //! diffable across commits without a criterion run. Usage:
 //!
@@ -24,6 +26,7 @@
 //! is deterministic and must match the paper on any machine.
 
 use numa_backend::{RecordingPlatform, ReplayPlatform};
+use numa_bench::loadgen::{self, LoadConfig, LoadReport, WARMED_MODELS};
 use numa_fabric::calibration::paper;
 use numa_fabric::{solve_max_min, FlowSpec, MaxMinProblem, MaxMinSolver};
 use numa_iodev::{NicModel, NicOp};
@@ -46,8 +49,16 @@ fn problem(n: usize, r: usize) -> MaxMinProblem {
         .map(|_| {
             let k = 1 + (next() as usize % 4).min(r - 1);
             let resources: Vec<usize> = (0..k).map(|_| next() as usize % r).collect();
-            let ceiling = if next() % 3 == 0 { 5.0 + (next() % 40) as f64 } else { f64::INFINITY };
-            FlowSpec { resources, ceiling, weight: 1.0 }
+            let ceiling = if next() % 3 == 0 {
+                5.0 + (next() % 40) as f64
+            } else {
+                f64::INFINITY
+            };
+            FlowSpec {
+                resources,
+                ceiling,
+                weight: 1.0,
+            }
         })
         .collect();
     MaxMinProblem { capacities, flows }
@@ -73,8 +84,11 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { out_path: "BENCH_baseline.json".to_string(), compare: None, check: false };
+    let mut args = Args {
+        out_path: "BENCH_baseline.json".to_string(),
+        compare: None,
+        check: false,
+    };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -99,6 +113,8 @@ fn run_checks(
     engine_aggregate: [f64; 2],
     replay_identical: bool,
     serve_cache_hot: bool,
+    load_cfg: &LoadConfig,
+    load: &LoadReport,
 ) -> Vec<String> {
     let mut failures = Vec::new();
     if write_classes != 3 {
@@ -119,14 +135,28 @@ fn run_checks(
         ));
     }
     if !replay_identical {
-        failures
-            .push("replayed full-host atlas diverges from the live recorded run".to_string());
+        failures.push("replayed full-host atlas diverges from the live recorded run".to_string());
     }
     if !serve_cache_hot {
         failures.push(
             "serve_predict_hot_cache re-characterized mid-loop: hot requests must all hit"
                 .to_string(),
         );
+    }
+    if load.errors != 0 {
+        failures.push(format!(
+            "serve load run saw {} error replies; the generated mix must be clean",
+            load.errors
+        ));
+    }
+    if load.cache_misses != WARMED_MODELS {
+        failures.push(format!(
+            "serve load run paid {} cache misses, expected the {WARMED_MODELS} warmed models",
+            load.cache_misses
+        ));
+    }
+    if loadgen::mix_digest(load_cfg) != load.mix_digest {
+        failures.push("serve load mix digest is not reproducible from its seed".to_string());
     }
     if engine_aggregate[0].to_bits() != engine_aggregate[1].to_bits() {
         failures.push(format!(
@@ -143,7 +173,10 @@ fn run_checks(
     let _ = solver.solve();
     let reused = solver.solve();
     let identical = fresh.len() == reused.len()
-        && fresh.iter().zip(reused).all(|(a, b)| a.to_bits() == b.to_bits());
+        && fresh
+            .iter()
+            .zip(reused)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
     if !identical {
         failures.push("reused MaxMinSolver diverges from one-shot solve_max_min".to_string());
     }
@@ -152,7 +185,10 @@ fn run_checks(
 
 /// Print the per-op delta table and compare `checks`; returns mismatches.
 fn compare_baselines(old: &serde_json::Value, new: &serde_json::Value) -> Vec<String> {
-    println!("{:<34} {:>10} {:>10} {:>9}", "op", "old ms", "new ms", "speedup");
+    println!(
+        "{:<34} {:>10} {:>10} {:>9}",
+        "op", "old ms", "new ms", "speedup"
+    );
     if let (Some(old_ops), Some(new_ops)) = (old["ops"].as_object(), new["ops"].as_object()) {
         for (name, entry) in new_ops {
             let new_ms = entry["median_s"].as_f64().unwrap_or(f64::NAN) * 1e3;
@@ -189,7 +225,10 @@ fn main() {
     let mut ops = serde_json::Map::new();
     let mut record = |name: &str, median_s: f64| {
         eprintln!("{name:<34} {:.3} ms", median_s * 1e3);
-        ops.insert(name.to_string(), serde_json::json!({ "median_s": median_s }));
+        ops.insert(
+            name.to_string(),
+            serde_json::json!({ "median_s": median_s }),
+        );
     };
 
     // Allocator: water-filling at small and contended sizes.
@@ -253,8 +292,7 @@ fn main() {
     record(
         "replay_characterize_full_host",
         time_op(iters, || {
-            replayed_atlas =
-                std::hint::black_box(IoModeler::new().characterize_full_host(&replay));
+            replayed_atlas = std::hint::black_box(IoModeler::new().characterize_full_host(&replay));
         }),
     );
     let replay_identical = replayed_atlas == live_atlas;
@@ -268,7 +306,9 @@ fn main() {
             numa_fio::JobSpec::nic(numa_iodev::NicOp::RdmaRead, NodeId(0))
                 .numjobs(4)
                 .size_gbytes(10.0),
-            numa_fio::JobSpec::ssd(true, NodeId(5)).numjobs(4).size_gbytes(10.0),
+            numa_fio::JobSpec::ssd(true, NodeId(5))
+                .numjobs(4)
+                .size_gbytes(10.0),
         ];
         numa_fio::run_jobs(&fabric, &jobs).expect("engine baseline run")
     };
@@ -283,7 +323,10 @@ fn main() {
     let run_episode = || {
         let tasks = numa_sched::trace::poisson(16, 1.0, numa_sched::trace::MixProfile::Ingest, 42);
         numa_sched::Scheduler::new(&platform)
-            .run(tasks, numa_sched::policy::ModelDriven::from_platform(&platform))
+            .run(
+                tasks,
+                numa_sched::policy::ModelDriven::from_platform(&platform),
+            )
             .expect("scheduler baseline episode")
     };
     record(
@@ -296,8 +339,8 @@ fn main() {
     // Serving layer: a hot-cache Eq. 1 prediction — the steady-state cost
     // a placement query pays once the atlas is memoized. The cold miss is
     // paid outside the timed region; every timed request must be a hit.
-    let serve_svc = numa_serve::ModelService::new(SimPlatform::dl585())
-        .with_modeler(IoModeler::new().reps(3));
+    let serve_svc =
+        numa_serve::ModelService::new(SimPlatform::dl585()).with_modeler(IoModeler::new().reps(3));
     let predict_req = numa_serve::Request::Predict {
         target: 7,
         mode: numa_serve::WireMode::Write,
@@ -313,6 +356,22 @@ fn main() {
     let serve_stats = serve_svc.cache().stats();
     let serve_cache_hot = serve_stats.misses == 1 && serve_stats.hits >= iters as u64;
 
+    // Serve throughput: a closed-loop multi-client load run over loopback
+    // with a deterministic request mix (the serve_throughput bin at its
+    // defaults). req/s and the percentiles are machine-dependent; the
+    // error count, warmed-miss count, and mix digest are anchors.
+    let load_cfg = LoadConfig::default();
+    let load = loadgen::run_load(&load_cfg).unwrap_or_else(|e| {
+        eprintln!("serve load run failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "serve_throughput ({}x{}): {:.0} req/s",
+        load.clients, load_cfg.requests_per_client, load.req_per_s
+    );
+    record("serve_throughput_p50", load.p50_s);
+    record("serve_throughput_p99", load.p99_s);
+
     // Deterministic correctness anchors riding along with the timings.
     let write = IoModeler::new().characterize(&platform, NodeId(7), TransferMode::Write);
     let read = IoModeler::new().characterize(&platform, NodeId(7), TransferMode::Read);
@@ -326,6 +385,15 @@ fn main() {
         "schema": "numio-bench-baseline/1",
         "iters_per_op": iters,
         "ops": ops,
+        "serve_throughput": {
+            "clients": load.clients,
+            "requests": load.requests,
+            "req_per_s": load.req_per_s,
+            "mean_s": load.mean_s,
+            "p50_s": load.p50_s,
+            "p90_s": load.p90_s,
+            "p99_s": load.p99_s,
+        },
         "checks": {
             "write_classes": write.classes().len(),
             "read_classes": read.classes().len(),
@@ -333,6 +401,10 @@ fn main() {
             "engine_aggregate_gbps": report.aggregate_gbps,
             "replay_bit_identical": replay_identical,
             "serve_cache_hot": serve_cache_hot,
+            "serve_loadgen_errors": load.errors,
+            "serve_loadgen_cache_misses": load.cache_misses,
+            // As a string: 64-bit digests survive every JSON reader exact.
+            "serve_loadgen_mix_digest": format!("{:016x}", load.mix_digest),
         },
     });
     let text = serde_json::to_string_pretty(&doc).expect("baseline serialization");
@@ -363,6 +435,8 @@ fn main() {
             [report.aggregate_gbps, report2.aggregate_gbps],
             replay_identical,
             serve_cache_hot,
+            &load_cfg,
+            &load,
         );
         for f in &failures {
             eprintln!("CHECK FAILED: {f}");

@@ -1,0 +1,128 @@
+//! Closed-loop serve load generator: N concurrent clients replay a
+//! deterministic request mix against a loopback server and report req/s
+//! plus p50/p90/p99 latency. Usage:
+//!
+//! ```sh
+//! cargo run --release -p numa-bench --bin serve_throughput [-- <out.json>] \
+//!     [--clients N] [--requests M] [--seed S] [--reps R] [--check]
+//! ```
+//!
+//! Writes a `numio-serve-throughput/1` JSON document (CI uploads it next
+//! to `BENCH_6.json`). `--check` verifies the run's deterministic
+//! anchors — zero error replies, exactly the warmed characterizations as
+//! misses, and a regenerated mix digest matching the run's — and exits
+//! non-zero on drift. Throughput and percentiles are machine-dependent
+//! and never gate.
+
+use numa_bench::loadgen::{self, LoadConfig, WARMED_MODELS};
+
+struct Args {
+    out_path: String,
+    cfg: LoadConfig,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out_path: "BENCH_serve.json".to_string(),
+        cfg: LoadConfig::default(),
+        check: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    let mut num = |flag: &str, val: Option<String>| -> usize {
+        val.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} requires a non-negative integer");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--clients" => args.cfg.clients = num("--clients", iter.next()),
+            "--requests" => args.cfg.requests_per_client = num("--requests", iter.next()),
+            "--seed" => args.cfg.seed = num("--seed", iter.next()) as u64,
+            "--reps" => args.cfg.reps = num("--reps", iter.next()),
+            "--check" => args.check = true,
+            _ => args.out_path = a,
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let report = loadgen::run_load(&args.cfg).unwrap_or_else(|e| {
+        eprintln!("serve_throughput: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "{} clients x {} requests: {:.0} req/s  p50 {:.1} us  p90 {:.1} us  p99 {:.1} us",
+        report.clients,
+        args.cfg.requests_per_client,
+        report.req_per_s,
+        report.p50_s * 1e6,
+        report.p90_s * 1e6,
+        report.p99_s * 1e6,
+    );
+    let doc = serde_json::json!({
+        "schema": "numio-serve-throughput/1",
+        "config": {
+            "clients": report.clients,
+            "requests_per_client": args.cfg.requests_per_client,
+            "seed": args.cfg.seed,
+            "reps": args.cfg.reps,
+        },
+        "throughput": {
+            "requests": report.requests,
+            "elapsed_s": report.elapsed_s,
+            "req_per_s": report.req_per_s,
+        },
+        "latency": {
+            "mean_s": report.mean_s,
+            "p50_s": report.p50_s,
+            "p90_s": report.p90_s,
+            "p99_s": report.p99_s,
+        },
+        "errors": report.errors,
+        "cache": { "hits": report.cache_hits, "misses": report.cache_misses },
+        // As a string: JSON readers keep 64-bit digests exact that way.
+        "mix_digest": format!("{:016x}", report.mix_digest),
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("report serialization");
+    std::fs::write(&args.out_path, &text).unwrap_or_else(|e| panic!("{}: {e}", args.out_path));
+    println!("wrote {}", args.out_path);
+
+    if args.check {
+        let mut failures = Vec::new();
+        if report.errors != 0 {
+            failures.push(format!(
+                "{} error replies; a healthy run has none",
+                report.errors
+            ));
+        }
+        if report.cache_misses != WARMED_MODELS {
+            failures.push(format!(
+                "{} cache misses, expected the {WARMED_MODELS} warmed characterizations: \
+                 the request mix escaped the warmed view",
+                report.cache_misses
+            ));
+        }
+        if loadgen::mix_digest(&args.cfg) != report.mix_digest {
+            failures
+                .push("regenerated mix digest diverges: generation is non-deterministic".into());
+        }
+        if report.p50_s > report.p99_s {
+            failures.push(format!(
+                "percentiles out of order: p50 {} > p99 {}",
+                report.p50_s, report.p99_s
+            ));
+        }
+        for f in &failures {
+            eprintln!("CHECK FAILED: {f}");
+        }
+        if failures.is_empty() {
+            println!("checks: load run clean, mix deterministic, cache hot");
+        } else {
+            std::process::exit(1);
+        }
+    }
+}

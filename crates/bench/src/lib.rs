@@ -23,6 +23,7 @@
 //! the experiment bins regenerate the *paper's* data.
 
 pub mod experiments;
+pub mod loadgen;
 
 /// One regenerated experiment.
 #[derive(Debug, Clone)]

@@ -1,0 +1,307 @@
+//! Closed-loop load generator for the serving layer.
+//!
+//! N concurrent clients each replay a *deterministic* request mix against
+//! a loopback [`numa_serve`] server: the mix is generated up front from
+//! `(seed, client index)`, so two same-seed runs issue byte-identical
+//! request lines (pinned by the `mix_digest` in the report), while the
+//! measured throughput and latency percentiles track the machine. This is
+//! the measurement harness `BENCH_6.json` and the `serve_throughput` CI
+//! smoke run on — req/s plus p50/p90/p99 per PR instead of anecdotes.
+//!
+//! The timed loop runs against a *warmed* cache (the write and read
+//! models of the default target are characterized before any client
+//! starts), so the numbers describe the steady state a placement query
+//! pays, and `cache_misses == WARMED_MODELS` doubles as a determinism
+//! check: a miss mid-loop means the request mix escaped the warmed view.
+
+use numa_serve::{proto, Client, ModelService, Request, WireMode};
+use numio_core::{IoModeler, SimPlatform};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Models characterized before the timed loop: the default target's
+/// write and read directions — everything the generated mix touches.
+pub const WARMED_MODELS: u64 = 2;
+
+/// Knobs of one load run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Mix seed: same seed, same request lines.
+    pub seed: u64,
+    /// Modeler probe reps for the (warmed) characterization.
+    pub reps: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 4,
+            requests_per_client: 64,
+            seed: 42,
+            reps: 3,
+        }
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Clients that ran.
+    pub clients: usize,
+    /// Total requests issued (and answered).
+    pub requests: usize,
+    /// `error` replies received (0 on a healthy run).
+    pub errors: usize,
+    /// Wall-clock duration of the timed loop, seconds.
+    pub elapsed_s: f64,
+    /// Aggregate throughput, requests per second.
+    pub req_per_s: f64,
+    /// Mean per-request latency, seconds.
+    pub mean_s: f64,
+    /// Median per-request latency, seconds.
+    pub p50_s: f64,
+    /// 90th-percentile per-request latency, seconds.
+    pub p90_s: f64,
+    /// 99th-percentile per-request latency, seconds.
+    pub p99_s: f64,
+    /// FNV-1a digest over every generated request line, in client order —
+    /// byte-stable across same-seed runs.
+    pub mix_digest: u64,
+    /// Cache hits during the run.
+    pub cache_hits: u64,
+    /// Cache misses during the run (the warm-up's [`WARMED_MODELS`]).
+    pub cache_misses: u64,
+}
+
+/// Stable FNV-1a (the same function the serve cache keys with, local so
+/// the bench crate never grows an obs dependency for one hash).
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = if h == 0 { 0xcbf2_9ce4_8422_2325 } else { h };
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64-seeded xorshift, so nearby `(seed, client)` pairs produce
+/// unrelated streams.
+fn rng_state(seed: u64, client: u64) -> u64 {
+    let mut z = seed ^ client.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic request mix one client replays: 60% write predicts,
+/// 20% read predicts, 15% classifies, 5% stats — all against the default
+/// target, so a warmed write+read view answers everything from cache.
+pub fn generate_requests(seed: u64, client: u64, n: usize) -> Vec<String> {
+    let mut state = rng_state(seed, client).max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| {
+            let roll = next() % 100;
+            let req = if roll < 80 {
+                let mode = if roll < 60 {
+                    WireMode::Write
+                } else {
+                    WireMode::Read
+                };
+                let entries = 1 + (next() % 3) as usize;
+                let mut mix: Vec<(u16, u32)> = (0..entries)
+                    .map(|_| ((next() % 8) as u16, 1 + (next() % 4) as u32))
+                    .collect();
+                mix.sort();
+                mix.dedup_by_key(|e| e.0);
+                Request::Predict {
+                    target: 7,
+                    mode,
+                    mix,
+                }
+            } else if roll < 95 {
+                Request::Classify {
+                    node: (next() % 8) as u16,
+                    target: 7,
+                    mode: WireMode::Write,
+                }
+            } else {
+                Request::Stats
+            };
+            proto::encode(&req).expect("requests always encode")
+        })
+        .collect()
+}
+
+/// Digest of every request line `cfg` generates, in client order.
+pub fn mix_digest(cfg: &LoadConfig) -> u64 {
+    let mut h = 0u64;
+    for client in 0..cfg.clients {
+        for line in generate_requests(cfg.seed, client as u64, cfg.requests_per_client) {
+            h = fnv1a(h, line.as_bytes());
+            h = fnv1a(h, b"\n");
+        }
+    }
+    h
+}
+
+/// Run one closed-loop load measurement against a fresh loopback server.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    if cfg.clients == 0 || cfg.requests_per_client == 0 {
+        return Err("loadgen needs at least one client and one request".into());
+    }
+    let service = Arc::new(
+        ModelService::new(SimPlatform::dl585())
+            .with_modeler(IoModeler::new().reps(cfg.reps.max(1) as u32)),
+    );
+    // Warm the models the mix touches, outside the timed region.
+    for mode in [WireMode::Write, WireMode::Read] {
+        let resp = service.handle(&Request::Predict {
+            target: 7,
+            mode,
+            mix: vec![(0, 1)],
+        });
+        if let numa_serve::Response::Error { message } = resp {
+            return Err(format!("warm-up characterization failed: {message}"));
+        }
+    }
+    let handle = numa_serve::spawn(Arc::clone(&service), "127.0.0.1:0")
+        .map_err(|e| format!("spawn: {e}"))?;
+    let addr = handle.addr().to_string();
+
+    let lines: Vec<Vec<String>> = (0..cfg.clients)
+        .map(|c| generate_requests(cfg.seed, c as u64, cfg.requests_per_client))
+        .collect();
+    let t0 = Instant::now();
+    let per_client: Vec<Result<(Vec<f64>, usize), String>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = lines
+            .iter()
+            .map(|client_lines| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+                    let mut latencies = Vec::with_capacity(client_lines.len());
+                    let mut errors = 0usize;
+                    for line in client_lines {
+                        let t = Instant::now();
+                        let reply = client.call_raw(line).map_err(|e| format!("call: {e}"))?;
+                        latencies.push(t.elapsed().as_secs_f64());
+                        if reply.contains("\"reply\":\"error\"") {
+                            errors += 1;
+                        }
+                    }
+                    Ok((latencies, errors))
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("loadgen client panicked"))
+            .collect()
+    });
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    handle.shutdown();
+
+    let mut latencies = Vec::with_capacity(cfg.clients * cfg.requests_per_client);
+    let mut errors = 0usize;
+    for r in per_client {
+        let (lat, errs) = r?;
+        latencies.extend(lat);
+        errors += errs;
+    }
+    latencies.sort_by(f64::total_cmp);
+    let requests = latencies.len();
+    let nearest = |q: f64| -> f64 {
+        let rank = ((q * requests as f64).ceil() as usize).clamp(1, requests);
+        latencies[rank - 1]
+    };
+    let stats = service.cache().stats();
+    Ok(LoadReport {
+        clients: cfg.clients,
+        requests,
+        errors,
+        elapsed_s,
+        req_per_s: if elapsed_s > 0.0 {
+            requests as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        mean_s: latencies.iter().sum::<f64>() / requests as f64,
+        p50_s: nearest(0.50),
+        p90_s: nearest(0.90),
+        p99_s: nearest(0.99),
+        mix_digest: mix_digest(cfg),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_mixes_are_deterministic_per_seed() {
+        let a = generate_requests(42, 0, 32);
+        let b = generate_requests(42, 0, 32);
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            generate_requests(42, 1, 32),
+            "clients get distinct streams"
+        );
+        assert_ne!(
+            a,
+            generate_requests(43, 0, 32),
+            "seeds get distinct streams"
+        );
+        let cfg = LoadConfig::default();
+        assert_eq!(mix_digest(&cfg), mix_digest(&cfg));
+    }
+
+    #[test]
+    fn generated_lines_decode_and_stay_in_the_warmed_view() {
+        for line in generate_requests(7, 3, 128) {
+            let req = proto::decode_request(&line).expect("generated lines decode");
+            match req {
+                Request::Predict { target, mix, .. } => {
+                    assert_eq!(target, 7);
+                    assert!(!mix.is_empty());
+                    assert!(mix.iter().all(|&(n, c)| n < 8 && c >= 1));
+                }
+                Request::Classify { node, target, .. } => {
+                    assert!(node < 8);
+                    assert_eq!(target, 7);
+                }
+                Request::Stats => {}
+                other => panic!("unexpected op in mix: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn small_load_run_is_clean_and_cache_hot() {
+        let cfg = LoadConfig {
+            clients: 2,
+            requests_per_client: 8,
+            seed: 42,
+            reps: 3,
+        };
+        let report = run_load(&cfg).unwrap();
+        assert_eq!(report.requests, 16);
+        assert_eq!(report.errors, 0, "mix stays inside the warmed view");
+        assert_eq!(report.cache_misses, WARMED_MODELS);
+        assert!(report.req_per_s > 0.0);
+        assert!(report.p50_s <= report.p99_s);
+        assert_eq!(report.mix_digest, mix_digest(&cfg));
+    }
+}

@@ -18,20 +18,28 @@ const DEFAULT_ADDR: &str = "127.0.0.1:7171";
 /// `--reps N` sets the characterization probe count (default 100, the
 /// same plan `iomodel record` captures, so replay fixtures line up);
 /// `--drift-threshold F` tunes cache eviction; `--port-file <path>`
-/// writes the actually-bound address (useful with `--addr host:0`).
+/// writes the actually-bound address (useful with `--addr host:0`);
+/// `--flight-recorder-size N` bounds the post-mortem event ring dumped
+/// by the `dump` op; `--max-connections N` refuses connections over the
+/// limit with a typed overload reply (0 = unlimited, the default).
 pub(crate) fn cmd_serve(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, String> {
     let addr = opts.get("addr").unwrap_or(DEFAULT_ADDR).to_string();
     let reps: u32 = opts.num("reps", 100)?;
     let threshold: f64 = opts.num("drift-threshold", numa_serve::DEFAULT_DRIFT_THRESHOLD)?;
+    let flight: usize = opts.num("flight-recorder-size", numa_obs::DEFAULT_FLIGHT_CAPACITY)?;
+    let max_connections: usize = opts.num("max-connections", 0)?;
     let platform = backend::platform_for(opts)?;
     let label = numio_core::Platform::label(&platform);
     let service = Arc::new(
         ModelService::new(platform)
             .with_modeler(IoModeler::new().reps(reps))
             .with_drift_threshold(threshold)
+            .with_flight_capacity(flight)
             .with_obs(obs),
     );
-    let server = numa_serve::spawn(service, &addr).map_err(|e| format!("serve: {e}"))?;
+    let server =
+        numa_serve::spawn_with(service, &addr, numa_serve::ServeConfig { max_connections })
+            .map_err(|e| format!("serve: {e}"))?;
     let bound = server.addr();
     if let Some(path) = opts.get("port-file") {
         std::fs::write(path, bound.to_string()).map_err(|e| format!("--port-file {path}: {e}"))?;
@@ -50,14 +58,24 @@ pub(crate) fn cmd_serve(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, Stri
 /// Default script pings and prints stats. `--check` gates the answers:
 /// a Table-IV-consistent `classify` (node 2 in the starved class {2,3}
 /// of 3), a repeated `predict` answered bit-identically with the second
-/// reply a cache hit, and a hit count ≥ 1 in `stats`. `--shutdown`
-/// stops the server afterwards.
+/// reply a cache hit, and a hit count ≥ 1 in `stats`. `--stats` renders
+/// a one-shot health view (requests, errors, cache counters, latency
+/// percentiles); `--dump` prints the server's flight-recorder events
+/// (or the frozen incident snapshot). `--shutdown` stops the server
+/// afterwards.
 pub(crate) fn cmd_client(opts: &Opts) -> Result<String, String> {
     let addr = opts.get("addr").unwrap_or(DEFAULT_ADDR);
     let mut client = connect_with_retry(addr)?;
     let mut out = String::new();
     if opts.flag("check") {
         run_check(&mut client, &mut out)?;
+    } else if opts.flag("stats") || opts.flag("dump") {
+        if opts.flag("stats") {
+            render_health(&mut client, &mut out)?;
+        }
+        if opts.flag("dump") {
+            render_dump(&mut client, &mut out)?;
+        }
     } else {
         let pong = client.call(&Request::Ping).map_err(|e| e.to_string())?;
         let _ = writeln!(out, "ping -> {pong:?}");
@@ -75,15 +93,93 @@ pub(crate) fn cmd_client(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
+/// One-shot health view from a single `stats` round trip — no Prometheus
+/// scrape needed.
+fn render_health(client: &mut Client, out: &mut String) -> Result<(), String> {
+    let resp = client.call(&Request::Stats).map_err(|e| e.to_string())?;
+    let Response::Stats {
+        requests,
+        invalid,
+        errors,
+        hits,
+        misses,
+        invalidations,
+        entries,
+        series,
+        backend,
+        active_faults,
+        latency,
+    } = resp
+    else {
+        return Err(format!("stats failed: {resp:?}"));
+    };
+    let _ = writeln!(out, "backend          {backend}");
+    let _ = writeln!(
+        out,
+        "requests         {requests} ({invalid} invalid, {errors} errors)"
+    );
+    let _ = writeln!(
+        out,
+        "cache            {hits} hits / {misses} misses / {invalidations} invalidations, \
+         {entries} views cached"
+    );
+    let _ = writeln!(out, "metric series    {series}");
+    let _ = writeln!(out, "active faults    {active_faults}");
+    let _ = writeln!(
+        out,
+        "latency          n={} mean {:.1} us, p50 {:.1} us, p90 {:.1} us, p99 {:.1} us",
+        latency.count,
+        latency.mean_s * 1e6,
+        latency.p50_s * 1e6,
+        latency.p90_s * 1e6,
+        latency.p99_s * 1e6,
+    );
+    Ok(())
+}
+
+/// Print the server's flight-recorder events (incident snapshot first
+/// when one is frozen).
+fn render_dump(client: &mut Client, out: &mut String) -> Result<(), String> {
+    let resp = client.call(&Request::Dump).map_err(|e| e.to_string())?;
+    let Response::Dump { reason, events } = resp else {
+        return Err(format!("dump failed: {resp:?}"));
+    };
+    match &reason {
+        Some(r) => {
+            let _ = writeln!(out, "incident: {r} ({} events at capture)", events.len());
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "flight recorder: {} recent events (no incident)",
+                events.len()
+            );
+        }
+    }
+    for line in &events {
+        let _ = writeln!(out, "{line}");
+    }
+    Ok(())
+}
+
 /// The served answers change with the backend's machine, but the CI smoke
 /// runs against the DL585 fixture — so the gate checks the paper's
 /// Table IV partition exactly.
 fn run_check(client: &mut Client, out: &mut String) -> Result<(), String> {
     // 1. Table-IV-consistent classify: node 2 sits in the starved class
     //    {2,3}, the third of three write classes.
-    let classify = Request::Classify { node: 2, target: 7, mode: numa_serve::WireMode::Write };
+    let classify = Request::Classify {
+        node: 2,
+        target: 7,
+        mode: numa_serve::WireMode::Write,
+    };
     match client.call(&classify).map_err(|e| e.to_string())? {
-        Response::Classify { class, classes, class_nodes, .. } => {
+        Response::Classify {
+            class,
+            classes,
+            class_nodes,
+            ..
+        } => {
             if classes != 3 || class != 2 || class_nodes != vec![2, 3] {
                 return Err(format!(
                     "classify drifted from Table IV: class {class} of {classes}, \
@@ -104,10 +200,16 @@ fn run_check(client: &mut Client, out: &mut String) -> Result<(), String> {
     let first = client.call_raw(&predict).map_err(|e| e.to_string())?;
     let second = client.call_raw(&predict).map_err(|e| e.to_string())?;
     if first != second {
-        return Err(format!("repeated predict not bit-identical:\n  {first}\n  {second}"));
+        return Err(format!(
+            "repeated predict not bit-identical:\n  {first}\n  {second}"
+        ));
     }
     match numa_serve::decode_response(&second).map_err(|e| e.to_string())? {
-        Response::Predict { cached: true, predicted_gbps, .. } => {
+        Response::Predict {
+            cached: true,
+            predicted_gbps,
+            ..
+        } => {
             let _ = writeln!(
                 out,
                 "predict OK: {predicted_gbps:.3} Gbit/s, bit-identical, second request a cache hit"

@@ -21,7 +21,8 @@
 //! iomodel faults      validate --plan plan.json
 //! iomodel faults      run --plan plan.json
 //! iomodel serve       [--addr host:port] [--reps N] [--drift-threshold F] [--port-file p]
-//! iomodel client      [--addr host:port] [--check] [--shutdown]
+//!                     [--flight-recorder-size N] [--max-connections N]
+//! iomodel client      [--addr host:port] [--check] [--stats] [--dump] [--shutdown]
 //! ```
 //!
 //! Every subcommand accepts the global measurement-backend flag:
@@ -93,7 +94,8 @@ pub fn run_observed(args: &[String], obs: &numa_obs::Obs) -> Result<String, Stri
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(usage)?;
     let rest: Vec<String> = it.cloned().collect();
-    obs.counter("numio_cli_invocations_total", &[("cmd", cmd.as_str())]).inc();
+    obs.counter("numio_cli_invocations_total", &[("cmd", cmd.as_str())])
+        .inc();
     obs.event("cli_invoked", 0.0, &[("cmd", cmd.as_str().into())]);
     let _span = obs.span("cli.command");
     if cmd == "faults" {
@@ -173,7 +175,8 @@ fn usage() -> String {
      run:    iomodel run --jobfile job.fio [--faults plan.json]\n\
      record: iomodel record --out fixture.jsonl [--target N] [--mode write|read]\n\
      serve:  iomodel serve [--addr host:port] [--reps N] [--drift-threshold F] [--port-file p]\n\
-     client: iomodel client [--addr host:port] [--check] [--shutdown]\n\
+             [--flight-recorder-size N] [--max-connections N]\n\
+     client: iomodel client [--addr host:port] [--check] [--stats] [--dump] [--shutdown]\n\
      global flags: --backend sim|host[:N]|replay:<file> (measurement backend, default sim)\n\
                    --trace <path> (JSONL events)  --metrics <path> (Prometheus snapshot)  --profile (wall-clock spans)\n\
      run `iomodel help` for the full option list (see crate docs)"
@@ -239,9 +242,16 @@ mod tests {
 
     #[test]
     fn characterize_split_fabric_targets_node3() {
-        let out =
-            run_str(&["characterize", "--reps", "3", "--fabric", "split", "--target", "3"])
-                .unwrap();
+        let out = run_str(&[
+            "characterize",
+            "--reps",
+            "3",
+            "--fabric",
+            "split",
+            "--target",
+            "3",
+        ])
+        .unwrap();
         assert!(out.contains("target node 3"));
         assert!(out.contains("class 1: nodes {2, 3}"), "{out}");
         assert!(run_str(&["characterize", "--fabric", "moon"]).is_err());
@@ -267,15 +277,25 @@ mod tests {
         let dir = std::env::temp_dir().join("numio-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let fix = dir.join("recorded.jsonl");
-        let out =
-            run_str(&["record", "--out", fix.to_str().unwrap(), "--reps", "3", "--target", "7"])
-                .unwrap();
+        let out = run_str(&[
+            "record",
+            "--out",
+            fix.to_str().unwrap(),
+            "--reps",
+            "3",
+            "--target",
+            "7",
+        ])
+        .unwrap();
         assert!(out.contains("recorded 8 probes (1 models)"), "{out}");
         let spec = format!("replay:{}", fix.display());
         // Replay renders exactly what the live simulator run rendered.
         let live = run_str(&["characterize", "--reps", "3"]).unwrap();
         let replayed = run_str(&["characterize", "--backend", &spec, "--reps", "3"]).unwrap();
-        assert_eq!(live, replayed, "replay must be bit-identical to the live run");
+        assert_eq!(
+            live, replayed,
+            "replay must be bit-identical to the live run"
+        );
         let checked =
             run_str(&["characterize", "--backend", &spec, "--reps", "3", "--check"]).unwrap();
         assert!(checked.contains("characterize check OK"), "{checked}");
@@ -287,7 +307,10 @@ mod tests {
 
     #[test]
     fn shipped_fixture_replays_with_check() {
-        let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/fixtures/dl585.jsonl");
+        let fixture = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/fixtures/dl585.jsonl"
+        );
         let spec = format!("replay:{fixture}");
         let out = run_str(&["characterize", "--backend", &spec, "--check"]).unwrap();
         assert!(out.contains("characterize check OK"), "{out}");
@@ -322,15 +345,27 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let fix = dir.join("events.jsonl");
         let obs = numa_obs::Obs::new();
-        let args: Vec<String> =
-            ["record", "--out", fix.to_str().unwrap(), "--reps", "2", "--target", "7"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let args: Vec<String> = [
+            "record",
+            "--out",
+            fix.to_str().unwrap(),
+            "--reps",
+            "2",
+            "--target",
+            "7",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         run_observed(&args, &obs).unwrap();
-        assert!(obs.jsonl().contains("\"ev\":\"probe_recorded\""), "{}", obs.jsonl());
+        assert!(
+            obs.jsonl().contains("\"ev\":\"probe_recorded\""),
+            "{}",
+            obs.jsonl()
+        );
         assert_eq!(
-            obs.counter("numio_probes_recorded_total", &[("backend", "sim")]).get(),
+            obs.counter("numio_probes_recorded_total", &[("backend", "sim")])
+                .get(),
             8
         );
         let obs2 = numa_obs::Obs::new();
@@ -340,13 +375,22 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         run_observed(&args, &obs2).unwrap();
-        assert!(obs2.jsonl().contains("\"ev\":\"probe_replayed\""), "{}", obs2.jsonl());
+        assert!(
+            obs2.jsonl().contains("\"ev\":\"probe_replayed\""),
+            "{}",
+            obs2.jsonl()
+        );
         assert_eq!(
-            obs2.counter("numio_probes_replayed_total", &[("backend", "replay")]).get(),
+            obs2.counter("numio_probes_replayed_total", &[("backend", "replay")])
+                .get(),
             8
         );
         assert_eq!(
-            obs2.counter("numio_probes_total", &[("node", "N7"), ("backend", "replay")]).get(),
+            obs2.counter(
+                "numio_probes_total",
+                &[("node", "N7"), ("backend", "replay")]
+            )
+            .get(),
             2
         );
     }
@@ -385,8 +429,16 @@ mod tests {
 
     #[test]
     fn sweep_renders_table() {
-        let out = run_str(&["sweep", "--op", "rdma_write", "--streams", "1,2", "--size", "2"])
-            .unwrap();
+        let out = run_str(&[
+            "sweep",
+            "--op",
+            "rdma_write",
+            "--streams",
+            "1,2",
+            "--size",
+            "2",
+        ])
+        .unwrap();
         assert!(out.contains("RdmaWrite"));
         assert!(out.contains("node7"));
     }
@@ -444,8 +496,11 @@ mod tests {
         let dir = std::env::temp_dir().join("numio-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("job.fio");
-        std::fs::write(&path, "[j]\nioengine=rdma\nverb=write\ncpunodebind=3\nsize=4g\n")
-            .unwrap();
+        std::fs::write(
+            &path,
+            "[j]\nioengine=rdma\nverb=write\ncpunodebind=3\nsize=4g\n",
+        )
+        .unwrap();
         let out = run_str(&["run", "--jobfile", path.to_str().unwrap()]).unwrap();
         assert!(out.contains("TOTAL"), "{out}");
         assert!(out.contains("17.0"), "node 3 class level: {out}");
@@ -463,7 +518,9 @@ mod tests {
         assert!(a.contains("FAULTED"));
         assert!(a.contains("degradation:"));
         // Bare `faults` defaults to the demo action.
-        assert!(run_str(&["faults", "--seed", "11"]).unwrap().contains("FAULTED"));
+        assert!(run_str(&["faults", "--seed", "11"])
+            .unwrap()
+            .contains("FAULTED"));
     }
 
     #[test]
@@ -485,7 +542,11 @@ mod tests {
         assert!(run.contains("degradation:"), "{run}");
         // Malformed plan files are reported with the offending path.
         let bad = dir.join("bad.json");
-        std::fs::write(&bad, "{\"seed\": 1, \"faults\": [{\"kind\": \"gremlins\"}]}").unwrap();
+        std::fs::write(
+            &bad,
+            "{\"seed\": 1, \"faults\": [{\"kind\": \"gremlins\"}]}",
+        )
+        .unwrap();
         let e = run_str(&["faults", "validate", "--plan", bad.to_str().unwrap()]).unwrap_err();
         assert!(e.contains("malformed fault plan"), "{e}");
         assert!(run_str(&["faults", "validate"]).is_err());
@@ -497,8 +558,11 @@ mod tests {
         let dir = std::env::temp_dir().join("numio-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let job = dir.join("faulted.fio");
-        std::fs::write(&job, "[j]\nioengine=rdma\nverb=write\ncpunodebind=6\nsize=4g\n")
-            .unwrap();
+        std::fs::write(
+            &job,
+            "[j]\nioengine=rdma\nverb=write\ncpunodebind=6\nsize=4g\n",
+        )
+        .unwrap();
         let plan = dir.join("halve.json");
         std::fs::write(
             &plan,
@@ -526,8 +590,14 @@ mod tests {
             total(&faulted) < total(&healthy) * 0.5,
             "faulted {faulted} vs healthy {healthy}"
         );
-        assert!(run_str(&["run", "--jobfile", job.to_str().unwrap(), "--faults", "/no/plan"])
-            .is_err());
+        assert!(run_str(&[
+            "run",
+            "--jobfile",
+            job.to_str().unwrap(),
+            "--faults",
+            "/no/plan"
+        ])
+        .is_err());
     }
 
     #[test]
@@ -574,8 +644,14 @@ mod tests {
         assert!(t.contains("\"ev\":\"alloc_round\""), "{t}");
         assert!(t.contains("\"ev\":\"task_finished\""), "{t}");
         let m = std::fs::read_to_string(&metrics).unwrap();
-        assert!(m.contains("numio_alloc_rounds_total{component=\"sched\"}"), "{m}");
-        assert!(m.contains("numio_flow_completions_total{component=\"sched\"}"), "{m}");
+        assert!(
+            m.contains("numio_alloc_rounds_total{component=\"sched\"}"),
+            "{m}"
+        );
+        assert!(
+            m.contains("numio_flow_completions_total{component=\"sched\"}"),
+            "{m}"
+        );
         assert!(m.contains("numio_episode_latency_seconds_bucket"), "{m}");
         // No wall-clock series without --profile: exports stay reproducible.
         assert!(!m.contains("numio_op_seconds"), "{m}");
@@ -587,8 +663,16 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let go = |name: &str| {
             let trace = dir.join(name);
-            run_str(&["sched", "--tasks", "4", "--seed", "9", "--trace", trace.to_str().unwrap()])
-                .unwrap();
+            run_str(&[
+                "sched",
+                "--tasks",
+                "4",
+                "--seed",
+                "9",
+                "--trace",
+                trace.to_str().unwrap(),
+            ])
+            .unwrap();
             std::fs::read(&trace).unwrap()
         };
         let a = go("det_a.jsonl");
@@ -603,17 +687,24 @@ mod tests {
         let args: Vec<String> = ["topo"].iter().map(|s| s.to_string()).collect();
         run_observed(&args, &obs).unwrap();
         assert!(obs.jsonl().contains("\"cmd\":\"topo\""));
-        assert_eq!(obs.counter("numio_cli_invocations_total", &[("cmd", "topo")]).get(), 1);
+        assert_eq!(
+            obs.counter("numio_cli_invocations_total", &[("cmd", "topo")])
+                .get(),
+            1
+        );
     }
 
     #[test]
     fn characterize_records_probe_metrics() {
         let obs = numa_obs::Obs::new();
-        let args: Vec<String> =
-            ["characterize", "--reps", "3"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["characterize", "--reps", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         run_observed(&args, &obs).unwrap();
         assert_eq!(
-            obs.counter("numio_probes_total", &[("node", "N7"), ("backend", "sim")]).get(),
+            obs.counter("numio_probes_total", &[("node", "N7"), ("backend", "sim")])
+                .get(),
             3
         );
         assert!(obs.prometheus().contains("numio_probe_gbps_bucket"));
@@ -713,7 +804,13 @@ mod tests {
             let pf = pf.clone();
             move || {
                 run_str(&[
-                    "serve", "--addr", "127.0.0.1:0", "--reps", "2", "--port-file", &pf,
+                    "serve",
+                    "--addr",
+                    "127.0.0.1:0",
+                    "--reps",
+                    "2",
+                    "--port-file",
+                    &pf,
                 ])
             }
         });
@@ -728,11 +825,18 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(100));
         }
         assert!(!addr.is_empty(), "serve never published its address");
-        let out = run_str(&["client", "--addr", &addr, "--check", "--shutdown"]).unwrap();
+        let out = run_str(&["client", "--addr", &addr, "--check"]).unwrap();
         assert!(out.contains("classify OK"), "{out}");
         assert!(out.contains("Table IV"), "{out}");
         assert!(out.contains("cache hit"), "{out}");
         assert!(out.contains("serve check OK"), "{out}");
+        // One-shot health view + flight-recorder dump, then shut down.
+        let out = run_str(&["client", "--addr", &addr, "--stats", "--dump", "--shutdown"]).unwrap();
+        assert!(out.contains("requests"), "{out}");
+        assert!(out.contains("hits"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        assert!(out.contains("flight recorder:"), "{out}");
+        assert!(out.contains(r#""ev":"req""#), "{out}");
         assert!(out.contains("server shutting down"), "{out}");
         let served = server.join().unwrap().unwrap();
         assert!(served.contains("shut down"), "{served}");

@@ -23,7 +23,9 @@ pub struct WallClock {
 impl WallClock {
     /// A wall clock whose epoch is "now".
     pub fn new() -> Self {
-        WallClock { start: Instant::now() }
+        WallClock {
+            start: Instant::now(),
+        }
     }
 }
 
@@ -59,18 +61,18 @@ impl ManualClock {
 
     /// Jump to an absolute time.
     pub fn set(&self, t: f64) {
-        *self.t.lock().expect("clock poisoned") = t;
+        *self.t.lock().unwrap_or_else(|e| e.into_inner()) = t;
     }
 
     /// Advance by `dt` seconds.
     pub fn advance(&self, dt: f64) {
-        *self.t.lock().expect("clock poisoned") += dt;
+        *self.t.lock().unwrap_or_else(|e| e.into_inner()) += dt;
     }
 }
 
 impl Clock for ManualClock {
     fn now_s(&self) -> f64 {
-        *self.t.lock().expect("clock poisoned")
+        *self.t.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 

@@ -4,7 +4,7 @@
 //! for a deterministic run — the property the golden tests pin down.
 
 use crate::event::fmt_f64;
-use crate::registry::{MetricKey, MetricSnapshot};
+use crate::registry::{nearest_rank, MetricKey, MetricSnapshot};
 use std::fmt::Write as _;
 
 /// Format a sample value for the Prometheus exposition format, which
@@ -76,7 +76,13 @@ pub(crate) fn prometheus(snapshot: &[(MetricKey, MetricSnapshot)]) -> String {
                     prom_f64(*v)
                 );
             }
-            MetricSnapshot::Histogram { bounds, counts, sum, count } => {
+            MetricSnapshot::Histogram {
+                bounds,
+                counts,
+                sum,
+                count,
+                ..
+            } => {
                 let mut cum = 0u64;
                 for (i, b) in bounds.iter().enumerate() {
                     cum += counts[i];
@@ -130,9 +136,27 @@ pub(crate) fn report(snapshot: &[(MetricKey, MetricSnapshot)]) -> String {
         let value = match snap {
             MetricSnapshot::Counter(v) => v.to_string(),
             MetricSnapshot::Gauge(v) => fmt_f64(*v),
-            MetricSnapshot::Histogram { sum, count, .. } => {
-                let mean = if *count == 0 { 0.0 } else { sum / *count as f64 };
-                format!("n={count} sum={} mean={}", fmt_f64(*sum), fmt_f64(mean))
+            MetricSnapshot::Histogram {
+                sum, count, recent, ..
+            } => {
+                let mean = if *count == 0 {
+                    0.0
+                } else {
+                    sum / *count as f64
+                };
+                let mut line = format!("n={count} sum={} mean={}", fmt_f64(*sum), fmt_f64(mean));
+                // Exact percentiles over the bounded recent-sample ring
+                // (the whole stream when fewer than RECENT_SAMPLES).
+                if !recent.is_empty() {
+                    let _ = write!(
+                        line,
+                        " p50={} p90={} p99={}",
+                        fmt_f64(nearest_rank(recent, 0.50)),
+                        fmt_f64(nearest_rank(recent, 0.90)),
+                        fmt_f64(nearest_rank(recent, 0.99)),
+                    );
+                }
+                line
             }
         };
         let _ = writeln!(out, "{:<44} {labels:<28} {value}", key.name);
@@ -147,8 +171,10 @@ mod tests {
     #[test]
     fn prometheus_golden() {
         let obs = Obs::new();
-        obs.counter("numio_alloc_rounds_total", &[("component", "engine")]).add(4);
-        obs.gauge("numio_makespan_seconds", &[("policy", "local-only")]).set(8.0);
+        obs.counter("numio_alloc_rounds_total", &[("component", "engine")])
+            .add(4);
+        obs.gauge("numio_makespan_seconds", &[("policy", "local-only")])
+            .set(8.0);
         let h = obs.histogram("numio_latency_seconds", &[("policy", "x")], &[1.0, 5.0]);
         h.observe(0.5);
         h.observe(2.0);
@@ -188,11 +214,84 @@ numio_makespan_seconds{policy=\"local-only\"} 8
     fn report_lists_every_series() {
         let obs = Obs::new();
         obs.counter("a_total", &[]).inc();
-        obs.histogram("b_seconds", &[("op", "alloc")], &[1.0]).observe(0.5);
+        obs.histogram("b_seconds", &[("op", "alloc")], &[1.0])
+            .observe(0.5);
         let s = obs.report();
         assert!(s.contains("a_total"));
         assert!(s.contains("op=alloc"));
         assert!(s.contains("n=1"));
         assert!(s.contains("mean=0.5"));
+        assert!(s.contains("p50=0.5"), "{s}");
+    }
+
+    #[test]
+    fn report_percentiles_are_exact_nearest_rank() {
+        let obs = Obs::new();
+        let h = obs.histogram("lat_seconds", &[], &[1.0]);
+        for i in 1..=100u32 {
+            h.observe(i as f64 / 100.0);
+        }
+        let s = obs.report();
+        assert!(s.contains("p50=0.5 p90=0.9 p99=0.99"), "{s}");
+    }
+
+    #[test]
+    fn serve_seconds_histogram_golden() {
+        // Pin the exact exposition bytes of the serve-latency family:
+        // cumulative le-labelled buckets, a +Inf bucket, and label order
+        // exactly as recorded (backend, op, outcome) with le last.
+        let obs = Obs::new();
+        let h = obs.histogram(
+            "numio_serve_request_seconds",
+            &[("op", "classify"), ("backend", "sim"), ("outcome", "ok")],
+            &[1e-4, 1e-3, 1e-2],
+        );
+        h.observe(5e-5);
+        h.observe(5e-5);
+        h.observe(5e-4);
+        h.observe(2.0);
+        assert_eq!(
+            obs.prometheus(),
+            "\
+# TYPE numio_serve_request_seconds histogram
+numio_serve_request_seconds_bucket{backend=\"sim\",op=\"classify\",outcome=\"ok\",le=\"0.0001\"} 2
+numio_serve_request_seconds_bucket{backend=\"sim\",op=\"classify\",outcome=\"ok\",le=\"0.001\"} 3
+numio_serve_request_seconds_bucket{backend=\"sim\",op=\"classify\",outcome=\"ok\",le=\"0.01\"} 3
+numio_serve_request_seconds_bucket{backend=\"sim\",op=\"classify\",outcome=\"ok\",le=\"+Inf\"} 4
+numio_serve_request_seconds_sum{backend=\"sim\",op=\"classify\",outcome=\"ok\"} 2.0006\n\
+numio_serve_request_seconds_count{backend=\"sim\",op=\"classify\",outcome=\"ok\"} 4
+"
+        );
+    }
+
+    #[test]
+    fn serve_seconds_label_order_is_stable_across_series() {
+        // Two series of the same family sort deterministically: label
+        // *sets* are sorted at key creation, series sort by labels.
+        let obs = Obs::new();
+        let buckets = crate::span::buckets::SERVE_SECONDS;
+        obs.histogram(
+            "numio_serve_request_seconds",
+            &[("outcome", "ok"), ("op", "predict"), ("backend", "sim")],
+            buckets,
+        )
+        .observe(1e-4);
+        obs.histogram(
+            "numio_serve_request_seconds",
+            &[("op", "classify"), ("backend", "sim"), ("outcome", "error")],
+            buckets,
+        )
+        .observe(1e-4);
+        let prom = obs.prometheus();
+        let classify = prom
+            .find("numio_serve_request_seconds_bucket{backend=\"sim\",op=\"classify\",outcome=\"error\",le=\"0.00001\"}")
+            .expect("classify series rendered");
+        let predict = prom
+            .find("numio_serve_request_seconds_bucket{backend=\"sim\",op=\"predict\",outcome=\"ok\",le=\"0.00001\"}")
+            .expect("predict series rendered");
+        assert!(classify < predict, "series sorted by labels:\n{prom}");
+        assert_eq!(prom.matches("le=\"+Inf\"").count(), 2, "{prom}");
+        // Rendering twice is byte-stable.
+        assert_eq!(prom, obs.prometheus());
     }
 }

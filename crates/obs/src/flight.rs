@@ -1,0 +1,229 @@
+//! A bounded flight recorder: the last N structured events, kept in a
+//! fixed-size ring so post-mortems don't require re-running the workload.
+//!
+//! The recorder is deliberately separate from the unbounded [`crate::Obs`]
+//! event buffer: a long-running server cannot keep every event, but it
+//! *can* keep the most recent few hundred, and dump them when something
+//! goes wrong. [`FlightRecorder::capture_incident`] freezes a snapshot of
+//! the ring under a reason string; the first incident wins (later errors
+//! usually cascade from it) until it is explicitly cleared.
+//!
+//! ```
+//! use numa_obs::FlightRecorder;
+//!
+//! let fr = FlightRecorder::new(2);
+//! fr.record("req", 1.0, &[("op", "predict".into())]);
+//! fr.record("req", 2.0, &[("op", "classify".into())]);
+//! fr.record("error", 3.0, &[("message", "bad mix".into())]);
+//! assert_eq!(fr.len(), 2); // the oldest event was evicted
+//! fr.capture_incident("error reply");
+//! assert_eq!(fr.incident().unwrap().events.len(), 2);
+//! ```
+
+use crate::event::{Event, Value};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default ring capacity: enough context for a post-mortem, small enough
+/// to keep resident forever.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// A frozen ring snapshot captured when something went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// Why the snapshot was captured (e.g. `"error reply to request 12"`).
+    pub reason: String,
+    /// The ring's events at capture time, oldest first.
+    pub events: Vec<Event>,
+}
+
+struct FlightInner {
+    capacity: usize,
+    ring: Mutex<VecDeque<Event>>,
+    incident: Mutex<Option<Incident>>,
+    recorded: AtomicU64,
+}
+
+/// A shared, bounded ring of recent events. Cheap to clone (an `Arc`);
+/// clones share the ring and the captured incident.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<FlightInner>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            inner: Arc::new(FlightInner {
+                capacity,
+                ring: Mutex::new(VecDeque::with_capacity(capacity)),
+                incident: Mutex::new(None),
+                recorded: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The fixed ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Append one event, evicting the oldest when the ring is full.
+    pub fn record(&self, name: &str, time_s: f64, fields: &[(&str, Value)]) {
+        let mut ring = self.lock_ring();
+        if ring.len() == self.inner.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(Event::new(name, time_s, fields));
+        self.inner.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.lock_ring().len()
+    }
+
+    /// True before anything has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock_ring().is_empty()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock_ring().iter().cloned().collect()
+    }
+
+    /// The retained events as JSON lines (same format as [`crate::Obs`]).
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.lock_ring().iter() {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Freeze the current ring under `reason`. The *first* incident wins —
+    /// later captures are ignored until [`FlightRecorder::clear_incident`]
+    /// — so the snapshot describes the initial failure, not its cascade.
+    /// Returns whether this call captured.
+    pub fn capture_incident(&self, reason: &str) -> bool {
+        let mut slot = self.lock_incident();
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(Incident {
+            reason: reason.to_string(),
+            events: self.lock_ring().iter().cloned().collect(),
+        });
+        true
+    }
+
+    /// The captured incident, if any.
+    pub fn incident(&self) -> Option<Incident> {
+        self.lock_incident().clone()
+    }
+
+    /// Drop the captured incident so the next failure captures fresh.
+    pub fn clear_incident(&self) {
+        *self.lock_incident() = None;
+    }
+
+    fn lock_ring(&self) -> std::sync::MutexGuard<'_, VecDeque<Event>> {
+        self.inner.ring.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_incident(&self) -> std::sync::MutexGuard<'_, Option<Incident>> {
+        self.inner
+            .incident
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Default for FlightRecorder {
+    /// A recorder with [`DEFAULT_FLIGHT_CAPACITY`].
+    fn default() -> Self {
+        Self::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("recorded", &self.recorded())
+            .field(
+                "incident",
+                &self.lock_incident().as_ref().map(|i| i.reason.clone()),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.record("req", i as f64, &[("seq", i.into())]);
+        }
+        assert_eq!(fr.capacity(), 3);
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.recorded(), 5);
+        let kept: Vec<f64> = fr.events().iter().map(|e| e.time_s).collect();
+        assert_eq!(kept, vec![2.0, 3.0, 4.0]);
+        assert_eq!(
+            fr.jsonl().lines().next().unwrap(),
+            r#"{"t":2,"ev":"req","seq":2}"#
+        );
+    }
+
+    #[test]
+    fn first_incident_wins_until_cleared() {
+        let fr = FlightRecorder::new(8);
+        fr.record("req", 1.0, &[]);
+        assert!(fr.capture_incident("first failure"));
+        fr.record("req", 2.0, &[]);
+        assert!(!fr.capture_incident("cascade"));
+        let inc = fr.incident().unwrap();
+        assert_eq!(inc.reason, "first failure");
+        assert_eq!(inc.events.len(), 1, "snapshot frozen at capture time");
+        fr.clear_incident();
+        assert!(fr.capture_incident("fresh failure"));
+        assert_eq!(fr.incident().unwrap().events.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let fr = FlightRecorder::default();
+        assert_eq!(fr.capacity(), DEFAULT_FLIGHT_CAPACITY);
+        assert!(fr.is_empty());
+        let clone = fr.clone();
+        clone.record("req", 0.0, &[]);
+        assert_eq!(fr.len(), 1);
+        let dbg = format!("{fr:?}");
+        assert!(dbg.contains("len: 1"), "{dbg}");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let fr = FlightRecorder::new(0);
+        fr.record("a", 0.0, &[]);
+        fr.record("b", 1.0, &[]);
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.events()[0].name, "b");
+    }
+}

@@ -19,6 +19,11 @@
 //!   reproducible.
 //! * **Exporters own their bytes.** JSON-lines and Prometheus text are
 //!   hand-rolled with stable ordering — golden-testable artifacts.
+//! * **Request traces are events.** Serving layers mint a request id and
+//!   open [`ReqSpan`]s ([`Obs::request_span`] / [`Obs::stage_span`]); the
+//!   resulting `span_start`/`span_end` tree rides the same deterministic
+//!   event stream. A bounded [`FlightRecorder`] keeps the most recent
+//!   events for post-mortem dumps without unbounded growth.
 //!
 //! ```
 //! use numa_obs::{Obs, Value};
@@ -33,13 +38,17 @@
 pub mod clock;
 pub mod event;
 mod export;
+pub mod flight;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use event::{Event, Value};
-pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use flight::{FlightRecorder, Incident, DEFAULT_FLIGHT_CAPACITY};
+pub use registry::{Counter, Gauge, Histogram, Registry, RECENT_SAMPLES};
 pub use span::{buckets, Span, OP_SECONDS_BUCKETS, OP_SECONDS_METRIC};
+pub use trace::ReqSpan;
 
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -99,7 +108,7 @@ impl Obs {
         self.inner
             .events
             .lock()
-            .expect("event buffer poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .push(Event::new(name, time_s, fields));
     }
 
@@ -130,18 +139,26 @@ impl Obs {
 
     /// Number of buffered events.
     pub fn num_events(&self) -> usize {
-        self.inner.events.lock().expect("event buffer poisoned").len()
+        self.inner
+            .events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
     }
 
     /// Copy of the buffered events.
     pub fn events(&self) -> Vec<Event> {
-        self.inner.events.lock().expect("event buffer poisoned").clone()
+        self.inner
+            .events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// The whole event stream as JSON lines (one event per line, trailing
     /// newline when non-empty).
     pub fn jsonl(&self) -> String {
-        let events = self.inner.events.lock().expect("event buffer poisoned");
+        let events = self.inner.events.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::new();
         for e in events.iter() {
             out.push_str(&e.to_json_line());

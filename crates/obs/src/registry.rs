@@ -11,6 +11,11 @@ use std::sync::{Arc, Mutex};
 
 const SHARDS: usize = 8;
 
+/// How many raw samples a histogram retains for exact percentiles. The
+/// ring is lock-free (one `fetch_add` + one store per observation) and
+/// fixed-size, so long-running series keep a bounded, recent window.
+pub const RECENT_SAMPLES: usize = 1024;
+
 /// A monotonically increasing counter.
 #[derive(Debug, Clone)]
 pub struct Counter(Arc<AtomicU64>);
@@ -57,6 +62,12 @@ struct HistogramInner {
     counts: Vec<AtomicU64>,
     sum_bits: AtomicU64,
     count: AtomicU64,
+    /// Ring of the most recent raw samples (f64 bits), for exact
+    /// percentiles. Writers reserve a slot with `recent_next` and store;
+    /// a concurrent reader may see a slot mid-overwrite (it reads the
+    /// previous sample), which is fine for a recency window.
+    recent: Vec<AtomicU64>,
+    recent_next: AtomicU64,
 }
 
 /// A fixed-bucket histogram (Prometheus semantics: cumulative on export).
@@ -74,7 +85,16 @@ impl Histogram {
             counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
             sum_bits: AtomicU64::new(0.0_f64.to_bits()),
             count: AtomicU64::new(0),
+            recent: (0..RECENT_SAMPLES).map(|_| AtomicU64::new(0)).collect(),
+            recent_next: AtomicU64::new(0),
         }))
+    }
+
+    /// A standalone (unregistered) histogram over ascending upper
+    /// `bounds` — for callers that want the bucket/percentile machinery
+    /// without a registry series (e.g. a service-private aggregate).
+    pub fn with_buckets(bounds: &[f64]) -> Self {
+        Self::new(bounds)
     }
 
     /// Record one observation.
@@ -88,6 +108,8 @@ impl Histogram {
         self.0.counts[idx].fetch_add(1, Ordering::Relaxed);
         add_f64(&self.0.sum_bits, v);
         self.0.count.fetch_add(1, Ordering::Relaxed);
+        let slot = self.0.recent_next.fetch_add(1, Ordering::Relaxed) as usize;
+        self.0.recent[slot % RECENT_SAMPLES].store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Number of observations.
@@ -118,8 +140,42 @@ impl Histogram {
     /// Per-bucket counts including the final `+Inf` bucket
     /// (non-cumulative).
     pub fn bucket_counts(&self) -> Vec<u64> {
-        self.0.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
+
+    /// The retained raw samples (the most recent ≤ [`RECENT_SAMPLES`]
+    /// observations), unordered.
+    pub fn recent_samples(&self) -> Vec<f64> {
+        let written = self.0.recent_next.load(Ordering::Relaxed) as usize;
+        self.0.recent[..written.min(RECENT_SAMPLES)]
+            .iter()
+            .map(|bits| f64::from_bits(bits.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Exact nearest-rank percentile over the retained samples
+    /// (`q` in `(0, 1]`, e.g. `0.99`). `None` when empty. For series
+    /// past [`RECENT_SAMPLES`] observations this is the percentile of
+    /// the most recent window, not of all history.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        let mut samples = self.recent_samples();
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(f64::total_cmp);
+        Some(nearest_rank(&samples, q))
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty slice.
+pub(crate) fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 fn add_f64(cell: &AtomicU64, v: f64) {
@@ -143,10 +199,15 @@ pub(crate) struct MetricKey {
 
 impl MetricKey {
     fn new(name: &str, labels: &[(&str, &str)]) -> Self {
-        let mut labels: Vec<(String, String)> =
-            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
         labels.sort();
-        MetricKey { name: name.to_string(), labels }
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
     }
 }
 
@@ -168,6 +229,9 @@ pub(crate) enum MetricSnapshot {
         counts: Vec<u64>,
         sum: f64,
         count: u64,
+        /// Retained raw samples, ascending (for exact percentiles in the
+        /// report exporter).
+        recent: Vec<f64>,
     },
 }
 
@@ -180,7 +244,9 @@ pub struct Registry {
 impl Registry {
     /// Empty registry.
     pub fn new() -> Self {
-        Registry { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+        Registry {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
     }
 
     fn shard(&self, name: &str) -> &Mutex<HashMap<MetricKey, Metric>> {
@@ -193,7 +259,7 @@ impl Registry {
     /// Fetch-or-create a counter series.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let key = MetricKey::new(name, labels);
-        let mut shard = self.shard(name).lock().expect("registry poisoned");
+        let mut shard = self.shard(name).lock().unwrap_or_else(|e| e.into_inner());
         match shard
             .entry(key)
             .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
@@ -206,10 +272,11 @@ impl Registry {
     /// Fetch-or-create a gauge series.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let key = MetricKey::new(name, labels);
-        let mut shard = self.shard(name).lock().expect("registry poisoned");
-        match shard.entry(key).or_insert_with(|| {
-            Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0.0_f64.to_bits()))))
-        }) {
+        let mut shard = self.shard(name).lock().unwrap_or_else(|e| e.into_inner());
+        match shard
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0.0_f64.to_bits())))))
+        {
             Metric::Gauge(g) => g.clone(),
             _ => panic!("metric '{name}' already registered with a different type"),
         }
@@ -219,7 +286,7 @@ impl Registry {
     /// bounds; they are fixed by the first registration.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)], buckets: &[f64]) -> Histogram {
         let key = MetricKey::new(name, labels);
-        let mut shard = self.shard(name).lock().expect("registry poisoned");
+        let mut shard = self.shard(name).lock().unwrap_or_else(|e| e.into_inner());
         match shard
             .entry(key)
             .or_insert_with(|| Metric::Histogram(Histogram::new(buckets)))
@@ -231,7 +298,10 @@ impl Registry {
 
     /// Total number of registered series.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("registry poisoned").len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
     }
 
     /// True when nothing has been registered.
@@ -243,16 +313,21 @@ impl Registry {
     pub(crate) fn snapshot(&self) -> Vec<(MetricKey, MetricSnapshot)> {
         let mut out: Vec<(MetricKey, MetricSnapshot)> = Vec::new();
         for shard in &self.shards {
-            for (key, metric) in shard.lock().expect("registry poisoned").iter() {
+            for (key, metric) in shard.lock().unwrap_or_else(|e| e.into_inner()).iter() {
                 let snap = match metric {
                     Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
                     Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
-                    Metric::Histogram(h) => MetricSnapshot::Histogram {
-                        bounds: h.bounds().to_vec(),
-                        counts: h.bucket_counts(),
-                        sum: h.sum(),
-                        count: h.count(),
-                    },
+                    Metric::Histogram(h) => {
+                        let mut recent = h.recent_samples();
+                        recent.sort_by(f64::total_cmp);
+                        MetricSnapshot::Histogram {
+                            bounds: h.bounds().to_vec(),
+                            counts: h.bucket_counts(),
+                            sum: h.sum(),
+                            count: h.count(),
+                            recent,
+                        }
+                    }
                 };
                 out.push((key.clone(), snap));
             }

@@ -11,8 +11,7 @@
 use crate::Obs;
 
 /// Default duration buckets for span histograms: 1 µs to 10 s, decades.
-pub const OP_SECONDS_BUCKETS: &[f64] =
-    &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+pub const OP_SECONDS_BUCKETS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
 
 /// Histogram family every span records into, labelled `op=<name>`.
 pub const OP_SECONDS_METRIC: &str = "numio_op_seconds";
@@ -32,7 +31,10 @@ impl Span {
         } else {
             None
         };
-        Span { armed, op: op.to_string() }
+        Span {
+            armed,
+            op: op.to_string(),
+        }
     }
 
     /// The operation name this span times.
@@ -58,12 +60,20 @@ impl Drop for Span {
 /// quantity always lands in comparable histograms.
 pub mod buckets {
     /// Task/episode latencies, seconds.
-    pub const LATENCY_SECONDS: &[f64] =
-        &[0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0];
+    pub const LATENCY_SECONDS: &[f64] = &[0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0];
 
     /// Per-node probe bandwidths, Gbit/s (the paper's Tables IV/V span
     /// roughly 14–54 Gbit/s).
     pub const GBPS: &[f64] = &[5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 50.0, 60.0];
+
+    /// Serve request latencies, seconds: an exponential 1–2.5–5 ladder
+    /// from 10 µs to 2.5 s. Hot cache hits land in the µs decades, cold
+    /// characterizations in the ms–s decades, so one bucket set covers
+    /// both regimes of `numio_serve_request_seconds`.
+    pub const SERVE_SECONDS: &[f64] = &[
+        1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
+        2.5e-1, 5e-1, 1.0, 2.5,
+    ];
 }
 
 #[cfg(test)]

@@ -1,0 +1,308 @@
+//! Request-scoped trace spans: a causal tree per request, emitted into
+//! the structured event stream.
+//!
+//! Unlike [`crate::Span`] (wall-clock self-profiling, opt-in, metrics
+//! only), request spans are part of the *deterministic* event trace: a
+//! serving layer mints one request id per accepted request, opens a root
+//! span, and every stage it passes through (`service`, `cache`,
+//! `characterize`, ...) opens a child span. Each span emits a
+//! `span_start` and a `span_end` event timestamped with the request's
+//! logical time, so two same-seed runs produce byte-identical span trees
+//! through the JSONL exporter. Wall-clock per-stage durations (`dur_s`
+//! on `span_end`) are added only while profiling is enabled on the
+//! owning [`Obs`] — the same opt-in that governs [`crate::Span`].
+//!
+//! Propagation is implicit: the root span installs per-thread trace
+//! state, and [`Obs::stage_span`] picks up the innermost open span as
+//! its parent. Deeper layers (a cache, a modeler) can therefore open
+//! stage spans unconditionally — outside an active request the span is
+//! inert and emits nothing. This matches a thread-per-request server;
+//! spans do not propagate across thread spawns.
+//!
+//! ```
+//! use numa_obs::Obs;
+//!
+//! let obs = Obs::new();
+//! {
+//!     let _root = obs.request_span(1, 1.0, "accept");
+//!     let _stage = obs.stage_span("service"); // child of the root
+//! }
+//! let trace = obs.jsonl();
+//! assert!(trace.contains(r#""ev":"span_start","req":1,"span":0,"stage":"accept""#));
+//! assert!(trace.contains(r#""ev":"span_start","req":1,"span":1,"parent":0,"stage":"service""#));
+//! ```
+
+use crate::event::Value;
+use crate::Obs;
+use std::cell::RefCell;
+
+struct TraceState {
+    req: u64,
+    time_s: f64,
+    next_span: u64,
+    /// Ids of the currently open spans, innermost last.
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<TraceState>> = const { RefCell::new(None) };
+}
+
+/// One open span of a request's trace tree. Emits `span_end` on drop.
+///
+/// Obtained from [`Obs::request_span`] (the root, which also installs the
+/// thread's trace state) or [`Obs::stage_span`] (a child of the innermost
+/// open span; inert when no request is active on the thread).
+#[derive(Debug)]
+pub struct ReqSpan {
+    /// `None` when inert: no request was active at creation.
+    obs: Option<Obs>,
+    req: u64,
+    id: u64,
+    time_s: f64,
+    start_s: f64,
+    stage: String,
+    root: bool,
+}
+
+impl ReqSpan {
+    fn inert(stage: &str) -> Self {
+        ReqSpan {
+            obs: None,
+            req: 0,
+            id: 0,
+            time_s: 0.0,
+            start_s: 0.0,
+            stage: stage.to_string(),
+            root: false,
+        }
+    }
+
+    /// The request id this span belongs to (0 when inert).
+    pub fn request(&self) -> u64 {
+        self.req
+    }
+
+    /// The span's id within its request (the root is 0).
+    pub fn span_id(&self) -> u64 {
+        self.id
+    }
+
+    /// The stage label.
+    pub fn stage(&self) -> &str {
+        &self.stage
+    }
+
+    /// Whether this span actually records (false outside a request).
+    pub fn is_recording(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Close the span explicitly (identical to dropping it).
+    pub fn done(self) {}
+}
+
+impl Drop for ReqSpan {
+    fn drop(&mut self) {
+        let Some(obs) = self.obs.take() else { return };
+        let mut fields: Vec<(&str, Value)> = vec![
+            ("req", Value::U64(self.req)),
+            ("span", Value::U64(self.id)),
+            ("stage", self.stage.as_str().into()),
+        ];
+        if obs.profiling() {
+            let dur_s = (obs.clock_s() - self.start_s).max(0.0);
+            fields.push(("dur_s", Value::F64(dur_s)));
+        }
+        obs.event("span_end", self.time_s, &fields);
+        ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            if self.root {
+                *slot = None;
+            } else if let Some(st) = slot.as_mut() {
+                // Scoped usage closes spans innermost-first; tolerate
+                // out-of-order drops by removing the matching id.
+                if let Some(pos) = st.stack.iter().rposition(|&id| id == self.id) {
+                    st.stack.remove(pos);
+                }
+            }
+        });
+    }
+}
+
+impl Obs {
+    /// Open the root span of request `req` at logical time `time_s` and
+    /// install the thread's trace state, so subsequent [`Obs::stage_span`]
+    /// calls on this thread become its children. Emits `span_start`
+    /// immediately and `span_end` when the returned span drops.
+    ///
+    /// `time_s` is the request's *logical* timestamp (servers pass the
+    /// request sequence number), keeping the span tree byte-deterministic;
+    /// wall-clock durations appear only under profiling.
+    pub fn request_span(&self, req: u64, time_s: f64, stage: &str) -> ReqSpan {
+        ACTIVE.with(|a| {
+            *a.borrow_mut() = Some(TraceState {
+                req,
+                time_s,
+                next_span: 1,
+                stack: vec![0],
+            });
+        });
+        self.event(
+            "span_start",
+            time_s,
+            &[
+                ("req", Value::U64(req)),
+                ("span", Value::U64(0)),
+                ("stage", stage.into()),
+            ],
+        );
+        ReqSpan {
+            obs: Some(self.clone()),
+            req,
+            id: 0,
+            time_s,
+            start_s: self.clock_s(),
+            stage: stage.to_string(),
+            root: true,
+        }
+    }
+
+    /// Open a child span of the innermost open span on this thread. When
+    /// no request is active the returned span is inert (no events), so
+    /// library layers can call this unconditionally.
+    pub fn stage_span(&self, stage: &str) -> ReqSpan {
+        let opened = ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            let st = slot.as_mut()?;
+            let id = st.next_span;
+            st.next_span += 1;
+            let parent = st.stack.last().copied().unwrap_or(0);
+            st.stack.push(id);
+            Some((st.req, st.time_s, id, parent))
+        });
+        let Some((req, time_s, id, parent)) = opened else {
+            return ReqSpan::inert(stage);
+        };
+        self.event(
+            "span_start",
+            time_s,
+            &[
+                ("req", Value::U64(req)),
+                ("span", Value::U64(id)),
+                ("parent", Value::U64(parent)),
+                ("stage", stage.into()),
+            ],
+        );
+        ReqSpan {
+            obs: Some(self.clone()),
+            req,
+            id,
+            time_s,
+            start_s: self.clock_s(),
+            stage: stage.to_string(),
+            root: false,
+        }
+    }
+
+    /// The request id active on this thread, if any (set by
+    /// [`Obs::request_span`], cleared when the root span drops).
+    pub fn current_request(&self) -> Option<u64> {
+        ACTIVE.with(|a| a.borrow().as_ref().map(|st| st.req))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ManualClock;
+
+    fn traced_run(obs: &Obs) {
+        let _root = obs.request_span(7, 7.0, "accept");
+        {
+            let _svc = obs.stage_span("service");
+            {
+                let _cache = obs.stage_span("cache");
+                let _char = obs.stage_span("characterize");
+            }
+            let _cache2 = obs.stage_span("cache");
+        }
+    }
+
+    #[test]
+    fn span_tree_is_byte_identical_across_runs() {
+        let a = Obs::with_clock(Box::new(ManualClock::new()));
+        let b = Obs::with_clock(Box::new(ManualClock::new()));
+        traced_run(&a);
+        traced_run(&b);
+        assert!(!a.jsonl().is_empty());
+        assert_eq!(a.jsonl(), b.jsonl());
+    }
+
+    #[test]
+    fn parent_child_ids_form_the_expected_tree() {
+        let obs = Obs::with_clock(Box::new(ManualClock::new()));
+        traced_run(&obs);
+        let trace = obs.jsonl();
+        // Root opens with no parent; children chain accept -> service ->
+        // cache -> characterize; the second cache span is a sibling.
+        assert!(trace.contains(r#"{"t":7,"ev":"span_start","req":7,"span":0,"stage":"accept"}"#));
+        assert!(trace.contains(
+            r#"{"t":7,"ev":"span_start","req":7,"span":1,"parent":0,"stage":"service"}"#
+        ));
+        assert!(trace
+            .contains(r#"{"t":7,"ev":"span_start","req":7,"span":2,"parent":1,"stage":"cache"}"#));
+        assert!(trace.contains(
+            r#"{"t":7,"ev":"span_start","req":7,"span":3,"parent":2,"stage":"characterize"}"#
+        ));
+        assert!(trace
+            .contains(r#"{"t":7,"ev":"span_start","req":7,"span":4,"parent":1,"stage":"cache"}"#));
+        // Every start has a matching end; ends carry no duration by default.
+        assert_eq!(trace.matches("span_start").count(), 5);
+        assert_eq!(trace.matches("span_end").count(), 5);
+        assert!(!trace.contains("dur_s"));
+    }
+
+    #[test]
+    fn stage_span_outside_a_request_is_inert() {
+        let obs = Obs::new();
+        let span = obs.stage_span("cache");
+        assert!(!span.is_recording());
+        assert_eq!(span.stage(), "cache");
+        drop(span);
+        assert_eq!(obs.num_events(), 0);
+        assert_eq!(obs.current_request(), None);
+    }
+
+    #[test]
+    fn profiling_adds_durations_without_breaking_the_tree() {
+        let obs = Obs::with_clock(Box::new(ManualClock::new()));
+        obs.set_profiling(true);
+        {
+            let _root = obs.request_span(1, 1.0, "accept");
+            let _svc = obs.stage_span("service");
+        }
+        let trace = obs.jsonl();
+        // Manual clock does not advance: durations are exactly 0.
+        assert!(trace.contains(r#""ev":"span_end","req":1,"span":1,"stage":"service","dur_s":0"#));
+        assert!(trace.contains(r#""ev":"span_end","req":1,"span":0,"stage":"accept","dur_s":0"#));
+    }
+
+    #[test]
+    fn root_drop_clears_the_thread_state() {
+        let obs = Obs::new();
+        {
+            let _root = obs.request_span(3, 3.0, "accept");
+            assert_eq!(obs.current_request(), Some(3));
+        }
+        assert_eq!(obs.current_request(), None);
+        // A fresh request re-numbers spans from 0/1 again.
+        {
+            let _root = obs.request_span(4, 4.0, "accept");
+            let _child = obs.stage_span("service");
+        }
+        assert!(obs
+            .jsonl()
+            .contains(r#""ev":"span_start","req":4,"span":1,"parent":0,"stage":"service""#));
+    }
+}

@@ -23,9 +23,7 @@ use crate::error::ServeError;
 use numa_faults::{degraded_backend, FaultKind};
 use numa_obs::Obs;
 use numa_topology::{NodeId, Topology};
-use numio_core::{
-    recharacterize_and_diff, Atlas, IoModeler, IoPerfModel, Platform, TransferMode,
-};
+use numio_core::{recharacterize_and_diff, Atlas, IoModeler, IoPerfModel, Platform, TransferMode};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -145,7 +143,10 @@ impl ViewEntry {
             .iter()
             .map(|m| ((m.target.0, m.mode), Arc::new(m.clone())))
             .collect();
-        ViewEntry { models, full: Some(Arc::new(atlas)) }
+        ViewEntry {
+            models,
+            full: Some(Arc::new(atlas)),
+        }
     }
 }
 
@@ -216,12 +217,21 @@ impl CharacterizationCache {
         target: NodeId,
         mode: TransferMode,
     ) -> Result<ModelLookup, ServeError> {
+        let _stage = self.obs.stage_span("cache");
         let key = self.key_for(platform, faults)?;
         let slot = (target.0, mode);
-        if let Some(model) = self.read_entries().get(&key).and_then(|e| e.models.get(&slot)) {
+        if let Some(model) = self
+            .read_entries()
+            .get(&key)
+            .and_then(|e| e.models.get(&slot))
+        {
             let model = Arc::clone(model);
             self.count_hit(&key);
-            return Ok(ModelLookup { model, hit: true, key });
+            return Ok(ModelLookup {
+                model,
+                hit: true,
+                key,
+            });
         }
         let mut entries = self.write_entries();
         // Double-checked: another worker may have filled the slot while we
@@ -229,9 +239,14 @@ impl CharacterizationCache {
         if let Some(model) = entries.get(&key).and_then(|e| e.models.get(&slot)) {
             let model = Arc::clone(model);
             self.count_hit(&key);
-            return Ok(ModelLookup { model, hit: true, key });
+            return Ok(ModelLookup {
+                model,
+                hit: true,
+                key,
+            });
         }
         self.count_miss(&key);
+        let _span = self.obs.stage_span("characterize");
         let model = if faults.is_empty() {
             modeler.try_characterize(platform, target, mode)?
         } else {
@@ -239,8 +254,16 @@ impl CharacterizationCache {
             modeler.try_characterize(&degraded, target, mode)?
         };
         let model = Arc::new(model);
-        entries.entry(key.clone()).or_default().models.insert(slot, Arc::clone(&model));
-        Ok(ModelLookup { model, hit: false, key })
+        entries
+            .entry(key.clone())
+            .or_default()
+            .models
+            .insert(slot, Arc::clone(&model));
+        Ok(ModelLookup {
+            model,
+            hit: false,
+            key,
+        })
     }
 
     /// Serve the full-host atlas for `(platform, fault view)`. The cold
@@ -254,17 +277,27 @@ impl CharacterizationCache {
         modeler: &IoModeler,
         faults: &[FaultKind],
     ) -> Result<CacheLookup, ServeError> {
+        let _stage = self.obs.stage_span("cache");
         let key = self.key_for(platform, faults)?;
         if let Some(atlas) = self.read_entries().get(&key).and_then(|e| e.full.clone()) {
             self.count_hit(&key);
-            return Ok(CacheLookup { atlas, hit: true, key });
+            return Ok(CacheLookup {
+                atlas,
+                hit: true,
+                key,
+            });
         }
         let mut entries = self.write_entries();
         if let Some(atlas) = entries.get(&key).and_then(|e| e.full.clone()) {
             self.count_hit(&key);
-            return Ok(CacheLookup { atlas, hit: true, key });
+            return Ok(CacheLookup {
+                atlas,
+                hit: true,
+                key,
+            });
         }
         self.count_miss(&key);
+        let _span = self.obs.stage_span("characterize");
         let entry = entries.entry(key.clone()).or_default();
         // Same slot order as `characterize_full_host`: targets ascending,
         // write before read — the assembled atlas is bit-stable.
@@ -294,7 +327,11 @@ impl CharacterizationCache {
         }
         let atlas = Arc::new(Atlas::new(models)?);
         entry.full = Some(Arc::clone(&atlas));
-        Ok(CacheLookup { atlas, hit: false, key })
+        Ok(CacheLookup {
+            atlas,
+            hit: false,
+            key,
+        })
     }
 
     /// Evict one view key (all its models and its atlas). Returns whether
@@ -304,7 +341,9 @@ impl CharacterizationCache {
         let removed = self.write_entries().remove(key).is_some();
         if removed {
             self.invalidations.fetch_add(1, Ordering::Relaxed);
-            self.obs.counter("numio_serve_cache_invalidations_total", &[]).inc();
+            self.obs
+                .counter("numio_serve_cache_invalidations_total", &[])
+                .inc();
             self.emit("cache_invalidate", key);
         }
         removed
@@ -321,6 +360,7 @@ impl CharacterizationCache {
         faults: &[FaultKind],
         threshold: f64,
     ) -> Result<DriftOutcome, ServeError> {
+        let _stage = self.obs.stage_span("cache");
         let key = self.key_for(platform, faults)?;
         // Deterministic representative: the lowest cached (target, mode).
         let old = {
@@ -328,8 +368,10 @@ impl CharacterizationCache {
             let Some(entry) = entries.get(&key) else {
                 return Ok(DriftOutcome::NotCached);
             };
-            let Some(slot) =
-                entry.models.keys().min_by_key(|(t, m)| (*t, *m == TransferMode::Read))
+            let Some(slot) = entry
+                .models
+                .keys()
+                .min_by_key(|(t, m)| (*t, *m == TransferMode::Read))
             else {
                 return Ok(DriftOutcome::NotCached);
             };
@@ -388,7 +430,9 @@ impl CharacterizationCache {
 
     fn count_miss(&self, key: &CacheKey) {
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.obs.counter("numio_serve_cache_misses_total", &[]).inc();
+        self.obs
+            .counter("numio_serve_cache_misses_total", &[])
+            .inc();
         self.emit("cache_miss", key);
     }
 
@@ -450,7 +494,11 @@ mod tests {
             .get_or_model(&p, &modeler(), &[], NodeId(7), TransferMode::Write)
             .unwrap();
         assert!(!first.hit);
-        assert_eq!(cache.models_cached(&first.key), 1, "nothing else characterized");
+        assert_eq!(
+            cache.models_cached(&first.key),
+            1,
+            "nothing else characterized"
+        );
         let second = cache
             .get_or_model(&p, &modeler(), &[], NodeId(7), TransferMode::Write)
             .unwrap();
@@ -482,10 +530,12 @@ mod tests {
             "the atlas reuses the already-characterized model bit-for-bit"
         );
         // And the filled slots now serve single lookups as hits.
-        assert!(cache
-            .get_or_model(&p, &modeler(), &[], NodeId(3), TransferMode::Read)
-            .unwrap()
-            .hit);
+        assert!(
+            cache
+                .get_or_model(&p, &modeler(), &[], NodeId(3), TransferMode::Read)
+                .unwrap()
+                .hit
+        );
     }
 
     #[test]
@@ -508,7 +558,10 @@ mod tests {
     #[test]
     fn fault_view_hash_is_canonical() {
         let down = FaultKind::LinkDown { from: 6, to: 7 };
-        let storm = FaultKind::IrqStorm { node: 7, intensity: 0.5 };
+        let storm = FaultKind::IrqStorm {
+            node: 7,
+            intensity: 0.5,
+        };
         let a = fault_view_hash(&[down, storm]).unwrap();
         let b = fault_view_hash(&[storm, down, storm]).unwrap();
         assert_eq!(a, b);
@@ -519,7 +572,11 @@ mod tests {
     #[test]
     fn invalidating_an_uncached_key_counts_nothing() {
         let cache = CharacterizationCache::new();
-        let key = CacheKey { backend: "x".into(), topology_hash: 1, fault_hash: 2 };
+        let key = CacheKey {
+            backend: "x".into(),
+            topology_hash: 1,
+            fault_hash: 2,
+        };
         assert!(!cache.invalidate(&key));
         assert_eq!(cache.stats().invalidations, 0);
     }
@@ -550,7 +607,9 @@ mod tests {
         let other = cache.get_or_characterize(&split, &modeler(), &[]).unwrap();
         let key = cache.key_for(&dl585, &[]).unwrap();
         let planted = Atlas::characterize(&split, &modeler()).unwrap();
-        cache.write_entries().insert(key.clone(), ViewEntry::from_atlas(planted));
+        cache
+            .write_entries()
+            .insert(key.clone(), ViewEntry::from_atlas(planted));
         match cache.check_drift(&dl585, &modeler(), &[], 1e-6).unwrap() {
             DriftOutcome::Invalidated { max_rel_delta } => assert!(max_rel_delta > 1e-6),
             other => panic!("expected invalidation, got {other:?}"),
@@ -582,10 +641,12 @@ mod tests {
         // An uncovered model — and the full atlas — are typed errors, and
         // the covered model stays served from cache afterwards.
         assert!(cache.get_or_characterize(&replay, &modeler(), &[]).is_err());
-        assert!(cache
-            .get_or_model(&replay, &modeler(), &[], NodeId(7), TransferMode::Write)
-            .unwrap()
-            .hit);
+        assert!(
+            cache
+                .get_or_model(&replay, &modeler(), &[], NodeId(7), TransferMode::Write)
+                .unwrap()
+                .hit
+        );
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub enum ServeError {
         /// The I/O error text.
         reason: String,
     },
+    /// The server refused the connection: too many are already open.
+    Overloaded {
+        /// The configured connection limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -61,11 +66,20 @@ impl fmt::Display for ServeError {
                 "backend '{label}' exposes no simulator fabric; `place` needs a sim backend"
             ),
             ServeError::NoModel { target, mode } => {
-                write!(f, "no model for target node {target} mode {mode} in the cached atlas")
+                write!(
+                    f,
+                    "no model for target node {target} mode {mode} in the cached atlas"
+                )
             }
             ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
             ServeError::Protocol { reason } => write!(f, "protocol: {reason}"),
             ServeError::Io { reason } => write!(f, "io: {reason}"),
+            ServeError::Overloaded { limit } => {
+                write!(
+                    f,
+                    "overloaded: connection limit {limit} reached, try again later"
+                )
+            }
         }
     }
 }
@@ -108,13 +122,17 @@ impl From<RecheckError> for ServeError {
 
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
-        ServeError::Io { reason: e.to_string() }
+        ServeError::Io {
+            reason: e.to_string(),
+        }
     }
 }
 
 impl From<serde_json::Error> for ServeError {
     fn from(e: serde_json::Error) -> Self {
-        ServeError::Protocol { reason: e.to_string() }
+        ServeError::Protocol {
+            reason: e.to_string(),
+        }
     }
 }
 
@@ -124,12 +142,19 @@ mod tests {
 
     #[test]
     fn displays_name_the_failing_stage() {
-        let e = ServeError::NoFabric { label: "replay:f.jsonl".into() };
+        let e = ServeError::NoFabric {
+            label: "replay:f.jsonl".into(),
+        };
         assert!(e.to_string().contains("replay:f.jsonl"));
-        let e = ServeError::NoModel { target: 9, mode: "write" };
+        let e = ServeError::NoModel {
+            target: 9,
+            mode: "write",
+        };
         assert!(e.to_string().contains("target node 9"));
         let e: ServeError = PlatformError::ZeroReps.into();
         assert!(matches!(e, ServeError::Platform(PlatformError::ZeroReps)));
+        let e = ServeError::Overloaded { limit: 4 };
+        assert!(e.to_string().contains("connection limit 4"));
     }
 
     #[test]
@@ -137,6 +162,8 @@ mod tests {
         use std::error::Error as _;
         let e: ServeError = AtlasError::Empty.into();
         assert!(e.source().is_some());
-        assert!(ServeError::BadRequest { reason: "x".into() }.source().is_none());
+        assert!(ServeError::BadRequest { reason: "x".into() }
+            .source()
+            .is_none());
     }
 }

@@ -20,8 +20,14 @@
 //!   invalidation is *targeted* (one key) on drift past a threshold or a
 //!   fault-view swap.
 //! * [`ModelService`] — the request handler; never panics, shares one
-//!   `Arc` across every worker thread.
-//! * [`spawn`] / [`ServerHandle`] — thread-per-connection TCP server.
+//!   `Arc` across every worker thread. Every request mints a request id,
+//!   emits an `accept → service → cache → characterize` trace-span tree
+//!   (deterministic, see `numa_obs::trace`), lands its wall-clock latency
+//!   in the `numio_serve_request_seconds{op,backend,outcome}` histogram
+//!   family, and is appended to a bounded flight recorder dumped by the
+//!   `dump` op (or frozen as an incident on error replies and overload).
+//! * [`spawn`] / [`spawn_with`] / [`ServerHandle`] — thread-per-connection
+//!   TCP server, optionally capped via [`ServeConfig::max_connections`].
 //! * [`Client`] — blocking JSONL client for smoke tests and the CLI.
 //! * [`Request`] / [`Response`] — the wire vocabulary.
 //!
@@ -63,6 +69,8 @@ pub use cache::{
 };
 pub use client::Client;
 pub use error::ServeError;
-pub use proto::{decode_request, decode_response, encode, Request, Response, WireMode};
-pub use server::{spawn, ServerHandle};
-pub use service::{ModelService, DEFAULT_DRIFT_THRESHOLD};
+pub use proto::{
+    decode_request, decode_response, encode, LatencySummary, Request, Response, WireMode,
+};
+pub use server::{spawn, spawn_with, ServeConfig, ServerHandle};
+pub use service::{ModelService, DEFAULT_DRIFT_THRESHOLD, SERVE_SECONDS_METRIC};

@@ -104,8 +104,11 @@ pub enum Request {
     },
     /// The full cached atlas.
     Atlas,
-    /// Service + cache counters.
+    /// Service + cache counters and the latency summary.
     Stats,
+    /// The flight recorder's recent events (or the frozen incident
+    /// snapshot, when one was captured) for a post-mortem.
+    Dump,
     /// Arm a fault plan: subsequent answers reflect the degraded view and
     /// the old view's cache key is invalidated (targeted, not a flush).
     SetFaults {
@@ -129,12 +132,30 @@ impl Request {
             Request::Place { .. } => "place",
             Request::Atlas => "atlas",
             Request::Stats => "stats",
+            Request::Dump => "dump",
             Request::SetFaults { .. } => "set_faults",
             Request::ClearFaults => "clear_faults",
             Request::Ping => "ping",
             Request::Shutdown => "shutdown",
         }
     }
+}
+
+/// Wall-clock request-latency digest carried by the `stats` reply:
+/// mean over every request, exact nearest-rank percentiles over the
+/// most recent [`numa_obs::RECENT_SAMPLES`] requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Requests the digest covers.
+    pub count: u64,
+    /// Mean latency, seconds.
+    pub mean_s: f64,
+    /// Median latency, seconds.
+    pub p50_s: f64,
+    /// 90th-percentile latency, seconds.
+    pub p90_s: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99_s: f64,
 }
 
 /// One server reply.
@@ -190,6 +211,12 @@ pub enum Response {
     Stats {
         /// Requests handled (including this one).
         requests: u64,
+        /// Unreadable request lines answered with a typed error.
+        #[serde(default)]
+        invalid: u64,
+        /// Error replies sent (bad requests, backend failures, overload).
+        #[serde(default)]
+        errors: u64,
         /// Cache hits so far.
         hits: u64,
         /// Cache misses so far.
@@ -198,10 +225,24 @@ pub enum Response {
         invalidations: u64,
         /// Characterizations currently cached.
         entries: usize,
+        /// Metric series in the registry snapshot.
+        #[serde(default)]
+        series: usize,
         /// Backend label answers come from.
         backend: String,
         /// Fault kinds currently applied.
         active_faults: usize,
+        /// Request latency distribution (zeroed before any request).
+        #[serde(default)]
+        latency: LatencySummary,
+    },
+    /// Flight recorder contents.
+    Dump {
+        /// Why an incident snapshot was frozen, when one was; `None`
+        /// means the live ring is being dumped.
+        reason: Option<String>,
+        /// The recorded events as JSON lines, oldest first.
+        events: Vec<String>,
     },
     /// Fault view updated.
     Faults {
@@ -244,16 +285,28 @@ mod tests {
                 mode: WireMode::Read,
                 mix: vec![(2, 2), (0, 2)],
             },
-            Request::Classify { node: 2, target: 7, mode: WireMode::Write },
-            Request::Place { target: 7, tasks: 4, to_device: true },
+            Request::Classify {
+                node: 2,
+                target: 7,
+                mode: WireMode::Write,
+            },
+            Request::Place {
+                target: 7,
+                tasks: 4,
+                to_device: true,
+            },
             Request::Atlas,
             Request::Stats,
+            Request::Dump,
             Request::Ping,
             Request::Shutdown,
         ];
         for req in reqs {
             let line = encode(&req).unwrap();
-            assert!(!line.contains('\n'), "JSONL lines must be single-line: {line}");
+            assert!(
+                !line.contains('\n'),
+                "JSONL lines must be single-line: {line}"
+            );
             assert_eq!(decode_request(&line).unwrap(), req);
         }
     }
@@ -263,12 +316,30 @@ mod tests {
         let req = decode_request(r#"{"op":"predict","mix":[[0,1]]}"#).unwrap();
         assert_eq!(
             req,
-            Request::Predict { target: 7, mode: WireMode::Write, mix: vec![(0, 1)] }
+            Request::Predict {
+                target: 7,
+                mode: WireMode::Write,
+                mix: vec![(0, 1)]
+            }
         );
         let req = decode_request(r#"{"op":"classify","node":3}"#).unwrap();
-        assert_eq!(req, Request::Classify { node: 3, target: 7, mode: WireMode::Write });
+        assert_eq!(
+            req,
+            Request::Classify {
+                node: 3,
+                target: 7,
+                mode: WireMode::Write
+            }
+        );
         let req = decode_request(r#"{"op":"place"}"#).unwrap();
-        assert_eq!(req, Request::Place { target: 7, tasks: 1, to_device: true });
+        assert_eq!(
+            req,
+            Request::Place {
+                target: 7,
+                tasks: 1,
+                to_device: true
+            }
+        );
     }
 
     #[test]
@@ -291,16 +362,71 @@ mod tests {
         };
         let line = encode(&resp).unwrap();
         assert_eq!(decode_response(&line).unwrap(), resp);
-        let err = Response::Error { message: "bad request: empty mix".into() };
+        let err = Response::Error {
+            message: "bad request: empty mix".into(),
+        };
         assert_eq!(decode_response(&encode(&err).unwrap()).unwrap(), err);
     }
 
     #[test]
     fn op_labels_are_stable() {
         assert_eq!(Request::Atlas.op(), "atlas");
+        assert_eq!(Request::Dump.op(), "dump");
         assert_eq!(
-            Request::SetFaults { plan: FaultPlan::demo(1) }.op(),
+            Request::SetFaults {
+                plan: FaultPlan::demo(1)
+            }
+            .op(),
             "set_faults"
         );
+    }
+
+    #[test]
+    fn stats_and_dump_round_trip() {
+        let stats = Response::Stats {
+            requests: 9,
+            invalid: 1,
+            errors: 2,
+            hits: 4,
+            misses: 2,
+            invalidations: 0,
+            entries: 2,
+            series: 12,
+            backend: "sim:dl585-g7".into(),
+            active_faults: 0,
+            latency: LatencySummary {
+                count: 9,
+                mean_s: 0.001,
+                p50_s: 0.0005,
+                p90_s: 0.002,
+                p99_s: 0.004,
+            },
+        };
+        assert_eq!(decode_response(&encode(&stats).unwrap()).unwrap(), stats);
+        let dump = Response::Dump {
+            reason: Some("error reply to request 7 (predict)".into()),
+            events: vec![r#"{"t":7,"ev":"req","op":"predict"}"#.into()],
+        };
+        assert_eq!(decode_response(&encode(&dump).unwrap()).unwrap(), dump);
+    }
+
+    #[test]
+    fn old_stats_replies_still_decode() {
+        // A pre-latency server's stats reply (no invalid/errors/series/
+        // latency fields) must stay readable by new clients.
+        let line = r#"{"reply":"stats","requests":3,"hits":1,"misses":1,"invalidations":0,"entries":1,"backend":"sim:dl585-g7","active_faults":0}"#;
+        let resp = decode_response(line).unwrap();
+        let Response::Stats {
+            requests,
+            latency,
+            series,
+            ..
+        } = resp
+        else {
+            panic!("unexpected reply: {resp:?}");
+        };
+        assert_eq!(requests, 3);
+        assert_eq!(series, 0);
+        assert_eq!(latency, LatencySummary::default());
     }
 }

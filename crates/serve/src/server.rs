@@ -6,14 +6,23 @@
 //! accept loop; in-flight connections finish their current line.
 
 use crate::error::ServeError;
-use crate::proto::{self, Request, Response};
+use crate::proto::{self, Response};
 use crate::service::ModelService;
 use numio_core::Platform;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Server-side knobs beyond the service itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeConfig {
+    /// Maximum concurrently open connections; `0` means unlimited.
+    /// Connections over the limit get one `error` reply (carrying
+    /// [`ServeError::Overloaded`]) and are closed.
+    pub max_connections: usize,
+}
 
 /// A running server: its bound address plus shutdown/join control.
 pub struct ServerHandle {
@@ -55,62 +64,129 @@ fn poke(addr: SocketAddr) {
     let _ = TcpStream::connect(addr);
 }
 
-/// Bind `addr` and serve `service` until shut down. Returns immediately
-/// with a [`ServerHandle`]; use [`ServerHandle::join`] to block.
+/// Bind `addr` and serve `service` until shut down, with default
+/// [`ServeConfig`]. Returns immediately with a [`ServerHandle`]; use
+/// [`ServerHandle::join`] to block.
 pub fn spawn<P>(service: Arc<ModelService<P>>, addr: &str) -> Result<ServerHandle, ServeError>
+where
+    P: Platform + Send + Sync + 'static,
+{
+    spawn_with(service, addr, ServeConfig::default())
+}
+
+/// [`spawn`] with explicit server knobs.
+pub fn spawn_with<P>(
+    service: Arc<ModelService<P>>,
+    addr: &str,
+    config: ServeConfig,
+) -> Result<ServerHandle, ServeError>
 where
     P: Platform + Send + Sync + 'static,
 {
     let sock_addr = addr
         .to_socket_addrs()?
         .next()
-        .ok_or_else(|| ServeError::Io { reason: format!("address '{addr}' resolves to nothing") })?;
+        .ok_or_else(|| ServeError::Io {
+            reason: format!("address '{addr}' resolves to nothing"),
+        })?;
     let listener = TcpListener::bind(sock_addr)?;
     let bound = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let accept_stop = Arc::clone(&stop);
     let accept_thread = std::thread::spawn(move || {
+        // Connection ids thread causality through obs events; the active
+        // gauge enforces the (optional) connection limit.
+        let next_conn = AtomicU64::new(0);
+        let active = Arc::new(AtomicUsize::new(0));
         for stream in listener.incoming() {
             if accept_stop.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = stream else { continue };
+            let conn = next_conn.fetch_add(1, Ordering::Relaxed) + 1;
+            let limit = config.max_connections;
+            if limit > 0 && active.load(Ordering::SeqCst) >= limit {
+                let reply = service.note_overload(conn, limit);
+                let mut writer = stream;
+                let _ = write_reply(&mut writer, &reply);
+                continue;
+            }
+            let guard = ConnGuard::enter(&active);
             let svc = Arc::clone(&service);
             let conn_stop = Arc::clone(&accept_stop);
             std::thread::spawn(move || {
-                let _ = serve_connection(&svc, stream, bound, &conn_stop);
+                let _guard = guard;
+                let _ = serve_connection(&svc, stream, bound, &conn_stop, conn);
             });
         }
     });
-    Ok(ServerHandle { addr: bound, stop, accept_thread: Some(accept_thread) })
+    Ok(ServerHandle {
+        addr: bound,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Decrements the active-connection count when a worker exits, however
+/// it exits (normal EOF, read error, panic unwind).
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl ConnGuard {
+    fn enter(active: &Arc<AtomicUsize>) -> Self {
+        active.fetch_add(1, Ordering::SeqCst);
+        ConnGuard(Arc::clone(active))
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Write one response line; a serialization failure falls back to a
+/// literal error line so the client always gets *something* parseable.
+fn write_reply(writer: &mut TcpStream, response: &Response) -> Result<(), ServeError> {
+    let line = proto::encode(response).unwrap_or_else(|_| {
+        r#"{"reply":"error","message":"internal: reply serialization failed"}"#.to_string()
+    });
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    Ok(())
 }
 
 /// Drain one connection: a request line in, a response line out, until
-/// EOF or a shutdown request.
+/// EOF or a shutdown request. Lines that fail to decode — including the
+/// partial line a mid-request disconnect leaves behind — are answered
+/// with a typed `error` reply and counted under `op="invalid"`; read
+/// errors get a best-effort reply before the connection drops.
 fn serve_connection<P: Platform>(
     service: &ModelService<P>,
     stream: TcpStream,
     bound: SocketAddr,
     stop: &AtomicBool,
+    conn: u64,
 ) -> Result<(), ServeError> {
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
-        let line = line?;
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                // The socket failed mid-read (reset, invalid UTF-8, ...).
+                // Record it as an invalid request and tell the peer if the
+                // write half still works.
+                let reply = service.note_unreadable(conn, &e.to_string());
+                let _ = write_reply(&mut writer, &reply);
+                return Err(e.into());
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let (response, shutdown) = match proto::decode_request(&line) {
-            Ok(req) => {
-                let resp = service.handle(&req);
-                let shutdown = matches!(req, Request::Shutdown);
-                (resp, shutdown)
-            }
-            Err(e) => (Response::Error { message: e.to_string() }, false),
-        };
-        writer.write_all(proto::encode(&response)?.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        let (response, shutdown) = service.handle_line(conn, &line);
+        write_reply(&mut writer, &response)?;
         if shutdown {
             stop.store(true, Ordering::SeqCst);
             poke(bound);
@@ -124,7 +200,7 @@ fn serve_connection<P: Platform>(
 mod tests {
     use super::*;
     use crate::client::Client;
-    use crate::proto::WireMode;
+    use crate::proto::{Request, WireMode};
     use numio_core::{IoModeler, SimPlatform};
 
     fn start() -> (ServerHandle, Arc<ModelService<SimPlatform>>) {
@@ -152,8 +228,16 @@ mod tests {
         let warm = other.call(&req).unwrap();
         match (cold, warm) {
             (
-                Response::Predict { predicted_gbps: a, cached: false, .. },
-                Response::Predict { predicted_gbps: b, cached: true, .. },
+                Response::Predict {
+                    predicted_gbps: a,
+                    cached: false,
+                    ..
+                },
+                Response::Predict {
+                    predicted_gbps: b,
+                    cached: true,
+                    ..
+                },
             ) => assert_eq!(a.to_bits(), b.to_bits()),
             other => panic!("unexpected replies: {other:?}"),
         }
@@ -169,6 +253,83 @@ mod tests {
         assert!(resp.contains("\"reply\":\"error\""), "{resp}");
         // Still serviceable afterwards.
         assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+        handle.shutdown();
+    }
+
+    /// Poll until `pred` holds (worker threads race the assertions).
+    fn eventually(pred: impl Fn() -> bool) -> bool {
+        for _ in 0..200 {
+            if pred() {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        pred()
+    }
+
+    #[test]
+    fn disconnect_mid_request_is_counted_not_crashed() {
+        use std::io::Write as _;
+        let (handle, service) = start();
+        let addr = handle.addr();
+        {
+            // A half-written request with no trailing newline: the peer
+            // vanishes mid-line. BufRead surfaces the partial line at EOF,
+            // which must become a typed invalid request, not a panic.
+            let mut raw = TcpStream::connect(addr).unwrap();
+            raw.write_all(br#"{"op":"pred"#).unwrap();
+            raw.flush().unwrap();
+        }
+        assert!(
+            eventually(|| service.invalid_requests() >= 1),
+            "partial line counted as invalid, got {}",
+            service.invalid_requests()
+        );
+        // The server is still fully serviceable afterwards.
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connections_over_the_limit_get_a_typed_overload_reply() {
+        let service = Arc::new(
+            ModelService::new(SimPlatform::dl585()).with_modeler(IoModeler::new().reps(3)),
+        );
+        let handle = spawn_with(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            ServeConfig { max_connections: 1 },
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let mut first = Client::connect(&addr).unwrap();
+        assert_eq!(first.call(&Request::Ping).unwrap(), Response::Pong);
+        // While the first connection is open, a second one is refused with
+        // one parseable error line. The refusal races the accept loop's
+        // bookkeeping, so poll a few fresh connections.
+        let refused = eventually(|| {
+            let Ok(mut second) = Client::connect(&addr) else {
+                return false;
+            };
+            match second.call(&Request::Ping) {
+                Ok(Response::Error { message }) => {
+                    assert!(message.contains("connection limit 1"), "{message}");
+                    true
+                }
+                _ => false,
+            }
+        });
+        assert!(refused, "second connection never saw the overload reply");
+        assert!(service.error_replies() >= 1);
+        // Closing the first connection frees the slot.
+        drop(first);
+        assert!(eventually(|| {
+            let Ok(mut third) = Client::connect(&addr) else {
+                return false;
+            };
+            matches!(third.call(&Request::Ping), Ok(Response::Pong))
+        }));
         handle.shutdown();
     }
 

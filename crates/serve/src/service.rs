@@ -4,11 +4,11 @@
 
 use crate::cache::{CacheLookup, CharacterizationCache, DriftOutcome, ModelLookup};
 use crate::error::ServeError;
-use crate::proto::{Request, Response, WireMode};
+use crate::proto::{self, LatencySummary, Request, Response, WireMode};
 use numa_faults::{FaultKind, FaultPlan};
 use numa_fio::Workload;
 use numa_iodev::NicOp;
-use numa_obs::Obs;
+use numa_obs::{buckets, FlightRecorder, Histogram, Obs};
 use numa_sched::policy::{ActiveView, SchedContext};
 use numa_sched::{ClassRanked, IoTask, Policy, TaskId};
 use numa_topology::NodeId;
@@ -19,6 +19,10 @@ use std::sync::RwLock;
 /// Default drift tolerance before a cached key is evicted (10%, roughly
 /// three times the paper's reported Eq. 1 prediction error).
 pub const DEFAULT_DRIFT_THRESHOLD: f64 = 0.10;
+
+/// Histogram family every request's wall-clock latency lands in, labelled
+/// `{op, backend, outcome}`.
+pub const SERVE_SECONDS_METRIC: &str = "numio_serve_request_seconds";
 
 /// A long-lived prediction service over one backend.
 ///
@@ -32,6 +36,12 @@ pub struct ModelService<P: Platform> {
     faults: RwLock<Vec<FaultKind>>,
     drift_threshold: f64,
     requests: AtomicU64,
+    invalid: AtomicU64,
+    errors: AtomicU64,
+    /// Aggregate wall-clock latency over every request, independent of
+    /// the registry (survives `with_obs` swaps, cheap to digest).
+    latency: Histogram,
+    flight: FlightRecorder,
     obs: Obs,
 }
 
@@ -46,6 +56,10 @@ impl<P: Platform> ModelService<P> {
             faults: RwLock::new(Vec::new()),
             drift_threshold: DEFAULT_DRIFT_THRESHOLD,
             requests: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: Histogram::with_buckets(buckets::SERVE_SECONDS),
+            flight: FlightRecorder::default(),
             obs: Obs::new(),
         }
     }
@@ -59,6 +73,12 @@ impl<P: Platform> ModelService<P> {
     /// Set the drift tolerance used by [`Self::check_drift`].
     pub fn with_drift_threshold(mut self, threshold: f64) -> Self {
         self.drift_threshold = threshold;
+        self
+    }
+
+    /// Resize the flight recorder (most recent `capacity` events kept).
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight = FlightRecorder::new(capacity);
         self
     }
 
@@ -85,6 +105,44 @@ impl<P: Platform> ModelService<P> {
         self.requests.load(Ordering::Relaxed)
     }
 
+    /// Unreadable request lines rejected so far.
+    pub fn invalid_requests(&self) -> u64 {
+        self.invalid.load(Ordering::Relaxed)
+    }
+
+    /// Error replies sent so far (bad requests, backend failures,
+    /// unreadable lines, refused connections).
+    pub fn error_replies(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The bounded ring of recent events (dumped by the `dump` op).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The obs handle requests record into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Wall-clock latency digest over requests handled so far.
+    pub fn latency_summary(&self) -> LatencySummary {
+        let count = self.latency.count();
+        let mean_s = if count == 0 {
+            0.0
+        } else {
+            self.latency.sum() / count as f64
+        };
+        LatencySummary {
+            count,
+            mean_s,
+            p50_s: self.latency.percentile(0.50).unwrap_or(0.0),
+            p90_s: self.latency.percentile(0.90).unwrap_or(0.0),
+            p99_s: self.latency.percentile(0.99).unwrap_or(0.0),
+        }
+    }
+
     /// The fault kinds currently applied to answers.
     pub fn fault_view(&self) -> Vec<FaultKind> {
         self.read_faults().clone()
@@ -96,7 +154,8 @@ impl<P: Platform> ModelService<P> {
     /// answer single-model ops but fail this one with a typed error.
     pub fn atlas(&self) -> Result<CacheLookup, ServeError> {
         let faults = self.fault_view();
-        self.cache.get_or_characterize(&self.platform, &self.modeler, &faults)
+        self.cache
+            .get_or_characterize(&self.platform, &self.modeler, &faults)
     }
 
     /// Serve one `(target, mode)` model for the current fault view,
@@ -150,29 +209,162 @@ impl<P: Platform> ModelService<P> {
     /// view's key if drift exceeds the configured threshold.
     pub fn check_drift(&self) -> Result<DriftOutcome, ServeError> {
         let faults = self.fault_view();
-        self.cache.check_drift(&self.platform, &self.modeler, &faults, self.drift_threshold)
+        self.cache
+            .check_drift(&self.platform, &self.modeler, &faults, self.drift_threshold)
     }
 
     /// Answer one request. Infallible at this layer: errors become
     /// [`Response::Error`] so the connection survives bad input.
     pub fn handle(&self, req: &Request) -> Response {
+        self.handle_on(req, 0)
+    }
+
+    /// Answer one raw wire line from connection `conn`: decode failures
+    /// become a typed `error` reply counted under `op="invalid"`. The
+    /// bool asks the caller to shut the server down.
+    pub fn handle_line(&self, conn: u64, line: &str) -> (Response, bool) {
+        match proto::decode_request(line) {
+            Ok(req) => {
+                let shutdown = matches!(req, Request::Shutdown);
+                (self.handle_on(&req, conn), shutdown)
+            }
+            Err(e) => (self.reject(conn, e), false),
+        }
+    }
+
+    /// Reject input that never decoded into a request (a read error, a
+    /// line that was not one). Counted under `op="invalid"`.
+    pub fn note_unreadable(&self, conn: u64, reason: &str) -> Response {
+        self.reject(
+            conn,
+            ServeError::Protocol {
+                reason: format!("unreadable request line: {reason}"),
+            },
+        )
+    }
+
+    /// Refuse a connection over the configured limit: an `error` reply
+    /// carrying [`ServeError::Overloaded`], plus an incident snapshot.
+    pub fn note_overload(&self, conn: u64, limit: usize) -> Response {
         let seq = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
-        self.obs
-            .counter(
-                "numio_serve_requests_total",
-                &[("op", req.op()), ("backend", self.platform.backend_kind())],
-            )
-            .inc();
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.count_op("overload");
         self.obs.event(
             "serve_request",
             seq as f64,
             &[
-                ("op", req.op().into()),
+                ("op", "overload".into()),
                 ("backend", self.platform.label().as_str().into()),
+                ("conn", conn.into()),
             ],
         );
-        self.dispatch(req, seq)
-            .unwrap_or_else(|e| Response::Error { message: e.to_string() })
+        self.flight.record(
+            "overload",
+            seq as f64,
+            &[("conn", conn.into()), ("limit", (limit as u64).into())],
+        );
+        self.flight
+            .capture_incident(&format!("connection {conn} refused: limit {limit} reached"));
+        Response::Error {
+            message: ServeError::Overloaded { limit }.to_string(),
+        }
+    }
+
+    /// Mint a request id, open the root trace span, run the request.
+    fn handle_on(&self, req: &Request, conn: u64) -> Response {
+        let seq = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let _root = self.obs.request_span(seq, seq as f64, "accept");
+        let t0 = self.obs.clock_s();
+        let op = req.op();
+        self.count_op(op);
+        self.obs.event(
+            "serve_request",
+            seq as f64,
+            &[
+                ("op", op.into()),
+                ("backend", self.platform.label().as_str().into()),
+                ("conn", conn.into()),
+            ],
+        );
+        let result = {
+            let _svc = self.obs.stage_span("service");
+            self.dispatch(req, seq)
+        };
+        let outcome = if result.is_ok() { "ok" } else { "error" };
+        self.record_latency(op, outcome, (self.obs.clock_s() - t0).max(0.0));
+        self.flight.record(
+            "req",
+            seq as f64,
+            &[("op", op.into()), ("outcome", outcome.into())],
+        );
+        result.unwrap_or_else(|e| {
+            let message = e.to_string();
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            self.flight.record(
+                "error",
+                seq as f64,
+                &[("op", op.into()), ("message", message.as_str().into())],
+            );
+            self.flight
+                .capture_incident(&format!("error reply to request {seq} ({op})"));
+            Response::Error { message }
+        })
+    }
+
+    /// The `op="invalid"` path: input that never became a [`Request`].
+    fn reject(&self, conn: u64, err: ServeError) -> Response {
+        let seq = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let _root = self.obs.request_span(seq, seq as f64, "accept");
+        let t0 = self.obs.clock_s();
+        self.invalid.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.count_op("invalid");
+        self.obs.event(
+            "serve_request",
+            seq as f64,
+            &[
+                ("op", "invalid".into()),
+                ("backend", self.platform.label().as_str().into()),
+                ("conn", conn.into()),
+            ],
+        );
+        let message = err.to_string();
+        self.record_latency("invalid", "error", (self.obs.clock_s() - t0).max(0.0));
+        self.flight.record(
+            "error",
+            seq as f64,
+            &[
+                ("op", "invalid".into()),
+                ("message", message.as_str().into()),
+            ],
+        );
+        self.flight
+            .capture_incident(&format!("unreadable request line on connection {conn}"));
+        Response::Error { message }
+    }
+
+    fn count_op(&self, op: &str) {
+        self.obs
+            .counter(
+                "numio_serve_requests_total",
+                &[("op", op), ("backend", self.platform.backend_kind())],
+            )
+            .inc();
+    }
+
+    fn record_latency(&self, op: &str, outcome: &str, dur_s: f64) {
+        self.latency.observe(dur_s);
+        self.obs
+            .histogram(
+                SERVE_SECONDS_METRIC,
+                &[
+                    ("op", op),
+                    ("backend", self.platform.backend_kind()),
+                    ("outcome", outcome),
+                ],
+                buckets::SERVE_SECONDS,
+            )
+            .observe(dur_s);
     }
 
     fn dispatch(&self, req: &Request, seq: u64) -> Result<Response, ServeError> {
@@ -183,17 +375,34 @@ impl<P: Platform> ModelService<P> {
                 let s = self.cache.stats();
                 Ok(Response::Stats {
                     requests: seq,
+                    invalid: self.invalid.load(Ordering::Relaxed),
+                    errors: self.errors.load(Ordering::Relaxed),
                     hits: s.hits,
                     misses: s.misses,
                     invalidations: s.invalidations,
                     entries: s.entries,
+                    series: self.obs.registry().len(),
                     backend: self.platform.label(),
                     active_faults: self.read_faults().len(),
+                    latency: self.latency_summary(),
+                })
+            }
+            Request::Dump => {
+                let (reason, events) = match self.flight.incident() {
+                    Some(inc) => (Some(inc.reason), inc.events),
+                    None => (None, self.flight.events()),
+                };
+                Ok(Response::Dump {
+                    reason,
+                    events: events.iter().map(|e| e.to_json_line()).collect(),
                 })
             }
             Request::Atlas => {
                 let lookup = self.atlas()?;
-                Ok(Response::Atlas { atlas: (*lookup.atlas).clone(), cached: lookup.hit })
+                Ok(Response::Atlas {
+                    atlas: (*lookup.atlas).clone(),
+                    cached: lookup.hit,
+                })
             }
             Request::Predict { target, mode, mix } => {
                 let lookup = self.model_view(*target, *mode)?;
@@ -208,11 +417,12 @@ impl<P: Platform> ModelService<P> {
             Request::Classify { node, target, mode } => {
                 let lookup = self.model_view(*target, *mode)?;
                 let model = &lookup.model;
-                let class = model.try_class_of(NodeId(*node)).ok_or_else(|| {
-                    ServeError::BadRequest {
-                        reason: format!("node {node} is not covered by the model"),
-                    }
-                })?;
+                let class =
+                    model
+                        .try_class_of(NodeId(*node))
+                        .ok_or_else(|| ServeError::BadRequest {
+                            reason: format!("node {node} is not covered by the model"),
+                        })?;
                 let c = &model.classes()[class];
                 Ok(Response::Classify {
                     node: *node,
@@ -223,11 +433,14 @@ impl<P: Platform> ModelService<P> {
                     cached: lookup.hit,
                 })
             }
-            Request::Place { target, tasks, to_device } => {
-                let fabric = self
-                    .platform
-                    .fabric()
-                    .ok_or_else(|| ServeError::NoFabric { label: self.platform.label() })?;
+            Request::Place {
+                target,
+                tasks,
+                to_device,
+            } => {
+                let fabric = self.platform.fabric().ok_or_else(|| ServeError::NoFabric {
+                    label: self.platform.label(),
+                })?;
                 if *tasks == 0 {
                     return Err(ServeError::BadRequest {
                         reason: "place needs at least one task".into(),
@@ -236,12 +449,19 @@ impl<P: Platform> ModelService<P> {
                 let write = self.model_view(*target, WireMode::Write)?;
                 let read = self.model_view(*target, WireMode::Read)?;
                 let mut policy = ClassRanked::from_models(&write.model, &read.model);
-                let op = if *to_device { NicOp::RdmaWrite } else { NicOp::RdmaRead };
+                let op = if *to_device {
+                    NicOp::RdmaWrite
+                } else {
+                    NicOp::RdmaRead
+                };
                 let mut active: Vec<ActiveView> = Vec::with_capacity(*tasks as usize);
                 let mut nodes = Vec::with_capacity(*tasks as usize);
                 for i in 0..*tasks {
                     let task = IoTask::new(0.0, Workload::Nic(op), 1, 1.0);
-                    let ctx = SchedContext { fabric, active: &active };
+                    let ctx = SchedContext {
+                        fabric,
+                        active: &active,
+                    };
                     let node = policy.place(&task, &ctx);
                     active.push(ActiveView {
                         id: TaskId(i),
@@ -251,15 +471,24 @@ impl<P: Platform> ModelService<P> {
                     });
                     nodes.push(node.0);
                 }
-                Ok(Response::Place { nodes, cached: write.hit && read.hit })
+                Ok(Response::Place {
+                    nodes,
+                    cached: write.hit && read.hit,
+                })
             }
             Request::SetFaults { plan } => {
                 let (active, invalidated) = self.set_fault_plan(plan)?;
-                Ok(Response::Faults { active, invalidated })
+                Ok(Response::Faults {
+                    active,
+                    invalidated,
+                })
             }
             Request::ClearFaults => {
                 let (active, invalidated) = self.clear_faults()?;
-                Ok(Response::Faults { active, invalidated })
+                Ok(Response::Faults {
+                    active,
+                    invalidated,
+                })
             }
         }
     }
@@ -287,7 +516,9 @@ fn canonical_kinds(kinds: &[FaultKind]) -> Result<Vec<FaultKind>, ServeError> {
 
 fn validated_mix(model: &IoPerfModel, mix: &[(u16, u32)]) -> Result<WorkloadMix, ServeError> {
     if mix.is_empty() {
-        return Err(ServeError::BadRequest { reason: "empty mix".into() });
+        return Err(ServeError::BadRequest {
+            reason: "empty mix".into(),
+        });
     }
     let mut wl = WorkloadMix::new();
     for &(node, count) in mix {
@@ -319,12 +550,32 @@ mod tests {
     #[test]
     fn classify_reproduces_table_iv_from_the_cache() {
         let svc = service();
-        let cold = svc.handle(&Request::Classify { node: 2, target: 7, mode: WireMode::Write });
-        let warm = svc.handle(&Request::Classify { node: 2, target: 7, mode: WireMode::Write });
+        let cold = svc.handle(&Request::Classify {
+            node: 2,
+            target: 7,
+            mode: WireMode::Write,
+        });
+        let warm = svc.handle(&Request::Classify {
+            node: 2,
+            target: 7,
+            mode: WireMode::Write,
+        });
         match (&cold, &warm) {
             (
-                Response::Classify { class: c0, classes: n0, class_nodes: k0, cached: false, .. },
-                Response::Classify { class: c1, classes: n1, class_nodes: k1, cached: true, .. },
+                Response::Classify {
+                    class: c0,
+                    classes: n0,
+                    class_nodes: k0,
+                    cached: false,
+                    ..
+                },
+                Response::Classify {
+                    class: c1,
+                    classes: n1,
+                    class_nodes: k1,
+                    cached: true,
+                    ..
+                },
             ) => {
                 assert_eq!((c0, n0, k0), (c1, n1, k1));
                 assert_eq!(*c0, 2, "Table IV: node 2 sits in the starved class");
@@ -347,8 +598,16 @@ mod tests {
         let b = svc.handle(&req);
         match (a, b) {
             (
-                Response::Predict { predicted_gbps: p0, cached: false, .. },
-                Response::Predict { predicted_gbps: p1, cached: true, .. },
+                Response::Predict {
+                    predicted_gbps: p0,
+                    cached: false,
+                    ..
+                },
+                Response::Predict {
+                    predicted_gbps: p1,
+                    cached: true,
+                    ..
+                },
             ) => assert_eq!(p0.to_bits(), p1.to_bits()),
             other => panic!("unexpected replies: {other:?}"),
         }
@@ -359,12 +618,36 @@ mod tests {
     fn bad_requests_are_error_replies_not_panics() {
         let svc = service();
         for req in [
-            Request::Predict { target: 7, mode: WireMode::Write, mix: vec![] },
-            Request::Predict { target: 7, mode: WireMode::Write, mix: vec![(0, 0)] },
-            Request::Predict { target: 7, mode: WireMode::Write, mix: vec![(99, 1)] },
-            Request::Classify { node: 99, target: 7, mode: WireMode::Write },
-            Request::Classify { node: 0, target: 99, mode: WireMode::Write },
-            Request::Place { target: 7, tasks: 0, to_device: true },
+            Request::Predict {
+                target: 7,
+                mode: WireMode::Write,
+                mix: vec![],
+            },
+            Request::Predict {
+                target: 7,
+                mode: WireMode::Write,
+                mix: vec![(0, 0)],
+            },
+            Request::Predict {
+                target: 7,
+                mode: WireMode::Write,
+                mix: vec![(99, 1)],
+            },
+            Request::Classify {
+                node: 99,
+                target: 7,
+                mode: WireMode::Write,
+            },
+            Request::Classify {
+                node: 0,
+                target: 99,
+                mode: WireMode::Write,
+            },
+            Request::Place {
+                target: 7,
+                tasks: 0,
+                to_device: true,
+            },
         ] {
             match svc.handle(&req) {
                 Response::Error { .. } => {}
@@ -376,13 +659,20 @@ mod tests {
     #[test]
     fn place_spreads_across_the_top_classes() {
         let svc = service();
-        let resp = svc.handle(&Request::Place { target: 7, tasks: 4, to_device: true });
+        let resp = svc.handle(&Request::Place {
+            target: 7,
+            tasks: 4,
+            to_device: true,
+        });
         let Response::Place { nodes, .. } = resp else {
             panic!("unexpected reply: {resp:?}");
         };
         assert_eq!(nodes.len(), 4);
         // Table IV's top class is {6, 7}: the first placements stay there.
-        assert!(nodes.iter().take(2).all(|n| *n == 6 || *n == 7), "{nodes:?}");
+        assert!(
+            nodes.iter().take(2).all(|n| *n == 6 || *n == 7),
+            "{nodes:?}"
+        );
     }
 
     #[test]
@@ -392,14 +682,24 @@ mod tests {
         svc.handle(&Request::Atlas);
         let plan = FaultPlan::demo(42);
         let resp = svc.handle(&Request::SetFaults { plan: plan.clone() });
-        let Response::Faults { active, invalidated } = resp else {
+        let Response::Faults {
+            active,
+            invalidated,
+        } = resp
+        else {
             panic!("unexpected reply: {resp:?}");
         };
         assert!(active > 0);
         assert!(invalidated, "base key must be evicted on view change");
         // Same plan again: view unchanged, nothing else evicted.
         let resp = svc.handle(&Request::SetFaults { plan });
-        assert_eq!(resp, Response::Faults { active, invalidated: false });
+        assert_eq!(
+            resp,
+            Response::Faults {
+                active,
+                invalidated: false
+            }
+        );
         // The faulted view characterizes fresh (a miss), then hits.
         let cold = svc.handle(&Request::Atlas);
         let warm = svc.handle(&Request::Atlas);
@@ -416,18 +716,170 @@ mod tests {
             .with_modeler(IoModeler::new().reps(3))
             .with_obs(&obs);
         assert_eq!(svc.handle(&Request::Ping), Response::Pong);
-        svc.handle(&Request::Classify { node: 6, target: 7, mode: WireMode::Write });
+        svc.handle(&Request::Classify {
+            node: 6,
+            target: 7,
+            mode: WireMode::Write,
+        });
         let resp = svc.handle(&Request::Stats);
-        let Response::Stats { requests, misses, backend, .. } = resp else {
+        let Response::Stats {
+            requests,
+            misses,
+            backend,
+            ..
+        } = resp
+        else {
             panic!("unexpected reply: {resp:?}");
         };
         assert_eq!(requests, 3);
         assert_eq!(misses, 1);
         assert_eq!(backend, "sim:dl585-g7");
         assert_eq!(
-            obs.counter("numio_serve_requests_total", &[("op", "ping"), ("backend", "sim")])
-                .get(),
+            obs.counter(
+                "numio_serve_requests_total",
+                &[("op", "ping"), ("backend", "sim")]
+            )
+            .get(),
             1
         );
+    }
+
+    #[test]
+    fn unreadable_lines_get_typed_errors_and_the_invalid_label() {
+        let obs = Obs::new();
+        let svc = ModelService::new(SimPlatform::dl585())
+            .with_modeler(IoModeler::new().reps(3))
+            .with_obs(&obs);
+        let (resp, shutdown) = svc.handle_line(1, "this is not json");
+        assert!(!shutdown);
+        let Response::Error { message } = resp else {
+            panic!("unexpected reply: {resp:?}");
+        };
+        assert!(message.starts_with("protocol:"), "{message}");
+        svc.note_unreadable(1, "connection reset by peer");
+        assert_eq!(svc.invalid_requests(), 2);
+        assert_eq!(svc.error_replies(), 2);
+        assert_eq!(
+            obs.counter(
+                "numio_serve_requests_total",
+                &[("op", "invalid"), ("backend", "sim")]
+            )
+            .get(),
+            2
+        );
+        // Well-formed lines still dispatch (and report the shutdown flag).
+        let (resp, shutdown) = svc.handle_line(1, r#"{"op":"shutdown"}"#);
+        assert_eq!(resp, Response::ShuttingDown);
+        assert!(shutdown);
+    }
+
+    #[test]
+    fn stats_is_a_one_shot_health_view() {
+        let svc = service();
+        svc.handle(&Request::Classify {
+            node: 6,
+            target: 7,
+            mode: WireMode::Write,
+        });
+        svc.handle_line(3, "{broken");
+        let resp = svc.handle(&Request::Stats);
+        let Response::Stats {
+            requests,
+            invalid,
+            errors,
+            misses,
+            entries,
+            series,
+            latency,
+            ..
+        } = resp
+        else {
+            panic!("unexpected reply: {resp:?}");
+        };
+        assert_eq!(requests, 3);
+        assert_eq!(invalid, 1);
+        assert_eq!(errors, 1);
+        assert_eq!(misses, 1);
+        assert_eq!(entries, 1);
+        // At least the request counter + latency families are registered.
+        assert!(series >= 2, "{series}");
+        // The in-flight stats request is not digested yet: 2 of 3.
+        assert_eq!(latency.count, 2);
+        assert!(latency.p50_s <= latency.p99_s);
+    }
+
+    #[test]
+    fn error_replies_freeze_an_incident_for_dump() {
+        let svc = service();
+        svc.handle(&Request::Ping);
+        // A live-ring dump first: no incident yet.
+        let resp = svc.handle(&Request::Dump);
+        let Response::Dump {
+            reason: None,
+            events,
+        } = resp
+        else {
+            panic!("unexpected reply: {resp:?}");
+        };
+        assert!(
+            events.iter().any(|l| l.contains(r#""op":"ping""#)),
+            "{events:?}"
+        );
+        // Now an error reply captures the incident.
+        svc.handle(&Request::Predict {
+            target: 7,
+            mode: WireMode::Write,
+            mix: vec![],
+        });
+        let resp = svc.handle(&Request::Dump);
+        let Response::Dump {
+            reason: Some(reason),
+            events,
+        } = resp
+        else {
+            panic!("unexpected reply: {resp:?}");
+        };
+        assert!(
+            reason.contains("error reply to request 3 (predict)"),
+            "{reason}"
+        );
+        assert!(
+            events.iter().any(|l| l.contains(r#""ev":"error""#)),
+            "incident snapshot carries the error event: {events:?}"
+        );
+    }
+
+    #[test]
+    fn requests_emit_a_deterministic_span_tree() {
+        use numa_obs::ManualClock;
+        let run = || {
+            let obs = Obs::with_clock(Box::new(ManualClock::new()));
+            let svc = ModelService::new(SimPlatform::dl585())
+                .with_modeler(IoModeler::new().reps(3))
+                .with_obs(&obs);
+            svc.handle(&Request::Classify {
+                node: 2,
+                target: 7,
+                mode: WireMode::Write,
+            });
+            obs.jsonl()
+        };
+        let trace = run();
+        // Root accept span, then service -> cache -> characterize.
+        assert!(trace.contains(r#"{"t":1,"ev":"span_start","req":1,"span":0,"stage":"accept"}"#));
+        assert!(trace.contains(
+            r#"{"t":1,"ev":"span_start","req":1,"span":1,"parent":0,"stage":"service"}"#
+        ));
+        assert!(trace
+            .contains(r#"{"t":1,"ev":"span_start","req":1,"span":2,"parent":1,"stage":"cache"}"#));
+        assert!(trace.contains(
+            r#"{"t":1,"ev":"span_start","req":1,"span":3,"parent":2,"stage":"characterize"}"#
+        ));
+        assert_eq!(
+            trace.matches(r#""ev":"span_start""#).count(),
+            trace.matches(r#""ev":"span_end""#).count()
+        );
+        // Same-seed reruns are byte-identical.
+        assert_eq!(trace, run());
     }
 }

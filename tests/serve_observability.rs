@@ -1,0 +1,141 @@
+//! Workspace-level serve observability: request-scoped span trees are
+//! byte-identical across same-seed runs, serve latency lands in a
+//! cumulative Prometheus histogram, malformed wire lines become typed
+//! `invalid` replies, and an error reply freezes a flight-recorder
+//! incident retrievable through the `dump` op.
+
+use numio::core::SimPlatform;
+use numio::obs::{ManualClock, Obs};
+use numio::serve::{
+    encode, spawn, Client, ModelService, Request, Response, WireMode, SERVE_SECONDS_METRIC,
+};
+use std::sync::Arc;
+
+/// One deterministic "run": fresh service, fresh manual-clock obs, a cold
+/// classify, a warm predict, and one malformed line. Returns the full
+/// event trace.
+fn traced_run() -> String {
+    let obs = Obs::with_clock(Box::new(ManualClock::new()));
+    let svc = ModelService::new(SimPlatform::dl585()).with_obs(&obs);
+    let classify = encode(&Request::Classify {
+        node: 2,
+        target: 7,
+        mode: WireMode::Write,
+    })
+    .unwrap();
+    let predict = encode(&Request::Predict {
+        target: 7,
+        mode: WireMode::Write,
+        mix: vec![(2, 1)],
+    })
+    .unwrap();
+    let (_, stop) = svc.handle_line(1, &classify);
+    assert!(!stop);
+    let (_, stop) = svc.handle_line(1, &predict);
+    assert!(!stop);
+    let (resp, stop) = svc.handle_line(2, "{\"op\":\"pred");
+    assert!(!stop);
+    assert!(
+        matches!(resp, Response::Error { .. }),
+        "malformed line must get a typed error"
+    );
+    obs.jsonl()
+}
+
+#[test]
+fn span_tree_is_byte_identical_across_same_seed_runs() {
+    let first = traced_run();
+    let second = traced_run();
+    assert_eq!(first, second, "same-seed traces must be byte-identical");
+
+    // The first request's causal chain: accept -> service -> cache ->
+    // characterize, each span parented on the previous one.
+    for line in [
+        r#""ev":"span_start","req":1,"span":0,"stage":"accept""#,
+        r#""ev":"span_start","req":1,"span":1,"parent":0,"stage":"service""#,
+        r#""ev":"span_start","req":1,"span":2,"parent":1,"stage":"cache""#,
+        r#""ev":"span_start","req":1,"span":3,"parent":2,"stage":"characterize""#,
+    ] {
+        assert!(first.contains(line), "missing {line} in:\n{first}");
+    }
+    // Every span that opens also closes.
+    let starts = first.matches(r#""ev":"span_start""#).count();
+    let ends = first.matches(r#""ev":"span_end""#).count();
+    assert_eq!(starts, ends, "unbalanced spans:\n{first}");
+    // The malformed line still got a root span (request id 3).
+    assert!(first.contains(r#""ev":"span_start","req":3"#), "{first}");
+}
+
+#[test]
+fn serve_latency_renders_as_a_cumulative_prometheus_histogram() {
+    let obs = Obs::new();
+    let svc = ModelService::new(SimPlatform::dl585()).with_obs(&obs);
+    let classify = encode(&Request::Classify {
+        node: 2,
+        target: 7,
+        mode: WireMode::Write,
+    })
+    .unwrap();
+    let (_, _) = svc.handle_line(1, &classify);
+
+    let prom = obs.prometheus();
+    let series = format!(
+        "{SERVE_SECONDS_METRIC}_bucket{{backend=\"sim\",op=\"classify\",outcome=\"ok\",le=\""
+    );
+    assert!(prom.contains(&series), "missing bucket series in:\n{prom}");
+    assert!(
+        prom.contains(&format!(
+            "{SERVE_SECONDS_METRIC}_bucket{{backend=\"sim\",op=\"classify\",outcome=\"ok\",le=\"+Inf\"}} 1"
+        )),
+        "missing +Inf bucket in:\n{prom}"
+    );
+    assert!(
+        prom.contains(&format!("{SERVE_SECONDS_METRIC}_count")),
+        "{prom}"
+    );
+}
+
+#[test]
+fn malformed_wire_lines_are_counted_and_dump_freezes_the_incident() {
+    let svc = Arc::new(ModelService::new(SimPlatform::dl585()));
+    let server = spawn(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // A malformed line over the real wire: typed error reply, connection
+    // stays usable, and the reject is counted under op="invalid".
+    let reply = client.call_raw("this is not json").unwrap();
+    assert!(reply.contains(r#""reply":"error""#), "{reply}");
+    match client.call(&Request::Ping).unwrap() {
+        Response::Pong => {}
+        other => panic!("connection died after a malformed line: {other:?}"),
+    }
+    match client.call(&Request::Stats).unwrap() {
+        Response::Stats {
+            invalid,
+            errors,
+            requests,
+            latency,
+            ..
+        } => {
+            assert!(invalid >= 1, "invalid={invalid}");
+            assert!(errors >= 1, "errors={errors}");
+            assert!(requests >= 2, "requests={requests}");
+            assert!(latency.count >= 2, "latency.count={}", latency.count);
+        }
+        other => panic!("stats failed: {other:?}"),
+    }
+
+    // The error reply froze a first-incident snapshot for post-mortem.
+    match client.call(&Request::Dump).unwrap() {
+        Response::Dump {
+            reason: Some(reason),
+            events,
+        } => {
+            assert!(reason.contains("unreadable"), "{reason}");
+            assert!(!events.is_empty(), "incident snapshot must carry events");
+        }
+        other => panic!("dump returned no incident: {other:?}"),
+    }
+    server.shutdown();
+}
