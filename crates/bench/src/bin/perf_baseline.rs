@@ -3,9 +3,12 @@
 //! Times the algorithmic kernels the criterion benches cover — max-min
 //! allocator (one-shot and persistent-solver reuse), topology routing,
 //! Algorithm 1 modeler, engine event loop — plus a full scheduler
-//! episode, a fixture-replayed full-host characterization, and a
-//! closed-loop serve load run (concurrent clients over loopback,
-//! deterministic request mix, p50/p99 latency), and writes
+//! episode, a fixture-replayed full-host characterization, the serving
+//! layer's hot paths (warm single predict, 4096-mix `predict_batch` vs
+//! the same mixes sequentially, and a 64-deep pipelined burst over a
+//! loopback worker pool), and a closed-loop serve load run (concurrent
+//! clients over loopback, deterministic request mix, p50/p99 latency),
+//! and writes
 //! `BENCH_baseline.json` so perf regressions are
 //! diffable across commits without a criterion run. Usage:
 //!
@@ -18,7 +21,8 @@
 //! previously recorded baseline and exits non-zero if any key present in
 //! both `checks` blocks differs (timings never gate). `--check` verifies
 //! the deterministic anchors themselves — paper class counts, the Eq. 1
-//! prediction, and solver bit-for-bit reproducibility — and exits
+//! prediction, solver bit-for-bit reproducibility, batch-vs-sequential
+//! predict bit-identity, and pipelined reply ordering — and exits
 //! non-zero on drift.
 //!
 //! Timings are wall-clock medians and therefore machine-dependent; the
@@ -113,6 +117,8 @@ fn run_checks(
     engine_aggregate: [f64; 2],
     replay_identical: bool,
     serve_cache_hot: bool,
+    serve_batch_identical: bool,
+    serve_pipelined_in_order: bool,
     load_cfg: &LoadConfig,
     load: &LoadReport,
 ) -> Vec<String> {
@@ -140,6 +146,18 @@ fn run_checks(
     if !serve_cache_hot {
         failures.push(
             "serve_predict_hot_cache re-characterized mid-loop: hot requests must all hit"
+                .to_string(),
+        );
+    }
+    if !serve_batch_identical {
+        failures.push(
+            "predict_batch diverges bit-for-bit from sequential predicts of the same mixes"
+                .to_string(),
+        );
+    }
+    if !serve_pipelined_in_order {
+        failures.push(
+            "pipelined replies arrived out of request order (or off the sequential values)"
                 .to_string(),
         );
     }
@@ -339,8 +357,9 @@ fn main() {
     // Serving layer: a hot-cache Eq. 1 prediction — the steady-state cost
     // a placement query pays once the atlas is memoized. The cold miss is
     // paid outside the timed region; every timed request must be a hit.
-    let serve_svc =
-        numa_serve::ModelService::new(SimPlatform::dl585()).with_modeler(IoModeler::new().reps(3));
+    let serve_svc = std::sync::Arc::new(
+        numa_serve::ModelService::new(SimPlatform::dl585()).with_modeler(IoModeler::new().reps(3)),
+    );
     let predict_req = numa_serve::Request::Predict {
         target: 7,
         mode: numa_serve::WireMode::Write,
@@ -355,6 +374,106 @@ fn main() {
     );
     let serve_stats = serve_svc.cache().stats();
     let serve_cache_hot = serve_stats.misses == 1 && serve_stats.hits >= iters as u64;
+
+    // Batch predict: one `predict_batch` carrying 4096 deterministic
+    // mixes against the warmed (target 7, write) model, against the same
+    // 4096 mixes as sequential `predict`s. The ratio is the per-op
+    // amortization of dispatch, tracing, and cache resolution; the values
+    // themselves must be bit-identical either way (anchored below).
+    const BATCH_MIXES: usize = 4096;
+    let mixes: Vec<Vec<(u16, u32)>> = {
+        let mut state = 0xfeed_f00d_dead_beef_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..BATCH_MIXES)
+            .map(|_| {
+                let entries = 1 + (next() % 3) as usize;
+                let mut mix: Vec<(u16, u32)> = (0..entries)
+                    .map(|_| ((next() % 8) as u16, 1 + (next() % 4) as u32))
+                    .collect();
+                mix.sort();
+                mix.dedup_by_key(|e| e.0);
+                mix
+            })
+            .collect()
+    };
+    let batch_req = numa_serve::Request::PredictBatch {
+        target: 7,
+        mode: numa_serve::WireMode::Write,
+        mixes: mixes.clone(),
+    };
+    let seq_reqs: Vec<numa_serve::Request> = mixes
+        .iter()
+        .map(|mix| numa_serve::Request::Predict {
+            target: 7,
+            mode: numa_serve::WireMode::Write,
+            mix: mix.clone(),
+        })
+        .collect();
+    let batch_s = time_op(iters, || {
+        std::hint::black_box(serve_svc.handle(std::hint::black_box(&batch_req)));
+    });
+    record("serve_predict_batch_4096", batch_s);
+    let seq_s = time_op(iters, || {
+        for req in &seq_reqs {
+            std::hint::black_box(serve_svc.handle(std::hint::black_box(req)));
+        }
+    });
+    record("serve_predict_seq_4096", seq_s);
+    let batch_vals = match serve_svc.handle(&batch_req) {
+        numa_serve::Response::PredictBatch { predicted_gbps, .. } => predicted_gbps,
+        other => {
+            eprintln!("predict_batch failed against a warmed cache: {other:?}");
+            std::process::exit(1);
+        }
+    };
+    let serve_batch_identical = batch_vals.len() == seq_reqs.len()
+        && seq_reqs
+            .iter()
+            .zip(&batch_vals)
+            .all(|(req, &b)| match serve_svc.handle(req) {
+                numa_serve::Response::Predict { predicted_gbps, .. } => {
+                    predicted_gbps.to_bits() == b.to_bits()
+                }
+                _ => false,
+            });
+
+    // Pipelined hot path: 64 predicts written to a loopback worker-pool
+    // server before any reply is read, per iteration — what the wire adds
+    // on top of `serve_predict_hot_cache`, divided by the burst. Replies
+    // must come back in request order (anchored below).
+    let pool = numa_serve::spawn_with(
+        std::sync::Arc::clone(&serve_svc),
+        "127.0.0.1:0",
+        numa_serve::ServeConfig::default(),
+    )
+    .expect("spawn serve pool for the pipelined baseline");
+    let mut pipe_client = numa_serve::Client::connect(&pool.addr().to_string())
+        .expect("connect to the pipelined baseline server");
+    let burst = &seq_reqs[..64];
+    let mut serve_pipelined_in_order = true;
+    let pipelined_s = time_op(iters, || {
+        for req in burst {
+            pipe_client.send(req).expect("pipeline send");
+        }
+        for want in batch_vals.iter().take(burst.len()) {
+            match pipe_client.recv().expect("pipeline recv") {
+                numa_serve::Response::Predict { predicted_gbps, .. } => {
+                    if predicted_gbps.to_bits() != want.to_bits() {
+                        serve_pipelined_in_order = false;
+                    }
+                }
+                _ => serve_pipelined_in_order = false,
+            }
+        }
+    });
+    record("serve_pipelined_hot", pipelined_s);
+    drop(pipe_client);
+    pool.shutdown();
 
     // Serve throughput: a closed-loop multi-client load run over loopback
     // with a deterministic request mix (the serve_throughput bin at its
@@ -387,12 +506,23 @@ fn main() {
         "ops": ops,
         "serve_throughput": {
             "clients": load.clients,
+            "workers": load.workers,
             "requests": load.requests,
             "req_per_s": load.req_per_s,
             "mean_s": load.mean_s,
             "p50_s": load.p50_s,
             "p90_s": load.p90_s,
             "p99_s": load.p99_s,
+        },
+        // Batch amortization: one predict_batch of `mixes` Eq. 1 mixes
+        // versus the same mixes as sequential predicts. `per_op_speedup`
+        // is machine-dependent and never gates; the bit-identity of the
+        // two paths is the `serve_batch_bit_identical` check below.
+        "serve_batch": {
+            "mixes": BATCH_MIXES,
+            "batch_median_s": batch_s,
+            "sequential_median_s": seq_s,
+            "per_op_speedup": seq_s / batch_s,
         },
         "checks": {
             "write_classes": write.classes().len(),
@@ -401,6 +531,8 @@ fn main() {
             "engine_aggregate_gbps": report.aggregate_gbps,
             "replay_bit_identical": replay_identical,
             "serve_cache_hot": serve_cache_hot,
+            "serve_batch_bit_identical": serve_batch_identical,
+            "serve_pipelined_in_order": serve_pipelined_in_order,
             "serve_loadgen_errors": load.errors,
             "serve_loadgen_cache_misses": load.cache_misses,
             // As a string: 64-bit digests survive every JSON reader exact.
@@ -435,6 +567,8 @@ fn main() {
             [report.aggregate_gbps, report2.aggregate_gbps],
             replay_identical,
             serve_cache_hot,
+            serve_batch_identical,
+            serve_pipelined_in_order,
             &load_cfg,
             &load,
         );

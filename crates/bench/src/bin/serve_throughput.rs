@@ -4,15 +4,19 @@
 //!
 //! ```sh
 //! cargo run --release -p numa-bench --bin serve_throughput [-- <out.json>] \
-//!     [--clients N] [--requests M] [--seed S] [--reps R] [--check]
+//!     [--clients N] [--requests M] [--seed S] [--reps R] \
+//!     [--batch B] [--workers W] [--queue-depth D] [--check]
 //! ```
 //!
 //! Writes a `numio-serve-throughput/1` JSON document (CI uploads it next
-//! to `BENCH_6.json`). `--check` verifies the run's deterministic
-//! anchors — zero error replies, exactly the warmed characterizations as
-//! misses, and a regenerated mix digest matching the run's — and exits
-//! non-zero on drift. Throughput and percentiles are machine-dependent
-//! and never gate.
+//! to `BENCH_7.json`). `--batch B` switches the request mix to one that
+//! interleaves `predict_batch` bursts of B mixes (0, the default, keeps
+//! the original mix and digest); `--workers`/`--queue-depth` size the
+//! server's worker pool (0 = serve defaults). `--check` verifies the
+//! run's deterministic anchors — zero error replies, exactly the warmed
+//! characterizations as misses, and a regenerated mix digest matching the
+//! run's — and exits non-zero on drift. Throughput and percentiles are
+//! machine-dependent and never gate.
 
 use numa_bench::loadgen::{self, LoadConfig, WARMED_MODELS};
 
@@ -41,6 +45,9 @@ fn parse_args() -> Args {
             "--requests" => args.cfg.requests_per_client = num("--requests", iter.next()),
             "--seed" => args.cfg.seed = num("--seed", iter.next()) as u64,
             "--reps" => args.cfg.reps = num("--reps", iter.next()),
+            "--batch" => args.cfg.batch = num("--batch", iter.next()),
+            "--workers" => args.cfg.workers = num("--workers", iter.next()),
+            "--queue-depth" => args.cfg.queue_depth = num("--queue-depth", iter.next()),
             "--check" => args.check = true,
             _ => args.out_path = a,
         }
@@ -55,9 +62,10 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!(
-        "{} clients x {} requests: {:.0} req/s  p50 {:.1} us  p90 {:.1} us  p99 {:.1} us",
+        "{} clients x {} requests over {} workers: {:.0} req/s  p50 {:.1} us  p90 {:.1} us  p99 {:.1} us",
         report.clients,
         args.cfg.requests_per_client,
+        report.workers,
         report.req_per_s,
         report.p50_s * 1e6,
         report.p90_s * 1e6,
@@ -70,6 +78,11 @@ fn main() {
             "requests_per_client": args.cfg.requests_per_client,
             "seed": args.cfg.seed,
             "reps": args.cfg.reps,
+            "batch": args.cfg.batch,
+        },
+        "server": {
+            "workers": report.workers,
+            "queue_depth": args.cfg.queue_depth,
         },
         "throughput": {
             "requests": report.requests,

@@ -5,7 +5,7 @@
 //! `(seed, client index)`, so two same-seed runs issue byte-identical
 //! request lines (pinned by the `mix_digest` in the report), while the
 //! measured throughput and latency percentiles track the machine. This is
-//! the measurement harness `BENCH_6.json` and the `serve_throughput` CI
+//! the measurement harness `BENCH_7.json` and the `serve_throughput` CI
 //! smoke run on — req/s plus p50/p90/p99 per PR instead of anecdotes.
 //!
 //! The timed loop runs against a *warmed* cache (the write and read
@@ -13,6 +13,14 @@
 //! starts), so the numbers describe the steady state a placement query
 //! pays, and `cache_misses == WARMED_MODELS` doubles as a determinism
 //! check: a miss mid-loop means the request mix escaped the warmed view.
+//!
+//! The server under load is the worker-pool core
+//! ([`numa_serve::spawn_with`]); [`LoadConfig::workers`] and
+//! [`LoadConfig::queue_depth`]
+//! pass straight through to [`numa_serve::ServeConfig`], and
+//! [`LoadConfig::batch`] switches the mix to one that interleaves
+//! `predict_batch` bursts — `batch == 0` keeps the original PR-6 mix
+//! byte-identical, so recorded `mix_digest`s stay comparable.
 
 use numa_serve::{proto, Client, ModelService, Request, WireMode};
 use numio_core::{IoModeler, SimPlatform};
@@ -34,6 +42,15 @@ pub struct LoadConfig {
     pub seed: u64,
     /// Modeler probe reps for the (warmed) characterization.
     pub reps: usize,
+    /// Mixes per `predict_batch` request. `0` (the default) keeps the
+    /// original PR-6 mix — no batch ops, byte-identical request lines and
+    /// therefore byte-identical `mix_digest` — while any positive value
+    /// switches to the batch-aware mix with this many mixes per batch.
+    pub batch: usize,
+    /// Server worker-pool size; `0` resolves to the serve default.
+    pub workers: usize,
+    /// Per-worker run-queue depth; `0` resolves to the serve default.
+    pub queue_depth: usize,
 }
 
 impl Default for LoadConfig {
@@ -43,6 +60,9 @@ impl Default for LoadConfig {
             requests_per_client: 64,
             seed: 42,
             reps: 3,
+            batch: 0,
+            workers: 0,
+            queue_depth: 0,
         }
     }
 }
@@ -52,6 +72,8 @@ impl Default for LoadConfig {
 pub struct LoadReport {
     /// Clients that ran.
     pub clients: usize,
+    /// Resolved server worker-pool size the run was served by.
+    pub workers: usize,
     /// Total requests issued (and answered).
     pub requests: usize,
     /// `error` replies received (0 on a healthy run).
@@ -142,11 +164,83 @@ pub fn generate_requests(seed: u64, client: u64, n: usize) -> Vec<String> {
         .collect()
 }
 
+/// The batch-aware deterministic mix: 55% write predicts, 20% read
+/// predicts, 10% `predict_batch` bursts of `batch` mixes each, 10%
+/// classifies, 5% stats — still entirely inside the warmed write+read
+/// view of target 7, so a clean run pays only [`WARMED_MODELS`] misses.
+pub fn generate_requests_batched(seed: u64, client: u64, n: usize, batch: usize) -> Vec<String> {
+    let mut state = rng_state(seed, client).max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    fn gen_mix(next: &mut impl FnMut() -> u64) -> Vec<(u16, u32)> {
+        let entries = 1 + (next() % 3) as usize;
+        let mut mix: Vec<(u16, u32)> = (0..entries)
+            .map(|_| ((next() % 8) as u16, 1 + (next() % 4) as u32))
+            .collect();
+        mix.sort();
+        mix.dedup_by_key(|e| e.0);
+        mix
+    }
+    (0..n)
+        .map(|_| {
+            let roll = next() % 100;
+            let req = if roll < 75 {
+                let mode = if roll < 55 {
+                    WireMode::Write
+                } else {
+                    WireMode::Read
+                };
+                let mix = gen_mix(&mut next);
+                Request::Predict {
+                    target: 7,
+                    mode,
+                    mix,
+                }
+            } else if roll < 85 {
+                let mode = if roll % 2 == 0 {
+                    WireMode::Write
+                } else {
+                    WireMode::Read
+                };
+                let mixes = (0..batch.max(1)).map(|_| gen_mix(&mut next)).collect();
+                Request::PredictBatch {
+                    target: 7,
+                    mode,
+                    mixes,
+                }
+            } else if roll < 95 {
+                Request::Classify {
+                    node: (next() % 8) as u16,
+                    target: 7,
+                    mode: WireMode::Write,
+                }
+            } else {
+                Request::Stats
+            };
+            proto::encode(&req).expect("requests always encode")
+        })
+        .collect()
+}
+
+/// The request lines client `client` replays under `cfg`: the original
+/// PR-6 mix when `cfg.batch == 0`, the batch-aware mix otherwise.
+pub fn client_lines(cfg: &LoadConfig, client: u64) -> Vec<String> {
+    if cfg.batch == 0 {
+        generate_requests(cfg.seed, client, cfg.requests_per_client)
+    } else {
+        generate_requests_batched(cfg.seed, client, cfg.requests_per_client, cfg.batch)
+    }
+}
+
 /// Digest of every request line `cfg` generates, in client order.
 pub fn mix_digest(cfg: &LoadConfig) -> u64 {
     let mut h = 0u64;
     for client in 0..cfg.clients {
-        for line in generate_requests(cfg.seed, client as u64, cfg.requests_per_client) {
+        for line in client_lines(cfg, client as u64) {
             h = fnv1a(h, line.as_bytes());
             h = fnv1a(h, b"\n");
         }
@@ -174,12 +268,18 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
             return Err(format!("warm-up characterization failed: {message}"));
         }
     }
-    let handle = numa_serve::spawn(Arc::clone(&service), "127.0.0.1:0")
+    let serve_cfg = numa_serve::ServeConfig {
+        max_connections: 0,
+        workers: cfg.workers,
+        queue_depth: cfg.queue_depth,
+    };
+    let handle = numa_serve::spawn_with(Arc::clone(&service), "127.0.0.1:0", serve_cfg)
         .map_err(|e| format!("spawn: {e}"))?;
     let addr = handle.addr().to_string();
+    let workers = handle.workers();
 
     let lines: Vec<Vec<String>> = (0..cfg.clients)
-        .map(|c| generate_requests(cfg.seed, c as u64, cfg.requests_per_client))
+        .map(|c| client_lines(cfg, c as u64))
         .collect();
     let t0 = Instant::now();
     let per_client: Vec<Result<(Vec<f64>, usize), String>> = std::thread::scope(|scope| {
@@ -227,6 +327,7 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
     let stats = service.cache().stats();
     Ok(LoadReport {
         clients: cfg.clients,
+        workers,
         requests,
         errors,
         elapsed_s,
@@ -289,12 +390,82 @@ mod tests {
     }
 
     #[test]
+    fn batched_mix_is_deterministic_and_stays_in_the_warmed_view() {
+        let a = generate_requests_batched(42, 0, 64, 16);
+        assert_eq!(a, generate_requests_batched(42, 0, 64, 16));
+        assert_ne!(a, generate_requests_batched(42, 1, 64, 16));
+        let mut batches = 0usize;
+        for line in &a {
+            let req = proto::decode_request(line).expect("generated lines decode");
+            match req {
+                Request::Predict { target, mix, .. } => {
+                    assert_eq!(target, 7);
+                    assert!(mix.iter().all(|&(n, c)| n < 8 && c >= 1));
+                }
+                Request::PredictBatch { target, mixes, .. } => {
+                    batches += 1;
+                    assert_eq!(target, 7);
+                    assert_eq!(mixes.len(), 16);
+                    assert!(mixes
+                        .iter()
+                        .all(|m| !m.is_empty() && m.iter().all(|&(n, c)| n < 8 && c >= 1)));
+                }
+                Request::Classify { node, target, .. } => {
+                    assert!(node < 8);
+                    assert_eq!(target, 7);
+                }
+                Request::Stats => {}
+                other => panic!("unexpected op in batched mix: {other:?}"),
+            }
+        }
+        assert!(batches > 0, "64 requests at ~10% should carry a batch");
+    }
+
+    #[test]
+    fn batch_zero_keeps_the_original_mix_and_digest() {
+        let cfg = LoadConfig::default();
+        assert_eq!(cfg.batch, 0);
+        for client in 0..cfg.clients as u64 {
+            assert_eq!(
+                client_lines(&cfg, client),
+                generate_requests(cfg.seed, client, cfg.requests_per_client),
+                "batch == 0 must reproduce the PR-6 lines byte-for-byte"
+            );
+        }
+        let batched = LoadConfig {
+            batch: 8,
+            ..LoadConfig::default()
+        };
+        assert_ne!(mix_digest(&cfg), mix_digest(&batched));
+    }
+
+    #[test]
+    fn batched_load_run_is_clean_on_a_small_pool() {
+        let cfg = LoadConfig {
+            clients: 3,
+            requests_per_client: 16,
+            seed: 42,
+            reps: 3,
+            batch: 8,
+            workers: 2,
+            queue_depth: 4,
+        };
+        let report = run_load(&cfg).unwrap();
+        assert_eq!(report.requests, 48);
+        assert_eq!(report.errors, 0, "batched mix stays inside the warmed view");
+        assert_eq!(report.cache_misses, WARMED_MODELS);
+        assert_eq!(report.workers, 2);
+        assert_eq!(report.mix_digest, mix_digest(&cfg));
+    }
+
+    #[test]
     fn small_load_run_is_clean_and_cache_hot() {
         let cfg = LoadConfig {
             clients: 2,
             requests_per_client: 8,
             seed: 42,
             reps: 3,
+            ..LoadConfig::default()
         };
         let report = run_load(&cfg).unwrap();
         assert_eq!(report.requests, 16);

@@ -21,13 +21,20 @@ const DEFAULT_ADDR: &str = "127.0.0.1:7171";
 /// writes the actually-bound address (useful with `--addr host:0`);
 /// `--flight-recorder-size N` bounds the post-mortem event ring dumped
 /// by the `dump` op; `--max-connections N` refuses connections over the
-/// limit with a typed overload reply (0 = unlimited, the default).
+/// limit with a typed overload reply (0 = unlimited, the default);
+/// `--workers N` sizes the worker pool multiplexing connections (0 =
+/// `min(cores, 8)`, the default) and `--queue-depth N` caps the
+/// registered connections per worker (0 = 128, the default) — past
+/// `workers x queue-depth` live connections the server answers with the
+/// same typed overload reply instead of growing threads.
 pub(crate) fn cmd_serve(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, String> {
     let addr = opts.get("addr").unwrap_or(DEFAULT_ADDR).to_string();
     let reps: u32 = opts.num("reps", 100)?;
     let threshold: f64 = opts.num("drift-threshold", numa_serve::DEFAULT_DRIFT_THRESHOLD)?;
     let flight: usize = opts.num("flight-recorder-size", numa_obs::DEFAULT_FLIGHT_CAPACITY)?;
     let max_connections: usize = opts.num("max-connections", 0)?;
+    let workers: usize = opts.num("workers", 0)?;
+    let queue_depth: usize = opts.num("queue-depth", 0)?;
     let platform = backend::platform_for(opts)?;
     let label = numio_core::Platform::label(&platform);
     let service = Arc::new(
@@ -37,16 +44,26 @@ pub(crate) fn cmd_serve(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, Stri
             .with_flight_capacity(flight)
             .with_obs(obs),
     );
-    let server =
-        numa_serve::spawn_with(service, &addr, numa_serve::ServeConfig { max_connections })
-            .map_err(|e| format!("serve: {e}"))?;
+    let server = numa_serve::spawn_with(
+        service,
+        &addr,
+        numa_serve::ServeConfig {
+            max_connections,
+            workers,
+            queue_depth,
+        },
+    )
+    .map_err(|e| format!("serve: {e}"))?;
     let bound = server.addr();
+    let pool = server.workers();
     if let Some(path) = opts.get("port-file") {
         std::fs::write(path, bound.to_string()).map_err(|e| format!("--port-file {path}: {e}"))?;
     }
     // Announce before blocking so a foreground user sees liveness; the
     // final summary only prints after shutdown.
-    println!("iomodel serve: listening on {bound} (backend {label}, reps {reps})");
+    println!(
+        "iomodel serve: listening on {bound} (backend {label}, reps {reps}, {pool} workers)"
+    );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     server.join();
@@ -61,14 +78,19 @@ pub(crate) fn cmd_serve(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, Stri
 /// reply a cache hit, and a hit count ≥ 1 in `stats`. `--stats` renders
 /// a one-shot health view (requests, errors, cache counters, latency
 /// percentiles); `--dump` prints the server's flight-recorder events
-/// (or the frozen incident snapshot). `--shutdown` stops the server
-/// afterwards.
+/// (or the frozen incident snapshot); `--batch N` sends one
+/// `predict_batch` of N deterministic mixes and gates it bit-exactly
+/// against the same N mixes as sequential predicts. `--shutdown` stops
+/// the server afterwards.
 pub(crate) fn cmd_client(opts: &Opts) -> Result<String, String> {
     let addr = opts.get("addr").unwrap_or(DEFAULT_ADDR);
+    let batch: usize = opts.num("batch", 0)?;
     let mut client = connect_with_retry(addr)?;
     let mut out = String::new();
     if opts.flag("check") {
         run_check(&mut client, &mut out)?;
+    } else if batch > 0 {
+        run_batch(&mut client, batch, &mut out)?;
     } else if opts.flag("stats") || opts.flag("dump") {
         if opts.flag("stats") {
             render_health(&mut client, &mut out)?;
@@ -225,6 +247,64 @@ fn run_check(client: &mut Client, out: &mut String) -> Result<(), String> {
         other => return Err(format!("stats show no cache hit: {other:?}")),
     }
     let _ = writeln!(out, "serve check OK");
+    Ok(())
+}
+
+/// `--batch N`: one `predict_batch` of N deterministic mixes answered in
+/// a single round trip, gated bit-exactly against the same N mixes as
+/// sequential `predict`s — the wire-level proof that batching changes
+/// throughput, never answers.
+fn run_batch(client: &mut Client, n: usize, out: &mut String) -> Result<(), String> {
+    let mut state = 0x00c0_ffee_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mixes: Vec<Vec<(u16, u32)>> = (0..n)
+        .map(|_| {
+            let entries = 1 + (next() % 3) as usize;
+            let mut mix: Vec<(u16, u32)> = (0..entries)
+                .map(|_| ((next() % 8) as u16, 1 + (next() % 4) as u32))
+                .collect();
+            mix.sort();
+            mix.dedup_by_key(|e| e.0);
+            mix
+        })
+        .collect();
+    let mode = numa_serve::WireMode::Write;
+    let batched = client
+        .predict_batch(7, mode, &mixes)
+        .map_err(|e| e.to_string())?;
+    if batched.len() != n {
+        return Err(format!(
+            "predict_batch answered {} mixes, sent {n}",
+            batched.len()
+        ));
+    }
+    for (i, mix) in mixes.iter().enumerate() {
+        let req = Request::Predict {
+            target: 7,
+            mode,
+            mix: mix.clone(),
+        };
+        match client.call(&req).map_err(|e| e.to_string())? {
+            Response::Predict { predicted_gbps, .. } => {
+                if predicted_gbps.to_bits() != batched[i].to_bits() {
+                    return Err(format!(
+                        "mix {i}: batch said {} Gbit/s, sequential said {} — must be bit-identical",
+                        batched[i], predicted_gbps
+                    ));
+                }
+            }
+            other => return Err(format!("sequential predict {i} failed: {other:?}")),
+        }
+    }
+    let _ = writeln!(
+        out,
+        "predict_batch OK: {n} mixes in one round trip, bit-identical to sequential predicts"
+    );
     Ok(())
 }
 

@@ -22,7 +22,8 @@
 //! iomodel faults      run --plan plan.json
 //! iomodel serve       [--addr host:port] [--reps N] [--drift-threshold F] [--port-file p]
 //!                     [--flight-recorder-size N] [--max-connections N]
-//! iomodel client      [--addr host:port] [--check] [--stats] [--dump] [--shutdown]
+//!                     [--workers N] [--queue-depth N]
+//! iomodel client      [--addr host:port] [--check] [--stats] [--dump] [--batch N] [--shutdown]
 //! ```
 //!
 //! Every subcommand accepts the global measurement-backend flag:
@@ -175,8 +176,8 @@ fn usage() -> String {
      run:    iomodel run --jobfile job.fio [--faults plan.json]\n\
      record: iomodel record --out fixture.jsonl [--target N] [--mode write|read]\n\
      serve:  iomodel serve [--addr host:port] [--reps N] [--drift-threshold F] [--port-file p]\n\
-             [--flight-recorder-size N] [--max-connections N]\n\
-     client: iomodel client [--addr host:port] [--check] [--stats] [--dump] [--shutdown]\n\
+             [--flight-recorder-size N] [--max-connections N] [--workers N] [--queue-depth N]\n\
+     client: iomodel client [--addr host:port] [--check] [--stats] [--dump] [--batch N] [--shutdown]\n\
      global flags: --backend sim|host[:N]|replay:<file> (measurement backend, default sim)\n\
                    --trace <path> (JSONL events)  --metrics <path> (Prometheus snapshot)  --profile (wall-clock spans)\n\
      run `iomodel help` for the full option list (see crate docs)"
@@ -809,6 +810,10 @@ mod tests {
                     "127.0.0.1:0",
                     "--reps",
                     "2",
+                    "--workers",
+                    "2",
+                    "--queue-depth",
+                    "8",
                     "--port-file",
                     &pf,
                 ])
@@ -830,6 +835,9 @@ mod tests {
         assert!(out.contains("Table IV"), "{out}");
         assert!(out.contains("cache hit"), "{out}");
         assert!(out.contains("serve check OK"), "{out}");
+        // One predict_batch round trip, gated against sequential predicts.
+        let out = run_str(&["client", "--addr", &addr, "--batch", "32"]).unwrap();
+        assert!(out.contains("predict_batch OK: 32 mixes"), "{out}");
         // One-shot health view + flight-recorder dump, then shut down.
         let out = run_str(&["client", "--addr", &addr, "--stats", "--dump", "--shutdown"]).unwrap();
         assert!(out.contains("requests"), "{out}");

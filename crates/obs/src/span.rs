@@ -74,6 +74,13 @@ pub mod buckets {
         1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
         2.5e-1, 5e-1, 1.0, 2.5,
     ];
+
+    /// Batch-request sizes (mixes per `predict_batch`), roughly powers of
+    /// four: singleton "batches" sit in the first bucket, the bench's
+    /// 4096-mix batches near the top.
+    pub const BATCH_SIZE: &[f64] = &[
+        1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0,
+    ];
 }
 
 #[cfg(test)]

@@ -20,12 +20,12 @@
 //! full [`Atlas`] is assembled only when asked for, then cached too.
 
 use crate::error::ServeError;
+use crate::fast_hash::FxHashMap;
 use numa_faults::{degraded_backend, FaultKind};
-use numa_obs::Obs;
+use numa_obs::{Counter, Obs};
 use numa_topology::{NodeId, Topology};
 use numio_core::{recharacterize_and_diff, Atlas, IoModeler, IoPerfModel, Platform, TransferMode};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -132,7 +132,7 @@ pub enum DriftOutcome {
 /// asked for (so repeated `atlas` requests share one `Arc`).
 #[derive(Default)]
 struct ViewEntry {
-    models: HashMap<(u16, TransferMode), Arc<IoPerfModel>>,
+    models: FxHashMap<(u16, TransferMode), Arc<IoPerfModel>>,
     full: Option<Arc<Atlas>>,
 }
 
@@ -155,29 +155,51 @@ impl ViewEntry {
 /// Reads take a shared lock; the cold path characterizes while holding the
 /// write lock, so concurrent first requests for one model pay exactly one
 /// characterization and the miss counter increments exactly once.
+///
+/// Both maps (view keys and per-view model slots) use the crate's
+/// [`FxHashMap`](crate::fast_hash::FxHashMap): keys are server-derived,
+/// never attacker-controlled, and every request hashes them at least once,
+/// so SipHash overhead is pure hot-path tax. The `numio_serve_cache_*`
+/// counter handles are resolved once (registry lookup is a lock + hash)
+/// and reused from then on.
 pub struct CharacterizationCache {
-    entries: RwLock<HashMap<CacheKey, ViewEntry>>,
+    entries: RwLock<FxHashMap<CacheKey, ViewEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
     obs: Obs,
+    hits_counter: Counter,
+    misses_counter: Counter,
+    invalidations_counter: Counter,
 }
 
 impl CharacterizationCache {
     /// Empty cache with a private obs handle.
     pub fn new() -> Self {
+        let obs = Obs::new();
+        let hits_counter = obs.counter("numio_serve_cache_hits_total", &[]);
+        let misses_counter = obs.counter("numio_serve_cache_misses_total", &[]);
+        let invalidations_counter = obs.counter("numio_serve_cache_invalidations_total", &[]);
         CharacterizationCache {
-            entries: RwLock::new(HashMap::new()),
+            entries: RwLock::new(FxHashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
-            obs: Obs::new(),
+            obs,
+            hits_counter,
+            misses_counter,
+            invalidations_counter,
         }
     }
 
     /// Share an obs pipeline (events + `numio_serve_cache_*` counters).
     pub fn with_obs(mut self, obs: &Obs) -> Self {
         self.obs = obs.clone();
+        self.hits_counter = self.obs.counter("numio_serve_cache_hits_total", &[]);
+        self.misses_counter = self.obs.counter("numio_serve_cache_misses_total", &[]);
+        self.invalidations_counter = self
+            .obs
+            .counter("numio_serve_cache_invalidations_total", &[]);
         self
     }
 
@@ -199,6 +221,33 @@ impl CharacterizationCache {
             topology_hash,
             fault_hash: fault_view_hash(faults)?,
         })
+    }
+
+    /// The warm-path lookup: serve the `(target, mode)` model cached under
+    /// a **precomputed** view key, or `None` without counting anything.
+    ///
+    /// This is the zero-allocation fast path the request loop tries first:
+    /// one shared-lock acquisition, two Fx-hash map probes, no key
+    /// re-derivation (no topology serialization), no event emission, and no
+    /// stage span. A hit still counts in the `hits` atomic and the
+    /// `numio_serve_cache_hits_total` counter, so stats and Prometheus
+    /// series stay consistent with the slow path; a miss counts nothing —
+    /// the caller falls back to [`get_or_model`](Self::get_or_model), which
+    /// does the full traced cold path (and its own hit/miss accounting).
+    pub fn peek_model(
+        &self,
+        key: &CacheKey,
+        target: NodeId,
+        mode: TransferMode,
+    ) -> Option<Arc<IoPerfModel>> {
+        let model = self
+            .read_entries()
+            .get(key)
+            .and_then(|e| e.models.get(&(target.0, mode)))
+            .map(Arc::clone)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits_counter.inc();
+        Some(model)
     }
 
     /// Serve the `(target, mode)` model for `(platform, fault view)`,
@@ -341,9 +390,7 @@ impl CharacterizationCache {
         let removed = self.write_entries().remove(key).is_some();
         if removed {
             self.invalidations.fetch_add(1, Ordering::Relaxed);
-            self.obs
-                .counter("numio_serve_cache_invalidations_total", &[])
-                .inc();
+            self.invalidations_counter.inc();
             self.emit("cache_invalidate", key);
         }
         removed
@@ -424,15 +471,13 @@ impl CharacterizationCache {
 
     fn count_hit(&self, key: &CacheKey) {
         self.hits.fetch_add(1, Ordering::Relaxed);
-        self.obs.counter("numio_serve_cache_hits_total", &[]).inc();
+        self.hits_counter.inc();
         self.emit("cache_hit", key);
     }
 
     fn count_miss(&self, key: &CacheKey) {
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.obs
-            .counter("numio_serve_cache_misses_total", &[])
-            .inc();
+        self.misses_counter.inc();
         self.emit("cache_miss", key);
     }
 
@@ -449,11 +494,11 @@ impl CharacterizationCache {
         );
     }
 
-    fn read_entries(&self) -> std::sync::RwLockReadGuard<'_, HashMap<CacheKey, ViewEntry>> {
+    fn read_entries(&self) -> std::sync::RwLockReadGuard<'_, FxHashMap<CacheKey, ViewEntry>> {
         self.entries.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn write_entries(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<CacheKey, ViewEntry>> {
+    fn write_entries(&self) -> std::sync::RwLockWriteGuard<'_, FxHashMap<CacheKey, ViewEntry>> {
         self.entries.write().unwrap_or_else(|e| e.into_inner())
     }
 }
@@ -647,6 +692,35 @@ mod tests {
                 .unwrap()
                 .hit
         );
+    }
+
+    #[test]
+    fn peek_serves_warm_models_without_rekeying_and_counts_hits() {
+        let obs = Obs::new();
+        let cache = CharacterizationCache::new().with_obs(&obs);
+        let p = SimPlatform::dl585();
+        let key = cache.key_for(&p, &[]).unwrap();
+        // Cold: nothing cached — peek counts neither a hit nor a miss.
+        assert!(cache
+            .peek_model(&key, NodeId(7), TransferMode::Write)
+            .is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+
+        let cold = cache
+            .get_or_model(&p, &modeler(), &[], NodeId(7), TransferMode::Write)
+            .unwrap();
+        let warm = cache
+            .peek_model(&key, NodeId(7), TransferMode::Write)
+            .unwrap();
+        assert!(Arc::ptr_eq(&cold.model, &warm));
+        // A different slot under the same key is still cold to peek.
+        assert!(cache
+            .peek_model(&key, NodeId(7), TransferMode::Read)
+            .is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(obs.counter("numio_serve_cache_hits_total", &[]).get(), 1);
     }
 
     #[test]

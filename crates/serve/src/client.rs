@@ -1,42 +1,112 @@
-//! A minimal blocking JSONL client — what `iomodel client` and the smoke
-//! tests drive the server with.
+//! A blocking JSONL client — what `iomodel client`, the load generator,
+//! and the smoke tests drive the server with.
+//!
+//! The client is **pipelining-safe**: [`Client::send`] queues a request
+//! without reading, [`Client::recv`] flushes and reads one reply, and the
+//! server guarantees replies come back in request order — so
+//! [`Client::call_batch`] writes a whole burst before reading anything,
+//! turning N round trips into one.
 
 use crate::error::ServeError;
-use crate::proto::{self, Request, Response};
-use std::io::{BufRead, BufReader, Write};
+use crate::proto::{self, Request, Response, WireMode};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
 /// One connection to a running server.
 pub struct Client {
     reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    writer: BufWriter<TcpStream>,
 }
 
 impl Client {
     /// Connect to `host:port`.
     pub fn connect(addr: &str) -> Result<Self, ServeError> {
         let stream = TcpStream::connect(addr)?;
-        let writer = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(stream), writer })
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
     }
 
     /// Send one request, wait for its reply.
     pub fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
-        let line = self.call_raw(&proto::encode(req)?)?;
-        proto::decode_response(&line)
+        self.send(req)?;
+        self.recv()
     }
 
     /// Send one raw line, return the raw reply line (without the newline).
     /// Bit-identity tests compare these lines directly.
     pub fn call_raw(&mut self, line: &str) -> Result<String, ServeError> {
+        self.send_raw(line)?;
+        self.recv_raw()
+    }
+
+    /// Queue one request without waiting for its reply (pipelining). The
+    /// write is buffered; [`Client::recv`] flushes before reading, so a
+    /// send-send-recv-recv sequence puts both requests on the wire in one
+    /// segment.
+    pub fn send(&mut self, req: &Request) -> Result<(), ServeError> {
+        self.send_raw(&proto::encode(req)?)
+    }
+
+    /// Queue one raw request line without waiting for its reply.
+    pub fn send_raw(&mut self, line: &str) -> Result<(), ServeError> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Read the next reply (flushing queued requests first). Replies
+    /// arrive in request order.
+    pub fn recv(&mut self) -> Result<Response, ServeError> {
+        let line = self.recv_raw()?;
+        proto::decode_response(&line)
+    }
+
+    /// Read the next raw reply line (without the newline), flushing queued
+    /// requests first.
+    pub fn recv_raw(&mut self) -> Result<String, ServeError> {
         self.writer.flush()?;
         let mut reply = String::new();
         let n = self.reader.read_line(&mut reply)?;
         if n == 0 {
-            return Err(ServeError::Io { reason: "server closed the connection".into() });
+            return Err(ServeError::Io {
+                reason: "server closed the connection".into(),
+            });
         }
         Ok(reply.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    /// Pipeline a burst: write every request, then read every reply. The
+    /// i-th reply answers the i-th request.
+    pub fn call_batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, ServeError> {
+        for req in reqs {
+            self.send(req)?;
+        }
+        reqs.iter().map(|_| self.recv()).collect()
+    }
+
+    /// Evaluate many Eq. 1 mixes against one `(target, mode)` model in a
+    /// single `predict_batch` round trip. `predicted[i]` is bit-identical
+    /// to a sequential `predict` of `mixes[i]`. A server-side `error`
+    /// reply surfaces as [`ServeError::Remote`].
+    pub fn predict_batch(
+        &mut self,
+        target: u16,
+        mode: WireMode,
+        mixes: &[Vec<(u16, u32)>],
+    ) -> Result<Vec<f64>, ServeError> {
+        match self.call(&Request::PredictBatch {
+            target,
+            mode,
+            mixes: mixes.to_vec(),
+        })? {
+            Response::PredictBatch { predicted_gbps, .. } => Ok(predicted_gbps),
+            Response::Error { message } => Err(ServeError::Remote { message }),
+            other => Err(ServeError::Protocol {
+                reason: format!("unexpected reply to predict_batch: {other:?}"),
+            }),
+        }
     }
 }

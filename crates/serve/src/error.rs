@@ -52,6 +52,13 @@ pub enum ServeError {
         /// The configured connection limit.
         limit: usize,
     },
+    /// The server answered a typed helper call (e.g.
+    /// [`Client::predict_batch`](crate::Client::predict_batch)) with an
+    /// `error` reply instead of the expected response.
+    Remote {
+        /// The server's error message, verbatim.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -80,6 +87,7 @@ impl fmt::Display for ServeError {
                     "overloaded: connection limit {limit} reached, try again later"
                 )
             }
+            ServeError::Remote { message } => write!(f, "server error: {message}"),
         }
     }
 }
@@ -155,6 +163,10 @@ mod tests {
         assert!(matches!(e, ServeError::Platform(PlatformError::ZeroReps)));
         let e = ServeError::Overloaded { limit: 4 };
         assert!(e.to_string().contains("connection limit 4"));
+        let e = ServeError::Remote {
+            message: "bad request: empty mix".into(),
+        };
+        assert!(e.to_string().contains("server error: bad request"));
     }
 
     #[test]

@@ -20,15 +20,32 @@
 //!   invalidation is *targeted* (one key) on drift past a threshold or a
 //!   fault-view swap.
 //! * [`ModelService`] — the request handler; never panics, shares one
-//!   `Arc` across every worker thread. Every request mints a request id,
-//!   emits an `accept → service → cache → characterize` trace-span tree
-//!   (deterministic, see `numa_obs::trace`), lands its wall-clock latency
+//!   `Arc` across every worker thread. Cold requests mint a request id,
+//!   emit an `accept → service → cache → characterize` trace-span tree
+//!   (deterministic, see `numa_obs::trace`), land their wall-clock latency
 //!   in the `numio_serve_request_seconds{op,backend,outcome}` histogram
-//!   family, and is appended to a bounded flight recorder dumped by the
+//!   family, and append to a bounded flight recorder dumped by the
 //!   `dump` op (or frozen as an incident on error replies and overload).
-//! * [`spawn`] / [`spawn_with`] / [`ServerHandle`] — thread-per-connection
-//!   TCP server, optionally capped via [`ServeConfig::max_connections`].
-//! * [`Client`] — blocking JSONL client for smoke tests and the CLI.
+//!   Warm `predict`/`classify` requests take a raw-speed path: the fault
+//!   view's cache key is precomputed (no per-request topology rehash),
+//!   the model comes from a single shared-lock
+//!   [`CharacterizationCache::peek_model`], Eq. 1 runs straight off the
+//!   wire pairs without a `WorkloadMix` allocation, and metric handles
+//!   are pre-resolved — while hit counters stay exact.
+//! * [`spawn`] / [`spawn_with`] / [`ServerHandle`] — sharded worker-pool
+//!   TCP server: an accept loop distributes connections across
+//!   [`ServeConfig::workers`] workers (default `min(cores, 8)`), each
+//!   multiplexing up to [`ServeConfig::queue_depth`] connections with
+//!   nonblocking reads, so concurrent clients no longer map 1:1 onto OS
+//!   threads. Requests pipeline per connection (replies in request
+//!   order); overflow — past `queue_depth × workers` or
+//!   [`ServeConfig::max_connections`] **live** connections — gets a typed
+//!   [`ServeError::Overloaded`] reply, never unbounded thread growth.
+//! * [`Client`] — blocking JSONL client; pipelining-safe
+//!   ([`Client::send`]/[`Client::recv`]/[`Client::call_batch`]) with a
+//!   [`Client::predict_batch`] helper for the `predict_batch` op, which
+//!   resolves the cached view once and evaluates thousands of Eq. 1
+//!   mixes bit-identically to sequential predicts.
 //! * [`Request`] / [`Response`] — the wire vocabulary.
 //!
 //! ## Quickstart
@@ -59,6 +76,7 @@
 pub mod cache;
 pub mod client;
 pub mod error;
+pub mod fast_hash;
 pub mod proto;
 pub mod server;
 pub mod service;
@@ -69,8 +87,12 @@ pub use cache::{
 };
 pub use client::Client;
 pub use error::ServeError;
+pub use fast_hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use proto::{
     decode_request, decode_response, encode, LatencySummary, Request, Response, WireMode,
 };
 pub use server::{spawn, spawn_with, ServeConfig, ServerHandle};
-pub use service::{ModelService, DEFAULT_DRIFT_THRESHOLD, SERVE_SECONDS_METRIC};
+pub use service::{
+    write_response, ModelService, BATCH_SIZE_METRIC, DEFAULT_DRIFT_THRESHOLD,
+    SERVE_SECONDS_METRIC,
+};

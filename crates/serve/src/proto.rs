@@ -79,6 +79,21 @@ pub enum Request {
         /// `(node, access count)` pairs.
         mix: Vec<(u16, u32)>,
     },
+    /// Eq. 1 predictions for many mixes against **one** `(target, mode)`
+    /// model, resolved from the cache once. The batch analogue of
+    /// [`Request::Predict`]: result `i` is bit-identical to a sequential
+    /// `predict` of `mixes[i]`, but the per-request overhead (wire round
+    /// trip, cache lookup, span, latency sample) is paid once per batch.
+    PredictBatch {
+        /// Device node whose model to predict against (default 7).
+        #[serde(default = "default_target")]
+        target: u16,
+        /// Direction (default write).
+        #[serde(default)]
+        mode: WireMode,
+        /// One `(node, access count)` mix per prediction.
+        mixes: Vec<Vec<(u16, u32)>>,
+    },
     /// Performance class of one node in the `target` model.
     Classify {
         /// The node to classify.
@@ -128,6 +143,7 @@ impl Request {
     pub fn op(&self) -> &'static str {
         match self {
             Request::Predict { .. } => "predict",
+            Request::PredictBatch { .. } => "predict_batch",
             Request::Classify { .. } => "classify",
             Request::Place { .. } => "place",
             Request::Atlas => "atlas",
@@ -171,6 +187,18 @@ pub enum Response {
     Predict {
         /// Predicted aggregate bandwidth, Gbit/s.
         predicted_gbps: f64,
+        /// Echo of the device node.
+        target: u16,
+        /// Echo of the direction.
+        mode: WireMode,
+        /// Served from the characterization cache?
+        cached: bool,
+    },
+    /// Eq. 1 predictions for a whole batch, in mix order.
+    PredictBatch {
+        /// `predicted_gbps[i]` answers `mixes[i]`, bit-identical to a
+        /// sequential `predict` of that mix.
+        predicted_gbps: Vec<f64>,
         /// Echo of the device node.
         target: u16,
         /// Echo of the direction.
@@ -285,6 +313,11 @@ mod tests {
                 mode: WireMode::Read,
                 mix: vec![(2, 2), (0, 2)],
             },
+            Request::PredictBatch {
+                target: 7,
+                mode: WireMode::Write,
+                mixes: vec![vec![(2, 2), (0, 2)], vec![(6, 1)]],
+            },
             Request::Classify {
                 node: 2,
                 target: 7,
@@ -320,6 +353,15 @@ mod tests {
                 target: 7,
                 mode: WireMode::Write,
                 mix: vec![(0, 1)]
+            }
+        );
+        let req = decode_request(r#"{"op":"predict_batch","mixes":[[[0,1]],[[2,1],[3,2]]]}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::PredictBatch {
+                target: 7,
+                mode: WireMode::Write,
+                mixes: vec![vec![(0, 1)], vec![(2, 1), (3, 2)]]
             }
         );
         let req = decode_request(r#"{"op":"classify","node":3}"#).unwrap();
@@ -372,6 +414,15 @@ mod tests {
     fn op_labels_are_stable() {
         assert_eq!(Request::Atlas.op(), "atlas");
         assert_eq!(Request::Dump.op(), "dump");
+        assert_eq!(
+            Request::PredictBatch {
+                target: 7,
+                mode: WireMode::Write,
+                mixes: vec![]
+            }
+            .op(),
+            "predict_batch"
+        );
         assert_eq!(
             Request::SetFaults {
                 plan: FaultPlan::demo(1)

@@ -2,19 +2,19 @@
 //! worker threads, answering every protocol op from the characterization
 //! cache.
 
-use crate::cache::{CacheLookup, CharacterizationCache, DriftOutcome, ModelLookup};
+use crate::cache::{CacheKey, CacheLookup, CharacterizationCache, DriftOutcome, ModelLookup};
 use crate::error::ServeError;
 use crate::proto::{self, LatencySummary, Request, Response, WireMode};
 use numa_faults::{FaultKind, FaultPlan};
 use numa_fio::Workload;
 use numa_iodev::NicOp;
-use numa_obs::{buckets, FlightRecorder, Histogram, Obs};
+use numa_obs::{buckets, Counter, FlightRecorder, Histogram, Obs};
 use numa_sched::policy::{ActiveView, SchedContext};
 use numa_sched::{ClassRanked, IoTask, Policy, TaskId};
 use numa_topology::NodeId;
-use numio_core::{predict_for_mix, IoModeler, IoPerfModel, Platform, TransferMode, WorkloadMix};
+use numio_core::{IoModeler, IoPerfModel, Platform, TransferMode};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// Default drift tolerance before a cached key is evicted (10%, roughly
 /// three times the paper's reported Eq. 1 prediction error).
@@ -23,6 +23,62 @@ pub const DEFAULT_DRIFT_THRESHOLD: f64 = 0.10;
 /// Histogram family every request's wall-clock latency lands in, labelled
 /// `{op, backend, outcome}`.
 pub const SERVE_SECONDS_METRIC: &str = "numio_serve_request_seconds";
+
+/// Histogram family recording how many mixes each `predict_batch` request
+/// carried, labelled `{backend}`.
+pub const BATCH_SIZE_METRIC: &str = "numio_serve_batch_size";
+
+/// The active fault view plus its **precomputed** cache key. Deriving the
+/// key costs a full topology serialization + FNV pass, which used to run
+/// once per request; the view only changes on `set_faults`/`clear_faults`,
+/// so the key is derived once per swap instead. `None` means derivation
+/// failed — the per-request path then falls back to deriving it again (and
+/// surfaces the typed error).
+struct FaultState {
+    kinds: Vec<FaultKind>,
+    key: Option<CacheKey>,
+}
+
+/// Pre-resolved metric handles for the ops that dominate a warmed-up
+/// server. A registry lookup is a shard lock + label sort per call; the
+/// hot loop pays it once here (and once more per `with_obs` swap) instead
+/// of once per request. Cold ops keep the lazy per-call lookup.
+struct HotMetrics {
+    predict_requests: Counter,
+    predict_ok_seconds: Histogram,
+    batch_requests: Counter,
+    batch_ok_seconds: Histogram,
+    batch_size: Histogram,
+    classify_requests: Counter,
+    classify_ok_seconds: Histogram,
+}
+
+impl HotMetrics {
+    fn resolve(obs: &Obs, backend: &str) -> Self {
+        let counter =
+            |op| obs.counter("numio_serve_requests_total", &[("op", op), ("backend", backend)]);
+        let ok_seconds = |op| {
+            obs.histogram(
+                SERVE_SECONDS_METRIC,
+                &[("op", op), ("backend", backend), ("outcome", "ok")],
+                buckets::SERVE_SECONDS,
+            )
+        };
+        HotMetrics {
+            predict_requests: counter("predict"),
+            predict_ok_seconds: ok_seconds("predict"),
+            batch_requests: counter("predict_batch"),
+            batch_ok_seconds: ok_seconds("predict_batch"),
+            batch_size: obs.histogram(
+                BATCH_SIZE_METRIC,
+                &[("backend", backend)],
+                buckets::BATCH_SIZE,
+            ),
+            classify_requests: counter("classify"),
+            classify_ok_seconds: ok_seconds("classify"),
+        }
+    }
+}
 
 /// A long-lived prediction service over one backend.
 ///
@@ -33,7 +89,7 @@ pub struct ModelService<P: Platform> {
     platform: P,
     modeler: IoModeler,
     cache: CharacterizationCache,
-    faults: RwLock<Vec<FaultKind>>,
+    faults: RwLock<FaultState>,
     drift_threshold: f64,
     requests: AtomicU64,
     invalid: AtomicU64,
@@ -43,24 +99,33 @@ pub struct ModelService<P: Platform> {
     latency: Histogram,
     flight: FlightRecorder,
     obs: Obs,
+    hot: HotMetrics,
 }
 
 impl<P: Platform> ModelService<P> {
     /// Serve `platform` with the default modeler (the same probe plan
     /// `iomodel record` captures, so replay fixtures line up).
     pub fn new(platform: P) -> Self {
+        let cache = CharacterizationCache::new();
+        let key = cache.key_for(&platform, &[]).ok();
+        let obs = Obs::new();
+        let hot = HotMetrics::resolve(&obs, platform.backend_kind());
         ModelService {
-            platform,
             modeler: IoModeler::new(),
-            cache: CharacterizationCache::new(),
-            faults: RwLock::new(Vec::new()),
+            cache,
+            faults: RwLock::new(FaultState {
+                kinds: Vec::new(),
+                key,
+            }),
             drift_threshold: DEFAULT_DRIFT_THRESHOLD,
             requests: AtomicU64::new(0),
             invalid: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             latency: Histogram::with_buckets(buckets::SERVE_SECONDS),
             flight: FlightRecorder::default(),
-            obs: Obs::new(),
+            obs,
+            hot,
+            platform,
         }
     }
 
@@ -87,6 +152,7 @@ impl<P: Platform> ModelService<P> {
     pub fn with_obs(mut self, obs: &Obs) -> Self {
         self.obs = obs.clone();
         self.cache = std::mem::take(&mut self.cache).with_obs(obs);
+        self.hot = HotMetrics::resolve(&self.obs, self.platform.backend_kind());
         self
     }
 
@@ -145,7 +211,7 @@ impl<P: Platform> ModelService<P> {
 
     /// The fault kinds currently applied to answers.
     pub fn fault_view(&self) -> Vec<FaultKind> {
-        self.read_faults().clone()
+        self.read_faults().kinds.clone()
     }
 
     /// Serve the full atlas for the current fault view (cold path
@@ -179,6 +245,33 @@ impl<P: Platform> ModelService<P> {
         )
     }
 
+    /// The warm-request model lookup: try the precomputed-view-key
+    /// [`CharacterizationCache::peek_model`] first (no topology rehash, no
+    /// stage span, no event — one shared-lock read), fall back to the
+    /// fully traced [`Self::model_view`] cold path. Returns
+    /// `(model, cached)`.
+    fn model_fast(&self, target: u16, mode: WireMode) -> Result<(Arc<IoPerfModel>, bool), ServeError> {
+        let nodes = self.platform.num_nodes() as u16;
+        if target >= nodes {
+            return Err(ServeError::BadRequest {
+                reason: format!("target {target} out of range (backend has {nodes} nodes)"),
+            });
+        }
+        {
+            let state = self.read_faults();
+            if let Some(key) = &state.key {
+                if let Some(model) =
+                    self.cache
+                        .peek_model(key, NodeId(target), TransferMode::from(mode))
+                {
+                    return Ok((model, true));
+                }
+            }
+        }
+        let lookup = self.model_view(target, mode)?;
+        Ok((lookup.model, lookup.hit))
+    }
+
     /// Arm a fault plan: answers now reflect the degraded view. The *old*
     /// view's cache key is invalidated — targeted, never a full flush.
     /// Returns `(active fault kinds, whether a key was evicted)`.
@@ -193,14 +286,26 @@ impl<P: Platform> ModelService<P> {
     }
 
     fn swap_fault_view(&self, new: Vec<FaultKind>) -> Result<(usize, bool), ServeError> {
+        let new_key = self.cache.key_for(&self.platform, &new).ok();
         let old = {
             let mut guard = self.write_faults();
-            if *guard == new {
+            if guard.kinds == new {
                 return Ok((new.len(), false));
             }
-            std::mem::replace(&mut *guard, new.clone())
+            std::mem::replace(
+                &mut *guard,
+                FaultState {
+                    kinds: new.clone(),
+                    key: new_key,
+                },
+            )
         };
-        let old_key = self.cache.key_for(&self.platform, &old)?;
+        // The old view's key was precomputed at the previous swap; only a
+        // failed derivation falls back to deriving (and erroring) here.
+        let old_key = match old.key {
+            Some(key) => key,
+            None => self.cache.key_for(&self.platform, &old.kinds)?,
+        };
         let invalidated = self.cache.invalidate(&old_key);
         Ok((new.len(), invalidated))
     }
@@ -230,6 +335,18 @@ impl<P: Platform> ModelService<P> {
             }
             Err(e) => (self.reject(conn, e), false),
         }
+    }
+
+    /// Answer one raw wire line straight into `out` (appending the reply
+    /// JSON plus the trailing newline). This is the worker loop's
+    /// zero-allocation framing path: the request is decoded from the
+    /// connection's read buffer slice and the reply is serialized into its
+    /// reusable write buffer — no intermediate `String` per line in either
+    /// direction. Returns the shutdown flag.
+    pub fn handle_line_into(&self, conn: u64, line: &str, out: &mut Vec<u8>) -> bool {
+        let (resp, shutdown) = self.handle_line(conn, line);
+        write_response(&resp, out);
+        shutdown
     }
 
     /// Reject input that never decoded into a request (a read error, a
@@ -344,27 +461,43 @@ impl<P: Platform> ModelService<P> {
     }
 
     fn count_op(&self, op: &str) {
-        self.obs
-            .counter(
-                "numio_serve_requests_total",
-                &[("op", op), ("backend", self.platform.backend_kind())],
-            )
-            .inc();
+        match op {
+            "predict" => self.hot.predict_requests.inc(),
+            "predict_batch" => self.hot.batch_requests.inc(),
+            "classify" => self.hot.classify_requests.inc(),
+            _ => self
+                .obs
+                .counter(
+                    "numio_serve_requests_total",
+                    &[("op", op), ("backend", self.platform.backend_kind())],
+                )
+                .inc(),
+        }
     }
 
     fn record_latency(&self, op: &str, outcome: &str, dur_s: f64) {
         self.latency.observe(dur_s);
-        self.obs
-            .histogram(
-                SERVE_SECONDS_METRIC,
-                &[
-                    ("op", op),
-                    ("backend", self.platform.backend_kind()),
-                    ("outcome", outcome),
-                ],
-                buckets::SERVE_SECONDS,
-            )
-            .observe(dur_s);
+        let hot = match (op, outcome) {
+            ("predict", "ok") => Some(&self.hot.predict_ok_seconds),
+            ("predict_batch", "ok") => Some(&self.hot.batch_ok_seconds),
+            ("classify", "ok") => Some(&self.hot.classify_ok_seconds),
+            _ => None,
+        };
+        match hot {
+            Some(h) => h.observe(dur_s),
+            None => self
+                .obs
+                .histogram(
+                    SERVE_SECONDS_METRIC,
+                    &[
+                        ("op", op),
+                        ("backend", self.platform.backend_kind()),
+                        ("outcome", outcome),
+                    ],
+                    buckets::SERVE_SECONDS,
+                )
+                .observe(dur_s),
+        }
     }
 
     fn dispatch(&self, req: &Request, seq: u64) -> Result<Response, ServeError> {
@@ -383,7 +516,7 @@ impl<P: Platform> ModelService<P> {
                     entries: s.entries,
                     series: self.obs.registry().len(),
                     backend: self.platform.label(),
-                    active_faults: self.read_faults().len(),
+                    active_faults: self.read_faults().kinds.len(),
                     latency: self.latency_summary(),
                 })
             }
@@ -405,18 +538,45 @@ impl<P: Platform> ModelService<P> {
                 })
             }
             Request::Predict { target, mode, mix } => {
-                let lookup = self.model_view(*target, *mode)?;
-                let wl = validated_mix(&lookup.model, mix)?;
+                let (model, cached) = self.model_fast(*target, *mode)?;
                 Ok(Response::Predict {
-                    predicted_gbps: predict_for_mix(&lookup.model, &wl),
+                    predicted_gbps: predict_pairs(&model, mix)?,
                     target: *target,
                     mode: *mode,
-                    cached: lookup.hit,
+                    cached,
+                })
+            }
+            Request::PredictBatch {
+                target,
+                mode,
+                mixes,
+            } => {
+                if mixes.is_empty() {
+                    return Err(ServeError::BadRequest {
+                        reason: "empty batch".into(),
+                    });
+                }
+                let (model, cached) = self.model_fast(*target, *mode)?;
+                self.hot.batch_size.observe(mixes.len() as f64);
+                let mut predicted = Vec::with_capacity(mixes.len());
+                for (i, mix) in mixes.iter().enumerate() {
+                    let p = predict_pairs(&model, mix).map_err(|e| match e {
+                        ServeError::BadRequest { reason } => ServeError::BadRequest {
+                            reason: format!("mix {i}: {reason}"),
+                        },
+                        other => other,
+                    })?;
+                    predicted.push(p);
+                }
+                Ok(Response::PredictBatch {
+                    predicted_gbps: predicted,
+                    target: *target,
+                    mode: *mode,
+                    cached,
                 })
             }
             Request::Classify { node, target, mode } => {
-                let lookup = self.model_view(*target, *mode)?;
-                let model = &lookup.model;
+                let (model, cached) = self.model_fast(*target, *mode)?;
                 let class =
                     model
                         .try_class_of(NodeId(*node))
@@ -430,7 +590,7 @@ impl<P: Platform> ModelService<P> {
                     classes: model.classes().len(),
                     class_nodes: c.nodes.iter().map(|n| n.0).collect(),
                     avg_gbps: c.avg_gbps,
-                    cached: lookup.hit,
+                    cached,
                 })
             }
             Request::Place {
@@ -446,9 +606,9 @@ impl<P: Platform> ModelService<P> {
                         reason: "place needs at least one task".into(),
                     });
                 }
-                let write = self.model_view(*target, WireMode::Write)?;
-                let read = self.model_view(*target, WireMode::Read)?;
-                let mut policy = ClassRanked::from_models(&write.model, &read.model);
+                let (write_model, write_hit) = self.model_fast(*target, WireMode::Write)?;
+                let (read_model, read_hit) = self.model_fast(*target, WireMode::Read)?;
+                let mut policy = ClassRanked::from_models(&write_model, &read_model);
                 let op = if *to_device {
                     NicOp::RdmaWrite
                 } else {
@@ -473,7 +633,7 @@ impl<P: Platform> ModelService<P> {
                 }
                 Ok(Response::Place {
                     nodes,
-                    cached: write.hit && read.hit,
+                    cached: write_hit && read_hit,
                 })
             }
             Request::SetFaults { plan } => {
@@ -493,13 +653,28 @@ impl<P: Platform> ModelService<P> {
         }
     }
 
-    fn read_faults(&self) -> std::sync::RwLockReadGuard<'_, Vec<FaultKind>> {
+    fn read_faults(&self) -> std::sync::RwLockReadGuard<'_, FaultState> {
         self.faults.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn write_faults(&self) -> std::sync::RwLockWriteGuard<'_, Vec<FaultKind>> {
+    fn write_faults(&self) -> std::sync::RwLockWriteGuard<'_, FaultState> {
         self.faults.write().unwrap_or_else(|e| e.into_inner())
     }
+}
+
+/// Serialize one reply into `out` as a JSONL line (terminated by `\n`).
+/// Serializing a well-formed [`Response`] cannot fail; the guard mirrors
+/// the transport's literal fallback anyway so a serializer bug becomes a
+/// typed error line instead of a dropped reply.
+pub fn write_response(resp: &Response, out: &mut Vec<u8>) {
+    let start = out.len();
+    if serde_json::to_writer(&mut *out, resp).is_err() {
+        out.truncate(start);
+        out.extend_from_slice(
+            br#"{"reply":"error","message":"internal: reply serialization failed"}"#,
+        );
+    }
+    out.push(b'\n');
 }
 
 /// Canonical order for a fault view: sorted by serialized form, deduped —
@@ -514,13 +689,19 @@ fn canonical_kinds(kinds: &[FaultKind]) -> Result<Vec<FaultKind>, ServeError> {
     Ok(tagged.into_iter().map(|(_, k)| k).collect())
 }
 
-fn validated_mix(model: &IoPerfModel, mix: &[(u16, u32)]) -> Result<WorkloadMix, ServeError> {
+/// Eq. 1 straight off the wire's `(node, count)` pairs — the same
+/// validation (and error messages) the `WorkloadMix` path used, without
+/// allocating a mix per request. The float-op order matches
+/// [`numio_core::predict_for_mix`] exactly — `total` summed first, then
+/// each entry adds `avg_gbps * count / total` in input order — so results
+/// are bit-identical to the allocating path (pinned by a test below).
+fn predict_pairs(model: &IoPerfModel, mix: &[(u16, u32)]) -> Result<f64, ServeError> {
     if mix.is_empty() {
         return Err(ServeError::BadRequest {
             reason: "empty mix".into(),
         });
     }
-    let mut wl = WorkloadMix::new();
+    let mut total: u32 = 0;
     for &(node, count) in mix {
         if count == 0 {
             return Err(ServeError::BadRequest {
@@ -532,9 +713,15 @@ fn validated_mix(model: &IoPerfModel, mix: &[(u16, u32)]) -> Result<WorkloadMix,
                 reason: format!("node {node} is not covered by the model"),
             });
         }
-        wl = wl.from_node(NodeId(node), count);
+        total = total.wrapping_add(count);
     }
-    Ok(wl)
+    let total = f64::from(total);
+    let mut sum = 0.0;
+    for &(node, count) in mix {
+        let class = &model.classes()[model.class_of(NodeId(node))];
+        sum += class.avg_gbps * f64::from(count) / total;
+    }
+    Ok(sum)
 }
 
 #[cfg(test)]
@@ -612,6 +799,116 @@ mod tests {
             other => panic!("unexpected replies: {other:?}"),
         }
         assert_eq!(svc.cache().stats().misses, 1);
+    }
+
+    #[test]
+    fn predict_pairs_matches_the_workload_mix_path_bit_for_bit() {
+        use numio_core::{predict_for_mix, WorkloadMix};
+        let svc = service();
+        let (model, _) = svc.model_fast(7, WireMode::Read).unwrap();
+        for mix in [
+            vec![(2u16, 2u32), (0, 2)],
+            vec![(6, 1)],
+            vec![(0, 3), (2, 1), (6, 2), (7, 4)],
+            vec![(5, 1), (5, 2)],
+        ] {
+            let mut wl = WorkloadMix::new();
+            for &(node, count) in &mix {
+                wl = wl.from_node(NodeId(node), count);
+            }
+            assert_eq!(
+                predict_pairs(&model, &mix).unwrap().to_bits(),
+                predict_for_mix(&model, &wl).to_bits(),
+                "{mix:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_batch_is_bit_identical_to_sequential_predicts() {
+        let svc = service();
+        let mixes = vec![
+            vec![(2u16, 2u32), (0, 2)],
+            vec![(6, 1)],
+            vec![(0, 1), (2, 1), (6, 2)],
+        ];
+        // Warm the (7, read) model so the batch reply reports cached=true.
+        svc.handle(&Request::Predict {
+            target: 7,
+            mode: WireMode::Read,
+            mix: mixes[0].clone(),
+        });
+        let resp = svc.handle(&Request::PredictBatch {
+            target: 7,
+            mode: WireMode::Read,
+            mixes: mixes.clone(),
+        });
+        let Response::PredictBatch {
+            predicted_gbps,
+            cached: true,
+            ..
+        } = resp
+        else {
+            panic!("unexpected reply: {resp:?}");
+        };
+        assert_eq!(predicted_gbps.len(), mixes.len());
+        for (mix, batch_p) in mixes.iter().zip(&predicted_gbps) {
+            let resp = svc.handle(&Request::Predict {
+                target: 7,
+                mode: WireMode::Read,
+                mix: mix.clone(),
+            });
+            let Response::Predict { predicted_gbps: p, .. } = resp else {
+                panic!("unexpected reply: {resp:?}");
+            };
+            assert_eq!(p.to_bits(), batch_p.to_bits(), "{mix:?}");
+        }
+        // One characterization served the whole batch.
+        assert_eq!(svc.cache().stats().misses, 1);
+    }
+
+    #[test]
+    fn predict_batch_rejects_bad_batches_with_the_mix_index() {
+        let svc = service();
+        let resp = svc.handle(&Request::PredictBatch {
+            target: 7,
+            mode: WireMode::Write,
+            mixes: vec![],
+        });
+        let Response::Error { message } = resp else {
+            panic!("unexpected reply: {resp:?}");
+        };
+        assert!(message.contains("empty batch"), "{message}");
+        let resp = svc.handle(&Request::PredictBatch {
+            target: 7,
+            mode: WireMode::Write,
+            mixes: vec![vec![(0, 1)], vec![(99, 1)]],
+        });
+        let Response::Error { message } = resp else {
+            panic!("unexpected reply: {resp:?}");
+        };
+        assert!(
+            message.contains("mix 1: node 99 is not covered"),
+            "{message}"
+        );
+    }
+
+    #[test]
+    fn handle_line_into_frames_replies_without_intermediate_strings() {
+        let svc = service();
+        let mut out = Vec::new();
+        let shutdown = svc.handle_line_into(1, r#"{"op":"ping"}"#, &mut out);
+        assert!(!shutdown);
+        let shutdown = svc.handle_line_into(1, "not json", &mut out);
+        assert!(!shutdown);
+        let shutdown = svc.handle_line_into(1, r#"{"op":"shutdown"}"#, &mut out);
+        assert!(shutdown);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert_eq!(lines[0], r#"{"reply":"pong"}"#);
+        assert!(lines[1].contains(r#""reply":"error""#), "{text}");
+        assert_eq!(lines[2], r#"{"reply":"shutting_down"}"#);
     }
 
     #[test]
