@@ -19,8 +19,8 @@ pub fn run_jobs<P: Platform>(platform: &P, jobs: &[JobSpec]) -> Result<FioReport
     Ok(numa_fio::run_jobs(fabric, jobs)?)
 }
 
-/// [`numa_fio::run_jobs_observed`] against the backend's fabric.
-pub fn run_jobs_observed<P: Platform>(
+/// [`numa_fio::run_jobs_scenario`] against the backend's fabric.
+pub fn run_jobs_scenario<P: Platform>(
     platform: &P,
     jobs: &[JobSpec],
     obs: &numa_obs::Obs,
@@ -28,7 +28,21 @@ pub fn run_jobs_observed<P: Platform>(
     let fabric = platform
         .fabric()
         .ok_or_else(|| BackendError::NoFabric { label: platform.label() })?;
-    Ok(numa_fio::run_jobs_observed(fabric, jobs, obs)?)
+    Ok(numa_fio::run_jobs_scenario(fabric, jobs, obs)?)
+}
+
+/// Deprecated name for [`run_jobs_scenario`].
+#[deprecated(
+    since = "0.8.0",
+    note = "renamed to `run_jobs_scenario`, which routes through the \
+            unified `numa_engine::Scenario` builder"
+)]
+pub fn run_jobs_observed<P: Platform>(
+    platform: &P,
+    jobs: &[JobSpec],
+    obs: &numa_obs::Obs,
+) -> Result<FioReport, BackendError> {
+    run_jobs_scenario(platform, jobs, obs)
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 //! * [`AnyPlatform`] gives runtime selection (`sim` / `host` /
 //!   `replay:<file>`) one concrete type, used by the CLI's global
 //!   `--backend` flag;
-//! * [`run_jobs`] / [`run_jobs_observed`] run fio-style jobs against
+//! * [`run_jobs`] / [`run_jobs_scenario`] run fio-style jobs against
 //!   whatever backend was selected, with a typed error when the backend
 //!   has no simulator fabric.
 //!
@@ -51,7 +51,9 @@ pub mod select;
 
 pub use error::BackendError;
 pub use fixture::{preset_topology, Fixture, FixtureHeader, ProbeRecord, SCHEMA};
-pub use jobs::{run_jobs, run_jobs_observed};
+pub use jobs::{run_jobs, run_jobs_scenario};
+#[allow(deprecated)]
+pub use jobs::run_jobs_observed;
 pub use record::RecordingPlatform;
 pub use replay::ReplayPlatform;
 pub use select::AnyPlatform;

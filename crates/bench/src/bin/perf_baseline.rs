@@ -2,7 +2,8 @@
 //!
 //! Times the algorithmic kernels the criterion benches cover — max-min
 //! allocator (one-shot and persistent-solver reuse), topology routing,
-//! Algorithm 1 modeler, engine event loop — plus a full scheduler
+//! Algorithm 1 modeler, engine event loop — plus a seeded 10k-flow
+//! open-loop Poisson scenario (FCT-digest anchored), a full scheduler
 //! episode, a fixture-replayed full-host characterization, the serving
 //! layer's hot paths (warm single predict, 4096-mix `predict_batch` vs
 //! the same mixes sequentially, and a 64-deep pipelined burst over a
@@ -116,6 +117,7 @@ fn run_checks(
     eq1_predicted: f64,
     engine_aggregate: [f64; 2],
     replay_identical: bool,
+    scenario_deterministic: bool,
     serve_cache_hot: bool,
     serve_batch_identical: bool,
     serve_pipelined_in_order: bool,
@@ -142,6 +144,11 @@ fn run_checks(
     }
     if !replay_identical {
         failures.push("replayed full-host atlas diverges from the live recorded run".to_string());
+    }
+    if !scenario_deterministic {
+        failures.push(
+            "same-seed 10k-flow Poisson scenario produced a different FCT digest".to_string(),
+        );
     }
     if !serve_cache_hot {
         failures.push(
@@ -337,6 +344,28 @@ fn main() {
         }),
     );
 
+    // Scenario: a seeded 10k-flow open-loop Poisson run through the
+    // unified builder — the event calendar's arrival/completion churn is
+    // the cost being tracked. The FCT digest of two same-seed runs is the
+    // determinism anchor below.
+    let scenario_workload = numa_engine::Workload::parse("poisson:n=10000,rate=2000,seed=42")
+        .expect("baseline workload spec");
+    let run_scenario = || {
+        numa_engine::Scenario::on(&fabric)
+            .workload(scenario_workload.clone())
+            .run()
+            .expect("scenario baseline run")
+    };
+    let mut scenario_report = run_scenario();
+    record(
+        "scenario_poisson_10k_flows",
+        time_op(3, || {
+            scenario_report = std::hint::black_box(run_scenario());
+        }),
+    );
+    let scenario_digest = scenario_report.fct_digest();
+    let scenario_deterministic = run_scenario().fct_digest() == scenario_digest;
+
     // Scheduler: one model-driven episode over a 16-task trace.
     let run_episode = || {
         let tasks = numa_sched::trace::poisson(16, 1.0, numa_sched::trace::MixProfile::Ingest, 42);
@@ -530,6 +559,9 @@ fn main() {
             "eq1_predicted_gbps": eq1_predicted,
             "engine_aggregate_gbps": report.aggregate_gbps,
             "replay_bit_identical": replay_identical,
+            // As a string: 64-bit digests survive every JSON reader exact.
+            "scenario_fct_digest": format!("{:016x}", scenario_digest),
+            "scenario_bit_identical": scenario_deterministic,
             "serve_cache_hot": serve_cache_hot,
             "serve_batch_bit_identical": serve_batch_identical,
             "serve_pipelined_in_order": serve_pipelined_in_order,
@@ -566,6 +598,7 @@ fn main() {
             eq1_predicted,
             [report.aggregate_gbps, report2.aggregate_gbps],
             replay_identical,
+            scenario_deterministic,
             serve_cache_hot,
             serve_batch_identical,
             serve_pipelined_in_order,

@@ -20,14 +20,14 @@ pub(crate) fn cmd_run(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, String
         // raw simulator output into the standard per-job report.
         let plan = super::faults::load_fault_plan(plan_path)?;
         let (sim, flow_job) = numa_fio::build_sim(&fabric, &jobs).map_err(|e| e.to_string())?;
-        let mut sim = sim.with_obs(obs.clone());
-        numa_faults::FaultInjector::new(plan)
-            .arm(&mut sim, &fabric)
+        let raw = numa_engine::Scenario::from_simulation(sim)
+            .observe(obs.clone())
+            .faults(plan)
+            .run()
             .map_err(|e| e.to_string())?;
-        let raw = sim.run().map_err(|e| e.to_string())?;
         numa_fio::assemble_report(&jobs, raw, &flow_job)
     } else {
-        numa_fio::run_jobs_observed(&fabric, &jobs, obs).map_err(|e| e.to_string())?
+        numa_fio::run_jobs_scenario(&fabric, &jobs, obs).map_err(|e| e.to_string())?
     };
     let mut out = String::new();
     for ((name, _), jr) in named.iter().zip(&report.jobs) {

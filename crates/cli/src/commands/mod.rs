@@ -11,4 +11,5 @@ pub(crate) mod netpath;
 pub(crate) mod predict;
 pub(crate) mod sched;
 pub(crate) mod serve;
+pub(crate) mod simulate;
 pub(crate) mod topo;

@@ -19,7 +19,9 @@ pub(crate) fn cmd_sched(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, Stri
     let platform = backend::platform_for(opts)?;
     // Fabric-less backends fail here with a typed explanation before any
     // policy is characterized.
-    let scheduler = Scheduler::for_backend(&platform).map_err(|e| e.to_string())?;
+    let scheduler = Scheduler::for_backend(&platform)
+        .map_err(|e| e.to_string())?
+        .observe(obs.clone());
     let tasks = if opts.flag("premium") {
         trace::premium_burst(tasks_n, mix, seed)
     } else if opts.flag("burst") {
@@ -29,22 +31,21 @@ pub(crate) fn cmd_sched(opts: &Opts, obs: &numa_obs::Obs) -> Result<String, Stri
     };
     let reports = vec![
         scheduler
-            .run_observed(tasks.clone(), LocalOnly::new(), obs)
+            .run(tasks.clone(), LocalOnly::new())
             .map_err(|e| e.to_string())?,
         scheduler
-            .run_observed(tasks.clone(), HopGreedy::new(), obs)
+            .run(tasks.clone(), HopGreedy::new())
             .map_err(|e| e.to_string())?,
         scheduler
-            .run_observed(tasks.clone(), SpreadAll::new(), obs)
+            .run(tasks.clone(), SpreadAll::new())
             .map_err(|e| e.to_string())?,
         scheduler
-            .run_observed(tasks.clone(), ModelDriven::from_platform(&platform), obs)
+            .run(tasks.clone(), ModelDriven::from_platform(&platform))
             .map_err(|e| e.to_string())?,
         scheduler
-            .run_observed(
+            .run(
                 tasks,
                 ModelDrivenMigrating::new(ModelDriven::from_platform(&platform), 2.0, 3),
-                obs,
             )
             .map_err(|e| e.to_string())?,
     ];

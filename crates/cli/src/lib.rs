@@ -17,6 +17,7 @@
 //! iomodel host        [--nodes N] [--reps N]
 //! iomodel numastat
 //! iomodel run         --jobfile job.fio [--faults plan.json]
+//! iomodel simulate    --workload poisson:n=1000,rate=200,seed=42 [--check]
 //! iomodel faults      demo [--seed N] [--check]
 //! iomodel faults      validate --plan plan.json
 //! iomodel faults      run --plan plan.json
@@ -68,12 +69,12 @@ use opts::Opts;
 ///
 /// Extracts the global observability flags (`--trace <path>`,
 /// `--metrics <path>`, `--profile`) before subcommand parsing, runs the
-/// command through [`run_observed`], then writes the requested exports.
+/// command through [`dispatch`], then writes the requested exports.
 pub fn run(args: &[String]) -> Result<String, String> {
     let (core_args, trace_path, metrics_path, profile) = extract_global(args)?;
     let obs = numa_obs::Obs::new();
     obs.set_profiling(profile);
-    let mut out = run_observed(&core_args, &obs)?;
+    let mut out = dispatch(&core_args, &obs)?;
     if let Some(path) = trace_path {
         std::fs::write(&path, obs.jsonl()).map_err(|e| format!("--trace {path}: {e}"))?;
     }
@@ -91,7 +92,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
 /// Every invocation emits a `cli_invoked` event and bumps
 /// `numio_cli_invocations_total{cmd=...}`, so even read-only subcommands
 /// produce a non-empty trace.
-pub fn run_observed(args: &[String], obs: &numa_obs::Obs) -> Result<String, String> {
+pub fn dispatch(args: &[String], obs: &numa_obs::Obs) -> Result<String, String> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(usage)?;
     let rest: Vec<String> = it.cloned().collect();
@@ -117,6 +118,7 @@ pub fn run_observed(args: &[String], obs: &numa_obs::Obs) -> Result<String, Stri
         "numastat" => commands::mem::cmd_numastat(&opts),
         "numademo" => commands::mem::cmd_numademo(&opts),
         "run" => commands::jobs::cmd_run(&opts, obs),
+        "simulate" => commands::simulate::cmd_simulate(&opts, obs),
         "diff" => commands::diff::cmd_diff(&opts),
         "sched" => commands::sched::cmd_sched(&opts, obs),
         "latency" => commands::mem::cmd_latency(&opts),
@@ -131,6 +133,12 @@ pub fn run_observed(args: &[String], obs: &numa_obs::Obs) -> Result<String, Stri
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
+}
+
+/// Deprecated name for [`dispatch`].
+#[deprecated(since = "0.8.0", note = "renamed to `dispatch`")]
+pub fn run_observed(args: &[String], obs: &numa_obs::Obs) -> Result<String, String> {
+    dispatch(args, obs)
 }
 
 /// Split the global observability flags out of the raw argument list so
@@ -171,9 +179,10 @@ fn extract_global(
 }
 
 fn usage() -> String {
-    "usage: iomodel <topo|stream|characterize|record|classes|predict|advise|sweep|host|numastat|numademo|run|diff|sched|faults|latency|netpath|probe|emit-script|import|atlas|serve|client|sysfs> [options]\n\
+    "usage: iomodel <topo|stream|characterize|record|classes|predict|advise|sweep|host|numastat|numademo|run|simulate|diff|sched|faults|latency|netpath|probe|emit-script|import|atlas|serve|client|sysfs> [options]\n\
      faults: iomodel faults demo [--seed N] [--check] | validate --plan p.json | run --plan p.json\n\
      run:    iomodel run --jobfile job.fio [--faults plan.json]\n\
+     simulate: iomodel simulate --workload poisson:n=1000,rate=200,seed=42|pareto:...|batch:... [--check]\n\
      record: iomodel record --out fixture.jsonl [--target N] [--mode write|read]\n\
      serve:  iomodel serve [--addr host:port] [--reps N] [--drift-threshold F] [--port-file p]\n\
              [--flight-recorder-size N] [--max-connections N] [--workers N] [--queue-depth N]\n\
@@ -358,7 +367,7 @@ mod tests {
         .iter()
         .map(|s| s.to_string())
         .collect();
-        run_observed(&args, &obs).unwrap();
+        dispatch(&args, &obs).unwrap();
         assert!(
             obs.jsonl().contains("\"ev\":\"probe_recorded\""),
             "{}",
@@ -375,7 +384,7 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        run_observed(&args, &obs2).unwrap();
+        dispatch(&args, &obs2).unwrap();
         assert!(
             obs2.jsonl().contains("\"ev\":\"probe_replayed\""),
             "{}",
@@ -507,6 +516,27 @@ mod tests {
         assert!(out.contains("17.0"), "node 3 class level: {out}");
         assert!(run_str(&["run", "--jobfile", "/no/such/file"]).is_err());
         assert!(run_str(&["run"]).is_err());
+    }
+
+    #[test]
+    fn simulate_runs_workloads_and_checks_determinism() {
+        let out = run_str(&["simulate", "--workload", "poisson:n=50,rate=100,seed=7"]).unwrap();
+        assert!(out.contains("50 flows"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        assert!(out.contains("fct digest:"), "{out}");
+        // Bit-identical reruns: the digest line matches across invocations.
+        let again = run_str(&["simulate", "--workload", "poisson:n=50,rate=100,seed=7"]).unwrap();
+        assert_eq!(out, again);
+        let checked =
+            run_str(&["simulate", "--workload", "pareto:n=20,alpha=1.5,seed=3", "--check"])
+                .unwrap();
+        assert!(checked.contains("simulate check OK"), "{checked}");
+        assert!(checked.contains("bit-identical"), "{checked}");
+        // Usage and parse errors are typed strings, not panics.
+        assert!(run_str(&["simulate"]).is_err());
+        assert!(run_str(&["simulate", "--workload", "burst:n=3"]).is_err());
+        assert!(run_str(&["simulate", "--workload", "poisson:n=1", "--backend", "host:2"])
+            .is_err());
     }
 
     #[test]
@@ -686,7 +716,7 @@ mod tests {
     fn every_subcommand_produces_a_nonempty_trace() {
         let obs = numa_obs::Obs::new();
         let args: Vec<String> = ["topo"].iter().map(|s| s.to_string()).collect();
-        run_observed(&args, &obs).unwrap();
+        dispatch(&args, &obs).unwrap();
         assert!(obs.jsonl().contains("\"cmd\":\"topo\""));
         assert_eq!(
             obs.counter("numio_cli_invocations_total", &[("cmd", "topo")])
@@ -702,7 +732,7 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        run_observed(&args, &obs).unwrap();
+        dispatch(&args, &obs).unwrap();
         assert_eq!(
             obs.counter("numio_probes_total", &[("node", "N7"), ("backend", "sim")])
                 .get(),

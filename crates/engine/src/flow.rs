@@ -44,6 +44,11 @@ pub struct FlowSpec {
     /// Fairness weight (weighted max-min): a weight-2 flow gets twice the
     /// share of any contended resource. QoS knob; 1.0 = plain fairness.
     pub weight: f64,
+    /// Arrival time, seconds from simulation start. 0.0 (the closed-loop
+    /// default) means the flow competes from the first instant; a later
+    /// arrival posts a `FlowArrival` event on the calendar and the flow
+    /// sits idle until it fires.
+    pub arrival_s: f64,
     /// Free-form label for reports ("tcp-send n5 s3", ...).
     pub label: String,
 }
@@ -62,6 +67,7 @@ impl FlowSpec {
             charge_src_copy: true,
             charge_dst_copy: true,
             weight: 1.0,
+            arrival_s: 0.0,
             label: String::new(),
         }
     }
@@ -121,6 +127,14 @@ impl FlowSpec {
         self.weight = weight;
         self
     }
+
+    /// Set the arrival time, seconds from simulation start (must be
+    /// finite and non-negative).
+    pub fn arrival(mut self, at_s: f64) -> Self {
+        assert!(at_s.is_finite() && at_s >= 0.0, "arrival must be finite and >= 0");
+        self.arrival_s = at_s;
+        self
+    }
 }
 
 /// Outcome of one flow.
@@ -132,11 +146,27 @@ pub struct FlowResult {
     pub label: String,
     /// Volume transferred, gigabits.
     pub volume_gbit: f64,
+    /// When the flow started competing, seconds from simulation start
+    /// (its arrival time). Defaults to 0.0 for pre-arrival reports.
+    #[serde(default)]
+    pub start_s: f64,
     /// Completion time from simulation start, seconds.
     pub finish_s: f64,
-    /// Mean rate while the simulation ran: volume / finish time. This is
-    /// what fio reports per job (it averages over the job's lifetime).
+    /// Flow completion time: `finish_s - start_s`. Defaults to 0.0 for
+    /// pre-arrival reports.
+    #[serde(default)]
+    pub fct_s: f64,
+    /// Mean rate while the flow ran: volume / FCT. This is what fio
+    /// reports per job (it averages over the job's lifetime).
     pub mean_gbps: f64,
+    /// FCT divided by the flow's isolated-run time on an idle fabric.
+    /// 1.0 means no contention. Defaults for pre-arrival reports.
+    #[serde(default = "default_slowdown")]
+    pub slowdown: f64,
+}
+
+fn default_slowdown() -> f64 {
+    1.0
 }
 
 #[cfg(test)]

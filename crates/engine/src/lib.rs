@@ -16,34 +16,56 @@
 //! proposed methodology (Fig. 10), and the Eq. 1 mixed-class validation all
 //! lower to flow sets simulated here.
 //!
+//! Flows carry **arrival times**: the run loop is a true event calendar
+//! ([`Time`]/[`Delta`], a binary-heap [`Schedule`] of typed events), so
+//! open-loop traffic — seeded Poisson or bounded-Pareto interarrivals from
+//! a [`Workload`] — runs next to the closed-loop batches the paper
+//! measured, and every completion yields a flow-completion-time record
+//! summarized by [`FctStats`].
+//!
 //! ## Example
 //!
+//! [`Scenario`] is the front door:
+//!
 //! ```
-//! use numa_engine::{Simulation, FlowSpec};
+//! use numa_engine::{Scenario, FlowSpec};
 //! use numa_fabric::calibration::dl585_fabric;
 //! use numa_topology::NodeId;
 //!
 //! let fabric = dl585_fabric();
-//! let mut sim = Simulation::new(&fabric);
 //! // Two concurrent copies into node 7: one from node 6 (fast path) and
 //! // one from node 3 (the narrow Table IV class-3 path).
-//! sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbytes(40.0));
-//! sim.add_flow(FlowSpec::dma(NodeId(3), NodeId(7)).gbytes(40.0));
-//! let report = sim.run().unwrap();
+//! let report = Scenario::on(&fabric)
+//!     .flows([
+//!         FlowSpec::dma(NodeId(6), NodeId(7)).gbytes(40.0),
+//!         FlowSpec::dma(NodeId(3), NodeId(7)).gbytes(40.0),
+//!     ])
+//!     .run()
+//!     .unwrap();
 //! // The class-3 flow finishes last and at a lower average rate.
 //! assert!(report.flows[0].mean_gbps > report.flows[1].mean_gbps);
 //! ```
 
+pub mod fct;
 pub mod flow;
 pub mod jitter;
 pub mod resources;
+pub mod scenario;
+pub mod schedule;
 pub mod sim;
 pub mod stats;
+pub mod time;
 pub mod trace;
+pub mod workload;
 
+pub use fct::{fct_digest, FctStats};
 pub use flow::{FlowId, FlowResult, FlowSpec};
 pub use jitter::JitterCfg;
 pub use resources::{ResourceHandle, ResourceKey};
+pub use scenario::{FaultSource, Scenario, ScenarioError};
+pub use schedule::{Event, Schedule};
 pub use sim::{SimError, SimReport, Simulation};
 pub use stats::Summary;
+pub use time::{Delta, Time};
 pub use trace::{Trace, TraceEvent};
+pub use workload::{Arrivals, Workload};

@@ -1,0 +1,404 @@
+//! The unified scenario API.
+//!
+//! [`Scenario`] is the one front door to the engine: pick a fabric,
+//! attach a [`Workload`] (or explicit flows), optionally arm faults and
+//! observability, and run. It replaces the grown-by-accretion
+//! `Simulation::{with_obs, ...}` entry points and the per-crate
+//! `run_observed` variants — those remain as deprecated shims for one
+//! release and route here.
+//!
+//! ```
+//! use numa_engine::{FlowSpec, Scenario, Workload};
+//! use numa_fabric::calibration::dl585_fabric;
+//! use numa_topology::NodeId;
+//!
+//! let fabric = dl585_fabric();
+//! // 50 small transfers arriving open-loop at 100 flows/s.
+//! let template = FlowSpec::dma(NodeId(6), NodeId(7)).gbits(1.0).label("open");
+//! let report = Scenario::on(&fabric)
+//!     .workload(Workload::poisson(vec![template], 50, 100.0, 42))
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.flows.len(), 50);
+//! assert!(report.fct_p99_s >= report.fct_p50_s);
+//! ```
+
+use crate::flow::{FlowId, FlowSpec};
+use crate::jitter::JitterCfg;
+use crate::resources::{ResourceHandle, ResourceKey};
+use crate::sim::{SimError, SimReport, Simulation};
+use crate::trace::Trace;
+use crate::workload::Workload;
+use numa_fabric::Fabric;
+
+/// Why a scenario could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The underlying simulation failed.
+    Sim(SimError),
+    /// A fault source could not arm its plan against the simulation.
+    Faults {
+        /// What the fault layer reported.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Sim(e) => write!(f, "scenario simulation failed: {e}"),
+            ScenarioError::Faults { reason } => write!(f, "scenario fault plan failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Sim(e) => Some(e),
+            ScenarioError::Faults { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for ScenarioError {
+    fn from(e: SimError) -> Self {
+        ScenarioError::Sim(e)
+    }
+}
+
+/// Something that can arm fault timelines on a simulation — implemented
+/// by `numa_faults::{FaultPlan, FaultInjector}`. The engine defines the
+/// trait (rather than naming a fault type) so the dependency keeps
+/// pointing from faults to engine.
+pub trait FaultSource {
+    /// Schedule this source's capacity events on `sim` (whose fabric is
+    /// reachable via [`Simulation::fabric`]). Returns how many events
+    /// were armed.
+    fn arm_scenario(&self, sim: &mut Simulation<'_>) -> Result<usize, String>;
+}
+
+/// A composable simulation scenario over one fabric.
+pub struct Scenario<'f> {
+    sim: Simulation<'f>,
+    workloads: Vec<Workload>,
+    faults: Vec<Box<dyn FaultSource + 'f>>,
+}
+
+impl<'f> Scenario<'f> {
+    /// Start an empty scenario on `fabric`.
+    pub fn on(fabric: &'f Fabric) -> Self {
+        Scenario::from_simulation(Simulation::new(fabric))
+    }
+
+    /// Wrap a pre-built [`Simulation`] — the adapter for harnesses (like
+    /// the fio runner) that lower their own flow sets and resources
+    /// before handing control to the scenario layer.
+    pub fn from_simulation(sim: Simulation<'f>) -> Self {
+        Scenario { sim, workloads: Vec::new(), faults: Vec::new() }
+    }
+
+    /// Attach a workload; its flows are materialized (arrival times
+    /// stamped) when the scenario runs. May be called repeatedly —
+    /// workloads append in order.
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.workloads.push(w);
+        self
+    }
+
+    /// Add explicit flows (closed-loop unless their specs carry
+    /// arrival times).
+    pub fn flows(mut self, flows: impl IntoIterator<Item = FlowSpec>) -> Self {
+        for f in flows {
+            self.sim.add_flow(f);
+        }
+        self
+    }
+
+    /// Add one flow; returns its id (ids are assigned before workload
+    /// flows, which materialize at run time).
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        self.sim.add_flow(spec)
+    }
+
+    /// Enable rate jitter.
+    pub fn jitter(mut self, cfg: JitterCfg) -> Self {
+        self.sim = self.sim.with_jitter(cfg);
+        self
+    }
+
+    /// Attach an observability handle: the run emits `alloc_round` /
+    /// `flow_arrived` / `flow_finished` / `jitter_refresh` events and
+    /// feeds the `numio_*` engine metric series (including the
+    /// `numio_fct_seconds` histogram).
+    pub fn observe(mut self, obs: numa_obs::Obs) -> Self {
+        self.sim.set_obs(obs);
+        self
+    }
+
+    /// Arm a fault source (a `numa_faults::FaultPlan` or anything else
+    /// implementing [`FaultSource`]) when the scenario runs.
+    pub fn faults(mut self, source: impl FaultSource + 'f) -> Self {
+        self.faults.push(Box::new(source));
+        self
+    }
+
+    /// Register (or fetch) a shared resource on the underlying
+    /// simulation (device ports, CPU budgets, ...).
+    pub fn register(&mut self, key: ResourceKey, cap: f64) -> ResourceHandle {
+        self.sim.register(key, cap)
+    }
+
+    /// Schedule a capacity change at a fixed simulation time.
+    pub fn schedule_capacity(&mut self, h: ResourceHandle, at_s: f64, cap: f64) {
+        self.sim.schedule_capacity(h, at_s, cap);
+    }
+
+    /// Direct access to the wrapped simulation, for the rare setup step
+    /// the builder does not cover.
+    pub fn simulation_mut(&mut self) -> &mut Simulation<'f> {
+        &mut self.sim
+    }
+
+    /// Materialize workloads and arm fault sources, yielding the final
+    /// runnable simulation.
+    fn prepare(mut self) -> Result<Simulation<'f>, ScenarioError> {
+        for w in &self.workloads {
+            for flow in w.materialize() {
+                self.sim.add_flow(flow);
+            }
+        }
+        for f in &self.faults {
+            f.arm_scenario(&mut self.sim)
+                .map_err(|reason| ScenarioError::Faults { reason })?;
+        }
+        Ok(self.sim)
+    }
+
+    /// Run to completion.
+    pub fn run(self) -> Result<SimReport, ScenarioError> {
+        Ok(self.prepare()?.run()?)
+    }
+
+    /// Run to completion, recording an event [`Trace`].
+    pub fn run_traced(self) -> Result<(SimReport, Trace), ScenarioError> {
+        Ok(self.prepare()?.run_traced()?)
+    }
+
+    /// Instantaneous max-min rates with all flows (explicit and
+    /// workload-generated) active — the steady-state allocation.
+    pub fn steady_rates(self) -> Result<Vec<f64>, ScenarioError> {
+        Ok(self.prepare()?.steady_rates())
+    }
+
+    /// Steady-state resource utilization, most-loaded first (see
+    /// [`Simulation::bottlenecks`]).
+    pub fn bottlenecks(self) -> Result<Vec<(ResourceKey, f64, f64, f64)>, ScenarioError> {
+        Ok(self.prepare()?.bottlenecks())
+    }
+}
+
+impl std::fmt::Debug for Scenario<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("flows", &self.sim.num_flows())
+            .field("workloads", &self.workloads)
+            .field("fault_sources", &self.faults.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_fabric::calibration::dl585_fabric;
+    use numa_topology::NodeId;
+
+    #[test]
+    fn batch_scenario_matches_legacy_simulation_bitwise() {
+        let f = dl585_fabric();
+        let specs = vec![
+            FlowSpec::dma(NodeId(4), NodeId(7)).gbits(23.25).label("a"),
+            FlowSpec::dma(NodeId(6), NodeId(7)).gbits(46.5).label("b"),
+        ];
+        let mut sim = Simulation::new(&f);
+        for s in &specs {
+            sim.add_flow(s.clone());
+        }
+        let legacy = sim.run().unwrap();
+        let scenario = Scenario::on(&f)
+            .workload(Workload::batch(specs))
+            .run()
+            .unwrap();
+        assert_eq!(legacy, scenario, "new front door, same bits");
+        assert_eq!(legacy.fct_digest(), scenario.fct_digest());
+    }
+
+    #[test]
+    fn arrivals_stagger_completion() {
+        let f = dl585_fabric();
+        // Two identical flows over the 6->7 edge (46.5): the second
+        // arrives exactly when the first finishes, so neither ever
+        // shares the edge.
+        let report = Scenario::on(&f)
+            .flows([
+                FlowSpec::dma(NodeId(6), NodeId(7)).gbits(46.5),
+                FlowSpec::dma(NodeId(6), NodeId(7)).gbits(46.5).arrival(1.0),
+            ])
+            .run()
+            .unwrap();
+        assert!((report.flows[0].finish_s - 1.0).abs() < 1e-9, "{:?}", report.flows[0]);
+        assert!((report.flows[1].finish_s - 2.0).abs() < 1e-9, "{:?}", report.flows[1]);
+        assert!((report.flows[1].fct_s - 1.0).abs() < 1e-9);
+        assert!((report.flows[1].start_s - 1.0).abs() < 1e-12);
+        // Full rate both times: no contention, slowdown 1.0.
+        assert!((report.flows[1].mean_gbps - 46.5).abs() < 1e-6);
+        assert!((report.mean_slowdown - 1.0).abs() < 1e-9, "{}", report.mean_slowdown);
+        assert!((report.makespan_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contended_batch_reports_slowdown() {
+        let f = dl585_fabric();
+        // Two equal flows sharing the 6->7 edge: each takes twice its
+        // isolated time.
+        let report = Scenario::on(&f)
+            .flows([
+                FlowSpec::dma(NodeId(6), NodeId(7)).gbits(46.5),
+                FlowSpec::dma(NodeId(6), NodeId(7)).gbits(46.5),
+            ])
+            .run()
+            .unwrap();
+        assert!((report.mean_slowdown - 2.0).abs() < 1e-9, "{}", report.mean_slowdown);
+        assert!((report.fct_p50_s - 2.0).abs() < 1e-9);
+        assert!((report.fct_p99_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_seed_open_loop_is_bit_identical() {
+        let f = dl585_fabric();
+        let run = || {
+            let template = FlowSpec::dma(NodeId(6), NodeId(7)).gbits(2.0).label("w");
+            Scenario::on(&f)
+                .workload(Workload::poisson(vec![template], 200, 50.0, 42))
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.fct_digest(), b.fct_digest());
+        assert_eq!(a.flows.len(), 200);
+    }
+
+    #[test]
+    fn observe_emits_arrival_events() {
+        let f = dl585_fabric();
+        let obs = numa_obs::Obs::new();
+        let template = FlowSpec::dma(NodeId(6), NodeId(7)).gbits(1.0).label("open");
+        Scenario::on(&f)
+            .workload(Workload::poisson(vec![template], 5, 100.0, 1))
+            .observe(obs.clone())
+            .run()
+            .unwrap();
+        assert_eq!(
+            obs.counter("numio_flow_arrivals_total", &[("component", "engine")]).get(),
+            5
+        );
+        assert_eq!(
+            obs.counter("numio_flow_completions_total", &[("component", "engine")]).get(),
+            5
+        );
+        assert!(obs.jsonl().contains("\"ev\":\"flow_arrived\""));
+    }
+
+    #[test]
+    fn traced_open_loop_records_arrivals() {
+        let f = dl585_fabric();
+        let template = FlowSpec::dma(NodeId(6), NodeId(7)).gbits(1.0);
+        let (report, trace) = Scenario::on(&f)
+            .workload(Workload::poisson(vec![template], 3, 100.0, 9))
+            .run_traced()
+            .unwrap();
+        let arrivals = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, crate::trace::TraceEvent::Arrival { .. }))
+            .count();
+        assert_eq!(arrivals, 3);
+        assert_eq!(report.flows.len(), 3);
+    }
+
+    #[test]
+    fn empty_scenario_is_a_sim_error() {
+        let f = dl585_fabric();
+        assert_eq!(
+            Scenario::on(&f).run().unwrap_err(),
+            ScenarioError::Sim(SimError::NoFlows)
+        );
+    }
+
+    #[test]
+    fn failing_fault_source_is_typed() {
+        struct Broken;
+        impl FaultSource for Broken {
+            fn arm_scenario(&self, _sim: &mut Simulation<'_>) -> Result<usize, String> {
+                Err("no such device".to_string())
+            }
+        }
+        let f = dl585_fabric();
+        let err = Scenario::on(&f)
+            .flows([FlowSpec::dma(NodeId(6), NodeId(7)).gbits(1.0)])
+            .faults(Broken)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::Faults { reason: "no such device".to_string() });
+        assert!(err.to_string().contains("no such device"));
+    }
+
+    #[test]
+    fn working_fault_source_schedules_capacity_events() {
+        struct Throttle;
+        impl FaultSource for Throttle {
+            fn arm_scenario(&self, sim: &mut Simulation<'_>) -> Result<usize, String> {
+                let e = numa_topology::DirectedEdge::new(NodeId(6), NodeId(7));
+                let cap = sim.fabric().edge_capacity(e, numa_fabric::TrafficClass::Dma);
+                let h = sim.register(ResourceKey::Edge(e), cap);
+                sim.schedule_capacity(h, 1.0, cap / 2.0);
+                Ok(1)
+            }
+        }
+        let f = dl585_fabric();
+        // 93 Gbit over 6->7: 46.5 for 1 s, then 23.25 => done at 3 s.
+        let report = Scenario::on(&f)
+            .flows([FlowSpec::dma(NodeId(6), NodeId(7)).gbits(93.0)])
+            .faults(Throttle)
+            .run()
+            .unwrap();
+        assert!((report.makespan_s - 3.0).abs() < 1e-9, "{}", report.makespan_s);
+    }
+
+    #[test]
+    fn steady_rates_and_bottlenecks_cover_workload_flows() {
+        let f = dl585_fabric();
+        let flows = vec![
+            FlowSpec::dma(NodeId(4), NodeId(7)).gbits(10.0),
+            FlowSpec::dma(NodeId(6), NodeId(7)).gbits(10.0),
+        ];
+        let rates = Scenario::on(&f)
+            .workload(Workload::batch(flows.clone()))
+            .steady_rates()
+            .unwrap();
+        assert!((rates[0] - 23.25).abs() < 1e-6, "{rates:?}");
+        let report = Scenario::on(&f)
+            .workload(Workload::batch(flows))
+            .bottlenecks()
+            .unwrap();
+        let (key, _, _, util) = report[0];
+        assert_eq!(
+            key,
+            ResourceKey::Edge(numa_topology::DirectedEdge::new(NodeId(6), NodeId(7)))
+        );
+        assert!((util - 1.0).abs() < 1e-9);
+    }
+}

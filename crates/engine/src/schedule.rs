@@ -1,0 +1,235 @@
+//! The event calendar: a binary-heap schedule of typed events.
+//!
+//! Every exogenous event the simulation must react to — a flow arriving,
+//! a scheduled capacity change (fault injection / healing), a jitter
+//! refresh tick — lives in one min-heap keyed by integer [`Time`]. Flow
+//! *completions* are endogenous: the fluid integrator derives them from
+//! `remaining / rate` each round (a completion time moves whenever the
+//! allocation changes, so it cannot be pinned in the calendar ahead of
+//! time); the [`Event::FlowCompletion`] variant exists for layers that
+//! want to post a known completion into a calendar of their own.
+//!
+//! Ordering is fully deterministic: `(tick, exact seconds, kind rank,
+//! insertion sequence)`. The integer tick decides almost every
+//! comparison; the exact `f64` timestamp breaks sub-tick ties so the
+//! integrator (which advances in seconds) and the calendar never
+//! disagree about which event is next; the kind rank fixes the
+//! same-instant convention (jitter refresh before arrivals before
+//! capacity changes — the order the pre-calendar event loop applied
+//! them); and the sequence number preserves insertion order within a
+//! kind, which is what lets seeded fault plans replay exactly.
+
+use crate::flow::FlowId;
+use crate::resources::ResourceHandle;
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A typed calendar event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Jitter multipliers refresh at this instant.
+    JitterTick,
+    /// A flow becomes active and starts competing for bandwidth.
+    FlowArrival {
+        /// The arriving flow.
+        flow: FlowId,
+    },
+    /// A flow finished (posted by layers that know a completion time;
+    /// the engine itself derives completions from the fluid model).
+    FlowCompletion {
+        /// The completed flow.
+        flow: FlowId,
+    },
+    /// A resource's capacity is reset (fault injection, healing,
+    /// planned maintenance windows).
+    CapacityChange {
+        /// The affected resource.
+        resource: ResourceHandle,
+        /// New capacity, Gbit/s (0.0 takes the resource offline).
+        cap_gbps: f64,
+        /// Obs event name fired when the change applies
+        /// (`capacity_change`, `fault_injected`, `fault_healed`, ...).
+        tag: String,
+    },
+}
+
+impl Event {
+    /// Same-instant processing rank (lower fires first). Mirrors the
+    /// pre-calendar loop: jitter refresh, then arrivals, then capacity
+    /// changes.
+    fn rank(&self) -> u8 {
+        match self {
+            Event::JitterTick => 0,
+            Event::FlowArrival { .. } => 1,
+            Event::FlowCompletion { .. } => 2,
+            Event::CapacityChange { .. } => 3,
+        }
+    }
+}
+
+/// One scheduled entry: an [`Event`] pinned to an instant.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Integer instant — the primary heap key.
+    pub at: Time,
+    /// The exact timestamp in seconds, as scheduled. The integrator
+    /// advances in seconds, so this is the value it steps to.
+    pub at_s: f64,
+    /// Tie-break sequence (insertion order).
+    seq: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl Entry {
+    fn key(&self) -> (Time, f64, u8, u64) {
+        (self.at, self.at_s, self.event.rank(), self.seq)
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, the calendar wants min-first.
+        let (ta, sa, ka, qa) = self.key();
+        let (tb, sb, kb, qb) = other.key();
+        tb.cmp(&ta)
+            .then_with(|| sb.total_cmp(&sa))
+            .then_with(|| kb.cmp(&ka))
+            .then_with(|| qb.cmp(&qa))
+    }
+}
+
+/// A deterministic min-first event calendar.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl Schedule {
+    /// Empty calendar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at `at_s` seconds. Times must be finite and
+    /// non-negative; equal-time entries fire in the documented
+    /// `(kind, insertion)` order.
+    pub fn push(&mut self, at_s: f64, event: Event) {
+        assert!(at_s.is_finite() && at_s >= 0.0, "event time must be finite and >= 0");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at: Time::from_seconds(at_s), at_s, seq, event });
+    }
+
+    /// The next entry's exact timestamp in seconds, if any.
+    pub fn peek_s(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.at_s)
+    }
+
+    /// The next entry's integer instant, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next entry if its timestamp is at or before `t_s`
+    /// (inclusive within the integrator's `eps` slack).
+    pub fn pop_due(&mut self, t_s: f64, eps: f64) -> Option<Entry> {
+        if self.heap.peek().is_some_and(|e| e.at_s <= t_s + eps) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Pop the next entry unconditionally.
+    pub fn pop(&mut self) -> Option<Entry> {
+        self.heap.pop()
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Schedule::new();
+        s.push(2.0, Event::FlowArrival { flow: FlowId(1) });
+        s.push(0.5, Event::FlowArrival { flow: FlowId(0) });
+        s.push(1.0, Event::JitterTick);
+        let order: Vec<f64> = std::iter::from_fn(|| s.pop().map(|e| e.at_s)).collect();
+        assert_eq!(order, vec![0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn same_instant_orders_by_kind_then_insertion() {
+        let mut s = Schedule::new();
+        let h = ResourceHandle(0);
+        s.push(1.0, Event::CapacityChange { resource: h, cap_gbps: 5.0, tag: "a".into() });
+        s.push(1.0, Event::CapacityChange { resource: h, cap_gbps: 9.0, tag: "b".into() });
+        s.push(1.0, Event::FlowArrival { flow: FlowId(3) });
+        s.push(1.0, Event::JitterTick);
+        assert!(matches!(s.pop().unwrap().event, Event::JitterTick));
+        assert!(matches!(s.pop().unwrap().event, Event::FlowArrival { flow: FlowId(3) }));
+        // Capacity ties keep insertion order — the replay guarantee
+        // seeded fault plans rely on.
+        match s.pop().unwrap().event {
+            Event::CapacityChange { tag, .. } => assert_eq!(tag, "a"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.pop().unwrap().event {
+            Event::CapacityChange { tag, .. } => assert_eq!(tag, "b"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sub_tick_ties_break_on_exact_seconds() {
+        // Closer than a nanosecond: same integer tick, but the exact
+        // f64 timestamps still order the entries.
+        let mut s = Schedule::new();
+        s.push(1.0 + 2e-13, Event::FlowArrival { flow: FlowId(1) });
+        s.push(1.0, Event::FlowArrival { flow: FlowId(0) });
+        assert_eq!(s.peek_time(), Some(Time::from_seconds(1.0)));
+        assert!(matches!(s.pop().unwrap().event, Event::FlowArrival { flow: FlowId(0) }));
+        assert!(matches!(s.pop().unwrap().event, Event::FlowArrival { flow: FlowId(1) }));
+    }
+
+    #[test]
+    fn pop_due_respects_epsilon() {
+        let mut s = Schedule::new();
+        s.push(1.0, Event::FlowCompletion { flow: FlowId(0) });
+        assert!(s.pop_due(0.5, 1e-12).is_none());
+        assert_eq!(s.len(), 1);
+        let e = s.pop_due(1.0 - 1e-13, 1e-12).unwrap();
+        assert!(matches!(e.event, Event::FlowCompletion { flow: FlowId(0) }));
+        assert!(s.pop_due(10.0, 0.0).is_none());
+    }
+}

@@ -47,12 +47,38 @@ pub struct SimReport {
     pub aggregate_gbps: f64,
     /// Total volume, gigabits.
     pub total_gbit: f64,
+    /// Median flow completion time, seconds (nearest-rank). Defaults to
+    /// 0.0 when deserializing pre-arrival reports.
+    #[serde(default)]
+    pub fct_p50_s: f64,
+    /// 99th-percentile flow completion time, seconds (nearest-rank).
+    #[serde(default)]
+    pub fct_p99_s: f64,
+    /// Mean slowdown over all flows: each flow's FCT divided by the time
+    /// it would take alone on an idle fabric (its isolated lower bound).
+    /// 1.0 means no contention at all.
+    #[serde(default)]
+    pub mean_slowdown: f64,
 }
 
 impl SimReport {
-    /// Mean of the per-flow mean rates.
+    /// Mean of the per-flow mean rates (0.0 for an empty report).
     pub fn mean_flow_gbps(&self) -> f64 {
+        if self.flows.is_empty() {
+            return 0.0;
+        }
         self.flows.iter().map(|f| f.mean_gbps).sum::<f64>() / self.flows.len() as f64
+    }
+
+    /// Full FCT distribution summary over this report's flows.
+    pub fn fct_stats(&self) -> crate::fct::FctStats {
+        crate::fct::FctStats::from_flows(&self.flows)
+    }
+
+    /// Order-sensitive digest of the FCT vector — the bit-identity
+    /// anchor for seeded scenarios (see [`crate::fct::fct_digest`]).
+    pub fn fct_digest(&self) -> u64 {
+        crate::fct::fct_digest(&self.flows)
     }
 
     /// Render an fio-style per-flow table plus the aggregate line.
@@ -127,9 +153,29 @@ impl<'f> Simulation<'f> {
     /// `flow_finished` / `jitter_refresh` events (timestamped with
     /// simulation time, so seeded runs trace identically) and feeds the
     /// `numio_*` engine metric series.
+    #[deprecated(
+        since = "0.8.0",
+        note = "build through the unified `Scenario` API instead: \
+                `Scenario::on(fabric).observe(obs)` (or \
+                `Scenario::from_simulation(sim).observe(obs)` for a \
+                pre-built simulation)"
+    )]
     pub fn with_obs(mut self, obs: numa_obs::Obs) -> Self {
-        self.obs = Some(obs);
+        self.set_obs(obs);
         self
+    }
+
+    /// Internal obs attach shared by the deprecated [`Self::with_obs`]
+    /// shim and [`crate::scenario::Scenario::observe`].
+    pub(crate) fn set_obs(&mut self, obs: numa_obs::Obs) {
+        self.obs = Some(obs);
+    }
+
+    /// The fabric this simulation runs over. The returned reference
+    /// carries the fabric's own lifetime, so fault layers can hold it
+    /// while mutating the simulation.
+    pub fn fabric(&self) -> &'f Fabric {
+        self.fabric
     }
 
     /// Register (or fetch) a shared resource, e.g. a device port or a
@@ -178,9 +224,15 @@ impl<'f> Simulation<'f> {
         self.cap_events.len()
     }
 
-    /// Add a flow; returns its id.
+    /// Add a flow; returns its id. The flow becomes active at its
+    /// [`FlowSpec::arrival_s`] (0.0 — the closed-loop default — means it
+    /// competes from simulation start).
     pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
         assert!(spec.volume_gbit > 0.0, "flow volume must be positive");
+        assert!(
+            spec.arrival_s.is_finite() && spec.arrival_s >= 0.0,
+            "flow arrival must be finite and >= 0"
+        );
         self.flows.push(spec);
         FlowId(self.flows.len() as u32 - 1)
     }
@@ -362,15 +414,17 @@ impl<'f> Simulation<'f> {
         mut self,
         mut trace: Option<crate::trace::Trace>,
     ) -> Result<(SimReport, Option<crate::trace::Trace>), SimError> {
+        use crate::schedule::{Event, Schedule};
+
         if self.flows.is_empty() {
             return Err(SimError::NoFlows);
         }
         let (resource_lists, base_ceilings) = self.lower_flows();
         let n = self.flows.len();
         // Lower into the solver once; between rounds only ceilings move
-        // (jitter multipliers, and 0.0 for completed flows — the active
-        // mask), so every round after the first solves with zero heap
-        // allocation instead of rebuilding a MaxMinProblem.
+        // (jitter multipliers, 0.0 for completed or not-yet-arrived flows
+        // — the active mask), so every round after the first solves with
+        // zero heap allocation instead of rebuilding a MaxMinProblem.
         let mut solver = self.solver_for(&resource_lists, &base_ceilings);
         let mut remaining: Vec<f64> = self.flows.iter().map(|f| f.volume_gbit).collect();
         let mut finish = vec![0.0_f64; n];
@@ -384,23 +438,45 @@ impl<'f> Simulation<'f> {
             Vec::new()
         };
 
-        // Scheduled capacity changes, time-ordered; stable sort keeps
-        // insertion order for ties so seeded fault plans replay exactly.
-        let mut cap_events = std::mem::take(&mut self.cap_events);
-        cap_events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
-        let mut next_cap_idx = 0usize;
+        // The event calendar holds every exogenous event: flow arrivals,
+        // scheduled capacity changes, jitter ticks. Completions stay
+        // endogenous (derived from `remaining / rate` each round, since a
+        // completion time moves whenever the allocation changes).
+        let mut calendar = Schedule::new();
+        // A flow with a future arrival is lowered into the solver up
+        // front but held at a zero ceiling — the same deactivation used
+        // for completed flows — until its arrival event fires.
+        let mut arrived: Vec<bool> = vec![true; n];
+        for i in 0..n {
+            if self.flows[i].arrival_s > 0.0 {
+                arrived[i] = false;
+                solver.set_ceiling(i, 0.0);
+                calendar.push(self.flows[i].arrival_s, Event::FlowArrival { flow: FlowId(i as u32) });
+            }
+        }
+        // Scheduled capacity changes go into the same calendar; same-time
+        // entries keep insertion order, so seeded fault plans replay
+        // exactly.
+        for ev in std::mem::take(&mut self.cap_events) {
+            calendar.push(
+                ev.at_s,
+                Event::CapacityChange { resource: ev.h, cap_gbps: ev.cap, tag: ev.tag },
+            );
+        }
+        if jitter_enabled {
+            calendar.push(jitter.refresh_s(), Event::JitterTick);
+        }
 
         let mut t = 0.0_f64;
-        let mut next_jitter = if jitter_enabled { jitter.refresh_s() } else { f64::INFINITY };
 
         for _event in 0..MAX_EVENTS {
             if !active.iter().any(|&a| a) {
                 break;
             }
-            // Allocate rates for the active set.
+            // Allocate rates for the arrived active set.
             if jitter_enabled {
                 for i in 0..n {
-                    if active[i] {
+                    if active[i] && arrived[i] {
                         solver.set_ceiling(i, jitter_bases[i] * jitter.multiplier(i));
                     }
                 }
@@ -409,7 +485,8 @@ impl<'f> Simulation<'f> {
             let rates = solver.solve();
             drop(alloc_span);
             if let Some(o) = &self.obs {
-                let n_active = active.iter().filter(|&&a| a).count();
+                let n_active =
+                    (0..n).filter(|&i| active[i] && arrived[i]).count();
                 o.counter("numio_alloc_rounds_total", &[("component", "engine")]).inc();
                 o.event(
                     "alloc_round",
@@ -424,7 +501,7 @@ impl<'f> Simulation<'f> {
                 tr.push(crate::trace::TraceEvent::Rates {
                     time_s: t,
                     rates: (0..n)
-                        .filter(|&i| active[i])
+                        .filter(|&i| active[i] && arrived[i])
                         .map(|i| (FlowId(i as u32), rates[i]))
                         .collect(),
                 });
@@ -437,16 +514,17 @@ impl<'f> Simulation<'f> {
                     dt_complete = dt_complete.min(remaining[i] / rates[i]);
                 }
             }
-            let next_cap =
-                cap_events.get(next_cap_idx).map_or(f64::INFINITY, |e| e.at_s);
+            // The calendar's head is the earliest of every pending jitter
+            // tick, arrival, and capacity change.
+            let next_event = calendar.peek_s().unwrap_or(f64::INFINITY);
             // A flow at zero rate is only starved if nothing scheduled can
             // still change the allocation — a pending heal event means the
             // flow is waiting, not dead.
-            if dt_complete.is_infinite() && next_jitter.is_infinite() && next_cap.is_infinite() {
+            if dt_complete.is_infinite() && next_event.is_infinite() {
                 let stuck = (0..n).find(|&i| active[i]).unwrap();
                 return Err(SimError::Starved { flow: FlowId(stuck as u32) });
             }
-            let dt = dt_complete.min(next_jitter - t).min(next_cap - t).max(0.0);
+            let dt = dt_complete.min(next_event - t).max(0.0);
 
             // Integrate.
             for i in 0..n {
@@ -456,7 +534,7 @@ impl<'f> Simulation<'f> {
             }
             t += dt;
             for i in 0..n {
-                if active[i] && remaining[i] <= 1e-9 {
+                if active[i] && arrived[i] && remaining[i] <= 1e-9 {
                     active[i] = false;
                     remaining[i] = 0.0;
                     finish[i] = t;
@@ -474,6 +552,12 @@ impl<'f> Simulation<'f> {
                                 ("label", self.flows[i].label.clone().into()),
                             ],
                         );
+                        o.histogram(
+                            "numio_fct_seconds",
+                            &[("component", "engine")],
+                            numa_obs::buckets::FCT_SECONDS,
+                        )
+                        .observe(t - self.flows[i].arrival_s);
                     }
                     if let Some(tr) = trace.as_mut() {
                         tr.push(crate::trace::TraceEvent::Finished {
@@ -483,37 +567,67 @@ impl<'f> Simulation<'f> {
                     }
                 }
             }
-            if jitter_enabled && t + 1e-12 >= next_jitter {
-                jitter.refresh();
-                next_jitter += jitter.refresh_s();
-                if let Some(o) = &self.obs {
-                    o.event("jitter_refresh", t, &[]);
-                }
-                if let Some(tr) = trace.as_mut() {
-                    tr.push(crate::trace::TraceEvent::JitterRefresh { time_s: t });
-                }
-            }
-            // Apply every capacity change due at (or before) the new time:
-            // both the registry (analysis views) and the solver, which
-            // retunes incrementally without a rebuild.
-            while next_cap_idx < cap_events.len()
-                && cap_events[next_cap_idx].at_s <= t + 1e-12
-            {
-                let ev = cap_events[next_cap_idx].clone();
-                next_cap_idx += 1;
-                self.registry.set_capacity(ev.h, ev.cap);
-                solver.set_capacity(ev.h.index(), ev.cap);
-                if let Some(o) = &self.obs {
-                    o.counter("numio_capacity_events_total", &[("component", "engine")])
-                        .inc();
-                    o.event(
-                        &ev.tag,
-                        t,
-                        &[
-                            ("resource", format!("{:?}", self.registry.key(ev.h)).into()),
-                            ("cap_gbps", numa_obs::Value::from(ev.cap)),
-                        ],
-                    );
+            // Fire every calendar entry due at (or before) the new time,
+            // in deterministic `(time, kind, insertion)` order.
+            while let Some(entry) = calendar.pop_due(t, 1e-12) {
+                match entry.event {
+                    Event::JitterTick => {
+                        jitter.refresh();
+                        calendar.push(entry.at_s + jitter.refresh_s(), Event::JitterTick);
+                        if let Some(o) = &self.obs {
+                            o.event("jitter_refresh", t, &[]);
+                        }
+                        if let Some(tr) = trace.as_mut() {
+                            tr.push(crate::trace::TraceEvent::JitterRefresh { time_s: t });
+                        }
+                    }
+                    Event::FlowArrival { flow } => {
+                        let i = flow.index();
+                        arrived[i] = true;
+                        // Reactivate at the base ceiling; a jitter-enabled
+                        // run retunes it at the top of the next round.
+                        solver.set_ceiling(i, base_ceilings[i]);
+                        if let Some(o) = &self.obs {
+                            o.counter("numio_flow_arrivals_total", &[("component", "engine")])
+                                .inc();
+                            o.event(
+                                "flow_arrived",
+                                t,
+                                &[
+                                    ("flow", numa_obs::Value::from(i)),
+                                    ("label", self.flows[i].label.clone().into()),
+                                ],
+                            );
+                        }
+                        if let Some(tr) = trace.as_mut() {
+                            tr.push(crate::trace::TraceEvent::Arrival { time_s: t, flow });
+                        }
+                    }
+                    // The engine derives completions from the fluid model;
+                    // a posted completion is already recorded above.
+                    Event::FlowCompletion { .. } => {}
+                    Event::CapacityChange { resource, cap_gbps, tag } => {
+                        // Apply to both the registry (analysis views) and
+                        // the solver, which retunes incrementally without
+                        // a rebuild.
+                        self.registry.set_capacity(resource, cap_gbps);
+                        solver.set_capacity(resource.index(), cap_gbps);
+                        if let Some(o) = &self.obs {
+                            o.counter("numio_capacity_events_total", &[("component", "engine")])
+                                .inc();
+                            o.event(
+                                &tag,
+                                t,
+                                &[
+                                    (
+                                        "resource",
+                                        format!("{:?}", self.registry.key(resource)).into(),
+                                    ),
+                                    ("cap_gbps", numa_obs::Value::from(cap_gbps)),
+                                ],
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -523,24 +637,42 @@ impl<'f> Simulation<'f> {
 
         let total_gbit: f64 = self.flows.iter().map(|f| f.volume_gbit).sum();
         let makespan = finish.iter().cloned().fold(0.0, f64::max);
-        let flows = self
+        let flows: Vec<FlowResult> = self
             .flows
             .iter()
             .enumerate()
-            .map(|(i, f)| FlowResult {
-                id: FlowId(i as u32),
-                label: f.label.clone(),
-                volume_gbit: f.volume_gbit,
-                finish_s: finish[i],
-                mean_gbps: if finish[i] > 0.0 { f.volume_gbit / finish[i] } else { 0.0 },
+            .map(|(i, f)| {
+                let fct = finish[i] - f.arrival_s;
+                // Isolated lower bound: the rate the flow would see alone
+                // on an idle fabric (finite ceiling, else the path
+                // min-cut) — the denominator of the slowdown metric.
+                let ideal = self.jitter_base(i, base_ceilings[i]);
+                FlowResult {
+                    id: FlowId(i as u32),
+                    label: f.label.clone(),
+                    volume_gbit: f.volume_gbit,
+                    start_s: f.arrival_s,
+                    finish_s: finish[i],
+                    fct_s: fct,
+                    mean_gbps: if fct > 0.0 { f.volume_gbit / fct } else { 0.0 },
+                    slowdown: if fct > 0.0 && ideal > 0.0 && ideal.is_finite() {
+                        fct / (f.volume_gbit / ideal)
+                    } else {
+                        1.0
+                    },
+                }
             })
             .collect();
+        let fct = crate::fct::FctStats::from_flows(&flows);
         Ok((
             SimReport {
                 flows,
                 makespan_s: makespan,
                 aggregate_gbps: if makespan > 0.0 { total_gbit / makespan } else { 0.0 },
                 total_gbit,
+                fct_p50_s: fct.p50_s,
+                fct_p99_s: fct.p99_s,
+                mean_slowdown: fct.mean_slowdown,
             },
             trace,
         ))
@@ -756,10 +888,10 @@ mod tests {
     fn observed_run_emits_events_and_metrics() {
         let f = fabric();
         let obs = numa_obs::Obs::new();
-        let mut sim = Simulation::new(&f).with_obs(obs.clone());
-        sim.add_flow(FlowSpec::dma(NodeId(4), NodeId(7)).gbits(23.25).label("a"));
-        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(46.5).label("b"));
-        let r = sim.run().unwrap();
+        let mut sc = crate::scenario::Scenario::on(&f).observe(obs.clone());
+        sc.add_flow(FlowSpec::dma(NodeId(4), NodeId(7)).gbits(23.25).label("a"));
+        sc.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(46.5).label("b"));
+        let r = sc.run().unwrap();
         assert_eq!(
             obs.counter("numio_alloc_rounds_total", &[("component", "engine")]).get(),
             2
@@ -789,8 +921,27 @@ mod tests {
             sim
         };
         let plain = build().run().unwrap();
-        let observed = build().with_obs(numa_obs::Obs::new()).run().unwrap();
+        let observed = crate::scenario::Scenario::from_simulation(build())
+            .observe(numa_obs::Obs::new())
+            .run()
+            .unwrap();
         assert_eq!(plain, observed);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_obs_shim_still_attaches() {
+        // The one-release compatibility shim: `with_obs` routes to the
+        // same obs attach `Scenario::observe` uses.
+        let f = fabric();
+        let obs = numa_obs::Obs::new();
+        let mut sim = Simulation::new(&f).with_obs(obs.clone());
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(46.5));
+        sim.run().unwrap();
+        assert_eq!(
+            obs.counter("numio_flow_completions_total", &[("component", "engine")]).get(),
+            1
+        );
     }
 
     #[test]
@@ -885,13 +1036,13 @@ mod tests {
     fn capacity_events_emit_tagged_obs_events() {
         let f = fabric();
         let obs = numa_obs::Obs::new();
-        let mut sim = Simulation::new(&f).with_obs(obs.clone());
+        let mut sc = crate::scenario::Scenario::on(&f).observe(obs.clone());
         let e = numa_topology::DirectedEdge::new(NodeId(6), NodeId(7));
-        let h = sim.register(ResourceKey::Edge(e), 46.5);
-        sim.schedule_capacity_as(h, 0.5, 10.0, "fault_injected");
-        sim.schedule_capacity_as(h, 1.5, 46.5, "fault_healed");
-        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(60.0));
-        sim.run().unwrap();
+        let h = sc.register(ResourceKey::Edge(e), 46.5);
+        sc.simulation_mut().schedule_capacity_as(h, 0.5, 10.0, "fault_injected");
+        sc.simulation_mut().schedule_capacity_as(h, 1.5, 46.5, "fault_healed");
+        sc.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(60.0));
+        sc.run().unwrap();
         assert_eq!(
             obs.counter("numio_capacity_events_total", &[("component", "engine")]).get(),
             2
@@ -936,6 +1087,39 @@ mod tests {
         assert!(s.contains("slowpath"));
         assert!(s.contains("aggregate: 26.00 Gbit/s"));
         assert!(s.contains("F0"));
+    }
+
+    #[test]
+    fn empty_report_mean_flow_gbps_is_zero_not_nan() {
+        // Regression (same family as the Summary::empty fix): an empty
+        // report used to divide by zero and yield NaN.
+        let r = SimReport {
+            flows: Vec::new(),
+            makespan_s: 0.0,
+            aggregate_gbps: 0.0,
+            total_gbit: 0.0,
+            fct_p50_s: 0.0,
+            fct_p99_s: 0.0,
+            mean_slowdown: 0.0,
+        };
+        assert_eq!(r.mean_flow_gbps(), 0.0);
+        assert!(!r.mean_flow_gbps().is_nan());
+        assert_eq!(r.fct_stats(), crate::fct::FctStats::empty());
+    }
+
+    #[test]
+    fn report_carries_fct_percentiles_and_digest() {
+        let f = fabric();
+        let mut sim = Simulation::new(&f);
+        sim.add_flow(FlowSpec::dma(NodeId(4), NodeId(7)).gbits(23.25));
+        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(46.5));
+        let r = sim.run().unwrap();
+        // Finishes at 1.0 and 1.5 s (staggered completion case): the
+        // nearest-rank p50 over {1.0, 1.5} is 1.0, p99 is 1.5.
+        assert!((r.fct_p50_s - 1.0).abs() < 1e-9, "{}", r.fct_p50_s);
+        assert!((r.fct_p99_s - 1.5).abs() < 1e-9, "{}", r.fct_p99_s);
+        assert!(r.mean_slowdown >= 1.0);
+        assert_eq!(r.fct_digest(), crate::fct::fct_digest(&r.flows));
     }
 
     #[test]

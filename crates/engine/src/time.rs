@@ -1,0 +1,109 @@
+//! Integer simulation time.
+//!
+//! The event calendar keys on an integer clock so event ordering never
+//! depends on floating-point rounding: two events scheduled at the same
+//! nanosecond compare equal on every platform, and ties break on the
+//! deterministic `(kind, sequence)` order the [`crate::schedule::Schedule`]
+//! maintains. One tick is one nanosecond — fine enough that the paper's
+//! multi-second 400 GB transfers span billions of ticks, coarse enough
+//! that a `u64` holds ~584 years of simulated time.
+//!
+//! The fluid integrator still advances in `f64` seconds (rate × time
+//! products want the full mantissa); [`Time`] is the *ordering* domain,
+//! seconds are the *arithmetic* domain, and [`Time::from_seconds`] is the
+//! single, deterministic bridge between them.
+
+use serde::{Deserialize, Serialize};
+
+/// Ticks per simulated second (nanosecond resolution).
+pub const TICKS_PER_SECOND: u64 = 1_000_000_000;
+
+/// An absolute instant on the simulation clock, in integer nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The start of simulated time.
+    pub const ZERO: Time = Time(0);
+
+    /// Largest representable instant (used as an "never" sentinel).
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Quantize a non-negative time in seconds onto the tick clock,
+    /// rounding to the nearest tick. Deterministic: the same `f64` input
+    /// always maps to the same tick on every platform.
+    pub fn from_seconds(s: f64) -> Time {
+        debug_assert!(s >= 0.0 && s.is_finite(), "time must be finite and >= 0: {s}");
+        Time((s * TICKS_PER_SECOND as f64).round() as u64)
+    }
+
+    /// This instant in seconds (for rendering; the integrator keeps its
+    /// own exact `f64` timeline).
+    pub fn as_seconds(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SECOND as f64
+    }
+
+    /// The instant `d` after this one, saturating at [`Time::MAX`].
+    pub fn after(self, d: Delta) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+
+    /// Elapsed ticks since `earlier` (saturating at zero).
+    pub fn since(self, earlier: Time) -> Delta {
+        Delta(self.0.saturating_sub(earlier.0))
+    }
+}
+
+/// A span between two instants, in integer nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Delta(pub u64);
+
+impl Delta {
+    /// Zero-length span.
+    pub const ZERO: Delta = Delta(0);
+
+    /// Quantize a non-negative duration in seconds (nearest tick).
+    pub fn from_seconds(s: f64) -> Delta {
+        debug_assert!(s >= 0.0 && s.is_finite(), "delta must be finite and >= 0: {s}");
+        Delta((s * TICKS_PER_SECOND as f64).round() as u64)
+    }
+
+    /// This span in seconds.
+    pub fn as_seconds(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SECOND as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_round_trip_at_tick_resolution() {
+        let t = Time::from_seconds(1.25);
+        assert_eq!(t, Time(1_250_000_000));
+        assert_eq!(t.as_seconds(), 1.25);
+        assert_eq!(Delta::from_seconds(0.5), Delta(500_000_000));
+    }
+
+    #[test]
+    fn ordering_is_integer_exact() {
+        // Two f64 values closer than a tick land on the same instant.
+        let a = Time::from_seconds(1.0);
+        let b = Time::from_seconds(1.0 + 1e-13);
+        assert_eq!(a, b);
+        assert!(Time::from_seconds(1.0) < Time::from_seconds(1.0 + 1e-8));
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Time::MAX.after(Delta(1)), Time::MAX);
+        assert_eq!(Time::ZERO.since(Time(5)), Delta::ZERO);
+        assert_eq!(Time(7).since(Time(2)), Delta(5));
+        assert_eq!(Time(3).after(Delta(4)), Time(7));
+    }
+}

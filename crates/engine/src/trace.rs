@@ -27,6 +27,13 @@ pub enum TraceEvent {
         /// The completed flow.
         flow: FlowId,
     },
+    /// A flow arrived (started competing) at `time_s`.
+    Arrival {
+        /// Simulation time.
+        time_s: f64,
+        /// The arriving flow.
+        flow: FlowId,
+    },
     /// Jitter multipliers were refreshed at `time_s`.
     JitterRefresh {
         /// Simulation time.
@@ -40,6 +47,7 @@ impl TraceEvent {
         match self {
             TraceEvent::Rates { time_s, .. }
             | TraceEvent::Finished { time_s, .. }
+            | TraceEvent::Arrival { time_s, .. }
             | TraceEvent::JitterRefresh { time_s } => *time_s,
         }
     }
@@ -121,6 +129,11 @@ impl Trace {
                     *time_s,
                     &[("flow", numa_obs::Value::from(flow.0))],
                 ),
+                TraceEvent::Arrival { time_s, flow } => obs.event(
+                    "flow_arrived",
+                    *time_s,
+                    &[("flow", numa_obs::Value::from(flow.0))],
+                ),
                 TraceEvent::JitterRefresh { time_s } => obs.event("jitter_refresh", *time_s, &[]),
             }
         }
@@ -140,6 +153,9 @@ impl Trace {
                 }
                 TraceEvent::Finished { time_s, flow } => {
                     let _ = writeln!(out, "t={time_s:>8.3}s  finish F{}", flow.0);
+                }
+                TraceEvent::Arrival { time_s, flow } => {
+                    let _ = writeln!(out, "t={time_s:>8.3}s  arrive F{}", flow.0);
                 }
                 TraceEvent::JitterRefresh { time_s } => {
                     let _ = writeln!(out, "t={time_s:>8.3}s  jitter refresh");

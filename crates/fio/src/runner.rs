@@ -1,7 +1,9 @@
 //! Lower fio jobs onto the flow simulator and report aggregates.
 
 use crate::job::{JobSpec, Workload};
-use numa_engine::{FlowSpec, JitterCfg, ResourceKey, SimError, SimReport, Simulation};
+use numa_engine::{
+    FlowSpec, JitterCfg, ResourceKey, Scenario, ScenarioError, SimError, SimReport, Simulation,
+};
 use numa_fabric::Fabric;
 use numa_iodev::{NicModel, NicOp, SsdModel};
 use numa_topology::NodeId;
@@ -313,18 +315,25 @@ pub fn run_jobs_with(
     Ok(assemble_report(jobs, report, &flow_job))
 }
 
-/// [`run_jobs`] with an observability handle attached to the underlying
-/// simulation. Engine-level events (allocation rounds, flow completions)
-/// carry each flow's `job<i>.<stream> <describe>` label, so the stream is
-/// already tagged with job metadata; on top of that, each job's aggregate
-/// is emitted as a `job_finished` event at its makespan.
-pub fn run_jobs_observed(
+/// [`run_jobs`] with an observability handle, routed through the engine's
+/// unified [`Scenario`] builder. Engine-level events (allocation rounds,
+/// flow completions) carry each flow's `job<i>.<stream> <describe>` label,
+/// so the stream is already tagged with job metadata; on top of that, each
+/// job's aggregate is emitted as a `job_finished` event at its makespan.
+pub fn run_jobs_scenario(
     fabric: &Fabric,
     jobs: &[JobSpec],
     obs: &numa_obs::Obs,
 ) -> Result<FioReport, FioError> {
     let (sim, flow_job) = build_sim(fabric, jobs)?;
-    let report = sim.with_obs(obs.clone()).run().map_err(FioError::Sim)?;
+    let report = Scenario::from_simulation(sim)
+        .observe(obs.clone())
+        .run()
+        .map_err(|e| match e {
+            ScenarioError::Sim(s) => FioError::Sim(s),
+            // No workloads or fault sources are attached here.
+            ScenarioError::Faults { reason } => unreachable!("{reason}"),
+        })?;
     let out = assemble_report(jobs, report, &flow_job);
     for (ji, j) in out.jobs.iter().enumerate() {
         obs.counter("numio_jobs_completed_total", &[("component", "fio")]).inc();
@@ -340,6 +349,20 @@ pub fn run_jobs_observed(
         );
     }
     Ok(out)
+}
+
+/// Deprecated name for [`run_jobs_scenario`].
+#[deprecated(
+    since = "0.8.0",
+    note = "renamed to `run_jobs_scenario`, which routes through the \
+            unified `numa_engine::Scenario` builder"
+)]
+pub fn run_jobs_observed(
+    fabric: &Fabric,
+    jobs: &[JobSpec],
+    obs: &numa_obs::Obs,
+) -> Result<FioReport, FioError> {
+    run_jobs_scenario(fabric, jobs, obs)
 }
 
 /// Fold raw simulator output into per-job aggregates. Public so harnesses
@@ -553,8 +576,12 @@ mod tests {
         ];
         let plain = run_jobs(&f, &jobs).unwrap();
         let obs = numa_obs::Obs::new();
-        let observed = run_jobs_observed(&f, &jobs, &obs).unwrap();
+        let observed = run_jobs_scenario(&f, &jobs, &obs).unwrap();
+        // The deprecated shim stays bit-identical for its final release.
+        #[allow(deprecated)]
+        let shimmed = run_jobs_observed(&f, &jobs, &numa_obs::Obs::new()).unwrap();
         assert_eq!(plain, observed);
+        assert_eq!(plain, shimmed);
         assert_eq!(obs.counter("numio_jobs_completed_total", &[("component", "fio")]).get(), 2);
         let jsonl = obs.jsonl();
         // Engine flow completions carry the job-tagged flow label...

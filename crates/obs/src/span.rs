@@ -66,6 +66,12 @@ pub mod buckets {
     /// roughly 14–54 Gbit/s).
     pub const GBPS: &[f64] = &[5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 50.0, 60.0];
 
+    /// Flow completion times, seconds: open-loop scenarios span
+    /// millisecond small transfers to the paper's multi-second 400 GB
+    /// bulk runs.
+    pub const FCT_SECONDS: &[f64] =
+        &[1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0];
+
     /// Serve request latencies, seconds: an exponential 1–2.5–5 ladder
     /// from 10 µs to 2.5 s. Hot cache hits land in the µs decades, cold
     /// characterizations in the ms–s decades, so one bucket set covers

@@ -101,6 +101,8 @@ pub struct Scheduler<'a> {
     pub migration_pause_s: f64,
     /// Retry policy for transient allocation-round failures.
     pub retry: RetryPolicy,
+    /// Observability handle attached via [`Scheduler::observe`].
+    obs: Option<numa_obs::Obs>,
 }
 
 impl<'a> Scheduler<'a> {
@@ -115,7 +117,7 @@ impl<'a> Scheduler<'a> {
     ///
     /// [`new`]: Scheduler::new
     pub fn for_fabric(fabric: &'a Fabric) -> Self {
-        Scheduler { fabric, migration_pause_s: 0.25, retry: RetryPolicy::default() }
+        Scheduler { fabric, migration_pause_s: 0.25, retry: RetryPolicy::default(), obs: None }
     }
 
     /// New scheduler over any measurement backend. Episodes are fluid
@@ -129,19 +131,36 @@ impl<'a> Scheduler<'a> {
         Ok(Self::for_fabric(fabric))
     }
 
-    /// Run one episode.
+    /// Attach an observability handle. Subsequent [`run`] calls emit
+    /// structured events (placements, migrations, completions) and metrics
+    /// (allocation-round counters, per-policy latency histograms) into
+    /// `obs`. Timestamps are simulation time, so the emitted stream is
+    /// deterministic for a deterministic trace.
+    ///
+    /// [`run`]: Scheduler::run
+    #[must_use]
+    pub fn observe(mut self, obs: numa_obs::Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Run one episode (observed when a handle was attached via
+    /// [`Scheduler::observe`]).
     pub fn run<P: Policy>(
         &self,
         tasks: Vec<IoTask>,
         policy: P,
     ) -> Result<EpisodeReport, SchedError> {
-        self.run_impl(tasks, policy, None)
+        self.run_impl(tasks, policy, self.obs.as_ref())
     }
 
-    /// Run one episode, emitting structured events (placements, migrations,
-    /// completions) and metrics (allocation-round counters, per-policy
-    /// latency histograms) into `obs`. Timestamps are simulation time, so
-    /// the emitted stream is deterministic for a deterministic trace.
+    /// Deprecated: attach the handle with [`Scheduler::observe`] and call
+    /// [`Scheduler::run`] — the same builder shape as the engine's
+    /// `Scenario` API.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `Scheduler::observe(obs).run(tasks, policy)` instead"
+    )]
     pub fn run_observed<P: Policy>(
         &self,
         tasks: Vec<IoTask>,
@@ -504,9 +523,16 @@ mod tests {
         let plain = Scheduler::new(&p).run(tasks.clone(), SpreadAll::new()).unwrap();
         let obs = numa_obs::Obs::new();
         let observed = Scheduler::new(&p)
-            .run_observed(tasks, SpreadAll::new(), &obs)
+            .observe(obs.clone())
+            .run(tasks.clone(), SpreadAll::new())
             .unwrap();
         assert_eq!(plain, observed);
+        // The deprecated shim stays equivalent for its final release.
+        #[allow(deprecated)]
+        let shimmed = Scheduler::new(&p)
+            .run_observed(tasks, SpreadAll::new(), &numa_obs::Obs::new())
+            .unwrap();
+        assert_eq!(plain, shimmed);
         assert_eq!(
             obs.counter("numio_flow_completions_total", &[("component", "sched")]).get(),
             6
@@ -529,7 +555,7 @@ mod tests {
         let tasks = poisson(12, 0.5, MixProfile::Ingest, 21);
         let policy = ModelDrivenMigrating::new(ModelDriven::from_platform(&p), 1.0, 2);
         let obs = numa_obs::Obs::new();
-        let report = Scheduler::new(&p).run_observed(tasks, policy, &obs).unwrap();
+        let report = Scheduler::new(&p).observe(obs.clone()).run(tasks, policy).unwrap();
         assert_eq!(
             obs.counter("numio_migrations_total", &[("component", "sched")]).get(),
             u64::from(report.migrations)
@@ -610,7 +636,8 @@ mod tests {
         let tasks = vec![IoTask::new(0.0, Workload::Nic(NicOp::RdmaWrite), 1, 1.0)];
         let obs = numa_obs::Obs::new();
         let err = Scheduler::new(&p)
-            .run_observed(tasks, LocalOnly::new(), &obs)
+            .observe(obs.clone())
+            .run(tasks, LocalOnly::new())
             .unwrap_err();
         match &err {
             SchedError::AllocFailed { attempts, last_error } => {

@@ -117,6 +117,13 @@ pub enum Request {
         #[serde(default = "default_to_device")]
         to_device: bool,
     },
+    /// Run a generated workload through the engine's `Scenario` builder
+    /// and return FCT statistics (needs a sim fabric).
+    Simulate {
+        /// Workload spec in the shared grammar, e.g.
+        /// `poisson:n=1000,rate=200,seed=42`.
+        workload: String,
+    },
     /// The full cached atlas.
     Atlas,
     /// Service + cache counters and the latency summary.
@@ -146,6 +153,7 @@ impl Request {
             Request::PredictBatch { .. } => "predict_batch",
             Request::Classify { .. } => "classify",
             Request::Place { .. } => "place",
+            Request::Simulate { .. } => "simulate",
             Request::Atlas => "atlas",
             Request::Stats => "stats",
             Request::Dump => "dump",
@@ -227,6 +235,24 @@ pub enum Response {
         nodes: Vec<u16>,
         /// Served from the characterization cache?
         cached: bool,
+    },
+    /// Workload simulation outcome.
+    Simulate {
+        /// Flows completed.
+        flows: usize,
+        /// Completion time of the last flow, seconds.
+        makespan_s: f64,
+        /// Total volume over makespan, Gbit/s.
+        aggregate_gbps: f64,
+        /// Median flow completion time, seconds.
+        fct_p50_s: f64,
+        /// 99th-percentile flow completion time, seconds.
+        fct_p99_s: f64,
+        /// Mean slowdown against each flow's isolated lower bound.
+        mean_slowdown: f64,
+        /// Hex-encoded order-sensitive digest of the exact FCT bit
+        /// patterns — equal digests mean bit-identical runs.
+        fct_digest: String,
     },
     /// The full atlas.
     Atlas {
@@ -328,6 +354,9 @@ mod tests {
                 tasks: 4,
                 to_device: true,
             },
+            Request::Simulate {
+                workload: "poisson:n=100,rate=200,seed=42".into(),
+            },
             Request::Atlas,
             Request::Stats,
             Request::Dump,
@@ -411,9 +440,26 @@ mod tests {
     }
 
     #[test]
+    fn simulate_round_trips_both_ways() {
+        let req = decode_request(r#"{"op":"simulate","workload":"batch:n=4"}"#).unwrap();
+        assert_eq!(req, Request::Simulate { workload: "batch:n=4".into() });
+        let resp = Response::Simulate {
+            flows: 100,
+            makespan_s: 2.5,
+            aggregate_gbps: 40.0,
+            fct_p50_s: 0.02,
+            fct_p99_s: 0.4,
+            mean_slowdown: 1.7,
+            fct_digest: "cbf29ce484222325".into(),
+        };
+        assert_eq!(decode_response(&encode(&resp).unwrap()).unwrap(), resp);
+    }
+
+    #[test]
     fn op_labels_are_stable() {
         assert_eq!(Request::Atlas.op(), "atlas");
         assert_eq!(Request::Dump.op(), "dump");
+        assert_eq!(Request::Simulate { workload: "batch:n=1".into() }.op(), "simulate");
         assert_eq!(
             Request::PredictBatch {
                 target: 7,

@@ -636,6 +636,31 @@ impl<P: Platform> ModelService<P> {
                     cached: write_hit && read_hit,
                 })
             }
+            Request::Simulate { workload } => {
+                let fabric = self.platform.fabric().ok_or_else(|| ServeError::NoFabric {
+                    label: self.platform.label(),
+                })?;
+                let workload = numa_engine::Workload::parse(workload)
+                    .map_err(|reason| ServeError::BadRequest { reason })?;
+                // Simulation always runs against the healthy fabric: the
+                // fault view degrades *characterizations*, while scenario
+                // fault plans are armed by the caller inside the workload
+                // spec's own world (CLI `run --faults`).
+                let report = numa_engine::Scenario::on(fabric)
+                    .workload(workload)
+                    .run()
+                    .map_err(|e| ServeError::BadRequest { reason: e.to_string() })?;
+                let stats = report.fct_stats();
+                Ok(Response::Simulate {
+                    flows: report.flows.len(),
+                    makespan_s: report.makespan_s,
+                    aggregate_gbps: report.aggregate_gbps,
+                    fct_p50_s: stats.p50_s,
+                    fct_p99_s: stats.p99_s,
+                    mean_slowdown: stats.mean_slowdown,
+                    fct_digest: format!("{:016x}", report.fct_digest()),
+                })
+            }
             Request::SetFaults { plan } => {
                 let (active, invalidated) = self.set_fault_plan(plan)?;
                 Ok(Response::Faults {
@@ -771,6 +796,36 @@ mod tests {
             }
             other => panic!("unexpected replies: {other:?}"),
         }
+    }
+
+    #[test]
+    fn simulate_answers_with_fct_stats_and_a_stable_digest() {
+        let svc = service();
+        let req = Request::Simulate {
+            workload: "poisson:n=50,rate=100,seed=7".into(),
+        };
+        let a = svc.handle(&req);
+        let b = svc.handle(&req);
+        assert_eq!(a, b, "seeded simulation replies bit-identically");
+        let Response::Simulate {
+            flows,
+            makespan_s,
+            fct_p99_s,
+            mean_slowdown,
+            fct_digest,
+            ..
+        } = a
+        else {
+            panic!("unexpected reply: {a:?}");
+        };
+        assert_eq!(flows, 50);
+        assert!(makespan_s > 0.0);
+        assert!(fct_p99_s > 0.0);
+        assert!(mean_slowdown >= 1.0 - 1e-9, "{mean_slowdown}");
+        assert_eq!(fct_digest.len(), 16, "{fct_digest}");
+        // A malformed spec is an error reply, not a panic.
+        let bad = svc.handle(&Request::Simulate { workload: "uniform:n=1".into() });
+        assert!(matches!(bad, Response::Error { .. }), "{bad:?}");
     }
 
     #[test]

@@ -83,23 +83,21 @@ fn main() {
     }
 
     // Step 5: the same plan, injected mid-transfer. Two DMA flows into the
-    // NIC node; the injector lowers the plan onto the engine's event loop,
+    // NIC node; the scenario arms the plan on the engine's event calendar,
     // so capacity drops exactly when the timeline says.
     let fabric = healthy.fabric();
-    let healthy_report = {
-        let mut sim = Simulation::new(fabric);
-        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbytes(4.0));
-        sim.add_flow(FlowSpec::dma(NodeId(1), NodeId(7)).gbytes(4.0));
-        sim.run().expect("flows admitted")
+    let flows = || {
+        [
+            FlowSpec::dma(NodeId(6), NodeId(7)).gbytes(4.0),
+            FlowSpec::dma(NodeId(1), NodeId(7)).gbytes(4.0),
+        ]
     };
-    let faulted_report = {
-        let mut sim = Simulation::new(fabric);
-        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbytes(4.0));
-        sim.add_flow(FlowSpec::dma(NodeId(1), NodeId(7)).gbytes(4.0));
-        let armed = FaultInjector::new(plan).arm(&mut sim, fabric).expect("plan lowers");
-        println!("\narmed {armed} capacity event(s) on the running simulation");
-        sim.run().expect("flows admitted")
-    };
+    let healthy_report = Scenario::on(fabric).flows(flows()).run().expect("flows admitted");
+    let faulted_report = Scenario::on(fabric)
+        .flows(flows())
+        .faults(FaultInjector::new(plan))
+        .run()
+        .expect("plan lowers onto the event calendar");
     println!(
         "mid-transfer injection: aggregate {:.1} -> {:.1} Gbit/s, makespan {:.2}s -> {:.2}s",
         healthy_report.aggregate_gbps,

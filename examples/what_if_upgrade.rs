@@ -29,11 +29,15 @@ fn main() {
 
     // Bottleneck check: with writers on 2 and 3, the narrow links saturate.
     let fabric = before.fabric();
-    let mut sim = Simulation::new(fabric);
-    sim.add_flow(FlowSpec::dma(NodeId(2), NodeId(7)).gbytes(4.0));
-    sim.add_flow(FlowSpec::dma(NodeId(3), NodeId(7)).gbytes(4.0));
+    let bottlenecks = Scenario::on(fabric)
+        .flows([
+            FlowSpec::dma(NodeId(2), NodeId(7)).gbytes(4.0),
+            FlowSpec::dma(NodeId(3), NodeId(7)).gbytes(4.0),
+        ])
+        .bottlenecks()
+        .expect("flows admitted");
     println!("top bottlenecks with writers on nodes 2,3:");
-    for (key, used, cap, util) in sim.bottlenecks().into_iter().take(3) {
+    for (key, used, cap, util) in bottlenecks.into_iter().take(3) {
         println!("  {key:?}: {used:.1}/{cap:.1} Gbit/s ({:.0}%)", util * 100.0);
     }
 

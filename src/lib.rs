@@ -11,7 +11,9 @@
 //!   routing, presets including the DL585 G7 testbed).
 //! * [`fabric`] — directed-capacity interconnect model: path bandwidth,
 //!   max-min fair sharing, latency / NUMA factor.
-//! * [`engine`] — discrete-event flow simulator.
+//! * [`engine`] — discrete-event flow simulator: an event-calendar core
+//!   with open-loop workload generators, flow-completion-time records,
+//!   and the unified [`Scenario`](engine::Scenario) front door.
 //! * [`memsys`] — memory subsystem: policies, numastat, STREAM simulation.
 //! * [`iodev`] — NIC (TCP/RDMA) and SSD device models.
 //! * [`fio`] — fio-like benchmark job harness.
@@ -78,6 +80,8 @@ pub enum Error {
     Sysfs(topology::sysfs::SysfsError),
     /// The flow simulation failed ([`engine`]).
     Sim(engine::SimError),
+    /// Building or running a [`engine::Scenario`] failed ([`engine`]).
+    Scenario(engine::ScenarioError),
     /// A scheduling episode failed ([`sched`]).
     Sched(sched::SchedError),
     /// Lowering or running a benchmark job set failed ([`fio`]).
@@ -110,6 +114,7 @@ impl std::fmt::Display for Error {
             Error::Topology(e) => write!(f, "topology: {e}"),
             Error::Sysfs(e) => write!(f, "sysfs: {e}"),
             Error::Sim(e) => write!(f, "simulation: {e}"),
+            Error::Scenario(e) => write!(f, "scenario: {e}"),
             Error::Sched(e) => write!(f, "scheduler: {e}"),
             Error::Fio(e) => write!(f, "fio: {e}"),
             Error::JobFile(e) => write!(f, "job file: {e}"),
@@ -132,6 +137,7 @@ impl std::error::Error for Error {
             Error::Topology(e) => Some(e),
             Error::Sysfs(e) => Some(e),
             Error::Sim(e) => Some(e),
+            Error::Scenario(e) => Some(e),
             Error::Sched(e) => Some(e),
             Error::Fio(e) => Some(e),
             Error::JobFile(e) => Some(e),
@@ -162,6 +168,7 @@ impl_from_error!(
     Topology(topology::TopologyError),
     Sysfs(topology::sysfs::SysfsError),
     Sim(engine::SimError),
+    Scenario(engine::ScenarioError),
     Sched(sched::SchedError),
     Fio(fio::FioError),
     JobFile(fio::JobFileError),
@@ -189,7 +196,9 @@ pub type Result<T> = std::result::Result<T, Error>;
 pub mod prelude {
     pub use crate::Error;
     pub use numa_backend::{AnyPlatform, BackendError, RecordingPlatform, ReplayPlatform};
-    pub use numa_engine::{FlowSpec, SimError, SimReport, Simulation};
+    pub use numa_engine::{
+        FctStats, FlowSpec, Scenario, ScenarioError, SimError, SimReport, Simulation,
+    };
     pub use numa_fabric::{Fabric, TrafficClass};
     pub use numa_faults::{FaultInjector, FaultKind, FaultPlan, FaultWindow};
     pub use numa_fio::{FioError, JobSpec, Workload};
@@ -214,6 +223,10 @@ mod tests {
         assert!(matches!(
             roundtrip(engine::SimError::NoFlows),
             Error::Sim(engine::SimError::NoFlows)
+        ));
+        assert!(matches!(
+            roundtrip(engine::ScenarioError::Faults { reason: "x".into() }),
+            Error::Scenario(_)
         ));
         assert!(matches!(roundtrip(sched::SchedError::NoTasks), Error::Sched(_)));
         assert!(matches!(roundtrip(fio::FioError::NoNic), Error::Fio(_)));

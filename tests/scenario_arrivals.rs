@@ -1,0 +1,173 @@
+//! Scenario determinism and compatibility guarantees.
+//!
+//! The event-calendar engine promises two things at once: seeded
+//! open-loop workloads replay **bit-identically** (same event order,
+//! same FCT vector, same observability stream — regardless of the
+//! worker-thread count), and the closed-loop batch path through the new
+//! [`Scenario`](numio::engine::Scenario) front door reproduces the
+//! legacy `Simulation` output bit-for-bit.
+
+use numio::core::SimPlatform;
+use numio::engine::{FlowSpec, Scenario, SimReport, Simulation, Workload};
+use numio::topology::NodeId;
+
+/// A mixed-template open-loop workload with enough flows to exercise
+/// overlapping arrivals, completions and regime changes.
+fn poisson_workload() -> Workload {
+    let templates = vec![
+        FlowSpec::dma(NodeId(6), NodeId(7)).gbits(2.0).label("near"),
+        FlowSpec::dma(NodeId(4), NodeId(7)).gbits(1.0).label("far"),
+    ];
+    Workload::poisson(templates, 200, 50.0, 42)
+}
+
+#[test]
+fn same_seed_poisson_is_bit_identical() {
+    let platform = SimPlatform::dl585();
+    let run = || {
+        let obs = numio::obs::Obs::new();
+        let report = Scenario::on(platform.fabric())
+            .workload(poisson_workload())
+            .observe(obs.clone())
+            .run()
+            .unwrap();
+        (report, obs.jsonl(), obs.prometheus())
+    };
+    let (a, jsonl_a, prom_a) = run();
+    let (b, jsonl_b, prom_b) = run();
+    assert_eq!(a.flows.len(), 200);
+    assert_eq!(a.fct_digest(), b.fct_digest(), "FCT digest must replay exactly");
+    for (x, y) in a.flows.iter().zip(&b.flows) {
+        assert_eq!(x.start_s.to_bits(), y.start_s.to_bits());
+        assert_eq!(x.finish_s.to_bits(), y.finish_s.to_bits());
+        assert_eq!(x.fct_s.to_bits(), y.fct_s.to_bits());
+    }
+    assert_eq!(a, b, "whole report must be bit-identical");
+    // The observed event stream pins the *event order*, not just the
+    // final numbers; the metric snapshot pins the series values.
+    assert_eq!(jsonl_a, jsonl_b, "event stream must replay in the same order");
+    assert_eq!(prom_a, prom_b);
+    // Open-loop runs genuinely stagger starts (this is not a batch).
+    assert!(a.flows.iter().any(|f| f.start_s > 0.0));
+    assert!(a.mean_slowdown >= 1.0 - 1e-9, "{}", a.mean_slowdown);
+}
+
+#[test]
+fn worker_thread_count_does_not_change_the_fct_stream() {
+    let platform = SimPlatform::dl585();
+    let digest = || {
+        Scenario::on(platform.fabric())
+            .workload(poisson_workload())
+            .run()
+            .unwrap()
+            .fct_digest()
+    };
+    std::env::set_var("NUMIO_PAR_THREADS", "1");
+    let serial = digest();
+    std::env::set_var("NUMIO_PAR_THREADS", "8");
+    let wide = digest();
+    std::env::remove_var("NUMIO_PAR_THREADS");
+    let default = digest();
+    assert_eq!(serial, wide, "thread count leaked into the FCT stream");
+    assert_eq!(serial, default);
+}
+
+#[test]
+fn bounded_pareto_arrivals_are_seed_deterministic() {
+    let platform = SimPlatform::dl585();
+    let run = || {
+        let template = FlowSpec::dma(NodeId(6), NodeId(7)).gbits(1.0);
+        Scenario::on(platform.fabric())
+            .workload(Workload::bounded_pareto(vec![template], 100, 1.5, 1e-3, 0.5, 7))
+            .run()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.fct_digest(), b.fct_digest());
+    let stats = a.fct_stats();
+    assert_eq!(stats.count, 100);
+    assert!(stats.p50_s <= stats.p90_s && stats.p90_s <= stats.p99_s);
+    assert!(stats.p99_s <= stats.p999_s);
+    assert!(stats.mean_slowdown >= 1.0 - 1e-9, "{}", stats.mean_slowdown);
+}
+
+/// Acceptance anchor: a closed-loop batch through the new API is the
+/// same computation as the pre-scenario `Simulation` entry points —
+/// same floats, not just close ones.
+#[test]
+fn closed_loop_batch_matches_legacy_simulation_bitwise() {
+    let platform = SimPlatform::dl585();
+    let specs = vec![
+        FlowSpec::dma(NodeId(4), NodeId(7)).gbits(93.0).label("a"),
+        FlowSpec::dma(NodeId(6), NodeId(7)).gbits(139.5).label("b"),
+        FlowSpec::dma(NodeId(2), NodeId(5)).gbits(10.0).label("c"),
+    ];
+    let mut sim = Simulation::new(platform.fabric());
+    for s in &specs {
+        sim.add_flow(s.clone());
+    }
+    let legacy = sim.run().unwrap();
+    let via_flows = Scenario::on(platform.fabric()).flows(specs.clone()).run().unwrap();
+    let via_batch = Scenario::on(platform.fabric())
+        .workload(Workload::batch(specs))
+        .run()
+        .unwrap();
+    assert_eq!(legacy, via_flows);
+    assert_eq!(legacy, via_batch);
+    assert_eq!(legacy.fct_digest(), via_batch.fct_digest());
+}
+
+/// Schema golden: the 0.8 `SimReport` JSON carries the FCT summary
+/// fields, and pre-0.8 payloads (without them) still deserialize —
+/// `#[serde(default)]` fills the gaps.
+#[test]
+fn sim_report_json_shape_is_stable_and_backward_compatible() {
+    let platform = SimPlatform::dl585();
+    let report = Scenario::on(platform.fabric())
+        .flows([FlowSpec::dma(NodeId(6), NodeId(7)).gbits(46.5)])
+        .run()
+        .unwrap();
+    let v = serde_json::to_value(&report).unwrap();
+    for key in [
+        "flows",
+        "makespan_s",
+        "aggregate_gbps",
+        "total_gbit",
+        "fct_p50_s",
+        "fct_p99_s",
+        "mean_slowdown",
+    ] {
+        assert!(v.get(key).is_some(), "SimReport JSON lost `{key}`: {v}");
+    }
+    let flow = &v["flows"][0];
+    for key in
+        ["id", "label", "volume_gbit", "start_s", "finish_s", "fct_s", "mean_gbps", "slowdown"]
+    {
+        assert!(flow.get(key).is_some(), "FlowResult JSON lost `{key}`: {flow}");
+    }
+    // Round-trips exactly (serde_json float_roundtrip is on).
+    let back: SimReport = serde_json::from_value(v).unwrap();
+    assert_eq!(back, report);
+
+    // A pre-0.8 report, as serialized before the FCT fields existed.
+    let legacy = serde_json::json!({
+        "flows": [{
+            "id": 0,
+            "label": "a",
+            "volume_gbit": 46.5,
+            "finish_s": 1.0,
+            "mean_gbps": 46.5
+        }],
+        "makespan_s": 1.0,
+        "aggregate_gbps": 46.5,
+        "total_gbit": 46.5
+    });
+    let parsed: SimReport = serde_json::from_value(legacy).unwrap();
+    assert_eq!(parsed.fct_p50_s, 0.0);
+    assert_eq!(parsed.fct_p99_s, 0.0);
+    assert_eq!(parsed.mean_slowdown, 0.0);
+    assert_eq!(parsed.flows[0].start_s, 0.0);
+    assert_eq!(parsed.flows[0].fct_s, 0.0);
+    assert_eq!(parsed.flows[0].slowdown, 1.0, "slowdown defaults to the no-contention value");
+}

@@ -72,16 +72,20 @@ fn traced_fio_run_matches_untraced_aggregates() {
 /// exact byte stream (simulation timestamps, insertion-ordered fields).
 #[test]
 fn jsonl_export_golden() {
-    use numio::engine::{FlowSpec, Simulation};
+    use numio::engine::{FlowSpec, Scenario};
     let platform = SimPlatform::dl585();
     let obs = numio::obs::Obs::new();
-    let mut sim = Simulation::new(platform.fabric()).with_obs(obs.clone());
     // Both flows cross the shared 46.5 Gbps edge 6->7: max-min splits it
     // 23.25 each, flow "a" (93 Gbit) finishes at t=4, then "b" runs alone
     // at 46.5 and its remaining 46.5 Gbit take one more second.
-    sim.add_flow(FlowSpec::dma(NodeId(4), NodeId(7)).gbits(93.0).label("a"));
-    sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(139.5).label("b"));
-    sim.run().unwrap();
+    Scenario::on(platform.fabric())
+        .observe(obs.clone())
+        .flows([
+            FlowSpec::dma(NodeId(4), NodeId(7)).gbits(93.0).label("a"),
+            FlowSpec::dma(NodeId(6), NodeId(7)).gbits(139.5).label("b"),
+        ])
+        .run()
+        .unwrap();
     assert_eq!(
         obs.jsonl(),
         "{\"t\":0,\"ev\":\"alloc_round\",\"component\":\"engine\",\"flows\":2}\n\
@@ -95,18 +99,37 @@ fn jsonl_export_golden() {
 /// text format.
 #[test]
 fn prometheus_export_golden() {
-    use numio::engine::{FlowSpec, Simulation};
+    use numio::engine::{FlowSpec, Scenario};
     let platform = SimPlatform::dl585();
     let obs = numio::obs::Obs::new();
-    let mut sim = Simulation::new(platform.fabric()).with_obs(obs.clone());
-    sim.add_flow(FlowSpec::dma(NodeId(4), NodeId(7)).gbits(93.0));
-    sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(139.5));
-    sim.run().unwrap();
+    Scenario::on(platform.fabric())
+        .observe(obs.clone())
+        .flows([
+            FlowSpec::dma(NodeId(4), NodeId(7)).gbits(93.0),
+            FlowSpec::dma(NodeId(6), NodeId(7)).gbits(139.5),
+        ])
+        .run()
+        .unwrap();
     assert_eq!(
         obs.prometheus(),
         "\
 # TYPE numio_alloc_rounds_total counter
 numio_alloc_rounds_total{component=\"engine\"} 2
+# TYPE numio_fct_seconds histogram
+numio_fct_seconds_bucket{component=\"engine\",le=\"0.001\"} 0
+numio_fct_seconds_bucket{component=\"engine\",le=\"0.01\"} 0
+numio_fct_seconds_bucket{component=\"engine\",le=\"0.05\"} 0
+numio_fct_seconds_bucket{component=\"engine\",le=\"0.1\"} 0
+numio_fct_seconds_bucket{component=\"engine\",le=\"0.25\"} 0
+numio_fct_seconds_bucket{component=\"engine\",le=\"0.5\"} 0
+numio_fct_seconds_bucket{component=\"engine\",le=\"1\"} 0
+numio_fct_seconds_bucket{component=\"engine\",le=\"2.5\"} 0
+numio_fct_seconds_bucket{component=\"engine\",le=\"5\"} 2
+numio_fct_seconds_bucket{component=\"engine\",le=\"10\"} 2
+numio_fct_seconds_bucket{component=\"engine\",le=\"30\"} 2
+numio_fct_seconds_bucket{component=\"engine\",le=\"+Inf\"} 2
+numio_fct_seconds_sum{component=\"engine\"} 9
+numio_fct_seconds_count{component=\"engine\"} 2
 # TYPE numio_flow_completions_total counter
 numio_flow_completions_total{component=\"engine\"} 2
 "
@@ -123,7 +146,7 @@ fn seeded_cli_sched_exports_are_byte_identical() {
         .collect();
     let go = || {
         let obs = numio::obs::Obs::new();
-        numio_cli::run_observed(&args, &obs).unwrap();
+        numio_cli::dispatch(&args, &obs).unwrap();
         (obs.jsonl(), obs.prometheus())
     };
     let (trace_a, prom_a) = go();
