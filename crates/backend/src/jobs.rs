@@ -31,20 +31,6 @@ pub fn run_jobs_scenario<P: Platform>(
     Ok(numa_fio::run_jobs_scenario(fabric, jobs, obs)?)
 }
 
-/// Deprecated name for [`run_jobs_scenario`].
-#[deprecated(
-    since = "0.8.0",
-    note = "renamed to `run_jobs_scenario`, which routes through the \
-            unified `numa_engine::Scenario` builder"
-)]
-pub fn run_jobs_observed<P: Platform>(
-    platform: &P,
-    jobs: &[JobSpec],
-    obs: &numa_obs::Obs,
-) -> Result<FioReport, BackendError> {
-    run_jobs_scenario(platform, jobs, obs)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

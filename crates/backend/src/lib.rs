@@ -52,8 +52,6 @@ pub mod select;
 pub use error::BackendError;
 pub use fixture::{preset_topology, Fixture, FixtureHeader, ProbeRecord, SCHEMA};
 pub use jobs::{run_jobs, run_jobs_scenario};
-#[allow(deprecated)]
-pub use jobs::run_jobs_observed;
 pub use record::RecordingPlatform;
 pub use replay::ReplayPlatform;
 pub use select::AnyPlatform;

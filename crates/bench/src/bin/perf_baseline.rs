@@ -4,7 +4,9 @@
 //! allocator (one-shot and persistent-solver reuse), topology routing,
 //! Algorithm 1 modeler, engine event loop — plus a seeded 10k-flow
 //! open-loop Poisson scenario (FCT-digest anchored), a full scheduler
-//! episode, a fixture-replayed full-host characterization, the serving
+//! episode, a 64-host fleet generate-and-place episode (with an 8-host
+//! policy-compare digest anchor), a fixture-replayed full-host
+//! characterization, the serving
 //! layer's hot paths (warm single predict, 4096-mix `predict_batch` vs
 //! the same mixes sequentially, and a 64-deep pipelined burst over a
 //! loopback worker pool), and a closed-loop serve load run (concurrent
@@ -118,6 +120,7 @@ fn run_checks(
     engine_aggregate: [f64; 2],
     replay_identical: bool,
     scenario_deterministic: bool,
+    fleet_policy_deterministic: bool,
     serve_cache_hot: bool,
     serve_batch_identical: bool,
     serve_pipelined_in_order: bool,
@@ -148,6 +151,11 @@ fn run_checks(
     if !scenario_deterministic {
         failures.push(
             "same-seed 10k-flow Poisson scenario produced a different FCT digest".to_string(),
+        );
+    }
+    if !fleet_policy_deterministic {
+        failures.push(
+            "same-seed 8-host fleet policy comparison produced different FCT digests".to_string(),
         );
     }
     if !serve_cache_hot {
@@ -383,6 +391,42 @@ fn main() {
         }),
     );
 
+    // Fleet: generate-and-place at warehouse scale — 64 heterogeneous
+    // hosts sampled and characterized from one seed, then a class-ranked
+    // placement episode over 256 streams. The timed region covers the
+    // full pipeline (topology sampling, calibration, characterization,
+    // episode) since that is what a cold `fleet_place` wire request pays.
+    let run_fleet = || {
+        let fleet = numa_fleet::Fleet::generate(64, 42).expect("fleet baseline generation");
+        let streams = numa_fleet::StreamSpec::workload(256, 42);
+        let mut policy =
+            numa_fleet::policy_by_name("class-ranked", 64).expect("fleet baseline policy");
+        numa_fleet::ClusterScheduler::new(&fleet)
+            .run(&streams, policy.as_mut())
+            .expect("fleet baseline episode")
+    };
+    record(
+        "fleet_place_64_hosts",
+        time_op(3, || {
+            std::hint::black_box(run_fleet());
+        }),
+    );
+
+    // Fleet determinism anchor: the three-policy comparison on a seeded
+    // 8-host fleet, regenerated from scratch per run, must produce
+    // bit-identical FCT digests.
+    let fleet_compare_digests = || -> Vec<String> {
+        let fleet = numa_fleet::Fleet::generate(8, 42).expect("fleet anchor generation");
+        numa_fleet::ClusterScheduler::new(&fleet)
+            .compare(&numa_fleet::StreamSpec::workload(64, 42))
+            .expect("fleet anchor comparison")
+            .iter()
+            .map(|r| format!("{:016x}", r.digest))
+            .collect()
+    };
+    let fleet_digests = fleet_compare_digests();
+    let fleet_policy_deterministic = fleet_compare_digests() == fleet_digests;
+
     // Serving layer: a hot-cache Eq. 1 prediction — the steady-state cost
     // a placement query pays once the atlas is memoized. The cold miss is
     // paid outside the timed region; every timed request must be a hit.
@@ -562,6 +606,10 @@ fn main() {
             // As a string: 64-bit digests survive every JSON reader exact.
             "scenario_fct_digest": format!("{:016x}", scenario_digest),
             "scenario_bit_identical": scenario_deterministic,
+            // One digest per policy, class-ranked / bandwidth-aware /
+            // adaptive order, space-joined.
+            "fleet_compare_digests": fleet_digests.join(" "),
+            "fleet_policy_deterministic": fleet_policy_deterministic,
             "serve_cache_hot": serve_cache_hot,
             "serve_batch_bit_identical": serve_batch_identical,
             "serve_pipelined_in_order": serve_pipelined_in_order,
@@ -599,6 +647,7 @@ fn main() {
             [report.aggregate_gbps, report2.aggregate_gbps],
             replay_identical,
             scenario_deterministic,
+            fleet_policy_deterministic,
             serve_cache_hot,
             serve_batch_identical,
             serve_pipelined_in_order,

@@ -1,0 +1,150 @@
+//! `iomodel fleet <gen|place|compare>` — the fleet layer: seeded
+//! heterogeneous host generation, per-host characterization profiles, and
+//! the cluster-level placement policy bench.
+
+use crate::opts::Opts;
+use numa_fleet::{policy_by_name, ClusterScheduler, Fleet, FleetReport, StreamSpec};
+use std::fmt::Write as _;
+
+/// Matches the serve layer's `MAX_FLEET_HOSTS`: generation characterizes
+/// every host, so the cap keeps a typo'd `--hosts` from hanging the CLI.
+const MAX_HOSTS: usize = 64;
+
+/// * `gen [--hosts N] [--seed N]` — generate a fleet and print each
+///   host's sampled shape, capacity scale, and best I/O class.
+/// * `place [--hosts N] [--streams N] [--policy P] [--rounds N] [--seed N]`
+///   — run one placement episode under one policy.
+/// * `compare [--hosts N] [--streams N] [--rounds N] [--seed N] [--check]`
+///   — run all three policies on the same seeded workload; `--check`
+///   reruns the comparison and fails unless every report is
+///   bit-identical (the CI smoke gate).
+pub(crate) fn cmd_fleet(args: &[String], obs: &numa_obs::Obs) -> Result<String, String> {
+    let (action, rest) = match args.first() {
+        Some(a) if !a.starts_with("--") => (a.as_str(), &args[1..]),
+        _ => ("compare", args),
+    };
+    let opts = Opts::parse(rest)?;
+    let hosts: usize = opts.num("hosts", 4)?;
+    let seed: u64 = opts.num("seed", 42)?;
+    if hosts == 0 || hosts > MAX_HOSTS {
+        return Err(format!("--hosts must be in 1..={MAX_HOSTS}, got {hosts}"));
+    }
+    let fleet = Fleet::generate(hosts, seed).map_err(|e| e.to_string())?;
+    match action {
+        "gen" => render_gen(&fleet),
+        "place" => {
+            let policy = opts.get("policy").unwrap_or("class-ranked");
+            let report = run_episode(&fleet, &opts, policy, obs)?;
+            let mut out = render_header(&fleet);
+            out.push_str(&report.render());
+            out.push('\n');
+            let _ = writeln!(
+                out,
+                "per-host streams: {:?}  fct digest: {:016x}",
+                report.per_host_streams, report.digest
+            );
+            Ok(out)
+        }
+        "compare" => render_compare(&fleet, &opts, obs),
+        other => Err(format!("fleet: unknown action '{other}' (want gen|place|compare)")),
+    }
+}
+
+fn render_header(fleet: &Fleet) -> String {
+    format!(
+        "fleet (seed {}): {} hosts, {} NUMA nodes\n",
+        fleet.seed(),
+        fleet.len(),
+        fleet.total_nodes()
+    )
+}
+
+fn render_gen(fleet: &Fleet) -> Result<String, String> {
+    let mut out = render_header(fleet);
+    for h in fleet.hosts() {
+        let best = &h.profile().write.classes()[0];
+        let nodes: Vec<u16> = best.nodes.iter().map(|n| n.0).collect();
+        let _ = writeln!(
+            out,
+            "host {:02}  {}s x{}  ({:2} nodes)  {:<11} io node {}  scale {:.3}  \
+             best class {:?} @ {:.1} Gbit/s",
+            h.id,
+            h.spec.sockets,
+            h.spec.nodes_per_socket,
+            h.num_nodes(),
+            h.spec.wiring.label(),
+            h.io_node().0,
+            h.scale,
+            nodes,
+            best.avg_gbps,
+        );
+    }
+    Ok(out)
+}
+
+fn run_episode(
+    fleet: &Fleet,
+    opts: &Opts,
+    policy: &str,
+    obs: &numa_obs::Obs,
+) -> Result<FleetReport, String> {
+    let streams: usize = opts.num("streams", 32)?;
+    let rounds: usize = opts.num("rounds", 4)?;
+    let workload = StreamSpec::workload(streams, fleet.seed());
+    let mut policy = policy_by_name(policy, fleet.len()).map_err(|e| e.to_string())?;
+    let report = ClusterScheduler::new(fleet)
+        .rounds(rounds)
+        .run(&workload, policy.as_mut())
+        .map_err(|e| e.to_string())?;
+    obs.event(
+        "fleet_episode",
+        0.0,
+        &[
+            ("policy", report.policy.as_str().into()),
+            ("hosts", report.hosts.into()),
+            ("streams", report.streams.into()),
+            ("aggregate_gbps", report.aggregate_gbps.into()),
+        ],
+    );
+    Ok(report)
+}
+
+fn render_compare(fleet: &Fleet, opts: &Opts, obs: &numa_obs::Obs) -> Result<String, String> {
+    let run = || -> Result<Vec<FleetReport>, String> {
+        ["class-ranked", "bandwidth-aware", "adaptive"]
+            .iter()
+            .map(|name| run_episode(fleet, opts, name, obs))
+            .collect()
+    };
+    let reports = run()?;
+    let mut out = render_header(fleet);
+    for r in &reports {
+        out.push_str(&r.render());
+        out.push('\n');
+    }
+    let best = reports
+        .iter()
+        .max_by(|a, b| a.aggregate_gbps.total_cmp(&b.aggregate_gbps))
+        .expect("three reports");
+    let _ = writeln!(
+        out,
+        "best aggregate: {} ({:.2} Gbit/s)",
+        best.policy, best.aggregate_gbps
+    );
+    if opts.flag("check") {
+        let again = run()?;
+        if again != reports {
+            return Err("fleet compare is not deterministic across runs".into());
+        }
+        let digests: Vec<String> =
+            reports.iter().map(|r| format!("{:016x}", r.digest)).collect();
+        let _ = writeln!(
+            out,
+            "fleet compare check OK: {} hosts, 3 policies, bit-identical reruns \
+             (digests {})",
+            fleet.len(),
+            digests.join(" ")
+        );
+    }
+    Ok(out)
+}

@@ -4,6 +4,7 @@
 pub(crate) mod characterize;
 pub(crate) mod diff;
 pub(crate) mod faults;
+pub(crate) mod fleet;
 pub(crate) mod host;
 pub(crate) mod jobs;
 pub(crate) mod mem;

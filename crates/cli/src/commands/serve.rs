@@ -131,6 +131,7 @@ fn render_health(client: &mut Client, out: &mut String) -> Result<(), String> {
         backend,
         active_faults,
         latency,
+        shards,
     } = resp
     else {
         return Err(format!("stats failed: {resp:?}"));
@@ -156,6 +157,21 @@ fn render_health(client: &mut Client, out: &mut String) -> Result<(), String> {
         latency.p90_s * 1e6,
         latency.p99_s * 1e6,
     );
+    // Per-host cache shards: shard 0 is the server's own backend, shard
+    // i+1 is generated fleet host i (populated by `fleet_place`). Old
+    // servers send no shard block; print nothing rather than zeros.
+    for s in &shards {
+        let who = if s.host == 0 {
+            "local".to_string()
+        } else {
+            format!("host {:02}", s.host - 1)
+        };
+        let _ = writeln!(
+            out,
+            "cache shard {who:<8} {} hits / {} misses / {} invalidations",
+            s.hits, s.misses, s.invalidations
+        );
+    }
     Ok(())
 }
 

@@ -104,6 +104,10 @@ pub fn dispatch(args: &[String], obs: &numa_obs::Obs) -> Result<String, String> 
         // `faults` takes a positional action before the --key options.
         return commands::faults::cmd_faults(&rest, obs);
     }
+    if cmd == "fleet" {
+        // Likewise positional: `fleet <gen|place|compare> [--opts]`.
+        return commands::fleet::cmd_fleet(&rest, obs);
+    }
     let opts = Opts::parse(&rest)?;
     match cmd.as_str() {
         "topo" => commands::topo::cmd_topo(&opts),
@@ -133,12 +137,6 @@ pub fn dispatch(args: &[String], obs: &numa_obs::Obs) -> Result<String, String> 
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
-}
-
-/// Deprecated name for [`dispatch`].
-#[deprecated(since = "0.8.0", note = "renamed to `dispatch`")]
-pub fn run_observed(args: &[String], obs: &numa_obs::Obs) -> Result<String, String> {
-    dispatch(args, obs)
 }
 
 /// Split the global observability flags out of the raw argument list so
@@ -179,8 +177,10 @@ fn extract_global(
 }
 
 fn usage() -> String {
-    "usage: iomodel <topo|stream|characterize|record|classes|predict|advise|sweep|host|numastat|numademo|run|simulate|diff|sched|faults|latency|netpath|probe|emit-script|import|atlas|serve|client|sysfs> [options]\n\
+    "usage: iomodel <topo|stream|characterize|record|classes|predict|advise|sweep|host|numastat|numademo|run|simulate|diff|sched|faults|fleet|latency|netpath|probe|emit-script|import|atlas|serve|client|sysfs> [options]\n\
      faults: iomodel faults demo [--seed N] [--check] | validate --plan p.json | run --plan p.json\n\
+     fleet:  iomodel fleet gen [--hosts N] [--seed N] | place [--policy P] [--streams N] [--rounds N]\n\
+             | compare [--hosts N] [--streams N] [--rounds N] [--seed N] [--check]\n\
      run:    iomodel run --jobfile job.fio [--faults plan.json]\n\
      simulate: iomodel simulate --workload poisson:n=1000,rate=200,seed=42|pareto:...|batch:... [--check]\n\
      record: iomodel record --out fixture.jsonl [--target N] [--mode write|read]\n\
@@ -216,6 +216,48 @@ mod tests {
     #[test]
     fn help_prints_usage() {
         assert!(run_str(&["help"]).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn fleet_gen_lists_every_host() {
+        let out = run_str(&["fleet", "gen", "--hosts", "3", "--seed", "7"]).unwrap();
+        assert!(out.contains("fleet (seed 7): 3 hosts"), "{out}");
+        assert!(out.contains("host 00"), "{out}");
+        assert!(out.contains("host 02"), "{out}");
+        assert!(out.contains("best class"), "{out}");
+    }
+
+    #[test]
+    fn fleet_place_reports_and_is_deterministic() {
+        let args = ["fleet", "place", "--hosts", "2", "--streams", "8", "--policy", "adaptive"];
+        let a = run_str(&args).unwrap();
+        let b = run_str(&args).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("adaptive"), "{a}");
+        assert!(a.contains("jain"), "{a}");
+        assert!(a.contains("fct digest"), "{a}");
+    }
+
+    #[test]
+    fn fleet_compare_check_gates_bit_identity() {
+        let out =
+            run_str(&["fleet", "compare", "--hosts", "2", "--streams", "8", "--check"]).unwrap();
+        assert!(out.contains("class-ranked"), "{out}");
+        assert!(out.contains("bandwidth-aware"), "{out}");
+        assert!(out.contains("adaptive"), "{out}");
+        assert!(out.contains("best aggregate:"), "{out}");
+        assert!(out.contains("fleet compare check OK"), "{out}");
+        // Default action is compare.
+        let bare = run_str(&["fleet", "--hosts", "2", "--streams", "8"]).unwrap();
+        assert!(bare.contains("best aggregate:"), "{bare}");
+    }
+
+    #[test]
+    fn fleet_rejects_bad_arguments() {
+        assert!(run_str(&["fleet", "gen", "--hosts", "0"]).is_err());
+        assert!(run_str(&["fleet", "gen", "--hosts", "65"]).is_err());
+        assert!(run_str(&["fleet", "place", "--policy", "bogus"]).is_err());
+        assert!(run_str(&["fleet", "teleport"]).unwrap_err().contains("unknown action"));
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //!
 //! [`Scenario`] is the one front door to the engine: pick a fabric,
 //! attach a [`Workload`] (or explicit flows), optionally arm faults and
-//! observability, and run. It replaces the grown-by-accretion
+//! observability, and run. It replaced the grown-by-accretion
 //! `Simulation::{with_obs, ...}` entry points and the per-crate
-//! `run_observed` variants — those remain as deprecated shims for one
-//! release and route here.
+//! `run_observed` variants; those shims served their one deprecation
+//! release and are gone.
 //!
 //! ```
 //! use numa_engine::{FlowSpec, Scenario, Workload};

@@ -149,24 +149,10 @@ impl<'f> Simulation<'f> {
         self
     }
 
-    /// Attach an observability handle: the run emits `alloc_round` /
-    /// `flow_finished` / `jitter_refresh` events (timestamped with
-    /// simulation time, so seeded runs trace identically) and feeds the
-    /// `numio_*` engine metric series.
-    #[deprecated(
-        since = "0.8.0",
-        note = "build through the unified `Scenario` API instead: \
-                `Scenario::on(fabric).observe(obs)` (or \
-                `Scenario::from_simulation(sim).observe(obs)` for a \
-                pre-built simulation)"
-    )]
-    pub fn with_obs(mut self, obs: numa_obs::Obs) -> Self {
-        self.set_obs(obs);
-        self
-    }
-
-    /// Internal obs attach shared by the deprecated [`Self::with_obs`]
-    /// shim and [`crate::scenario::Scenario::observe`].
+    /// Internal obs attach used by [`crate::scenario::Scenario::observe`]:
+    /// the run emits `alloc_round` / `flow_finished` / `jitter_refresh`
+    /// events (timestamped with simulation time, so seeded runs trace
+    /// identically) and feeds the `numio_*` engine metric series.
     pub(crate) fn set_obs(&mut self, obs: numa_obs::Obs) {
         self.obs = Some(obs);
     }
@@ -926,22 +912,6 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(plain, observed);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_obs_shim_still_attaches() {
-        // The one-release compatibility shim: `with_obs` routes to the
-        // same obs attach `Scenario::observe` uses.
-        let f = fabric();
-        let obs = numa_obs::Obs::new();
-        let mut sim = Simulation::new(&f).with_obs(obs.clone());
-        sim.add_flow(FlowSpec::dma(NodeId(6), NodeId(7)).gbits(46.5));
-        sim.run().unwrap();
-        assert_eq!(
-            obs.counter("numio_flow_completions_total", &[("component", "engine")]).get(),
-            1
-        );
     }
 
     #[test]

@@ -41,6 +41,4 @@ pub use runner::{
     assemble_report, build_sim, build_sim_with, run_jobs, run_jobs_scenario, run_jobs_with,
     steady_job_rates, FioError, FioReport, JobReport,
 };
-#[allow(deprecated)]
-pub use runner::run_jobs_observed;
 pub use sweep::{sweep, SweepPoint};

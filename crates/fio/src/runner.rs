@@ -351,20 +351,6 @@ pub fn run_jobs_scenario(
     Ok(out)
 }
 
-/// Deprecated name for [`run_jobs_scenario`].
-#[deprecated(
-    since = "0.8.0",
-    note = "renamed to `run_jobs_scenario`, which routes through the \
-            unified `numa_engine::Scenario` builder"
-)]
-pub fn run_jobs_observed(
-    fabric: &Fabric,
-    jobs: &[JobSpec],
-    obs: &numa_obs::Obs,
-) -> Result<FioReport, FioError> {
-    run_jobs_scenario(fabric, jobs, obs)
-}
-
 /// Fold raw simulator output into per-job aggregates. Public so harnesses
 /// that need the [`Simulation`] between [`build_sim`] and `run` (e.g. to
 /// arm a fault injector) can still produce a standard [`FioReport`].
@@ -577,11 +563,7 @@ mod tests {
         let plain = run_jobs(&f, &jobs).unwrap();
         let obs = numa_obs::Obs::new();
         let observed = run_jobs_scenario(&f, &jobs, &obs).unwrap();
-        // The deprecated shim stays bit-identical for its final release.
-        #[allow(deprecated)]
-        let shimmed = run_jobs_observed(&f, &jobs, &numa_obs::Obs::new()).unwrap();
         assert_eq!(plain, observed);
-        assert_eq!(plain, shimmed);
         assert_eq!(obs.counter("numio_jobs_completed_total", &[("component", "fio")]).get(), 2);
         let jsonl = obs.jsonl();
         // Engine flow completions carry the job-tagged flow label...

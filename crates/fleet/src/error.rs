@@ -1,0 +1,95 @@
+//! Error type for fleet construction and cluster scheduling.
+
+use numa_engine::ScenarioError;
+use numa_topology::TopologyError;
+use numio_core::PlatformError;
+use std::fmt;
+
+/// Everything that can go wrong while generating a fleet or running a
+/// cluster placement episode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// A generated host spec failed topology validation.
+    Topology(TopologyError),
+    /// Per-host characterization failed.
+    Platform(PlatformError),
+    /// A per-host scenario run failed.
+    Scenario {
+        /// The host whose episode failed.
+        host: usize,
+        /// The underlying scenario error, rendered.
+        reason: String,
+    },
+    /// A fleet needs at least one host.
+    EmptyFleet,
+    /// An episode needs at least one stream.
+    NoStreams,
+    /// A policy name the scheduler does not know.
+    UnknownPolicy {
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Topology(e) => write!(f, "host generation failed: {e}"),
+            FleetError::Platform(e) => write!(f, "host characterization failed: {e}"),
+            FleetError::Scenario { host, reason } => {
+                write!(f, "scenario on host {host} failed: {reason}")
+            }
+            FleetError::EmptyFleet => write!(f, "fleet has no hosts"),
+            FleetError::NoStreams => write!(f, "episode has no streams"),
+            FleetError::UnknownPolicy { name } => write!(
+                f,
+                "unknown placement policy '{name}' (expected class-ranked, \
+                 bandwidth-aware or adaptive)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<TopologyError> for FleetError {
+    fn from(e: TopologyError) -> Self {
+        FleetError::Topology(e)
+    }
+}
+
+impl From<PlatformError> for FleetError {
+    fn from(e: PlatformError) -> Self {
+        FleetError::Platform(e)
+    }
+}
+
+impl FleetError {
+    /// Wrap a per-host scenario failure.
+    pub fn scenario(host: usize, e: ScenarioError) -> Self {
+        FleetError::Scenario { host, reason: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(FleetError::EmptyFleet.to_string().contains("no hosts"));
+        let e = FleetError::UnknownPolicy { name: "magic".into() };
+        assert!(e.to_string().contains("magic"));
+        assert!(e.to_string().contains("class-ranked"));
+        let e = FleetError::Scenario { host: 3, reason: "boom".into() };
+        assert!(e.to_string().contains("host 3"));
+    }
+
+    #[test]
+    fn conversions_wrap() {
+        let e: FleetError = TopologyError::Empty.into();
+        assert!(matches!(e, FleetError::Topology(_)));
+        let e: FleetError = PlatformError::ZeroThreads.into();
+        assert!(matches!(e, FleetError::Platform(_)));
+    }
+}

@@ -1,0 +1,90 @@
+//! A seeded collection of heterogeneous hosts.
+
+use crate::error::FleetError;
+use crate::host::Host;
+
+/// N heterogeneous NUMA hosts generated from one seed. Host `i` of fleet
+/// seed `s` is always the same machine, so every experiment over a fleet is
+/// reproducible bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    seed: u64,
+    hosts: Vec<Host>,
+}
+
+impl Fleet {
+    /// Generate `n` hosts from `seed`.
+    pub fn generate(n: usize, seed: u64) -> Result<Fleet, FleetError> {
+        if n == 0 {
+            return Err(FleetError::EmptyFleet);
+        }
+        let hosts = (0..n).map(|id| Host::generate(id, seed)).collect::<Result<_, _>>()?;
+        Ok(Fleet { seed, hosts })
+    }
+
+    /// Build a fleet from explicit hosts (ids must match positions).
+    pub fn from_hosts(hosts: Vec<Host>) -> Result<Fleet, FleetError> {
+        if hosts.is_empty() {
+            return Err(FleetError::EmptyFleet);
+        }
+        Ok(Fleet { seed: 0, hosts })
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when the fleet has no hosts (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// All hosts, id order.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// One host by id.
+    pub fn host(&self, id: usize) -> &Host {
+        &self.hosts[id]
+    }
+
+    /// Total NUMA nodes across the fleet.
+    pub fn total_nodes(&self) -> usize {
+        self.hosts.iter().map(Host::num_nodes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_rejects_empty() {
+        assert_eq!(Fleet::generate(0, 1).unwrap_err(), FleetError::EmptyFleet);
+        assert_eq!(Fleet::from_hosts(Vec::new()).unwrap_err(), FleetError::EmptyFleet);
+    }
+
+    #[test]
+    fn fleet_is_reproducible_and_heterogeneous() {
+        let a = Fleet::generate(4, 99).unwrap();
+        let b = Fleet::generate(4, 99).unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.seed(), 99);
+        for (x, y) in a.hosts().iter().zip(b.hosts()) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.profile(), y.profile());
+        }
+        assert!(a.total_nodes() > 4, "hosts have multiple nodes");
+        // Ids are positional.
+        for (i, h) in a.hosts().iter().enumerate() {
+            assert_eq!(h.id, i);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! One fleet member: a generated topology, a jittered fabric, and its
+//! characterized I/O profile.
+
+use crate::error::FleetError;
+use numa_fabric::Fabric;
+use numa_topology::hostgen::{HostSpec, TopoGen};
+use numa_topology::NodeId;
+use numio_core::{IoModeler, IoPerfModel, Platform, SimPlatform, TransferMode};
+
+/// Probe repetitions for fleet-scale characterization. The paper runs 100
+/// per cell on real hardware; against the deterministic simulator a handful
+/// is enough and keeps 64-host fleets cheap.
+const FLEET_REPS: u32 = 3;
+
+/// The characterized I/O profile of one host: the write and read models of
+/// its device node — the per-host "atlas slice" the placement policies
+/// consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostProfile {
+    /// Device-write model (data flows node -> device).
+    pub write: IoPerfModel,
+    /// Device-read model (device -> node).
+    pub read: IoPerfModel,
+}
+
+/// One host of a [`crate::Fleet`]: generated topology + performance-jittered
+/// fabric + characterized profile.
+///
+/// Heterogeneity comes from two seeded sources: the sampled [`HostSpec`]
+/// (socket count, wiring, widths, attach points) and a per-host capacity
+/// scale in `[0.85, 1.05)` applied to the fabric's DMA and copy ceilings —
+/// same-model machines in a real fleet spread about that much from DIMM
+/// population and firmware differences.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Position in the fleet (stable across runs).
+    pub id: usize,
+    /// The spec this host was generated from.
+    pub spec: HostSpec,
+    /// Per-host capacity scale applied to the fabric defaults.
+    pub scale: f64,
+    platform: SimPlatform,
+    profile: HostProfile,
+}
+
+impl Host {
+    /// Deterministically generate host `id` of a fleet seeded with
+    /// `fleet_seed`: sample a spec, build the jittered fabric, and
+    /// characterize the device node in both directions.
+    pub fn generate(id: usize, fleet_seed: u64) -> Result<Host, FleetError> {
+        let host_seed = mix(fleet_seed, id as u64);
+        let gen = TopoGen::sample(format!("host-{id:02}"), host_seed);
+        let spec = gen.spec().clone();
+        let (topo, routes) = gen.build_routed()?;
+        let scale = 0.85 + 0.20 * unit(host_seed ^ 0x5DEE_CE66_D1CE_5EED);
+        let fabric = Fabric::builder(topo, routes)
+            .dma_hop_decay(0.06)
+            .dma_defaults(51.2 * scale, 44.0 * scale)
+            .node_copy_caps(50.0 * scale)
+            .build();
+        let mut platform = SimPlatform::new(fabric);
+        platform.seed = host_seed;
+        Self::from_platform(id, spec, scale, platform)
+    }
+
+    /// Wrap an already-built platform (used by tests and by callers that
+    /// want explicit specs instead of sampled ones). The spec's `io_node`
+    /// must name the device node of the platform's topology.
+    pub fn from_platform(
+        id: usize,
+        spec: HostSpec,
+        scale: f64,
+        platform: SimPlatform,
+    ) -> Result<Host, FleetError> {
+        let target = platform
+            .io_nodes()
+            .first()
+            .copied()
+            .unwrap_or_else(|| NodeId::new(platform.num_nodes() - 1));
+        let modeler = IoModeler::new().reps(FLEET_REPS);
+        let write = modeler.try_characterize(&platform, target, TransferMode::Write)?;
+        let read = modeler.try_characterize(&platform, target, TransferMode::Read)?;
+        Ok(Host { id, spec, scale, platform, profile: HostProfile { write, read } })
+    }
+
+    /// The node holding the I/O hub — every stream's sink on this host.
+    pub fn io_node(&self) -> NodeId {
+        self.profile.write.target
+    }
+
+    /// NUMA node count.
+    pub fn num_nodes(&self) -> usize {
+        self.platform.num_nodes()
+    }
+
+    /// The simulator platform backing this host.
+    pub fn platform(&self) -> &SimPlatform {
+        &self.platform
+    }
+
+    /// The host's fabric (for scenario runs).
+    pub fn fabric(&self) -> &Fabric {
+        self.platform.fabric()
+    }
+
+    /// The characterized write/read profile.
+    pub fn profile(&self) -> &HostProfile {
+        &self.profile
+    }
+}
+
+/// splitmix64-style stream split: one well-mixed sub-seed per host.
+fn mix(seed: u64, id: u64) -> u64 {
+    let mut z = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a seed to `[0, 1)` deterministically.
+fn unit(seed: u64) -> f64 {
+    let mut s = seed;
+    s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (s >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = Host::generate(3, 42).unwrap();
+        let b = Host::generate(3, 42).unwrap();
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.scale, b.scale);
+        assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn different_ids_give_different_hosts() {
+        let hosts: Vec<Host> = (0..6).map(|i| Host::generate(i, 42).unwrap()).collect();
+        assert!(hosts.iter().any(|h| h.spec.sockets != hosts[0].spec.sockets
+            || h.spec.wiring != hosts[0].spec.wiring
+            || h.scale != hosts[0].scale));
+    }
+
+    #[test]
+    fn scale_stays_in_band() {
+        for id in 0..16 {
+            let h = Host::generate(id, 7).unwrap();
+            assert!((0.85..1.05).contains(&h.scale), "host {id}: {}", h.scale);
+        }
+    }
+
+    #[test]
+    fn profile_targets_the_io_node() {
+        let h = Host::generate(0, 42).unwrap();
+        assert_eq!(h.profile().write.target, h.io_node());
+        assert_eq!(h.profile().read.target, h.io_node());
+        assert_eq!(h.profile().write.mode, TransferMode::Write);
+        assert_eq!(h.profile().read.mode, TransferMode::Read);
+        assert!(h.platform().io_nodes().contains(&h.io_node()));
+    }
+
+    #[test]
+    fn profile_covers_every_node() {
+        let h = Host::generate(1, 42).unwrap();
+        let classes: usize =
+            h.profile().write.classes().iter().map(|c| c.nodes.len()).sum();
+        assert_eq!(classes, h.num_nodes());
+    }
+}

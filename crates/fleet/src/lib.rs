@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! # numa-fleet
+//!
+//! The fleet layer: from one characterized DL585 to N heterogeneous NUMA
+//! hosts and cluster-level stream placement.
+//!
+//! The paper's methodology characterizes a single host's per-node I/O
+//! bandwidth classes. At warehouse scale that characterization becomes a
+//! *per-host profile* in a fleet-wide atlas, and placement becomes a
+//! two-level decision — which host, then which node — exactly the setting
+//! of MAO (arxiv 2411.01460) and of bandwidth-aware placement (arxiv
+//! 2003.03304).
+//!
+//! ## Key types
+//!
+//! * [`Host`] — one generated machine: sampled
+//!   [`HostSpec`](numa_topology::hostgen::HostSpec) topology, capacity-jittered
+//!   fabric, characterized write/read [`HostProfile`].
+//! * [`Fleet`] — N seeded hosts; `Fleet::generate(n, seed)` is
+//!   bit-reproducible.
+//! * [`PlacementPolicy`] — pluggable (host, node) selection:
+//!   [`ClassRankedFleet`], [`BandwidthAware`], [`Adaptive`].
+//! * [`ClusterScheduler`] — runs placement episodes in rounds through the
+//!   engine's `Scenario` machinery and reports aggregate bandwidth, Jain
+//!   fairness, and p99 slowdown per policy as a [`FleetReport`].
+//!
+//! ## Example
+//!
+//! ```
+//! use numa_fleet::{ClusterScheduler, Fleet, StreamSpec};
+//!
+//! let fleet = Fleet::generate(2, 42).unwrap();
+//! let streams = StreamSpec::workload(8, 7);
+//! let reports = ClusterScheduler::new(&fleet).compare(&streams).unwrap();
+//! assert_eq!(reports.len(), 3);
+//! assert!(reports.iter().all(|r| r.aggregate_gbps > 0.0));
+//! ```
+
+pub mod error;
+pub mod fleet;
+pub mod host;
+pub mod policy;
+pub mod scheduler;
+
+pub use error::FleetError;
+pub use fleet::Fleet;
+pub use host::{Host, HostProfile};
+pub use policy::{
+    policy_by_name, Adaptive, BandwidthAware, ClassRankedFleet, FleetLoad, Placement,
+    PlacementPolicy, StreamSpec, POLICY_NAMES,
+};
+pub use scheduler::{jain, ClusterScheduler, FleetReport};

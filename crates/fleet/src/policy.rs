@@ -1,0 +1,338 @@
+//! Pluggable cluster placement policies.
+//!
+//! Three families, mirroring the comparison the fleet bench runs:
+//!
+//! * [`ClassRankedFleet`] — the paper's class-ranked placement lifted to two
+//!   levels: pick the host whose best write class has the most per-stream
+//!   headroom, then the best-class, least-loaded node on it.
+//! * [`BandwidthAware`] — greedy on remaining per-node bandwidth headroom
+//!   (modelled Gbit/s divided by queued streams), after the bandwidth-aware
+//!   page placement argument of arxiv 2003.03304: rank by measured
+//!   bandwidth value, not by class or hop distance.
+//! * [`Adaptive`] — MAO-style (arxiv 2411.01460) online reweighting: starts
+//!   from the bandwidth-aware score and multiplies in a per-host weight
+//!   learned from observed flow slowdowns, so hosts that disappoint their
+//!   model drift down the ranking between rounds.
+//!
+//! All scoring uses `f64::total_cmp` with id tie-breaks, so every policy is
+//! fully deterministic for a given fleet and stream sequence.
+
+use crate::error::FleetError;
+use crate::fleet::Fleet;
+use numa_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One stream to place: a device-bound transfer of `gbytes` from some node
+/// (chosen by the policy) to the host's device node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Stable stream id (placement order).
+    pub id: usize,
+    /// Transfer volume in GBytes.
+    pub gbytes: f64,
+}
+
+impl StreamSpec {
+    /// A seeded open workload: `n` streams with volumes spread over
+    /// `[1, 9)` GB via splitmix64 — deterministic for a given seed.
+    pub fn workload(n: usize, seed: u64) -> Vec<StreamSpec> {
+        let mut state = seed ^ 0xA076_1D64_78BD_642F;
+        (0..n)
+            .map(|id| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+                StreamSpec { id, gbytes: 1.0 + 8.0 * unit }
+            })
+            .collect()
+    }
+}
+
+/// Where a stream landed: host and source node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Host id within the fleet.
+    pub host: usize,
+    /// Source node on that host.
+    pub node: NodeId,
+}
+
+/// Running occupancy the scheduler maintains and policies read: how many
+/// streams are currently queued per host and per (host, node).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetLoad {
+    per_host: Vec<usize>,
+    per_node: Vec<Vec<usize>>,
+}
+
+impl FleetLoad {
+    /// Empty load for a fleet.
+    pub fn new(fleet: &Fleet) -> Self {
+        FleetLoad {
+            per_host: vec![0; fleet.len()],
+            per_node: fleet.hosts().iter().map(|h| vec![0; h.num_nodes()]).collect(),
+        }
+    }
+
+    /// Record one placement.
+    pub fn add(&mut self, p: Placement) {
+        self.per_host[p.host] += 1;
+        self.per_node[p.host][p.node.index()] += 1;
+    }
+
+    /// Streams queued on a host.
+    pub fn on_host(&self, host: usize) -> usize {
+        self.per_host[host]
+    }
+
+    /// Streams queued on one node of a host.
+    pub fn on_node(&self, host: usize, node: NodeId) -> usize {
+        self.per_node[host][node.index()]
+    }
+
+    /// Per-host stream counts, id order.
+    pub fn per_host(&self) -> &[usize] {
+        &self.per_host
+    }
+
+    /// Reset all counts (between rounds the queues drain).
+    pub fn clear(&mut self) {
+        self.per_host.iter_mut().for_each(|c| *c = 0);
+        self.per_node.iter_mut().for_each(|v| v.iter_mut().for_each(|c| *c = 0));
+    }
+}
+
+/// A cluster placement policy: pick a (host, node) for each stream, and
+/// optionally learn from the flow-completion records the scheduler feeds
+/// back after each round.
+pub trait PlacementPolicy {
+    /// Stable policy name (reports, CLI, wire ops).
+    fn name(&self) -> &'static str;
+
+    /// Place one stream given the fleet and the current queue occupancy.
+    fn place(&mut self, stream: &StreamSpec, fleet: &Fleet, load: &FleetLoad) -> Placement;
+
+    /// Observe one completed flow (its placement, FCT seconds, slowdown).
+    /// Default: stateless policies ignore feedback.
+    fn observe(&mut self, placement: Placement, fct_s: f64, slowdown: f64) {
+        let _ = (placement, fct_s, slowdown);
+    }
+}
+
+/// The paper's class-ranked placement, applied at two levels.
+#[derive(Debug, Clone, Default)]
+pub struct ClassRankedFleet;
+
+impl PlacementPolicy for ClassRankedFleet {
+    fn name(&self) -> &'static str {
+        "class-ranked"
+    }
+
+    fn place(&mut self, _stream: &StreamSpec, fleet: &Fleet, load: &FleetLoad) -> Placement {
+        // Host level: best write class capacity divided by queued streams.
+        let host = argmax(fleet.hosts().iter().map(|h| {
+            let best = &h.profile().write.classes()[0];
+            best.avg_gbps * best.nodes.len() as f64 / (1.0 + load.on_host(h.id) as f64)
+        }));
+        // Node level: best class first, least queued within a class.
+        let h = fleet.host(host);
+        let model = &h.profile().write;
+        let node = h
+            .platform()
+            .topology()
+            .expect("sim platform has a topology")
+            .node_ids()
+            .min_by(|&a, &b| {
+                (model.class_of(a), load.on_node(host, a), a.index())
+                    .cmp(&(model.class_of(b), load.on_node(host, b), b.index()))
+            })
+            .expect("host has nodes");
+        Placement { host, node }
+    }
+}
+
+/// Greedy on remaining per-node bandwidth headroom (arxiv 2003.03304).
+#[derive(Debug, Clone, Default)]
+pub struct BandwidthAware;
+
+impl PlacementPolicy for BandwidthAware {
+    fn name(&self) -> &'static str {
+        "bandwidth-aware"
+    }
+
+    fn place(&mut self, _stream: &StreamSpec, fleet: &Fleet, load: &FleetLoad) -> Placement {
+        best_by_headroom(fleet, load, |_| 1.0)
+    }
+}
+
+/// MAO-style adaptive placement: bandwidth-aware scoring reweighted online
+/// by each host's observed slowdowns.
+#[derive(Debug, Clone)]
+pub struct Adaptive {
+    /// Per-host multiplicative weight, EWMA of inverse slowdown.
+    weights: Vec<f64>,
+    /// EWMA smoothing factor for new observations.
+    alpha: f64,
+}
+
+impl Adaptive {
+    /// Neutral weights for a fleet of `hosts`.
+    pub fn new(hosts: usize) -> Self {
+        Adaptive { weights: vec![1.0; hosts], alpha: 0.3 }
+    }
+
+    /// Current per-host weights (diagnostics).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl PlacementPolicy for Adaptive {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn place(&mut self, _stream: &StreamSpec, fleet: &Fleet, load: &FleetLoad) -> Placement {
+        let weights = &self.weights;
+        best_by_headroom(fleet, load, |host| weights[host])
+    }
+
+    fn observe(&mut self, placement: Placement, _fct_s: f64, slowdown: f64) {
+        // A slowdown of 1.0 means the host delivered exactly what its model
+        // promised; larger means contention the model did not capture.
+        let reward = 1.0 / slowdown.max(1.0);
+        let w = &mut self.weights[placement.host];
+        *w = (1.0 - self.alpha) * *w + self.alpha * reward;
+    }
+}
+
+/// Shared greedy core: maximize `host_weight * node_gbps / (1 + queued)`
+/// over every (host, node), ties to the lowest (host, node).
+fn best_by_headroom(
+    fleet: &Fleet,
+    load: &FleetLoad,
+    host_weight: impl Fn(usize) -> f64,
+) -> Placement {
+    let mut best: Option<(f64, Placement)> = None;
+    for h in fleet.hosts() {
+        let w = host_weight(h.id);
+        let model = &h.profile().write;
+        for node in 0..h.num_nodes() {
+            let node = NodeId::new(node);
+            let score = w * model.node_gbps(node) / (1.0 + load.on_node(h.id, node) as f64);
+            let better = match &best {
+                None => true,
+                Some((s, _)) => score > *s,
+            };
+            if better {
+                best = Some((score, Placement { host: h.id, node }));
+            }
+        }
+    }
+    best.expect("fleet has hosts").1
+}
+
+/// Deterministic argmax over an iterator of scores (first max wins).
+fn argmax(scores: impl Iterator<Item = f64>) -> usize {
+    scores
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ib.cmp(ia)))
+        .expect("non-empty")
+        .0
+}
+
+/// Instantiate a policy by its wire/CLI name.
+pub fn policy_by_name(name: &str, hosts: usize) -> Result<Box<dyn PlacementPolicy>, FleetError> {
+    match name {
+        "class-ranked" | "class_ranked" | "classranked" => Ok(Box::new(ClassRankedFleet)),
+        "bandwidth-aware" | "bandwidth_aware" | "bandwidth" => Ok(Box::new(BandwidthAware)),
+        "adaptive" | "mao" => Ok(Box::new(Adaptive::new(hosts))),
+        other => Err(FleetError::UnknownPolicy { name: other.to_string() }),
+    }
+}
+
+/// The canonical policy names, comparison order.
+pub const POLICY_NAMES: [&str; 3] = ["class-ranked", "bandwidth-aware", "adaptive"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fleet() -> Fleet {
+        Fleet::generate(3, 42).unwrap()
+    }
+
+    #[test]
+    fn workload_is_seeded_and_bounded() {
+        let a = StreamSpec::workload(32, 7);
+        let b = StreamSpec::workload(32, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|s| (1.0..9.0).contains(&s.gbytes)));
+        assert!(StreamSpec::workload(32, 8) != a);
+    }
+
+    #[test]
+    fn policies_place_within_bounds() {
+        let fleet = small_fleet();
+        let mut load = FleetLoad::new(&fleet);
+        let streams = StreamSpec::workload(16, 1);
+        let mut policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(ClassRankedFleet),
+            Box::new(BandwidthAware),
+            Box::new(Adaptive::new(fleet.len())),
+        ];
+        for p in &mut policies {
+            load.clear();
+            for s in &streams {
+                let pl = p.place(s, &fleet, &load);
+                assert!(pl.host < fleet.len());
+                assert!(pl.node.index() < fleet.host(pl.host).num_nodes());
+                load.add(pl);
+            }
+        }
+    }
+
+    #[test]
+    fn load_spreads_under_all_policies() {
+        // With per-stream headroom division, 32 streams cannot all pile
+        // onto one node.
+        let fleet = small_fleet();
+        for name in POLICY_NAMES {
+            let mut policy = policy_by_name(name, fleet.len()).unwrap();
+            let mut load = FleetLoad::new(&fleet);
+            for s in &StreamSpec::workload(32, 2) {
+                load.add(policy.place(s, &fleet, &load));
+            }
+            let max_on_one_host = load.per_host().iter().copied().max().unwrap();
+            assert!(max_on_one_host < 32, "{name} serialized everything");
+        }
+    }
+
+    #[test]
+    fn adaptive_downweights_slow_hosts() {
+        let fleet = small_fleet();
+        let mut a = Adaptive::new(fleet.len());
+        let node = NodeId(0);
+        for _ in 0..10 {
+            a.observe(Placement { host: 0, node }, 1.0, 4.0);
+            a.observe(Placement { host: 1, node }, 1.0, 1.0);
+        }
+        assert!(a.weights()[0] < a.weights()[1]);
+        assert!(a.weights()[1] <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn policy_names_resolve() {
+        for name in POLICY_NAMES {
+            assert_eq!(policy_by_name(name, 2).unwrap().name(), name);
+        }
+        assert_eq!(policy_by_name("mao", 2).unwrap().name(), "adaptive");
+        assert!(matches!(
+            policy_by_name("nope", 2).unwrap_err(),
+            FleetError::UnknownPolicy { .. }
+        ));
+    }
+}

@@ -154,22 +154,6 @@ impl<'a> Scheduler<'a> {
         self.run_impl(tasks, policy, self.obs.as_ref())
     }
 
-    /// Deprecated: attach the handle with [`Scheduler::observe`] and call
-    /// [`Scheduler::run`] — the same builder shape as the engine's
-    /// `Scenario` API.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use `Scheduler::observe(obs).run(tasks, policy)` instead"
-    )]
-    pub fn run_observed<P: Policy>(
-        &self,
-        tasks: Vec<IoTask>,
-        policy: P,
-        obs: &numa_obs::Obs,
-    ) -> Result<EpisodeReport, SchedError> {
-        self.run_impl(tasks, policy, Some(obs))
-    }
-
     fn run_impl<P: Policy>(
         &self,
         mut tasks: Vec<IoTask>,
@@ -524,15 +508,9 @@ mod tests {
         let obs = numa_obs::Obs::new();
         let observed = Scheduler::new(&p)
             .observe(obs.clone())
-            .run(tasks.clone(), SpreadAll::new())
+            .run(tasks, SpreadAll::new())
             .unwrap();
         assert_eq!(plain, observed);
-        // The deprecated shim stays equivalent for its final release.
-        #[allow(deprecated)]
-        let shimmed = Scheduler::new(&p)
-            .run_observed(tasks, SpreadAll::new(), &numa_obs::Obs::new())
-            .unwrap();
-        assert_eq!(plain, shimmed);
         assert_eq!(
             obs.counter("numio_flow_completions_total", &[("component", "sched")]).get(),
             6

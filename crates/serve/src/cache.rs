@@ -69,6 +69,13 @@ pub struct CacheKey {
     pub topology_hash: u64,
     /// [`fault_view_hash`] of the applied fault view.
     pub fault_hash: u64,
+    /// Host shard the view belongs to. Shard 0 is the service's own
+    /// backend; fleet lookups key each generated host under its own
+    /// shard so hit/miss accounting and invalidation stay per-host.
+    /// Defaults to 0 so pre-shard cache keys (fixtures, old clients)
+    /// keep decoding to the same key.
+    #[serde(default)]
+    pub host: u64,
 }
 
 /// One answered atlas lookup: the atlas, whether it was served from
@@ -107,6 +114,30 @@ pub struct CacheStats {
     pub invalidations: u64,
     /// View keys currently cached.
     pub entries: usize,
+}
+
+/// Monotonic counters for one host shard of the cache. Shard 0 covers
+/// the service's own backend; fleet lookups land each generated host in
+/// its own shard (see [`CacheKey::host`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostShardStats {
+    /// The shard id ([`CacheKey::host`]).
+    pub host: u64,
+    /// Lookups answered from memory for this shard.
+    pub hits: u64,
+    /// Lookups that paid a characterization for this shard.
+    pub misses: u64,
+    /// View keys of this shard evicted so far.
+    pub invalidations: u64,
+}
+
+/// Per-shard counter cells. Atomics so the shared-lock fast path can
+/// count without upgrading to a write lock.
+#[derive(Default)]
+struct ShardCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 /// Outcome of a drift re-check against the live backend.
@@ -164,6 +195,7 @@ impl ViewEntry {
 /// and reused from then on.
 pub struct CharacterizationCache {
     entries: RwLock<FxHashMap<CacheKey, ViewEntry>>,
+    shards: RwLock<FxHashMap<u64, ShardCounters>>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
@@ -182,6 +214,7 @@ impl CharacterizationCache {
         let invalidations_counter = obs.counter("numio_serve_cache_invalidations_total", &[]);
         CharacterizationCache {
             entries: RwLock::new(FxHashMap::default()),
+            shards: RwLock::new(FxHashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
@@ -212,6 +245,18 @@ impl CharacterizationCache {
         platform: &P,
         faults: &[FaultKind],
     ) -> Result<CacheKey, ServeError> {
+        self.key_for_host(platform, faults, 0)
+    }
+
+    /// The [`Self::key_for`] variant for a specific host shard: shard 0
+    /// is the service's own backend, fleet lookups key generated host
+    /// `i` under shard `i + 1`.
+    pub fn key_for_host<P: Platform>(
+        &self,
+        platform: &P,
+        faults: &[FaultKind],
+        host: u64,
+    ) -> Result<CacheKey, ServeError> {
         let topology_hash = match platform.topology() {
             Some(t) => topology_hash(t)?,
             None => fnv1a(format!("nodes:{}", platform.num_nodes()).as_bytes()),
@@ -220,6 +265,7 @@ impl CharacterizationCache {
             backend: platform.label(),
             topology_hash,
             fault_hash: fault_view_hash(faults)?,
+            host,
         })
     }
 
@@ -247,6 +293,7 @@ impl CharacterizationCache {
             .map(Arc::clone)?;
         self.hits.fetch_add(1, Ordering::Relaxed);
         self.hits_counter.inc();
+        self.bump_shard(key.host, |s| &s.hits);
         Some(model)
     }
 
@@ -266,8 +313,25 @@ impl CharacterizationCache {
         target: NodeId,
         mode: TransferMode,
     ) -> Result<ModelLookup, ServeError> {
+        self.get_or_model_sharded(platform, modeler, faults, target, mode, 0)
+    }
+
+    /// The [`Self::get_or_model`] variant for a specific host shard:
+    /// identical memoization, but the view key (and hence the hit/miss/
+    /// invalidation accounting) belongs to `host`. This is what fleet
+    /// ops use so each generated host caches — and invalidates —
+    /// independently of the service's own backend (shard 0).
+    pub fn get_or_model_sharded<P: Platform>(
+        &self,
+        platform: &P,
+        modeler: &IoModeler,
+        faults: &[FaultKind],
+        target: NodeId,
+        mode: TransferMode,
+        host: u64,
+    ) -> Result<ModelLookup, ServeError> {
         let _stage = self.obs.stage_span("cache");
-        let key = self.key_for(platform, faults)?;
+        let key = self.key_for_host(platform, faults, host)?;
         let slot = (target.0, mode);
         if let Some(model) = self
             .read_entries()
@@ -391,9 +455,37 @@ impl CharacterizationCache {
         if removed {
             self.invalidations.fetch_add(1, Ordering::Relaxed);
             self.invalidations_counter.inc();
+            self.bump_shard(key.host, |s| &s.invalidations);
             self.emit("cache_invalidate", key);
         }
         removed
+    }
+
+    /// Evict every view key cached under one host shard (all fault views
+    /// of that host). Returns how many keys were removed; each counts as
+    /// one invalidation, globally and in the shard. This is the fleet
+    /// analogue of [`Self::invalidate`]: regenerating or degrading one
+    /// host never flushes its neighbours.
+    pub fn invalidate_host(&self, host: u64) -> usize {
+        let removed: Vec<CacheKey> = {
+            let mut entries = self.write_entries();
+            let keys: Vec<CacheKey> = entries
+                .keys()
+                .filter(|k| k.host == host)
+                .cloned()
+                .collect();
+            for key in &keys {
+                entries.remove(key);
+            }
+            keys
+        };
+        for key in &removed {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.invalidations_counter.inc();
+            self.bump_shard(host, |s| &s.invalidations);
+            self.emit("cache_invalidate", key);
+        }
+        removed.len()
     }
 
     /// Re-measure one representative cached model against the live backend
@@ -449,6 +541,24 @@ impl CharacterizationCache {
         }
     }
 
+    /// Per-host-shard counters, sorted by shard id. Empty until the first
+    /// lookup; shard 0 (the service's own backend) appears alongside any
+    /// fleet host shards once it has traffic.
+    pub fn shard_stats(&self) -> Vec<HostShardStats> {
+        let shards = self.read_shards();
+        let mut out: Vec<HostShardStats> = shards
+            .iter()
+            .map(|(host, s)| HostShardStats {
+                host: *host,
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                invalidations: s.invalidations.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by_key(|s| s.host);
+        out
+    }
+
     /// Number of cached view keys.
     pub fn len(&self) -> usize {
         self.read_entries().len()
@@ -472,13 +582,29 @@ impl CharacterizationCache {
     fn count_hit(&self, key: &CacheKey) {
         self.hits.fetch_add(1, Ordering::Relaxed);
         self.hits_counter.inc();
+        self.bump_shard(key.host, |s| &s.hits);
         self.emit("cache_hit", key);
     }
 
     fn count_miss(&self, key: &CacheKey) {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.misses_counter.inc();
+        self.bump_shard(key.host, |s| &s.misses);
         self.emit("cache_miss", key);
+    }
+
+    /// Increment one counter cell of a shard, creating the shard on its
+    /// first touch. The common case is a shared-lock read + atomic add.
+    fn bump_shard(&self, host: u64, cell: impl Fn(&ShardCounters) -> &AtomicU64) {
+        {
+            let shards = self.read_shards();
+            if let Some(s) = shards.get(&host) {
+                cell(s).fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut shards = self.shards.write().unwrap_or_else(|e| e.into_inner());
+        cell(shards.entry(host).or_default()).fetch_add(1, Ordering::Relaxed);
     }
 
     fn emit(&self, name: &str, key: &CacheKey) {
@@ -490,12 +616,17 @@ impl CharacterizationCache {
                 ("backend", key.backend.as_str().into()),
                 ("topology_hash", numa_obs::Value::U64(key.topology_hash)),
                 ("fault_hash", numa_obs::Value::U64(key.fault_hash)),
+                ("host", numa_obs::Value::U64(key.host)),
             ],
         );
     }
 
     fn read_entries(&self) -> std::sync::RwLockReadGuard<'_, FxHashMap<CacheKey, ViewEntry>> {
         self.entries.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn read_shards(&self) -> std::sync::RwLockReadGuard<'_, FxHashMap<u64, ShardCounters>> {
+        self.shards.read().unwrap_or_else(|e| e.into_inner())
     }
 
     fn write_entries(&self) -> std::sync::RwLockWriteGuard<'_, FxHashMap<CacheKey, ViewEntry>> {
@@ -621,6 +752,7 @@ mod tests {
             backend: "x".into(),
             topology_hash: 1,
             fault_hash: 2,
+            host: 0,
         };
         assert!(!cache.invalidate(&key));
         assert_eq!(cache.stats().invalidations, 0);
@@ -721,6 +853,67 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
         assert_eq!(obs.counter("numio_serve_cache_hits_total", &[]).get(), 1);
+    }
+
+    #[test]
+    fn shard_counters_split_per_host_and_invalidate_independently() {
+        let cache = CharacterizationCache::new();
+        let p = SimPlatform::dl585();
+        // Shard 0 (the service's own view) and two fleet host shards.
+        cache
+            .get_or_model(&p, &modeler(), &[], NodeId(7), TransferMode::Write)
+            .unwrap();
+        for host in [1u64, 2] {
+            cache
+                .get_or_model_sharded(&p, &modeler(), &[], NodeId(7), TransferMode::Write, host)
+                .unwrap();
+            // Warm repeat: a hit charged to the same shard.
+            cache
+                .get_or_model_sharded(&p, &modeler(), &[], NodeId(7), TransferMode::Write, host)
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 3, "one view key per shard");
+        let shards = cache.shard_stats();
+        assert_eq!(
+            shards.iter().map(|s| s.host).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!((shards[0].hits, shards[0].misses), (0, 1));
+        assert_eq!((shards[1].hits, shards[1].misses), (1, 1));
+        assert_eq!((shards[2].hits, shards[2].misses), (1, 1));
+        // Shard totals reconcile with the global counters.
+        let s = cache.stats();
+        assert_eq!(s.hits, shards.iter().map(|x| x.hits).sum::<u64>());
+        assert_eq!(s.misses, shards.iter().map(|x| x.misses).sum::<u64>());
+
+        // Evicting host 1 leaves shard 0 and host 2 cached and hot.
+        assert_eq!(cache.invalidate_host(1), 1);
+        assert_eq!(cache.len(), 2);
+        let shards = cache.shard_stats();
+        assert_eq!(shards[1].invalidations, 1);
+        assert_eq!(shards[2].invalidations, 0);
+        assert_eq!(cache.stats().invalidations, 1);
+        assert!(cache
+            .get_or_model_sharded(&p, &modeler(), &[], NodeId(7), TransferMode::Write, 2)
+            .unwrap()
+            .hit);
+        assert!(!cache
+            .get_or_model_sharded(&p, &modeler(), &[], NodeId(7), TransferMode::Write, 1)
+            .unwrap()
+            .hit);
+    }
+
+    #[test]
+    fn pre_shard_cache_keys_decode_to_shard_zero() {
+        let line = r#"{"backend":"sim:dl585-g7","topology_hash":1,"fault_hash":2}"#;
+        let key: CacheKey = serde_json::from_str(line).unwrap();
+        assert_eq!(key.host, 0);
+        let cache = CharacterizationCache::new();
+        let p = SimPlatform::dl585();
+        assert_eq!(
+            cache.key_for(&p, &[]).unwrap(),
+            cache.key_for_host(&p, &[], 0).unwrap()
+        );
     }
 
     #[test]

@@ -12,13 +12,16 @@
 //! ## Pieces
 //!
 //! * [`CharacterizationCache`] — characterizations memoized per
-//!   `(backend label, topology hash, fault-view hash)` behind an
-//!   `RwLock`; within a key, models are cached lazily per
+//!   `(backend label, topology hash, fault-view hash, host shard)` behind
+//!   an `RwLock`; within a key, models are cached lazily per
 //!   `(target, mode)` (so partial replay fixtures serve what they cover)
 //!   and the full atlas is assembled on demand; cold misses characterize
 //!   via the generic [`Platform`](numio_core::Platform) pipeline;
-//!   invalidation is *targeted* (one key) on drift past a threshold or a
-//!   fault-view swap.
+//!   invalidation is *targeted* (one key, or one host shard via
+//!   [`CharacterizationCache::invalidate_host`]) on drift past a
+//!   threshold or a fault-view swap. Hit/miss/invalidation counters are
+//!   kept per host shard ([`HostShardStats`]) as well as globally, so
+//!   fleet ops account per generated host.
 //! * [`ModelService`] — the request handler; never panics, shares one
 //!   `Arc` across every worker thread. Cold requests mint a request id,
 //!   emit an `accept → service → cache → characterize` trace-span tree
@@ -83,7 +86,7 @@ pub mod service;
 
 pub use cache::{
     fault_view_hash, topology_hash, CacheKey, CacheLookup, CacheStats, CharacterizationCache,
-    DriftOutcome, ModelLookup,
+    DriftOutcome, HostShardStats, ModelLookup,
 };
 pub use client::Client;
 pub use error::ServeError;
@@ -94,5 +97,5 @@ pub use proto::{
 pub use server::{spawn, spawn_with, ServeConfig, ServerHandle};
 pub use service::{
     write_response, ModelService, BATCH_SIZE_METRIC, DEFAULT_DRIFT_THRESHOLD,
-    SERVE_SECONDS_METRIC,
+    MAX_FLEET_HOSTS, MAX_FLEET_STREAMS, SERVE_SECONDS_METRIC,
 };

@@ -14,6 +14,7 @@
 //! cold request that paid the characterization. Failures come back as
 //! `{"reply":"error","message":"..."}` — the connection stays usable.
 
+use crate::cache::HostShardStats;
 use crate::error::ServeError;
 use numa_faults::FaultPlan;
 use numio_core::{Atlas, TransferMode};
@@ -59,6 +60,18 @@ fn default_tasks() -> u32 {
 
 fn default_to_device() -> bool {
     true
+}
+
+fn default_fleet_hosts() -> usize {
+    4
+}
+
+fn default_fleet_streams() -> usize {
+    16
+}
+
+fn default_fleet_policy() -> String {
+    "class-ranked".into()
 }
 
 /// One client request. Unknown `op` tags decode to a protocol error (and
@@ -124,6 +137,27 @@ pub enum Request {
         /// `poisson:n=1000,rate=200,seed=42`.
         workload: String,
     },
+    /// Generate a seeded heterogeneous fleet, place a seeded stream
+    /// workload across it under one placement policy, and report the
+    /// episode's aggregate metrics (needs a sim fabric). Each generated
+    /// host's characterization lands in its own cache shard.
+    FleetPlace {
+        /// Fleet size (default 4 hosts).
+        #[serde(default = "default_fleet_hosts")]
+        hosts: usize,
+        /// Streams in the seeded workload (default 16).
+        #[serde(default = "default_fleet_streams")]
+        streams: usize,
+        /// Placement policy: `class-ranked`, `bandwidth-aware`, or
+        /// `adaptive` (default `class-ranked`).
+        #[serde(default = "default_fleet_policy")]
+        policy: String,
+        /// Seed for both the fleet and the workload (default 0).
+        #[serde(default)]
+        seed: u64,
+    },
+    /// Per-host-shard cache counters.
+    FleetStats,
     /// The full cached atlas.
     Atlas,
     /// Service + cache counters and the latency summary.
@@ -154,6 +188,8 @@ impl Request {
             Request::Classify { .. } => "classify",
             Request::Place { .. } => "place",
             Request::Simulate { .. } => "simulate",
+            Request::FleetPlace { .. } => "fleet_place",
+            Request::FleetStats => "fleet_stats",
             Request::Atlas => "atlas",
             Request::Stats => "stats",
             Request::Dump => "dump",
@@ -254,6 +290,30 @@ pub enum Response {
         /// patterns — equal digests mean bit-identical runs.
         fct_digest: String,
     },
+    /// Fleet placement episode outcome.
+    FleetPlace {
+        /// Policy that placed the episode.
+        policy: String,
+        /// Hosts in the generated fleet.
+        hosts: usize,
+        /// Streams placed.
+        streams: usize,
+        /// Fleet-aggregate bandwidth, Gbit/s.
+        aggregate_gbps: f64,
+        /// Jain fairness over per-stream rates, in `(0, 1]`.
+        jain_fairness: f64,
+        /// p99 of per-stream slowdowns.
+        p99_slowdown: f64,
+        /// Hex-encoded order-sensitive digest of the per-stream FCT bit
+        /// patterns — equal digests mean bit-identical episodes.
+        fct_digest: String,
+    },
+    /// Per-host-shard cache counters, sorted by shard id.
+    FleetStats {
+        /// One counter row per touched shard (0 = the service's own
+        /// backend, `i + 1` = generated fleet host `i`).
+        shards: Vec<HostShardStats>,
+    },
     /// The full atlas.
     Atlas {
         /// Every (target, mode) model of the host.
@@ -289,6 +349,10 @@ pub enum Response {
         /// Request latency distribution (zeroed before any request).
         #[serde(default)]
         latency: LatencySummary,
+        /// Per-host-shard cache counters (empty before any lookup, and
+        /// absent in pre-shard server replies).
+        #[serde(default)]
+        shards: Vec<HostShardStats>,
     },
     /// Flight recorder contents.
     Dump {
@@ -357,6 +421,13 @@ mod tests {
             Request::Simulate {
                 workload: "poisson:n=100,rate=200,seed=42".into(),
             },
+            Request::FleetPlace {
+                hosts: 8,
+                streams: 64,
+                policy: "adaptive".into(),
+                seed: 42,
+            },
+            Request::FleetStats,
             Request::Atlas,
             Request::Stats,
             Request::Dump,
@@ -411,6 +482,16 @@ mod tests {
                 to_device: true
             }
         );
+        let req = decode_request(r#"{"op":"fleet_place"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::FleetPlace {
+                hosts: 4,
+                streams: 16,
+                policy: "class-ranked".into(),
+                seed: 0
+            }
+        );
     }
 
     #[test]
@@ -459,6 +540,17 @@ mod tests {
     fn op_labels_are_stable() {
         assert_eq!(Request::Atlas.op(), "atlas");
         assert_eq!(Request::Dump.op(), "dump");
+        assert_eq!(Request::FleetStats.op(), "fleet_stats");
+        assert_eq!(
+            Request::FleetPlace {
+                hosts: 4,
+                streams: 16,
+                policy: "class-ranked".into(),
+                seed: 0
+            }
+            .op(),
+            "fleet_place"
+        );
         assert_eq!(Request::Simulate { workload: "batch:n=1".into() }.op(), "simulate");
         assert_eq!(
             Request::PredictBatch {
@@ -498,6 +590,12 @@ mod tests {
                 p90_s: 0.002,
                 p99_s: 0.004,
             },
+            shards: vec![HostShardStats {
+                host: 0,
+                hits: 4,
+                misses: 2,
+                invalidations: 0,
+            }],
         };
         assert_eq!(decode_response(&encode(&stats).unwrap()).unwrap(), stats);
         let dump = Response::Dump {
@@ -517,6 +615,7 @@ mod tests {
             requests,
             latency,
             series,
+            shards,
             ..
         } = resp
         else {
@@ -525,5 +624,37 @@ mod tests {
         assert_eq!(requests, 3);
         assert_eq!(series, 0);
         assert_eq!(latency, LatencySummary::default());
+        assert!(shards.is_empty(), "pre-shard replies decode to no shards");
+    }
+
+    #[test]
+    fn fleet_replies_round_trip() {
+        let place = Response::FleetPlace {
+            policy: "bandwidth-aware".into(),
+            hosts: 8,
+            streams: 64,
+            aggregate_gbps: 120.5,
+            jain_fairness: 0.93,
+            p99_slowdown: 2.4,
+            fct_digest: "cbf29ce484222325".into(),
+        };
+        assert_eq!(decode_response(&encode(&place).unwrap()).unwrap(), place);
+        let stats = Response::FleetStats {
+            shards: vec![
+                HostShardStats {
+                    host: 1,
+                    hits: 3,
+                    misses: 1,
+                    invalidations: 0,
+                },
+                HostShardStats {
+                    host: 2,
+                    hits: 0,
+                    misses: 1,
+                    invalidations: 1,
+                },
+            ],
+        };
+        assert_eq!(decode_response(&encode(&stats).unwrap()).unwrap(), stats);
     }
 }

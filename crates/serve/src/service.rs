@@ -7,6 +7,7 @@ use crate::error::ServeError;
 use crate::proto::{self, LatencySummary, Request, Response, WireMode};
 use numa_faults::{FaultKind, FaultPlan};
 use numa_fio::Workload;
+use numa_fleet::{policy_by_name, Fleet};
 use numa_iodev::NicOp;
 use numa_obs::{buckets, Counter, FlightRecorder, Histogram, Obs};
 use numa_sched::policy::{ActiveView, SchedContext};
@@ -27,6 +28,13 @@ pub const SERVE_SECONDS_METRIC: &str = "numio_serve_request_seconds";
 /// Histogram family recording how many mixes each `predict_batch` request
 /// carried, labelled `{backend}`.
 pub const BATCH_SIZE_METRIC: &str = "numio_serve_batch_size";
+
+/// Upper bound on `fleet_place` fleet size: generation characterizes
+/// every host, so the cap keeps one request from monopolizing a worker.
+pub const MAX_FLEET_HOSTS: usize = 64;
+
+/// Upper bound on `fleet_place` workload size.
+pub const MAX_FLEET_STREAMS: usize = 4096;
 
 /// The active fault view plus its **precomputed** cache key. Deriving the
 /// key costs a full topology serialization + FNV pass, which used to run
@@ -518,6 +526,7 @@ impl<P: Platform> ModelService<P> {
                     backend: self.platform.label(),
                     active_faults: self.read_faults().kinds.len(),
                     latency: self.latency_summary(),
+                    shards: self.cache.shard_stats(),
                 })
             }
             Request::Dump => {
@@ -661,6 +670,60 @@ impl<P: Platform> ModelService<P> {
                     fct_digest: format!("{:016x}", report.fct_digest()),
                 })
             }
+            Request::FleetPlace {
+                hosts,
+                streams,
+                policy,
+                seed,
+            } => {
+                if *hosts == 0 || *hosts > MAX_FLEET_HOSTS {
+                    return Err(ServeError::BadRequest {
+                        reason: format!("hosts must be in 1..={MAX_FLEET_HOSTS}, got {hosts}"),
+                    });
+                }
+                if *streams == 0 || *streams > MAX_FLEET_STREAMS {
+                    return Err(ServeError::BadRequest {
+                        reason: format!(
+                            "streams must be in 1..={MAX_FLEET_STREAMS}, got {streams}"
+                        ),
+                    });
+                }
+                // Resolve the policy first: an unknown name must not pay
+                // for fleet generation.
+                let mut policy = policy_by_name(policy, *hosts)
+                    .map_err(|e| ServeError::BadRequest { reason: e.to_string() })?;
+                let fleet = Fleet::generate(*hosts, *seed)
+                    .map_err(|e| ServeError::BadRequest { reason: e.to_string() })?;
+                // Warm each generated host's write model under its own
+                // cache shard: a same-seed repeat of this request turns
+                // every shard's miss into a hit, which `fleet_stats`
+                // (and the `stats` reply's `shards` block) surfaces.
+                for host in fleet.hosts() {
+                    self.cache.get_or_model_sharded(
+                        host.platform(),
+                        &self.modeler,
+                        &[],
+                        host.io_node(),
+                        TransferMode::Write,
+                        host.id as u64 + 1,
+                    )?;
+                }
+                let report = numa_fleet::ClusterScheduler::new(&fleet)
+                    .run(&numa_fleet::StreamSpec::workload(*streams, *seed), policy.as_mut())
+                    .map_err(|e| ServeError::BadRequest { reason: e.to_string() })?;
+                Ok(Response::FleetPlace {
+                    policy: report.policy,
+                    hosts: report.hosts,
+                    streams: report.streams,
+                    aggregate_gbps: report.aggregate_gbps,
+                    jain_fairness: report.jain_fairness,
+                    p99_slowdown: report.p99_slowdown,
+                    fct_digest: format!("{:016x}", report.digest),
+                })
+            }
+            Request::FleetStats => Ok(Response::FleetStats {
+                shards: self.cache.shard_stats(),
+            }),
             Request::SetFaults { plan } => {
                 let (active, invalidated) = self.set_fault_plan(plan)?;
                 Ok(Response::Faults {
@@ -1025,6 +1088,90 @@ mod tests {
             nodes.iter().take(2).all(|n| *n == 6 || *n == 7),
             "{nodes:?}"
         );
+    }
+
+    #[test]
+    fn fleet_place_is_deterministic_and_shards_the_cache() {
+        let svc = service();
+        let req = Request::FleetPlace {
+            hosts: 2,
+            streams: 8,
+            policy: "class-ranked".into(),
+            seed: 42,
+        };
+        let a = svc.handle(&req);
+        let b = svc.handle(&req);
+        assert_eq!(a, b, "same-seed fleet episodes reply bit-identically");
+        let Response::FleetPlace {
+            policy,
+            hosts,
+            streams,
+            aggregate_gbps,
+            jain_fairness,
+            p99_slowdown,
+            fct_digest,
+        } = a
+        else {
+            panic!("unexpected reply: {a:?}");
+        };
+        assert_eq!(policy, "class-ranked");
+        assert_eq!((hosts, streams), (2, 8));
+        assert!(aggregate_gbps > 0.0);
+        assert!((0.0..=1.0 + 1e-12).contains(&jain_fairness));
+        assert!(p99_slowdown >= 1.0);
+        assert_eq!(fct_digest.len(), 16, "{fct_digest}");
+        // Each generated host warmed its own cache shard: a miss on the
+        // first request, a hit on the repeat.
+        let resp = svc.handle(&Request::FleetStats);
+        let Response::FleetStats { shards } = resp else {
+            panic!("unexpected reply: {resp:?}");
+        };
+        assert_eq!(shards.iter().map(|s| s.host).collect::<Vec<_>>(), vec![1, 2]);
+        for s in &shards {
+            assert_eq!((s.hits, s.misses), (1, 1), "shard {}", s.host);
+        }
+        // The stats reply carries the same shard block.
+        let resp = svc.handle(&Request::Stats);
+        let Response::Stats { shards: in_stats, .. } = resp else {
+            panic!("unexpected reply: {resp:?}");
+        };
+        assert_eq!(in_stats, shards);
+    }
+
+    #[test]
+    fn fleet_place_rejects_bad_parameters() {
+        let svc = service();
+        for req in [
+            Request::FleetPlace {
+                hosts: 0,
+                streams: 8,
+                policy: "class-ranked".into(),
+                seed: 0,
+            },
+            Request::FleetPlace {
+                hosts: MAX_FLEET_HOSTS + 1,
+                streams: 8,
+                policy: "class-ranked".into(),
+                seed: 0,
+            },
+            Request::FleetPlace {
+                hosts: 2,
+                streams: 0,
+                policy: "class-ranked".into(),
+                seed: 0,
+            },
+            Request::FleetPlace {
+                hosts: 2,
+                streams: 8,
+                policy: "mystery-policy".into(),
+                seed: 0,
+            },
+        ] {
+            match svc.handle(&req) {
+                Response::Error { .. } => {}
+                other => panic!("{req:?} should fail, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -57,6 +57,13 @@ pub enum TopologyError {
         /// The allowed budget.
         budget: usize,
     },
+    /// A [`crate::hostgen::HostSpec`] is internally inconsistent (zero
+    /// sockets, a wiring family incompatible with the socket count, a
+    /// device or OS-home node outside the generated id range, ...).
+    InvalidSpec {
+        /// Why the spec was rejected.
+        reason: String,
+    },
     /// A routing override references a node pair outside the topology or a
     /// path that is not a connected walk over existing links.
     InvalidRoute {
@@ -95,6 +102,9 @@ impl fmt::Display for TopologyError {
                 f,
                 "node {node:?} uses {used} HT ports but the budget is {budget}"
             ),
+            TopologyError::InvalidSpec { reason } => {
+                write!(f, "invalid host spec: {reason}")
+            }
             TopologyError::InvalidRoute { src, dst, reason } => {
                 write!(f, "invalid route {src:?} -> {dst:?}: {reason}")
             }

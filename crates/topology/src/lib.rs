@@ -21,8 +21,11 @@
 //! * [`TopologyBuilder`] — ergonomic construction with validation.
 //! * [`RouteTable`] — per-source routing (BFS default + firmware overrides).
 //! * [`Locality`] — the paper's local / neighbour / remote(h) classification.
+//! * [`HostSpec`] / [`TopoGen`] — parameterized, seed-reproducible topology
+//!   generation for fleets of heterogeneous hosts.
 //! * [`presets`] — the four Fig. 1 Magny-Cours variants, the calibrated
-//!   DL585 G7 testbed of Table II, and the Table I comparison machines.
+//!   DL585 G7 testbed of Table II, and the Table I comparison machines
+//!   (regenerated through [`TopoGen`]).
 //!
 //! ## Example
 //!
@@ -42,6 +45,7 @@
 pub mod device;
 pub mod distance;
 pub mod error;
+pub mod hostgen;
 pub mod ids;
 pub mod link;
 pub mod node;
@@ -54,6 +58,7 @@ pub mod topology;
 pub use device::{DeviceKind, DeviceSpec, PcieGen, PcieInterface};
 pub use distance::{hop_matrix, slit_matrix, SLIT_LOCAL};
 pub use error::TopologyError;
+pub use hostgen::{HostSpec, TopoGen, Wiring};
 pub use ids::{CoreId, DeviceId, LinkId, NodeId, PackageId};
 pub use link::{HtWidth, Link, LinkKind};
 pub use node::NodeSpec;

@@ -13,9 +13,9 @@
 //!   [`amd_8s8n`], [`blade32`].
 
 use crate::device::DeviceSpec;
-use crate::ids::{NodeId, PackageId};
+use crate::hostgen::{TopoGen, Wiring};
+use crate::ids::NodeId;
 use crate::link::HtWidth;
-use crate::node::NodeSpec;
 use crate::routing::RouteTable;
 use crate::topology::{Topology, TopologyBuilder};
 
@@ -216,85 +216,50 @@ pub fn dl585_routes(topo: &Topology) -> RouteTable {
 /// Table I row 1: an Intel 4-socket, 4-node host with a full QPI mesh.
 /// NUMA factor ~1.5.
 pub fn intel_4s4n() -> Topology {
-    let mut b = Topology::builder("intel-4s4n");
-    let ids: Vec<NodeId> = (0..4)
-        .map(|i| {
-            b.node(
-                NodeSpec::magny_cours(PackageId(i))
-                    .with_cores(8)
-                    .with_dram_mib(8192),
-            )
-        })
-        .collect();
-    for i in 0..4 {
-        for j in (i + 1)..4 {
-            b.link(ids[i], ids[j], HtWidth::W16);
-        }
-    }
-    b.build().expect("intel mesh is valid")
+    TopoGen::new("intel-4s4n")
+        .sockets(4)
+        .nodes_per_socket(1)
+        .cores_per_node(8)
+        .dram_mib_per_node(8192)
+        .wiring(Wiring::FullMesh)
+        .inter_width(HtWidth::W16)
+        .build()
+        .expect("intel mesh is valid")
 }
 
 /// Table I row 2: AMD 4-socket / 8-node — structurally the DL585 wiring
 /// without devices. NUMA factor ~2.7.
 pub fn amd_4s8n() -> Topology {
-    let mut b = Topology::builder("amd-4s8n");
-    let ids = b.magny_cours_dies(8);
-    for p in 0..4 {
-        b.link(ids[2 * p], ids[2 * p + 1], HtWidth::W16);
-    }
-    b.links(&[
-        (0, 2, HtWidth::W8),
-        (1, 3, HtWidth::W8),
-        (0, 4, HtWidth::W8),
-        (1, 5, HtWidth::W8),
-        (2, 6, HtWidth::W8),
-        (3, 7, HtWidth::W8),
-        (4, 6, HtWidth::W8),
-        (5, 7, HtWidth::W8),
-    ]);
-    b.ht_port_budget(G34_PORT_BUDGET);
-    b.build().expect("amd_4s8n is valid")
+    TopoGen::new("amd-4s8n")
+        .sockets(4)
+        .nodes_per_socket(2)
+        .wiring(Wiring::SocketRing)
+        .ht_port_budget(G34_PORT_BUDGET)
+        .build()
+        .expect("amd_4s8n is valid")
 }
 
 /// Table I row 3: AMD 8-socket / 8-node — one die per socket, sparser
-/// ladder interconnect, hence longer average paths. NUMA factor ~2.8.
+/// 2x4 ladder interconnect (two rails plus end rungs), hence longer
+/// average paths. NUMA factor ~2.8.
 pub fn amd_8s8n() -> Topology {
-    let mut b = Topology::builder("amd-8s8n");
-    let ids: Vec<NodeId> = (0..8)
-        .map(|i| b.node(NodeSpec::magny_cours(PackageId(i))))
-        .collect();
-    // 2x4 ladder: two rails of four sockets plus rungs.
-    b.link(ids[0], ids[1], HtWidth::W8);
-    b.link(ids[1], ids[2], HtWidth::W8);
-    b.link(ids[2], ids[3], HtWidth::W8);
-    b.link(ids[4], ids[5], HtWidth::W8);
-    b.link(ids[5], ids[6], HtWidth::W8);
-    b.link(ids[6], ids[7], HtWidth::W8);
-    b.link(ids[0], ids[4], HtWidth::W8);
-    b.link(ids[3], ids[7], HtWidth::W8);
-    b.build().expect("amd_8s8n is valid")
+    TopoGen::new("amd-8s8n")
+        .sockets(8)
+        .nodes_per_socket(1)
+        .wiring(Wiring::Ladder)
+        .build()
+        .expect("amd_8s8n is valid")
 }
 
 /// Table I row 4: a 32-node blade system — eight 4-node boards, full mesh
 /// on a board, boards chained in a ring. NUMA factor ~5.5.
 pub fn blade32() -> Topology {
-    let mut b = Topology::builder("blade32");
-    let ids: Vec<NodeId> = (0..32)
-        .map(|i| b.node(NodeSpec::magny_cours(PackageId(i / 4))))
-        .collect();
-    for board in 0..8 {
-        let base = board * 4;
-        for i in 0..4 {
-            for j in (i + 1)..4 {
-                b.link(ids[base + i], ids[base + j], HtWidth::W16);
-            }
-        }
-    }
-    for board in 0..8 {
-        let next = (board + 1) % 8;
-        b.link(ids[board * 4], ids[next * 4 + 1], HtWidth::W8);
-    }
-    b.build().expect("blade32 is valid")
+    TopoGen::new("blade32")
+        .sockets(8)
+        .nodes_per_socket(4)
+        .wiring(Wiring::BoardRing)
+        .build()
+        .expect("blade32 is valid")
 }
 
 /// Table II metadata, for reports and the `fig2_testbed` binary.
@@ -344,7 +309,114 @@ pub fn table_ii() -> TestbedInfo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::PackageId;
+    use crate::node::NodeSpec;
     use crate::topology::Locality;
+
+    /// Golden: the Table I presets are now emitted by `TopoGen`, and must
+    /// stay bit-identical to their original hand-built definitions —
+    /// `numa-fabric`'s latency calibration and every serialized topology
+    /// hash depend on the exact node/link emission order.
+    mod golden {
+        use super::*;
+
+        fn handbuilt_intel_4s4n() -> Topology {
+            let mut b = Topology::builder("intel-4s4n");
+            let ids: Vec<NodeId> = (0..4)
+                .map(|i| {
+                    b.node(NodeSpec::magny_cours(PackageId(i)).with_cores(8).with_dram_mib(8192))
+                })
+                .collect();
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.link(ids[i], ids[j], HtWidth::W16);
+                }
+            }
+            b.build().unwrap()
+        }
+
+        fn handbuilt_amd_4s8n() -> Topology {
+            let mut b = Topology::builder("amd-4s8n");
+            let ids = b.magny_cours_dies(8);
+            for p in 0..4 {
+                b.link(ids[2 * p], ids[2 * p + 1], HtWidth::W16);
+            }
+            b.links(&[
+                (0, 2, HtWidth::W8),
+                (1, 3, HtWidth::W8),
+                (0, 4, HtWidth::W8),
+                (1, 5, HtWidth::W8),
+                (2, 6, HtWidth::W8),
+                (3, 7, HtWidth::W8),
+                (4, 6, HtWidth::W8),
+                (5, 7, HtWidth::W8),
+            ]);
+            b.ht_port_budget(G34_PORT_BUDGET);
+            b.build().unwrap()
+        }
+
+        fn handbuilt_amd_8s8n() -> Topology {
+            let mut b = Topology::builder("amd-8s8n");
+            let ids: Vec<NodeId> =
+                (0..8).map(|i| b.node(NodeSpec::magny_cours(PackageId(i)))).collect();
+            b.link(ids[0], ids[1], HtWidth::W8);
+            b.link(ids[1], ids[2], HtWidth::W8);
+            b.link(ids[2], ids[3], HtWidth::W8);
+            b.link(ids[4], ids[5], HtWidth::W8);
+            b.link(ids[5], ids[6], HtWidth::W8);
+            b.link(ids[6], ids[7], HtWidth::W8);
+            b.link(ids[0], ids[4], HtWidth::W8);
+            b.link(ids[3], ids[7], HtWidth::W8);
+            b.build().unwrap()
+        }
+
+        fn handbuilt_blade32() -> Topology {
+            let mut b = Topology::builder("blade32");
+            let ids: Vec<NodeId> =
+                (0..32).map(|i| b.node(NodeSpec::magny_cours(PackageId(i / 4)))).collect();
+            for board in 0..8 {
+                let base = board * 4;
+                for i in 0..4 {
+                    for j in (i + 1)..4 {
+                        b.link(ids[base + i], ids[base + j], HtWidth::W16);
+                    }
+                }
+            }
+            for board in 0..8 {
+                let next = (board + 1) % 8;
+                b.link(ids[board * 4], ids[next * 4 + 1], HtWidth::W8);
+            }
+            b.build().unwrap()
+        }
+
+        #[test]
+        fn generated_presets_match_handbuilt_bit_for_bit() {
+            for (generated, golden) in [
+                (intel_4s4n(), handbuilt_intel_4s4n()),
+                (amd_4s8n(), handbuilt_amd_4s8n()),
+                (amd_8s8n(), handbuilt_amd_8s8n()),
+                (blade32(), handbuilt_blade32()),
+            ] {
+                assert_eq!(generated, golden, "{} drifted", golden.name());
+                // Serialized form (what topology hashes are computed over)
+                // must agree too, not just PartialEq.
+                assert_eq!(
+                    serde_json::to_string(&generated).unwrap(),
+                    serde_json::to_string(&golden).unwrap(),
+                    "{} JSON drifted",
+                    golden.name()
+                );
+            }
+        }
+
+        #[test]
+        fn generated_amd_4s8n_matches_dl585_wiring() {
+            // amd-4s8n is "the DL585 wiring without devices": same links.
+            let dl = dl585_testbed();
+            let gen = amd_4s8n();
+            assert_eq!(gen.links(), dl.links());
+        }
+    }
 
     #[test]
     fn fig1a_matches_quoted_localities() {

@@ -1,0 +1,94 @@
+//! Property tests over `TopoGen`-generated topologies: every sampled spec
+//! must build a connected, fully routable host with valid device
+//! attachments, and the same seed must reproduce it bit-for-bit.
+
+use numa_topology::hostgen::{TopoGen, Wiring};
+use numa_topology::{HtWidth, RouteTable};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sampled_specs_build_connected_hosts(seed in any::<u64>()) {
+        let gen = TopoGen::sample("prop-host", seed);
+        let topo = gen.build().unwrap_or_else(|e| {
+            panic!("seed {seed} spec {:?} failed: {e}", gen.spec())
+        });
+        let spec = gen.spec();
+        prop_assert_eq!(topo.num_nodes() as u16, spec.num_nodes());
+        prop_assert_eq!(topo.num_packages() as u16, spec.sockets);
+        // Builder validation already proved connectivity; hop_distance
+        // would panic on a disconnected pair, so walking all pairs is a
+        // direct connectivity check.
+        for a in topo.node_ids() {
+            for b in topo.node_ids() {
+                let d = topo.hop_distance(a, b);
+                prop_assert!(u64::from(d) < topo.num_nodes() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_hosts_are_fully_routable(seed in any::<u64>()) {
+        let (topo, routes) = TopoGen::sample("prop-host", seed).build_routed().unwrap();
+        prop_assert_eq!(routes.num_nodes(), topo.num_nodes());
+        for a in topo.node_ids() {
+            for b in topo.node_ids() {
+                let r = routes.route(a, b);
+                prop_assert_eq!(r.src(), a);
+                prop_assert_eq!(r.dst(), b);
+                prop_assert_eq!(r.is_local(), a == b);
+                // Every hop of the route is a real link.
+                for e in r.edges() {
+                    prop_assert!(topo.link_between(e.from, e.to).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_devices_attach_to_real_hub_nodes(seed in any::<u64>()) {
+        let gen = TopoGen::sample("prop-host", seed);
+        let topo = gen.build().unwrap();
+        let spec = gen.spec();
+        prop_assert_eq!(topo.devices().len() as u16, spec.nics + spec.ssds);
+        for d in topo.devices() {
+            prop_assert!(d.attached_to.index() < topo.num_nodes());
+            prop_assert!(topo.node(d.attached_to).has_io_hub);
+            prop_assert_eq!(Some(d.attached_to.index() as u16), spec.io_node);
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical(seed in any::<u64>()) {
+        let a = TopoGen::sample("prop-host", seed).build().unwrap();
+        let b = TopoGen::sample("prop-host", seed).build().unwrap();
+        prop_assert_eq!(&a, &b);
+        // The serialized form (what topology hashes key on) agrees too.
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+}
+
+#[test]
+fn explicit_specs_cover_every_wiring_family() {
+    for (wiring, sockets, k) in [
+        (Wiring::FullMesh, 2, 2),
+        (Wiring::SocketRing, 4, 2),
+        (Wiring::Ladder, 8, 1),
+        (Wiring::BoardRing, 8, 4),
+    ] {
+        let topo = TopoGen::new(format!("w-{}", wiring.label()))
+            .sockets(sockets)
+            .nodes_per_socket(k)
+            .wiring(wiring)
+            .inter_width(HtWidth::W8)
+            .build()
+            .unwrap();
+        let routes = RouteTable::bfs(&topo);
+        assert_eq!(routes.num_nodes(), usize::from(sockets * k));
+    }
+}

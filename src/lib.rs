@@ -34,6 +34,10 @@
 //!   memoized characterization cache: characterize once, answer
 //!   `predict`/`classify`/`place`/`atlas` requests from the cache until
 //!   drift or an armed fault plan invalidates the affected key.
+//! * [`fleet`] — warehouse scale: seeded generation of heterogeneous hosts
+//!   (via [`topology::hostgen`]), per-host characterization profiles, and a
+//!   cluster scheduler comparing class-ranked, bandwidth-aware, and
+//!   adaptive placement policies.
 //!
 //! Fallible entry points across the workspace return per-crate error
 //! types; the workspace-level [`Error`] unifies them (every one converts
@@ -55,6 +59,7 @@
 pub use numa_backend as backend;
 pub use numa_engine as engine;
 pub use numa_faults as faults;
+pub use numa_fleet as fleet;
 pub use numa_obs as obs;
 pub use numa_fabric as fabric;
 pub use numa_fio as fio;
@@ -106,6 +111,8 @@ pub enum Error {
     Atlas(core::AtlasError),
     /// The prediction service failed ([`serve`]).
     Serve(serve::ServeError),
+    /// Fleet generation or cluster scheduling failed ([`fleet`]).
+    Fleet(fleet::FleetError),
 }
 
 impl std::fmt::Display for Error {
@@ -127,6 +134,7 @@ impl std::fmt::Display for Error {
             Error::Fault(e) => write!(f, "faults: {e}"),
             Error::Atlas(e) => write!(f, "atlas: {e}"),
             Error::Serve(e) => write!(f, "serve: {e}"),
+            Error::Fleet(e) => write!(f, "fleet: {e}"),
         }
     }
 }
@@ -150,6 +158,7 @@ impl std::error::Error for Error {
             Error::Fault(e) => Some(e),
             Error::Atlas(e) => Some(e),
             Error::Serve(e) => Some(e),
+            Error::Fleet(e) => Some(e),
         }
     }
 }
@@ -181,6 +190,7 @@ impl_from_error!(
     Fault(faults::FaultError),
     Atlas(core::AtlasError),
     Serve(serve::ServeError),
+    Fleet(fleet::FleetError),
 );
 
 /// Convenience alias: `Result` with the workspace [`Error`].
@@ -202,6 +212,7 @@ pub mod prelude {
     pub use numa_fabric::{Fabric, TrafficClass};
     pub use numa_faults::{FaultInjector, FaultKind, FaultPlan, FaultWindow};
     pub use numa_fio::{FioError, JobSpec, Workload};
+    pub use numa_fleet::{ClusterScheduler, Fleet, FleetError, FleetReport, StreamSpec};
     pub use numa_sched::{ClassRanked, Policy, RetryPolicy, SchedError, Scheduler};
     pub use numa_serve::{CharacterizationCache, ModelService, ServeError};
     pub use numa_topology::{DeviceId, DirectedEdge, NodeId, Topology};
