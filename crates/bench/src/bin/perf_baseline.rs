@@ -2,7 +2,8 @@
 //!
 //! Times the algorithmic kernels the criterion benches cover — max-min
 //! allocator (one-shot and persistent-solver reuse), topology routing,
-//! Algorithm 1 modeler, engine event loop — plus a seeded 10k-flow
+//! Algorithm 1 modeler, the storage-tier SSD characterization sweep,
+//! engine event loop — plus a seeded 10k-flow
 //! open-loop Poisson scenario (FCT-digest anchored), a full scheduler
 //! episode, a 64-host fleet generate-and-place episode (with an 8-host
 //! policy-compare digest anchor), a fixture-replayed full-host
@@ -38,7 +39,10 @@ use numa_fabric::calibration::paper;
 use numa_fabric::{solve_max_min, FlowSpec, MaxMinProblem, MaxMinSolver};
 use numa_iodev::{NicModel, NicOp};
 use numa_topology::{presets, NodeId, RouteTable};
-use numio_core::{predict_aggregate, relative_error, IoModeler, SimPlatform, TransferMode};
+use numio_core::{
+    characterize_storage_full_host, predict_aggregate, relative_error, IoModeler, SimPlatform,
+    TransferMode,
+};
 use std::time::Instant;
 
 /// Deterministic pseudo-random allocator problem (mirrors the criterion
@@ -119,6 +123,8 @@ fn run_checks(
     eq1_predicted: f64,
     engine_aggregate: [f64; 2],
     replay_identical: bool,
+    ssd_classes_deterministic: bool,
+    ssd_write_partition: &str,
     scenario_deterministic: bool,
     fleet_policy_deterministic: bool,
     serve_cache_hot: bool,
@@ -147,6 +153,15 @@ fn run_checks(
     }
     if !replay_identical {
         failures.push("replayed full-host atlas diverges from the live recorded run".to_string());
+    }
+    if !ssd_classes_deterministic {
+        failures.push("same-seed SSD characterization sweep is not bit-identical".to_string());
+    }
+    if ssd_write_partition != "6,7|0,1,4,5|2,3" {
+        failures.push(format!(
+            "ssd write partition '{ssd_write_partition}' does not match the Table IV analogue \
+             '6,7|0,1,4,5|2,3'"
+        ));
     }
     if !scenario_deterministic {
         failures.push(
@@ -314,6 +329,37 @@ fn main() {
         }),
     );
 
+    // Storage tier: the full SSD sweep — 4 operating points (engine x
+    // access mode) x write/read, each mapped off a fresh memcpy probe run
+    // through the calibrated device curves. The write partition and the
+    // bit-identity of a same-seed rerun are anchors below.
+    let mut ssd_models = Vec::new();
+    record(
+        "ssd_characterize_full_host",
+        time_op(3, || {
+            ssd_models = std::hint::black_box(
+                characterize_storage_full_host(&IoModeler::new(), std::hint::black_box(&platform))
+                    .expect("ssd baseline characterization"),
+            );
+        }),
+    );
+    let ssd_classes_deterministic = characterize_storage_full_host(&IoModeler::new(), &platform)
+        .expect("ssd baseline recharacterization")
+        == ssd_models;
+    // Model 0 is the paper operating point (libaio QD16, O_DIRECT), write.
+    let ssd_write_partition = ssd_models[0]
+        .classes()
+        .iter()
+        .map(|c| {
+            c.nodes
+                .iter()
+                .map(|n| n.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("|");
+
     // Backend layer: full-host characterization answered entirely from a
     // recorded fixture. Record once outside the timed region, then time
     // the replayed run; its result doubles as a correctness anchor below.
@@ -434,6 +480,7 @@ fn main() {
         numa_serve::ModelService::new(SimPlatform::dl585()).with_modeler(IoModeler::new().reps(3)),
     );
     let predict_req = numa_serve::Request::Predict {
+        device: None,
         target: 7,
         mode: numa_serve::WireMode::Write,
         mix: vec![(6, 2), (2, 1)],
@@ -475,6 +522,7 @@ fn main() {
             .collect()
     };
     let batch_req = numa_serve::Request::PredictBatch {
+        device: None,
         target: 7,
         mode: numa_serve::WireMode::Write,
         mixes: mixes.clone(),
@@ -482,6 +530,7 @@ fn main() {
     let seq_reqs: Vec<numa_serve::Request> = mixes
         .iter()
         .map(|mix| numa_serve::Request::Predict {
+            device: None,
             target: 7,
             mode: numa_serve::WireMode::Write,
             mix: mix.clone(),
@@ -603,6 +652,9 @@ fn main() {
             "eq1_predicted_gbps": eq1_predicted,
             "engine_aggregate_gbps": report.aggregate_gbps,
             "replay_bit_identical": replay_identical,
+            "ssd_classes_deterministic": ssd_classes_deterministic,
+            // Pipe-separated classes, comma-separated nodes, best first.
+            "ssd_write_partition": ssd_write_partition.as_str(),
             // As a string: 64-bit digests survive every JSON reader exact.
             "scenario_fct_digest": format!("{:016x}", scenario_digest),
             "scenario_bit_identical": scenario_deterministic,
@@ -646,6 +698,8 @@ fn main() {
             eq1_predicted,
             [report.aggregate_gbps, report2.aggregate_gbps],
             replay_identical,
+            ssd_classes_deterministic,
+            &ssd_write_partition,
             scenario_deterministic,
             fleet_policy_deterministic,
             serve_cache_hot,

@@ -146,12 +146,14 @@ pub fn generate_requests(seed: u64, client: u64, n: usize) -> Vec<String> {
                 mix.sort();
                 mix.dedup_by_key(|e| e.0);
                 Request::Predict {
+                    device: None,
                     target: 7,
                     mode,
                     mix,
                 }
             } else if roll < 95 {
                 Request::Classify {
+                    device: None,
                     node: (next() % 8) as u16,
                     target: 7,
                     mode: WireMode::Write,
@@ -196,6 +198,7 @@ pub fn generate_requests_batched(seed: u64, client: u64, n: usize, batch: usize)
                 };
                 let mix = gen_mix(&mut next);
                 Request::Predict {
+                    device: None,
                     target: 7,
                     mode,
                     mix,
@@ -208,12 +211,14 @@ pub fn generate_requests_batched(seed: u64, client: u64, n: usize, batch: usize)
                 };
                 let mixes = (0..batch.max(1)).map(|_| gen_mix(&mut next)).collect();
                 Request::PredictBatch {
+                    device: None,
                     target: 7,
                     mode,
                     mixes,
                 }
             } else if roll < 95 {
                 Request::Classify {
+                    device: None,
                     node: (next() % 8) as u16,
                     target: 7,
                     mode: WireMode::Write,
@@ -260,6 +265,7 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
     // Warm the models the mix touches, outside the timed region.
     for mode in [WireMode::Write, WireMode::Read] {
         let resp = service.handle(&Request::Predict {
+            device: None,
             target: 7,
             mode,
             mix: vec![(0, 1)],

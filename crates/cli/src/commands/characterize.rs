@@ -8,7 +8,8 @@ use numa_backend::RecordingPlatform;
 use numa_iodev::{NicModel, NicOp};
 use numa_topology::NodeId;
 use numio_core::{
-    render_comparison_table, render_model, IoModeler, Platform, PlatformError, TransferMode,
+    characterize_storage, render_comparison_table, render_model, DeviceSelector, IoModeler,
+    Platform, PlatformError, StorageConfig, TransferMode,
 };
 use std::fmt::Write as _;
 
@@ -17,6 +18,9 @@ pub(crate) fn cmd_characterize(opts: &Opts, obs: &numa_obs::Obs) -> Result<Strin
     let reps: u32 = opts.num("reps", 100)?;
     let mode = opts.mode()?;
     let platform = backend::platform_for(opts)?.with_obs(obs.clone());
+    if let DeviceSelector::Ssd(cfg) = opts.device()? {
+        return characterize_ssd(opts, &platform, cfg, mode, reps);
+    }
     let topo = Platform::topology(&platform)
         .ok_or_else(|| PlatformError::NoTopology { label: platform.label() }.to_string())?;
     let modeler = IoModeler::new().reps(reps);
@@ -56,6 +60,58 @@ pub(crate) fn cmd_characterize(opts: &Opts, obs: &numa_obs::Obs) -> Result<Strin
                 ));
             }
             out.push_str("class partition matches Table IV: {6,7} > {0,1,4,5} > {2,3}\n");
+        }
+        return Ok(out);
+    }
+    if opts.flag("json") {
+        Ok(model.to_json())
+    } else {
+        Ok(render_model(&model))
+    }
+}
+
+/// The storage-tier arm of `characterize`: the same memcpy probes mapped
+/// through the calibrated SSD curves (Table IV/V analogues). The target
+/// node is fixed by the SSD cards' attach point, so `--target` is ignored.
+fn characterize_ssd<P: Platform>(
+    opts: &Opts,
+    platform: &P,
+    cfg: StorageConfig,
+    mode: TransferMode,
+    reps: u32,
+) -> Result<String, String> {
+    let modeler = IoModeler::new().reps(reps);
+    let model = characterize_storage(&modeler, platform, cfg, mode).map_err(|e| e.to_string())?;
+    if opts.flag("check") {
+        let again =
+            characterize_storage(&modeler, platform, cfg, mode).map_err(|e| e.to_string())?;
+        if again != model {
+            return Err(format!(
+                "storage characterization over backend '{}' is not reproducible",
+                platform.label()
+            ));
+        }
+        let mut out = format!(
+            "characterize check OK: backend {}, device ssd0:{}, {} classes, two runs bit-identical\n",
+            platform.label(),
+            cfg.tag(),
+            model.classes().len()
+        );
+        if mode == TransferMode::Write && platform.label().ends_with("dl585-g7") {
+            let partition: Vec<Vec<u16>> = model
+                .classes()
+                .iter()
+                .map(|c| c.nodes.iter().map(|n| n.0).collect())
+                .collect();
+            let want: Vec<Vec<u16>> = vec![vec![6, 7], vec![0, 1, 4, 5], vec![2, 3]];
+            if partition != want {
+                return Err(format!(
+                    "storage class partition {partition:?} does not match the Table IV analogue {want:?}"
+                ));
+            }
+            out.push_str(
+                "storage class partition matches the Table IV analogue: {6,7} > {0,1,4,5} > {2,3}\n",
+            );
         }
         return Ok(out);
     }

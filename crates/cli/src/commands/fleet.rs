@@ -64,10 +64,19 @@ fn render_gen(fleet: &Fleet) -> Result<String, String> {
     for h in fleet.hosts() {
         let best = &h.profile().write.classes()[0];
         let nodes: Vec<u16> = best.nodes.iter().map(|n| n.0).collect();
+        let storage = match (&h.profile().storage_write, h.storage_headroom()) {
+            (Some(sw), Some(headroom)) => format!(
+                "  ssd x{} @ {:.1} Gbit/s (headroom {:.2})",
+                h.spec.ssds,
+                sw.classes()[0].avg_gbps,
+                headroom
+            ),
+            _ => "  no ssd".to_string(),
+        };
         let _ = writeln!(
             out,
             "host {:02}  {}s x{}  ({:2} nodes)  {:<11} io node {}  scale {:.3}  \
-             best class {:?} @ {:.1} Gbit/s",
+             best class {:?} @ {:.1} Gbit/s{storage}",
             h.id,
             h.spec.sockets,
             h.spec.nodes_per_socket,

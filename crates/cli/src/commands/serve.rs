@@ -207,6 +207,7 @@ fn run_check(client: &mut Client, out: &mut String) -> Result<(), String> {
     // 1. Table-IV-consistent classify: node 2 sits in the starved class
     //    {2,3}, the third of three write classes.
     let classify = Request::Classify {
+        device: None,
         node: 2,
         target: 7,
         mode: numa_serve::WireMode::Write,
@@ -230,6 +231,7 @@ fn run_check(client: &mut Client, out: &mut String) -> Result<(), String> {
     }
     // 2. Repeated predict: bit-identical lines, second reply a cache hit.
     let predict = numa_serve::encode(&Request::Predict {
+        device: None,
         target: 7,
         mode: numa_serve::WireMode::Write,
         mix: vec![(6, 1), (2, 1)],
@@ -301,6 +303,7 @@ fn run_batch(client: &mut Client, n: usize, out: &mut String) -> Result<(), Stri
     }
     for (i, mix) in mixes.iter().enumerate() {
         let req = Request::Predict {
+            device: None,
             target: 7,
             mode,
             mix: mix.clone(),

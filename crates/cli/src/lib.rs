@@ -9,6 +9,7 @@
 //! iomodel topo        [--preset dl585|fig1a..fig1d|intel4|amd8|blade32] [--dot]
 //! iomodel stream      [--target N]
 //! iomodel characterize [--target N] [--mode write|read] [--reps N] [--json] [--check]
+//!                      [--device probe|ssd0|ssd0:<engine>-<access>]
 //! iomodel record      --out fixture.jsonl [--target N] [--mode write|read] [--reps N]
 //! iomodel classes     [--target N]
 //! iomodel predict     --op rdma_read --mix 2:2,0:2 [--target N]
@@ -181,6 +182,7 @@ fn usage() -> String {
      faults: iomodel faults demo [--seed N] [--check] | validate --plan p.json | run --plan p.json\n\
      fleet:  iomodel fleet gen [--hosts N] [--seed N] | place [--policy P] [--streams N] [--rounds N]\n\
              | compare [--hosts N] [--streams N] [--rounds N] [--seed N] [--check]\n\
+     characterize: iomodel characterize [--device probe|ssd0|ssd0:<engine>-<access>] [--check]\n\
      run:    iomodel run --jobfile job.fio [--faults plan.json]\n\
      simulate: iomodel simulate --workload poisson:n=1000,rate=200,seed=42|pareto:...|batch:... [--check]\n\
      record: iomodel record --out fixture.jsonl [--target N] [--mode write|read]\n\
@@ -322,6 +324,57 @@ mod tests {
         assert!(out.contains("characterize check OK"), "{out}");
         assert!(out.contains("bit-identical"), "{out}");
         assert!(out.contains("class partition matches Table IV"), "{out}");
+    }
+
+    #[test]
+    fn characterize_ssd_device_renders_the_storage_tier() {
+        let out = run_str(&["characterize", "--reps", "5", "--device", "ssd0"]).unwrap();
+        // Same partition shape as Table IV, at SSD-ceiling levels.
+        assert!(out.contains("class 1: nodes {6, 7}"), "{out}");
+        assert!(out.contains("ssd0:libaio16-direct"), "{out}");
+        let json =
+            run_str(&["characterize", "--reps", "5", "--device", "ssd0", "--json"]).unwrap();
+        let model = numio_core::IoPerfModel::from_json(&json).unwrap();
+        assert!(model.platform.ends_with("ssd0:libaio16-direct"), "{}", model.platform);
+        // An explicit operating point scales the whole table down.
+        let slow = run_str(&[
+            "characterize",
+            "--reps",
+            "5",
+            "--device",
+            "ssd0:sync-buffered",
+            "--json",
+        ])
+        .unwrap();
+        let slow = numio_core::IoPerfModel::from_json(&slow).unwrap();
+        assert!(
+            slow.means().iter().zip(model.means()).all(|(s, f)| *s < f),
+            "sync+buffered must sit below libaio+direct everywhere"
+        );
+        // `--device probe` is the default memcpy path.
+        let probe = run_str(&["characterize", "--reps", "5", "--device", "probe"]).unwrap();
+        let default = run_str(&["characterize", "--reps", "5"]).unwrap();
+        assert_eq!(probe, default);
+    }
+
+    #[test]
+    fn characterize_ssd_check_gates_the_storage_partition() {
+        let out =
+            run_str(&["characterize", "--reps", "3", "--device", "ssd0", "--check"]).unwrap();
+        assert!(out.contains("characterize check OK"), "{out}");
+        assert!(out.contains("device ssd0:libaio16-direct"), "{out}");
+        assert!(out.contains("bit-identical"), "{out}");
+        assert!(out.contains("storage class partition matches"), "{out}");
+    }
+
+    #[test]
+    fn characterize_device_errors_are_typed() {
+        let e = run_str(&["characterize", "--device", "ssd9"]).unwrap_err();
+        assert!(e.contains("--device must be"), "{e}");
+        // Storage needs a fabric: host backends carry none.
+        let e =
+            run_str(&["characterize", "--backend", "host:2", "--device", "ssd0"]).unwrap_err();
+        assert!(e.contains("exposes no fabric"), "{e}");
     }
 
     #[test]
@@ -558,6 +611,27 @@ mod tests {
         assert!(out.contains("17.0"), "node 3 class level: {out}");
         assert!(run_str(&["run", "--jobfile", "/no/such/file"]).is_err());
         assert!(run_str(&["run"]).is_err());
+    }
+
+    #[test]
+    fn run_executes_a_mixed_nic_and_ssd_jobfile() {
+        let dir = std::env::temp_dir().join("numio-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mixed.fio");
+        std::fs::write(
+            &path,
+            "[net]\nioengine=rdma\nverb=write\ncpunodebind=6\nsize=4g\n\n\
+             [disk]\nioengine=libaio\nrw=write\niodepth=16\ndirect=1\ncpunodebind=7\nsize=4g\n",
+        )
+        .unwrap();
+        let a = run_str(&["run", "--jobfile", path.to_str().unwrap()]).unwrap();
+        assert!(a.contains("TOTAL"), "{a}");
+        assert!(a.contains("net:"), "{a}");
+        assert!(a.contains("disk:"), "{a}");
+        assert!(a.contains("Ssd"), "{a}");
+        // Seeded contention run: bit-identical on rerun.
+        let b = run_str(&["run", "--jobfile", path.to_str().unwrap()]).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use numa_iodev::NicOp;
 use numa_topology::{presets, NodeId, Topology};
-use numio_core::TransferMode;
+use numio_core::{DeviceSelector, TransferMode};
 
 /// Parsed `--key value` / `--flag` options.
 pub(crate) struct Opts {
@@ -66,6 +66,18 @@ impl Opts {
             "write" | "w" => Ok(TransferMode::Write),
             "read" | "r" => Ok(TransferMode::Read),
             other => Err(format!("--mode must be write|read, got '{other}'")),
+        }
+    }
+
+    pub(crate) fn device(&self) -> Result<DeviceSelector, String> {
+        match self.get("device") {
+            None => Ok(DeviceSelector::Probe),
+            Some(v) => DeviceSelector::parse(v).ok_or_else(|| {
+                format!(
+                    "--device must be probe|ssd0|ssd0:<engine>-<access> \
+                     (e.g. ssd0:sync-buffered), got '{v}'"
+                )
+            }),
         }
     }
 

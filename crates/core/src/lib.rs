@@ -24,6 +24,9 @@
 //! * [`IoPerfModel`] / [`classify`] — per-node bandwidths + gap-based class
 //!   construction with the paper's local+neighbour rule.
 //! * [`predict_aggregate`] — Eq. 1 and its workload helpers.
+//! * [`characterize_storage`] — the storage tier: the same probes mapped
+//!   through the calibrated SSD curves into Table IV/V analogues per
+//!   (engine × access mode) operating point.
 //! * [`ScheduleAdvisor`] — §V-B's scheduling application: spread I/O tasks
 //!   across the equivalent top classes instead of piling them on the local
 //!   node.
@@ -53,6 +56,7 @@ pub mod modeler;
 pub mod platform;
 pub mod predict;
 pub mod report;
+pub mod storage;
 
 pub use advisor::{Placement, ScheduleAdvisor};
 pub use atlas::{Atlas, AtlasError};
@@ -65,3 +69,7 @@ pub use modeler::IoModeler;
 pub use platform::{ClockSource, CopySpec, Platform, PlatformError, SimPlatform};
 pub use predict::{predict_aggregate, predict_for_mix, relative_error, WorkloadMix};
 pub use report::{render_comparison_table, render_model};
+pub use storage::{
+    characterize_storage, characterize_storage_full_host, DeviceSelector, StorageConfig,
+    StorageError,
+};

@@ -3,7 +3,7 @@
 use crate::traffic::TrafficClass;
 use numa_topology::{DirectedEdge, HtWidth, Locality, NodeId, RouteTable, Topology};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// How PIO (CPU load/store) bandwidth between node pairs is modelled.
 ///
@@ -56,6 +56,13 @@ pub struct Fabric {
     /// grow with distance even when every link is identical; calibrated
     /// fabrics encode this in their edge caps instead (decay 0).
     dma_hop_decay: f64,
+    /// Per-device PCIe port derate in `(0, 1]` — the what-if counterpart
+    /// of a `device_stall` fault. Keys index [`Topology::devices`].
+    /// Devices not listed run at full capacity; omitted entirely from the
+    /// serialized form when empty so baseline fabrics hash/serialize
+    /// exactly as before.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    device_derate: BTreeMap<u16, f64>,
     /// PIO model.
     pio: PioModel,
 }
@@ -218,6 +225,35 @@ impl Fabric {
         f
     }
 
+    /// Remaining capacity fraction of one device's PCIe port, in `(0, 1]`.
+    /// `1.0` unless a [`Self::with_device_derate`] what-if (the static view
+    /// of a `device_stall` fault) touched the device. Device harnesses
+    /// multiply their lowered port capacities by this, which keeps the
+    /// static what-if path and dynamic injection numerically identical.
+    pub fn device_derate(&self, device: u16) -> f64 {
+        self.device_derate.get(&device).copied().unwrap_or(1.0)
+    }
+
+    /// What-if query: a copy of this fabric with one device's PCIe port
+    /// retaining only `factor` of its capacity — the static view of a
+    /// `device_stall` fault (protocol-engine hiccup, thermal throttling).
+    /// Repeated derates on the same device compose multiplicatively.
+    ///
+    /// Panics when the device index is outside [`Topology::devices`] or
+    /// the factor is outside `(0, 1]`; fault layers validate first and
+    /// return typed errors instead.
+    pub fn with_device_derate(&self, device: u16, factor: f64) -> Fabric {
+        assert!(
+            (device as usize) < self.topo.devices().len(),
+            "device {device} out of range"
+        );
+        assert!(factor > 0.0 && factor <= 1.0, "derate factor must be in (0, 1]");
+        let mut f = self.clone();
+        let slot = f.device_derate.entry(device).or_insert(1.0);
+        *slot *= factor;
+        f
+    }
+
     /// Per-class path bandwidth; dispatches to DMA min-cut or PIO model.
     pub fn path_bandwidth(&self, src: NodeId, dst: NodeId, class: TrafficClass) -> f64 {
         match class {
@@ -350,6 +386,7 @@ impl FabricBuilder {
             dma_default_w8: self.dma_default_w8,
             node_copy_cap: self.node_copy_cap,
             dma_hop_decay: self.dma_hop_decay,
+            device_derate: BTreeMap::new(),
             pio: self.pio,
         }
     }
@@ -584,5 +621,61 @@ mod tests {
         let json = serde_json::to_string(&f).unwrap();
         let back: Fabric = serde_json::from_str(&json).unwrap();
         assert_eq!(back, f);
+    }
+
+    fn tiny_with_device() -> Fabric {
+        use numa_topology::{DeviceSpec, NodeSpec, PackageId};
+        let mut b = Topology::builder("tiny-dev");
+        let n0 = b.node(NodeSpec::magny_cours(PackageId(0)).with_os_home());
+        let n1 = b.node(NodeSpec::magny_cours(PackageId(0)));
+        b.link(n0, n1, HtWidth::W16);
+        b.device(DeviceSpec::nic(n1));
+        let t = b.build().unwrap();
+        let r = RouteTable::bfs(&t);
+        Fabric::builder(t, r).build()
+    }
+
+    #[test]
+    fn device_derate_defaults_to_unity_and_composes() {
+        let f = tiny_with_device();
+        assert_eq!(f.device_derate(0), 1.0);
+        let d = f.with_device_derate(0, 0.5);
+        assert_eq!(d.device_derate(0), 0.5);
+        assert_eq!(f.device_derate(0), 1.0, "original untouched");
+        let dd = d.with_device_derate(0, 0.5);
+        assert!((dd.device_derate(0) - 0.25).abs() < 1e-12, "derates compose");
+        // Paths and edges are untouched: the stall lives on the device
+        // port, not in the interconnect.
+        assert_eq!(
+            d.dma_path_bandwidth(NodeId(0), NodeId(1)),
+            f.dma_path_bandwidth(NodeId(0), NodeId(1))
+        );
+    }
+
+    #[test]
+    fn device_derate_survives_serde_and_empty_map_is_invisible() {
+        let f = tiny_with_device();
+        let baseline_json = serde_json::to_string(&f).unwrap();
+        assert!(!baseline_json.contains("device_derate"), "empty map not serialized");
+        let d = f.with_device_derate(0, 0.75);
+        let back: Fabric = serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+        assert_eq!(back, d);
+        // Old serialized fabrics (no derate field) still deserialize.
+        let old: Fabric = serde_json::from_str(&baseline_json).unwrap();
+        assert_eq!(old, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn device_derate_rejects_phantom_device() {
+        let f = tiny_with_device();
+        let _ = f.with_device_derate(9, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn device_derate_rejects_bad_factor() {
+        let f = tiny_with_device();
+        let _ = f.with_device_derate(0, 0.0);
     }
 }

@@ -108,10 +108,13 @@ impl From<SimError> for FaultError {
 /// through [`numio_core::IoModeler`] and `numio_core::drift::diff` to see
 /// which nodes change performance class.
 ///
-/// [`FaultKind::DeviceStall`] has no fabric-level effect (device ports
-/// live in the engine's resource registry, and the paper's `memcpy`
-/// methodology deliberately probes without touching devices) and is
-/// skipped here; use [`crate::FaultInjector`] to stall ports mid-run.
+/// [`FaultKind::DeviceStall`] lands on the fabric's per-device derate
+/// table: the paper's `memcpy` probes never touch devices, so memcpy
+/// models are unaffected, but every device harness (fio lowering, storage
+/// characterization) multiplies its lowered port capacities by
+/// [`Fabric::device_derate`] — the same `base * factor` the dynamic
+/// [`crate::FaultInjector`] schedules, so the two paths agree bit for
+/// bit.
 pub fn degraded_fabric(base: &Fabric, faults: &[FaultKind]) -> Result<Fabric, FaultError> {
     let mut out = base.clone();
     for &k in faults {
@@ -142,7 +145,15 @@ pub fn degraded_fabric(base: &Fabric, faults: &[FaultKind]) -> Result<Fabric, Fa
                 }
                 out = out.with_node_copy_cap(n, out.node_copy_cap(n) * (1.0 - intensity));
             }
-            FaultKind::DeviceStall { .. } => {}
+            FaultKind::DeviceStall { device, factor } => {
+                if !(factor > 0.0 && factor <= 1.0) {
+                    return Err(FaultError::BadFactor { value: factor });
+                }
+                if (device as usize) >= out.topology().devices().len() {
+                    return Err(FaultError::UnknownDevice { device });
+                }
+                out = out.with_device_derate(device, factor);
+            }
         }
     }
     Ok(out)
@@ -263,11 +274,38 @@ mod tests {
     }
 
     #[test]
-    fn device_stall_is_a_fabric_no_op() {
+    fn device_stall_derates_the_device_port() {
+        // Regression: this used to be a silent no-op (the deleted
+        // `device_stall_is_a_fabric_no_op` pinned `d == f`), so static
+        // what-if views disagreed with dynamic injection.
         let f = dl585_fabric();
         let d =
             degraded_fabric(&f, &[FaultKind::DeviceStall { device: 0, factor: 0.5 }]).unwrap();
-        assert_eq!(d, f);
+        assert_ne!(d, f, "the stall must be visible in the what-if view");
+        assert_eq!(d.device_derate(0), 0.5);
+        assert_eq!(d.device_derate(1), 1.0, "other devices untouched");
+        // The interconnect itself is untouched: probes see no change.
+        assert_eq!(d.dma_matrix(), f.dma_matrix());
+    }
+
+    #[test]
+    fn device_stall_fields_are_validated() {
+        let f = dl585_fabric();
+        assert_eq!(
+            degraded_fabric(&f, &[FaultKind::DeviceStall { device: 9, factor: 0.5 }])
+                .unwrap_err(),
+            FaultError::UnknownDevice { device: 9 }
+        );
+        assert_eq!(
+            degraded_fabric(&f, &[FaultKind::DeviceStall { device: 0, factor: 0.0 }])
+                .unwrap_err(),
+            FaultError::BadFactor { value: 0.0 }
+        );
+        assert_eq!(
+            degraded_fabric(&f, &[FaultKind::DeviceStall { device: 0, factor: 1.5 }])
+                .unwrap_err(),
+            FaultError::BadFactor { value: 1.5 }
+        );
     }
 
     #[test]

@@ -38,11 +38,15 @@ pub enum FaultKind {
         intensity: f64,
     },
     /// A device's PCIe port retains only `factor` of its capacity in both
-    /// directions — protocol-engine hiccups, thermal throttling. Only
-    /// meaningful on the dynamic path (the port is an engine resource,
-    /// not a fabric property), so [`crate::degraded_fabric`] ignores it.
+    /// directions — protocol-engine hiccups, thermal throttling. Applied
+    /// identically on both paths: [`crate::degraded_fabric`] records it in
+    /// the fabric's per-device derate table (which device harnesses fold
+    /// into their lowered port capacities), and [`crate::FaultInjector`]
+    /// throttles the registered `DevicePort` resources mid-run — the same
+    /// `base * factor`, bit for bit.
     DeviceStall {
-        /// Device index (the NIC is device 0).
+        /// Device index into the topology's device list (the dl585's NIC
+        /// is device 0; its SSD cards are devices 1 and 2).
         device: u16,
         /// Remaining capacity fraction, in `(0, 1]`.
         factor: f64,
@@ -229,6 +233,11 @@ mod tests {
             intensity: 1.0,
         }));
         assert_eq!(plan.validate().unwrap_err(), FaultError::BadFactor { value: 1.0 });
+        let plan = FaultPlan::new(0).with(FaultWindow::permanent(FaultKind::DeviceStall {
+            device: 1,
+            factor: 0.0,
+        }));
+        assert_eq!(plan.validate().unwrap_err(), FaultError::BadFactor { value: 0.0 });
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Regression: static (`degraded_fabric`) and dynamic (`FaultInjector`)
+//! `device_stall` application must produce **bit-identical** degraded
+//! predictions for the same plan.
+//!
+//! Before the storage tier landed, `degraded_fabric` silently skipped
+//! `DeviceStall` (pinned by the deleted `device_stall_is_a_fabric_no_op`
+//! test) while the injector throttled registered device ports, so
+//! baseline-vs-faulted scenarios disagreed depending on which path you
+//! took. Both paths now meet at the fio lowering: the static view folds
+//! `Fabric::device_derate` into the registered port capacity
+//! (`base * factor`), the dynamic path schedules a capacity event to the
+//! same `base * factor` — the identical two-operand multiply, so steady
+//! rates, makespans, and aggregates match to the last bit.
+
+use numa_fabric::calibration::dl585_fabric;
+use numa_faults::{degraded_fabric, FaultInjector, FaultKind, FaultPlan, FaultWindow};
+use numa_fio::{assemble_report, build_sim, run_jobs, FioReport, JobSpec};
+use numa_iodev::NicOp;
+use numa_topology::NodeId;
+
+/// A mixed NIC+SSD submission exercising both directions of every device
+/// port the dl585 hosts.
+fn mixed_jobs() -> Vec<JobSpec> {
+    vec![
+        JobSpec::ssd(true, NodeId(6)).numjobs(2).size_gbytes(20.0),
+        JobSpec::ssd(false, NodeId(0)).numjobs(2).size_gbytes(20.0),
+        JobSpec::nic(NicOp::RdmaWrite, NodeId(4)).numjobs(2).size_gbytes(20.0),
+    ]
+}
+
+/// Run the jobs on a fabric already degraded by the plan's kinds (static
+/// what-if path).
+fn static_path(plan: &FaultPlan) -> FioReport {
+    let degraded = degraded_fabric(&dl585_fabric(), &plan.kinds()).unwrap();
+    run_jobs(&degraded, &mixed_jobs()).unwrap()
+}
+
+/// Run the jobs on the pristine fabric with the plan armed as capacity
+/// events (dynamic injection path).
+fn dynamic_path(plan: &FaultPlan) -> FioReport {
+    let fabric = dl585_fabric();
+    let jobs = mixed_jobs();
+    let (mut sim, flow_job) = build_sim(&fabric, &jobs).unwrap();
+    FaultInjector::new(plan.clone()).arm(&mut sim, &fabric).unwrap();
+    assemble_report(&jobs, sim.run().unwrap(), &flow_job)
+}
+
+fn assert_bit_identical(a: &FioReport, b: &FioReport) {
+    assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits(), "makespan");
+    assert_eq!(a.aggregate_gbps.to_bits(), b.aggregate_gbps.to_bits(), "aggregate");
+    assert_eq!(a.jobs.len(), b.jobs.len());
+    for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+        assert_eq!(ja.aggregate_gbps.to_bits(), jb.aggregate_gbps.to_bits(), "{}", ja.describe);
+        assert_eq!(ja.per_stream_gbps.len(), jb.per_stream_gbps.len());
+        for (ra, rb) in ja.per_stream_gbps.iter().zip(&jb.per_stream_gbps) {
+            assert_eq!(ra.to_bits(), rb.to_bits(), "{}", ja.describe);
+        }
+    }
+}
+
+#[test]
+fn ssd_card_stall_is_bit_identical_across_paths() {
+    // Stall one SSD card (topology device 1) permanently at 40%.
+    let plan = FaultPlan::new(10).with(FaultWindow::permanent(FaultKind::DeviceStall {
+        device: 1,
+        factor: 0.4,
+    }));
+    let s = static_path(&plan);
+    let d = dynamic_path(&plan);
+    assert_bit_identical(&s, &d);
+    // And the stall is real: the SSD jobs slowed against the baseline.
+    let base = run_jobs(&dl585_fabric(), &mixed_jobs()).unwrap();
+    assert!(
+        s.jobs[0].aggregate_gbps < base.jobs[0].aggregate_gbps - 1.0,
+        "stalled write job: {} vs baseline {}",
+        s.jobs[0].aggregate_gbps,
+        base.jobs[0].aggregate_gbps
+    );
+}
+
+#[test]
+fn nic_stall_is_bit_identical_across_paths() {
+    // The NIC is topology device 0; its PCIe wire feeds the RDMA job.
+    let plan = FaultPlan::new(11).with(FaultWindow::permanent(FaultKind::DeviceStall {
+        device: 0,
+        factor: 0.3,
+    }));
+    let s = static_path(&plan);
+    let d = dynamic_path(&plan);
+    assert_bit_identical(&s, &d);
+    let base = run_jobs(&dl585_fabric(), &mixed_jobs()).unwrap();
+    assert!(
+        s.jobs[2].aggregate_gbps < base.jobs[2].aggregate_gbps - 1.0,
+        "stalled NIC job: {} vs baseline {}",
+        s.jobs[2].aggregate_gbps,
+        base.jobs[2].aggregate_gbps
+    );
+}
+
+#[test]
+fn multi_device_stall_plans_agree_too() {
+    // Stall both SSD cards and the NIC in one plan: every device port the
+    // harness lowers is touched, and the paths still agree bit for bit.
+    let plan = FaultPlan::new(12)
+        .with(FaultWindow::permanent(FaultKind::DeviceStall { device: 0, factor: 0.6 }))
+        .with(FaultWindow::permanent(FaultKind::DeviceStall { device: 1, factor: 0.5 }))
+        .with(FaultWindow::permanent(FaultKind::DeviceStall { device: 2, factor: 0.5 }));
+    assert_bit_identical(&static_path(&plan), &dynamic_path(&plan));
+}

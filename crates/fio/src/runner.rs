@@ -158,31 +158,50 @@ pub fn build_sim_with<'f>(
     // Per-op NIC protocol engine capacity (class mixture, Eq. 1 semantics).
     let mut nic_engine_res = HashMap::new();
     // Physical PCIe direction capacity shared by all ops moving that way.
+    // Lowered at `base * derate` so a static `device_stall` what-if view
+    // (`Fabric::device_derate`) produces exactly the capacity the dynamic
+    // injector's `base * factor` event would.
     let mut nic_wire_res = HashMap::new();
     if let Some(nic) = &nic {
+        let nic_dev = fabric
+            .topology()
+            .devices()
+            .iter()
+            .position(|d| d.kind == numa_topology::DeviceKind::Nic)
+            .unwrap_or(0) as u16;
         for (&op, levels) in &nic_levels {
             let cap = wobble(nic.shared_port_cap(op, levels));
             nic_engine_res.insert(op, sim.register(fresh_custom(), cap));
             let dir = op.to_device();
             nic_wire_res.entry(dir).or_insert_with(|| {
-                
                 sim.register(
-                    ResourceKey::DevicePort { dev: numa_topology::DeviceId(0), to_device: dir },
-                    nic.pcie.effective_gbps(),
+                    ResourceKey::DevicePort { dev: numa_topology::DeviceId(nic_dev), to_device: dir },
+                    nic.pcie.effective_gbps() * fabric.device_derate(nic_dev),
                 )
             });
         }
     }
 
     // SSD cards: one resource per (card, direction), capacity = the
-    // direction's best per-card rate shaped by the class mixture.
+    // direction's best per-card rate shaped by the class mixture. Each
+    // card is a real `DevicePort` (the dl585 cards are topology devices 1
+    // and 2), so `device_stall` faults reach it on both paths: statically
+    // through the fabric derate folded in here, dynamically through the
+    // injector throttling the registered port.
     let mut ssd_card_res: HashMap<(bool, u32), numa_engine::ResourceHandle> = HashMap::new();
     if let Some(ssd) = &ssd {
         for (&write, levels) in &ssd_levels {
             let mixture = levels.iter().sum::<f64>() / levels.len() as f64;
             let per_card = ssd.port_cap(write).min(mixture) / ssd.cards as f64;
             for card in 0..ssd.cards {
-                let h = sim.register(fresh_custom(), wobble(per_card));
+                let dev = ssd.device_id(card);
+                let h = sim.register(
+                    ResourceKey::DevicePort {
+                        dev: numa_topology::DeviceId(dev),
+                        to_device: write,
+                    },
+                    wobble(per_card) * fabric.device_derate(dev),
+                );
                 ssd_card_res.insert((write, card), h);
             }
         }

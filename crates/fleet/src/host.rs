@@ -5,7 +5,10 @@ use crate::error::FleetError;
 use numa_fabric::Fabric;
 use numa_topology::hostgen::{HostSpec, TopoGen};
 use numa_topology::NodeId;
-use numio_core::{IoModeler, IoPerfModel, Platform, SimPlatform, TransferMode};
+use numio_core::{
+    characterize_storage, IoModeler, IoPerfModel, Platform, SimPlatform, StorageConfig,
+    StorageError, TransferMode,
+};
 
 /// Probe repetitions for fleet-scale characterization. The paper runs 100
 /// per cell on real hardware; against the deterministic simulator a handful
@@ -21,6 +24,11 @@ pub struct HostProfile {
     pub write: IoPerfModel,
     /// Device-read model (device -> node).
     pub read: IoPerfModel,
+    /// Storage-tier write model at the paper operating point (libaio QD16,
+    /// O_DIRECT), present when the generated host carries SSD cards.
+    pub storage_write: Option<IoPerfModel>,
+    /// Storage-tier read model at the paper operating point.
+    pub storage_read: Option<IoPerfModel>,
 }
 
 /// One host of a [`crate::Fleet`]: generated topology + performance-jittered
@@ -80,7 +88,23 @@ impl Host {
         let modeler = IoModeler::new().reps(FLEET_REPS);
         let write = modeler.try_characterize(&platform, target, TransferMode::Write)?;
         let read = modeler.try_characterize(&platform, target, TransferMode::Read)?;
-        Ok(Host { id, spec, scale, platform, profile: HostProfile { write, read } })
+        // Storage tier: informational — SSD-less hosts simply carry None,
+        // and the placement policies never read it, so its presence cannot
+        // perturb the episode digests.
+        let storage = |mode| match characterize_storage(&modeler, &platform, StorageConfig::paper(), mode) {
+            Ok(m) => Ok(Some(m)),
+            Err(StorageError::NoSsd { .. } | StorageError::NoFabric { .. }) => Ok(None),
+            Err(StorageError::Probe(e)) => Err(FleetError::Platform(e)),
+        };
+        let storage_write = storage(TransferMode::Write)?;
+        let storage_read = storage(TransferMode::Read)?;
+        Ok(Host {
+            id,
+            spec,
+            scale,
+            platform,
+            profile: HostProfile { write, read, storage_write, storage_read },
+        })
     }
 
     /// The node holding the I/O hub — every stream's sink on this host.
@@ -106,6 +130,19 @@ impl Host {
     /// The characterized write/read profile.
     pub fn profile(&self) -> &HostProfile {
         &self.profile
+    }
+
+    /// How much of the probed write path the SSD subsystem can absorb:
+    /// best storage-tier class level over best memcpy class level.
+    /// `None` on SSD-less hosts.
+    pub fn storage_headroom(&self) -> Option<f64> {
+        let s = self.profile.storage_write.as_ref()?;
+        let probe = self.profile.write.classes()[0].avg_gbps;
+        if probe > 0.0 {
+            Some(s.classes()[0].avg_gbps / probe)
+        } else {
+            None
+        }
     }
 }
 
@@ -162,6 +199,48 @@ mod tests {
         assert_eq!(h.profile().write.mode, TransferMode::Write);
         assert_eq!(h.profile().read.mode, TransferMode::Read);
         assert!(h.platform().io_nodes().contains(&h.io_node()));
+    }
+
+    fn explicit_host(ssds: u16) -> Host {
+        let gen = TopoGen::new("dev").io_node(7).nics(1).ssds(ssds);
+        let spec = gen.spec().clone();
+        let (topo, routes) = gen.build_routed().unwrap();
+        let fabric = Fabric::builder(topo, routes)
+            .dma_hop_decay(0.06)
+            .dma_defaults(51.2, 44.0)
+            .node_copy_caps(50.0)
+            .build();
+        Host::from_platform(0, spec, 1.0, SimPlatform::new(fabric)).unwrap()
+    }
+
+    #[test]
+    fn storage_profile_tracks_the_ssd_count() {
+        // An SSD-carrying host gets storage-tier models; an SSD-less one
+        // carries None — no silent fallbacks either way.
+        let with = explicit_host(2);
+        assert!(with.profile().storage_write.is_some());
+        assert!(with.profile().storage_read.is_some());
+        let headroom = with.storage_headroom().unwrap();
+        assert!(
+            headroom > 0.0 && headroom < 1.0,
+            "SSD ceilings sit below the memcpy path, got {headroom}"
+        );
+        let sw = with.profile().storage_write.as_ref().unwrap();
+        assert_eq!(sw.target, with.io_node());
+        assert!(sw.platform.contains("ssd0:"), "{}", sw.platform);
+
+        let without = explicit_host(0);
+        assert!(without.profile().storage_write.is_none());
+        assert!(without.profile().storage_read.is_none());
+        assert!(without.storage_headroom().is_none());
+
+        // Sampled fleet hosts obey the same contract.
+        for id in 0..6 {
+            let h = Host::generate(id, 42).unwrap();
+            let has_cards = h.spec.ssds > 0;
+            assert_eq!(h.profile().storage_write.is_some(), has_cards, "host {id}");
+            assert_eq!(h.storage_headroom().is_some(), has_cards, "host {id}");
+        }
     }
 
     #[test]

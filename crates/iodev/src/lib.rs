@@ -10,6 +10,9 @@
 //! * [`SsdModel`] — the two LSI Nytro WarpDrive cards: sync vs `libaio`
 //!   engines, kernel-buffered vs kernel-bypass access, queue-depth ramp
 //!   (§IV-B3).
+//! * [`DeviceProfile`] — a storage device's off-calibration shape:
+//!   block-size efficiency curve, queue-depth ramp, read/write asymmetry,
+//!   buffered-access penalty (arxiv 1705.03598 style).
 //! * [`RateMap`] — empirical curves mapping a binding node's **DMA path
 //!   bandwidth** (what the paper's `memcpy` methodology measures) to the
 //!   bandwidth each protocol achieves from that node. These are the
@@ -34,10 +37,12 @@
 
 pub mod netpath;
 pub mod nic;
+pub mod profile;
 pub mod ratemap;
 pub mod ssd;
 
 pub use netpath::TwoHostPath;
 pub use nic::{NicModel, NicOp};
-pub use ratemap::RateMap;
+pub use profile::DeviceProfile;
+pub use ratemap::{RateMap, RateMapError};
 pub use ssd::{IoEngine, SsdModel};

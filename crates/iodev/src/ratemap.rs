@@ -17,6 +17,56 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Everything that can go wrong building or querying a [`RateMap`]. The
+/// `Display` text matches the panic messages of the infallible
+/// constructors, which delegate here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateMapError {
+    /// The control-point list was empty.
+    Empty,
+    /// Two control points with non-increasing `x`.
+    NonIncreasingX {
+        /// The earlier point.
+        prev: (f64, f64),
+        /// The offending point.
+        next: (f64, f64),
+    },
+    /// A control point with a non-finite or non-positive coordinate.
+    BadPoint {
+        /// The offending point.
+        point: (f64, f64),
+    },
+    /// A monotone map whose `y` decreases.
+    DecreasingY {
+        /// The earlier point.
+        prev: (f64, f64),
+        /// The offending point.
+        next: (f64, f64),
+    },
+    /// A query with a NaN input.
+    NanQuery,
+}
+
+impl std::fmt::Display for RateMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RateMapError::Empty => write!(f, "rate map needs at least one point"),
+            RateMapError::NonIncreasingX { prev, next } => {
+                write!(f, "x must be strictly increasing: {prev:?} then {next:?}")
+            }
+            RateMapError::BadPoint { point: (x, y) } => {
+                write!(f, "control points must be positive: ({x},{y})")
+            }
+            RateMapError::DecreasingY { prev, next } => {
+                write!(f, "monotone map must have non-decreasing y: {prev:?} then {next:?}")
+            }
+            RateMapError::NanQuery => write!(f, "rate map queried with NaN"),
+        }
+    }
+}
+
+impl std::error::Error for RateMapError {}
+
 /// A piecewise-linear `x -> y` map with clamping.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RateMap {
@@ -25,42 +75,58 @@ pub struct RateMap {
 
 impl RateMap {
     /// Build from control points; `x` must be strictly increasing and `y`
-    /// non-decreasing.
+    /// non-decreasing. Panics on bad input; see [`Self::try_monotone`].
     pub fn monotone(points: Vec<(f64, f64)>) -> Self {
-        let m = Self::empirical(points);
+        Self::try_monotone(points).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::monotone`]: typed errors instead of panics, for
+    /// maps built from user-supplied calibration data.
+    pub fn try_monotone(points: Vec<(f64, f64)>) -> Result<Self, RateMapError> {
+        let m = Self::try_empirical(points)?;
         for w in m.points.windows(2) {
-            assert!(
-                w[1].1 >= w[0].1,
-                "monotone map must have non-decreasing y: {:?} then {:?}",
-                w[0],
-                w[1]
-            );
+            if w[1].1 < w[0].1 {
+                return Err(RateMapError::DecreasingY { prev: w[0], next: w[1] });
+            }
         }
-        m
+        Ok(m)
     }
 
     /// Build from control points; `x` must be strictly increasing, `y` may
-    /// wiggle (measured data).
+    /// wiggle (measured data). Panics on bad input; see
+    /// [`Self::try_empirical`].
     pub fn empirical(points: Vec<(f64, f64)>) -> Self {
-        assert!(!points.is_empty(), "rate map needs at least one point");
-        for w in points.windows(2) {
-            assert!(
-                w[1].0 > w[0].0,
-                "x must be strictly increasing: {:?} then {:?}",
-                w[0],
-                w[1]
-            );
+        Self::try_empirical(points).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::empirical`]: typed errors instead of panics.
+    pub fn try_empirical(points: Vec<(f64, f64)>) -> Result<Self, RateMapError> {
+        if points.is_empty() {
+            return Err(RateMapError::Empty);
         }
         for &(x, y) in &points {
-            assert!(x > 0.0 && y > 0.0, "control points must be positive: ({x},{y})");
+            if !(x.is_finite() && y.is_finite() && x > 0.0 && y > 0.0) {
+                return Err(RateMapError::BadPoint { point: (x, y) });
+            }
         }
-        RateMap { points }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(RateMapError::NonIncreasingX { prev: w[0], next: w[1] });
+            }
+        }
+        Ok(RateMap { points })
     }
 
     /// Evaluate with linear interpolation, clamping outside the range.
+    /// Total over all inputs: `±inf` clamp like any out-of-range query and
+    /// NaN clamps to the first control point (constructors guarantee at
+    /// least one exists), so no input can panic or return NaN. Use
+    /// [`Self::try_eval`] to surface NaN queries as typed errors instead.
     pub fn eval(&self, x: f64) -> f64 {
         let pts = &self.points;
-        if x <= pts[0].0 {
+        // NaN fails every comparison below; without this guard it would
+        // fall through to the bracketing search and index out of range.
+        if x.is_nan() || x <= pts[0].0 {
             return pts[0].1;
         }
         if x >= pts[pts.len() - 1].0 {
@@ -71,6 +137,15 @@ impl RateMap {
         let (x0, y0) = pts[i - 1];
         let (x1, y1) = pts[i];
         y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// [`Self::eval`] that rejects NaN queries with a typed error instead
+    /// of clamping.
+    pub fn try_eval(&self, x: f64) -> Result<f64, RateMapError> {
+        if x.is_nan() {
+            return Err(RateMapError::NanQuery);
+        }
+        Ok(self.eval(x))
     }
 
     /// Highest output the map can produce (the protocol's port ceiling as
@@ -219,6 +294,51 @@ mod tests {
     fn empirical_accepts_wiggle() {
         let m = RateMap::empirical(vec![(1.0, 2.0), (2.0, 1.0), (3.0, 4.0)]);
         assert_eq!(m.eval(1.5), 1.5);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        assert_eq!(RateMap::try_empirical(vec![]).unwrap_err(), RateMapError::Empty);
+        assert_eq!(
+            RateMap::try_empirical(vec![(1.0, 1.0), (1.0, 2.0)]).unwrap_err(),
+            RateMapError::NonIncreasingX { prev: (1.0, 1.0), next: (1.0, 2.0) }
+        );
+        assert_eq!(
+            RateMap::try_empirical(vec![(1.0, f64::NAN)]).unwrap_err(),
+            RateMapError::BadPoint { point: (1.0, f64::NAN) }
+        );
+        assert_eq!(
+            RateMap::try_empirical(vec![(f64::INFINITY, 1.0)]).unwrap_err(),
+            RateMapError::BadPoint { point: (f64::INFINITY, 1.0) }
+        );
+        assert_eq!(
+            RateMap::try_monotone(vec![(1.0, 2.0), (2.0, 1.0)]).unwrap_err(),
+            RateMapError::DecreasingY { prev: (1.0, 2.0), next: (2.0, 1.0) }
+        );
+        assert!(RateMap::try_monotone(vec![(1.0, 1.0), (2.0, 2.0)]).is_ok());
+    }
+
+    #[test]
+    fn nan_query_clamps_in_eval_and_errors_in_try_eval() {
+        // Regression: eval(NaN) used to fall through both clamp guards and
+        // index `pts[0 - 1]`.
+        let m = RateMap::monotone(vec![(10.0, 1.0), (20.0, 3.0)]);
+        assert_eq!(m.eval(f64::NAN), 1.0);
+        assert_eq!(m.try_eval(f64::NAN).unwrap_err(), RateMapError::NanQuery);
+        assert_eq!(m.try_eval(15.0).unwrap(), 2.0);
+        // ±inf clamp like any out-of-range query.
+        assert_eq!(m.eval(f64::NEG_INFINITY), 1.0);
+        assert_eq!(m.eval(f64::INFINITY), 3.0);
+        assert_eq!(m.try_eval(f64::INFINITY).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn error_display_matches_constructor_panics() {
+        assert!(RateMapError::Empty.to_string().contains("at least one point"));
+        let e = RateMapError::NonIncreasingX { prev: (1.0, 1.0), next: (1.0, 2.0) };
+        assert!(e.to_string().contains("strictly increasing"));
+        let e = RateMapError::DecreasingY { prev: (1.0, 2.0), next: (2.0, 1.0) };
+        assert!(e.to_string().contains("non-decreasing"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The LSI Nytro WarpDrive SSD model.
 
+use crate::profile::DeviceProfile;
 use crate::ratemap::{calibrated, RateMap};
 use numa_fabric::Fabric;
 use numa_topology::{DeviceKind, NodeId};
@@ -9,7 +10,9 @@ use serde::{Deserialize, Serialize};
 /// syscalls vs `libaio` with a queue depth. The paper settles on
 /// `libaio` + kernel bypass ("we utilize the libaio engine with the
 /// kernel-bypass option to maximize transfer speed"), queue depth 16.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Integer-only fields, so it hashes: serve cache keys include the engine
+/// when a storage device view is selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum IoEngine {
     /// Blocking syscalls: one request in flight per process.
     Sync,
@@ -50,10 +53,24 @@ pub struct SsdModel {
     /// Kernel-buffered I/O penalty (the paper: buffered "performs much
     /// worse" than O_DIRECT kernel bypass).
     pub buffered_penalty: f64,
+    /// Topology device indices of the cards, in card order. Fault plans
+    /// address stalls by these indices (the dl585 SSDs are devices 1 and
+    /// 2; the NIC is device 0). Defaults for fixtures serialized before
+    /// the storage tier existed.
+    #[serde(default = "default_ssd_device_ids")]
+    pub device_ids: Vec<u16>,
+    /// Off-calibration behavior: block-size curve, queue-depth knee,
+    /// read/write asymmetry (arxiv 1705.03598 shape).
+    #[serde(default = "DeviceProfile::nytro_warpdrive")]
+    pub profile: DeviceProfile,
     /// Aggregate write level curve (both cards, libaio/QD16/direct).
     write_map: RateMap,
     /// Aggregate read level curve.
     read_map: RateMap,
+}
+
+fn default_ssd_device_ids() -> Vec<u16> {
+    vec![1, 2]
 }
 
 impl SsdModel {
@@ -63,6 +80,8 @@ impl SsdModel {
             node: NodeId(7),
             cards: 2,
             buffered_penalty: 0.55,
+            device_ids: default_ssd_device_ids(),
+            profile: DeviceProfile::nytro_warpdrive(),
             write_map: calibrated::ssd_write(),
             read_map: calibrated::ssd_read(),
         }
@@ -70,14 +89,21 @@ impl SsdModel {
 
     /// Locate the SSDs on a generic fabric.
     pub fn for_fabric(fabric: &Fabric) -> Option<Self> {
-        let ssds: Vec<_> = fabric
+        let ssds: Vec<(u16, &numa_topology::DeviceSpec)> = fabric
             .topology()
             .devices()
             .iter()
-            .filter(|d| d.kind == DeviceKind::Ssd)
+            .enumerate()
+            .filter(|(_, d)| d.kind == DeviceKind::Ssd)
+            .map(|(i, d)| (i as u16, d))
             .collect();
-        let first = ssds.first()?;
-        Some(SsdModel { node: first.attached_to, cards: ssds.len() as u32, ..Self::paper() })
+        let &(_, first) = ssds.first()?;
+        Some(SsdModel {
+            node: first.attached_to,
+            cards: ssds.len() as u32,
+            device_ids: ssds.iter().map(|&(i, _)| i).collect(),
+            ..Self::paper()
+        })
     }
 
     /// Aggregate ceiling (all cards) for processes bound to `binding`,
@@ -100,9 +126,37 @@ impl SsdModel {
         } else {
             fabric.dma_path_bandwidth(self.node, binding)
         };
+        self.level_for_path(write, path, engine, direct)
+    }
+
+    /// The ceiling a node with DMA path bandwidth `path` to the cards
+    /// reaches — [`Self::node_ceiling_with`] with the path supplied
+    /// directly. Storage characterization feeds *measured* per-node probe
+    /// bandwidths through this, so classification inherits whatever noise
+    /// the probes saw instead of the fabric's idealized paths.
+    pub fn level_for_path(&self, write: bool, path: f64, engine: IoEngine, direct: bool) -> f64 {
         let base = if write { self.write_map.eval(path) } else { self.read_map.eval(path) };
         let buffered = if direct { 1.0 } else { 1.0 - self.buffered_penalty };
-        base * engine.efficiency() * buffered
+        base * self.profile.engine_efficiency(engine) * buffered
+    }
+
+    /// [`Self::node_ceiling_with`] additionally shaped by the profile's
+    /// block-size efficiency curve — the arxiv 1705.03598 operating-point
+    /// query ("what does this node get at 16 KiB requests, QD4?"). The
+    /// calibrated tables are streaming (≥1 MiB) figures, so
+    /// `block_kib >= 1024` reproduces them exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn node_ceiling_block(
+        &self,
+        write: bool,
+        fabric: &Fabric,
+        binding: NodeId,
+        engine: IoEngine,
+        direct: bool,
+        block_kib: f64,
+    ) -> f64 {
+        self.node_ceiling_with(write, fabric, binding, engine, direct)
+            * self.profile.block_efficiency(block_kib)
     }
 
     /// Per-card ceiling: the aggregate split across cards.
@@ -113,6 +167,13 @@ impl SsdModel {
     /// Best-case per-direction aggregate (fastest binding).
     pub fn port_cap(&self, write: bool) -> f64 {
         if write { self.write_map.max_output() } else { self.read_map.max_output() }
+    }
+
+    /// The topology device index of card `card` (round-robin order used by
+    /// the fio harness). Falls back to `1 + card` when the model was built
+    /// without explicit ids (pre-storage-tier fixtures).
+    pub fn device_id(&self, card: u32) -> u16 {
+        self.device_ids.get(card as usize).copied().unwrap_or(1 + card as u16)
     }
 }
 
@@ -212,5 +273,64 @@ mod tests {
         let ssd = SsdModel::paper();
         assert!((ssd.port_cap(true) - 29.1).abs() < 1e-9);
         assert!((ssd.port_cap(false) - 34.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn for_fabric_records_topology_device_ids() {
+        let f = dl585_fabric();
+        let ssd = SsdModel::for_fabric(&f).unwrap();
+        // dl585 device order: NIC = 0, SSD cards = 1 and 2.
+        assert_eq!(ssd.device_ids, vec![1, 2]);
+        assert_eq!(ssd.device_id(0), 1);
+        assert_eq!(ssd.device_id(1), 2);
+    }
+
+    #[test]
+    fn profiled_engine_ramp_keeps_table_ceilings_bit_identical() {
+        // The profile's queue-depth ramp replaced the inline
+        // IoEngine::efficiency call; the calibrated ceilings must not move
+        // by even one ulp (fixtures and golden digests depend on them).
+        let f = dl585_fabric();
+        let ssd = SsdModel::paper();
+        for (node, engine, direct) in [
+            (7u16, IoEngine::paper(), true),
+            (0, IoEngine::Sync, true),
+            (3, IoEngine::Libaio { iodepth: 4 }, false),
+        ] {
+            let got = ssd.node_ceiling_with(true, &f, NodeId(node), engine, direct);
+            let path = f.dma_path_bandwidth(NodeId(node), ssd.node);
+            let base = calibrated::ssd_write().eval(path);
+            let buffered = if direct { 1.0 } else { 1.0 - ssd.buffered_penalty };
+            let want = base * engine.efficiency() * buffered;
+            assert_eq!(got.to_bits(), want.to_bits(), "node {node} {engine:?}");
+        }
+    }
+
+    #[test]
+    fn block_size_shapes_the_ceiling() {
+        let f = dl585_fabric();
+        let ssd = SsdModel::paper();
+        let streaming =
+            ssd.node_ceiling_block(false, &f, NodeId(7), IoEngine::paper(), true, 1024.0);
+        let small = ssd.node_ceiling_block(false, &f, NodeId(7), IoEngine::paper(), true, 4.0);
+        assert_eq!(
+            streaming.to_bits(),
+            ssd.node_ceiling(false, &f, NodeId(7)).to_bits(),
+            "streaming blocks reproduce the calibrated tables"
+        );
+        assert!(small < 0.4 * streaming, "4 KiB requests pay command overhead");
+    }
+
+    #[test]
+    fn model_serde_defaults_cover_old_fixtures() {
+        // A pre-storage-tier serialization (no device_ids / profile) still
+        // deserializes, picking up the paper defaults.
+        let ssd = SsdModel::paper();
+        let mut v: serde_json::Value = serde_json::to_value(&ssd).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("device_ids");
+        obj.remove("profile");
+        let back: SsdModel = serde_json::from_value(v).unwrap();
+        assert_eq!(back, ssd);
     }
 }

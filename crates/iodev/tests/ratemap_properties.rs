@@ -1,8 +1,10 @@
 //! Property-based tests for [`RateMap`]: clamping, segment-local
-//! interpolation, piecewise linearity, and serde round-tripping — the
-//! invariants the calibrated Tables IV/V curves rely on.
+//! interpolation, piecewise linearity, edge cases (single-point and empty
+//! curves, NaN/±inf queries, typed construction errors), and serde
+//! round-tripping — the invariants the calibrated Tables IV/V curves rely
+//! on.
 
-use numa_iodev::ratemap::calibrated;
+use numa_iodev::ratemap::{calibrated, RateMapError};
 use numa_iodev::RateMap;
 use proptest::prelude::*;
 
@@ -86,6 +88,60 @@ proptest! {
     }
 
     #[test]
+    fn eval_is_total_and_never_nan(pts in arb_points(), q in prop::num::f64::ANY) {
+        // Any representable query — NaN, ±inf, subnormals — comes back
+        // finite; eval(NaN) used to index out of range.
+        let map = RateMap::empirical(pts);
+        prop_assert!(map.eval(q).is_finite());
+    }
+
+    #[test]
+    fn nan_queries_are_typed_errors(pts in arb_points(), x in 0.0f64..500.0) {
+        let map = RateMap::empirical(pts);
+        prop_assert_eq!(map.try_eval(f64::NAN).unwrap_err(), RateMapError::NanQuery);
+        // Finite queries agree bit-for-bit with the infallible path.
+        prop_assert_eq!(map.try_eval(x).unwrap().to_bits(), map.eval(x).to_bits());
+    }
+
+    #[test]
+    fn single_point_curves_are_constant(x in 0.1f64..100.0, y in 0.1f64..100.0,
+                                        q in prop::num::f64::ANY) {
+        let map = RateMap::try_empirical(vec![(x, y)]).unwrap();
+        prop_assert_eq!(map.eval(q), y);
+        prop_assert_eq!(map.max_output(), y);
+    }
+
+    #[test]
+    fn duplicated_x_is_a_typed_error(pts in arb_points(), at in 0usize..10) {
+        let mut pts = pts;
+        let i = at.min(pts.len() - 1);
+        let dup = pts[i];
+        pts.insert(i, dup);
+        let err = RateMap::try_empirical(pts).unwrap_err();
+        prop_assert!(matches!(err, RateMapError::NonIncreasingX { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn bad_control_points_are_typed_errors(y in -100.0f64..=0.0) {
+        for bad in [vec![(1.0, y)], vec![(f64::NAN, 1.0)], vec![(1.0, f64::INFINITY)]] {
+            let err = RateMap::try_empirical(bad).unwrap_err();
+            prop_assert!(matches!(err, RateMapError::BadPoint { .. }), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn try_monotone_rejects_any_decreasing_pair(pts in arb_points()) {
+        match RateMap::try_monotone(pts.clone()) {
+            Ok(_) => {
+                for w in pts.windows(2) {
+                    prop_assert!(w[1].1 >= w[0].1);
+                }
+            }
+            Err(e) => prop_assert!(matches!(e, RateMapError::DecreasingY { .. }), "{e:?}"),
+        }
+    }
+
+    #[test]
     fn calibrated_curves_hold_their_invariants(x in 0.0f64..100.0) {
         // Every shipped curve clamps, stays positive, and never exceeds its
         // own ceiling — the properties Eq. 1 predictions rest on.
@@ -106,4 +162,10 @@ proptest! {
             prop_assert!(map.eval(x) <= map.eval(x + 1.0) + 1e-9);
         }
     }
+}
+
+#[test]
+fn empty_curve_is_a_typed_error() {
+    assert_eq!(RateMap::try_empirical(vec![]).unwrap_err(), RateMapError::Empty);
+    assert_eq!(RateMap::try_monotone(vec![]).unwrap_err(), RateMapError::Empty);
 }

@@ -24,7 +24,10 @@ use crate::fast_hash::FxHashMap;
 use numa_faults::{degraded_backend, FaultKind};
 use numa_obs::{Counter, Obs};
 use numa_topology::{NodeId, Topology};
-use numio_core::{recharacterize_and_diff, Atlas, IoModeler, IoPerfModel, Platform, TransferMode};
+use numio_core::{
+    characterize_storage, recharacterize_and_diff, Atlas, IoModeler, IoPerfModel, Platform,
+    StorageConfig, TransferMode,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -159,11 +162,16 @@ pub enum DriftOutcome {
 }
 
 /// Everything cached under one view key: the per-`(target, mode)` models
-/// characterized so far, plus the assembled full atlas once it has been
-/// asked for (so repeated `atlas` requests share one `Arc`).
+/// characterized so far, the storage-tier models per
+/// `(StorageConfig, mode)` (the device dimension of the key — a
+/// `classify` against `ssd0:sync-buffered` and one against the probe
+/// model are distinct slots under the same view), plus the assembled
+/// full atlas once it has been asked for (so repeated `atlas` requests
+/// share one `Arc`).
 #[derive(Default)]
 struct ViewEntry {
     models: FxHashMap<(u16, TransferMode), Arc<IoPerfModel>>,
+    storage: FxHashMap<(StorageConfig, TransferMode), Arc<IoPerfModel>>,
     full: Option<Arc<Atlas>>,
 }
 
@@ -176,6 +184,7 @@ impl ViewEntry {
             .collect();
         ViewEntry {
             models,
+            storage: FxHashMap::default(),
             full: Some(Arc::new(atlas)),
         }
     }
@@ -371,6 +380,102 @@ impl CharacterizationCache {
             .entry(key.clone())
             .or_default()
             .models
+            .insert(slot, Arc::clone(&model));
+        Ok(ModelLookup {
+            model,
+            hit: false,
+            key,
+        })
+    }
+
+    /// The storage-tier [`Self::peek_model`]: serve the
+    /// `(StorageConfig, mode)` storage model cached under a precomputed
+    /// view key, or `None` without counting anything. Same contract as
+    /// the probe peek — one shared-lock read, hits counted, misses free.
+    pub fn peek_storage_model(
+        &self,
+        key: &CacheKey,
+        cfg: StorageConfig,
+        mode: TransferMode,
+    ) -> Option<Arc<IoPerfModel>> {
+        let model = self
+            .read_entries()
+            .get(key)
+            .and_then(|e| e.storage.get(&(cfg, mode)))
+            .map(Arc::clone)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits_counter.inc();
+        self.bump_shard(key.host, |s| &s.hits);
+        Some(model)
+    }
+
+    /// Serve the storage-tier model for `(platform, fault view, config,
+    /// mode)`, characterizing it on the cold miss. A non-empty fault view
+    /// characterizes against the degraded what-if backend, whose fabric
+    /// carries any `device_stall` derates — so a stalled SSD card shows
+    /// up in the cached storage tables exactly as it does in the dynamic
+    /// injection path.
+    pub fn get_or_storage_model<P: Platform>(
+        &self,
+        platform: &P,
+        modeler: &IoModeler,
+        faults: &[FaultKind],
+        cfg: StorageConfig,
+        mode: TransferMode,
+    ) -> Result<ModelLookup, ServeError> {
+        self.get_or_storage_model_sharded(platform, modeler, faults, cfg, mode, 0)
+    }
+
+    /// The [`Self::get_or_storage_model`] variant for a specific host
+    /// shard (see [`Self::get_or_model_sharded`]).
+    pub fn get_or_storage_model_sharded<P: Platform>(
+        &self,
+        platform: &P,
+        modeler: &IoModeler,
+        faults: &[FaultKind],
+        cfg: StorageConfig,
+        mode: TransferMode,
+        host: u64,
+    ) -> Result<ModelLookup, ServeError> {
+        let _stage = self.obs.stage_span("cache");
+        let key = self.key_for_host(platform, faults, host)?;
+        let slot = (cfg, mode);
+        if let Some(model) = self
+            .read_entries()
+            .get(&key)
+            .and_then(|e| e.storage.get(&slot))
+        {
+            let model = Arc::clone(model);
+            self.count_hit(&key);
+            return Ok(ModelLookup {
+                model,
+                hit: true,
+                key,
+            });
+        }
+        let mut entries = self.write_entries();
+        if let Some(model) = entries.get(&key).and_then(|e| e.storage.get(&slot)) {
+            let model = Arc::clone(model);
+            self.count_hit(&key);
+            return Ok(ModelLookup {
+                model,
+                hit: true,
+                key,
+            });
+        }
+        self.count_miss(&key);
+        let _span = self.obs.stage_span("characterize");
+        let model = if faults.is_empty() {
+            characterize_storage(modeler, platform, cfg, mode)?
+        } else {
+            let degraded = degraded_backend(platform, faults)?;
+            characterize_storage(modeler, &degraded, cfg, mode)?
+        };
+        let model = Arc::new(model);
+        entries
+            .entry(key.clone())
+            .or_default()
+            .storage
             .insert(slot, Arc::clone(&model));
         Ok(ModelLookup {
             model,
@@ -712,6 +817,72 @@ mod tests {
                 .unwrap()
                 .hit
         );
+    }
+
+    #[test]
+    fn storage_models_slot_under_the_device_dimension() {
+        let cache = CharacterizationCache::new();
+        let p = SimPlatform::dl585();
+        let cfg = StorageConfig::paper();
+        let key = cache.key_for(&p, &[]).unwrap();
+        assert!(cache
+            .peek_storage_model(&key, cfg, TransferMode::Write)
+            .is_none());
+        let cold = cache
+            .get_or_storage_model(&p, &modeler(), &[], cfg, TransferMode::Write)
+            .unwrap();
+        assert!(!cold.hit);
+        assert_eq!(cold.key, key, "storage slots share the probe view key");
+        let warm = cache
+            .get_or_storage_model(&p, &modeler(), &[], cfg, TransferMode::Write)
+            .unwrap();
+        assert!(warm.hit);
+        assert!(Arc::ptr_eq(&cold.model, &warm.model));
+        assert!(Arc::ptr_eq(
+            &cache
+                .peek_storage_model(&key, cfg, TransferMode::Write)
+                .unwrap(),
+            &cold.model
+        ));
+        // A different operating point is its own slot under the same key,
+        // and the probe slot map is untouched.
+        let sync = StorageConfig::parse("sync-buffered").unwrap();
+        let other = cache
+            .get_or_storage_model(&p, &modeler(), &[], sync, TransferMode::Write)
+            .unwrap();
+        assert!(!other.hit);
+        assert_eq!(other.key, key);
+        assert_eq!(cache.models_cached(&key), 0, "probe slots untouched");
+        assert_eq!(cache.len(), 1);
+        // Table IV partition, straight off the cached storage model.
+        let classes: Vec<Vec<u16>> = cold
+            .model
+            .classes()
+            .iter()
+            .map(|c| c.nodes.iter().map(|n| n.0).collect())
+            .collect();
+        assert_eq!(classes, vec![vec![6, 7], vec![0, 1, 4, 5], vec![2, 3]]);
+    }
+
+    #[test]
+    fn device_stall_views_derate_cached_storage_models() {
+        let cache = CharacterizationCache::new();
+        let p = SimPlatform::dl585();
+        let cfg = StorageConfig::paper();
+        let base = cache
+            .get_or_storage_model(&p, &modeler(), &[], cfg, TransferMode::Write)
+            .unwrap();
+        let stall = [FaultKind::DeviceStall {
+            device: 1,
+            factor: 0.5,
+        }];
+        let faulted = cache
+            .get_or_storage_model(&p, &modeler(), &stall, cfg, TransferMode::Write)
+            .unwrap();
+        assert_ne!(base.key, faulted.key, "fault views key separately");
+        // One of two cards at 50%: the aggregate keeps 75%.
+        let ratio = faulted.model.node_gbps(NodeId(7)) / base.model.node_gbps(NodeId(7));
+        assert!((ratio - 0.75).abs() < 1e-9, "{ratio}");
     }
 
     #[test]

@@ -98,6 +98,7 @@ impl Client {
         mixes: &[Vec<(u16, u32)>],
     ) -> Result<Vec<f64>, ServeError> {
         match self.call(&Request::PredictBatch {
+            device: None,
             target,
             mode,
             mixes: mixes.to_vec(),

@@ -1,7 +1,7 @@
 //! Typed failures of the serving layer.
 
 use numa_faults::FaultError;
-use numio_core::{AtlasError, PlatformError, RecheckError};
+use numio_core::{AtlasError, PlatformError, RecheckError, StorageError};
 use std::fmt;
 
 /// Everything the serving layer can fail with. Per the workspace's
@@ -18,6 +18,9 @@ pub enum ServeError {
     Fault(FaultError),
     /// A drift re-check against the live backend failed.
     Recheck(RecheckError),
+    /// Producing a storage-tier model failed (no fabric, no SSDs, or the
+    /// underlying probe characterization).
+    Storage(StorageError),
     /// The operation needs a simulator fabric the backend does not expose
     /// (e.g. `place` on a replay or host backend).
     NoFabric {
@@ -68,6 +71,7 @@ impl fmt::Display for ServeError {
             ServeError::Atlas(e) => write!(f, "atlas: {e}"),
             ServeError::Fault(e) => write!(f, "fault view: {e}"),
             ServeError::Recheck(e) => write!(f, "drift recheck: {e}"),
+            ServeError::Storage(e) => write!(f, "storage: {e}"),
             ServeError::NoFabric { label } => write!(
                 f,
                 "backend '{label}' exposes no simulator fabric; `place` needs a sim backend"
@@ -99,6 +103,7 @@ impl std::error::Error for ServeError {
             ServeError::Atlas(e) => Some(e),
             ServeError::Fault(e) => Some(e),
             ServeError::Recheck(e) => Some(e),
+            ServeError::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -125,6 +130,12 @@ impl From<FaultError> for ServeError {
 impl From<RecheckError> for ServeError {
     fn from(e: RecheckError) -> Self {
         ServeError::Recheck(e)
+    }
+}
+
+impl From<StorageError> for ServeError {
+    fn from(e: StorageError) -> Self {
+        ServeError::Storage(e)
     }
 }
 

@@ -64,7 +64,7 @@
 //! let server = spawn(service, "127.0.0.1:0").unwrap();
 //! let mut client = Client::connect(&server.addr().to_string()).unwrap();
 //! // First classify pays the characterization; the repeat is a cache hit.
-//! let req = Request::Classify { node: 2, target: 7, mode: Default::default() };
+//! let req = Request::Classify { device: None, node: 2, target: 7, mode: Default::default() };
 //! client.call(&req).unwrap();
 //! match client.call(&req).unwrap() {
 //!     Response::Classify { class, cached, .. } => {

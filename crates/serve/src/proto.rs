@@ -89,6 +89,12 @@ pub enum Request {
         /// Direction (default write).
         #[serde(default)]
         mode: WireMode,
+        /// Device view: absent/`"probe"` for the memcpy path model,
+        /// `"ssd0"` (or `"ssd0:<engine>-<access>"`) for the storage
+        /// tier. Absent in pre-storage clients, so old wire lines keep
+        /// decoding.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        device: Option<String>,
         /// `(node, access count)` pairs.
         mix: Vec<(u16, u32)>,
     },
@@ -104,6 +110,9 @@ pub enum Request {
         /// Direction (default write).
         #[serde(default)]
         mode: WireMode,
+        /// Device view (see [`Request::Predict::device`]).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        device: Option<String>,
         /// One `(node, access count)` mix per prediction.
         mixes: Vec<Vec<(u16, u32)>>,
     },
@@ -117,6 +126,9 @@ pub enum Request {
         /// Direction (default write).
         #[serde(default)]
         mode: WireMode,
+        /// Device view (see [`Request::Predict::device`]).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        device: Option<String>,
     },
     /// ClassRanked placement of `tasks` unit streams (needs a sim fabric).
     Place {
@@ -399,16 +411,19 @@ mod tests {
     fn requests_round_trip() {
         let reqs = [
             Request::Predict {
+                device: None,
                 target: 7,
                 mode: WireMode::Read,
                 mix: vec![(2, 2), (0, 2)],
             },
             Request::PredictBatch {
+                device: None,
                 target: 7,
                 mode: WireMode::Write,
                 mixes: vec![vec![(2, 2), (0, 2)], vec![(6, 1)]],
             },
             Request::Classify {
+                device: None,
                 node: 2,
                 target: 7,
                 mode: WireMode::Write,
@@ -445,11 +460,36 @@ mod tests {
     }
 
     #[test]
+    fn device_selector_round_trips_and_stays_off_the_wire_when_absent() {
+        // Absent device never serializes — old clients and old servers see
+        // exactly the pre-storage wire format.
+        let req = Request::Classify {
+            device: None,
+            node: 2,
+            target: 7,
+            mode: WireMode::Write,
+        };
+        let line = encode(&req).unwrap();
+        assert!(!line.contains("device"), "{line}");
+        // A storage selector round-trips verbatim.
+        let req = Request::Predict {
+            device: Some("ssd0:sync-buffered".into()),
+            target: 7,
+            mode: WireMode::Write,
+            mix: vec![(6, 1)],
+        };
+        let line = encode(&req).unwrap();
+        assert!(line.contains(r#""device":"ssd0:sync-buffered""#), "{line}");
+        assert_eq!(decode_request(&line).unwrap(), req);
+    }
+
+    #[test]
     fn sparse_requests_fill_paper_defaults() {
         let req = decode_request(r#"{"op":"predict","mix":[[0,1]]}"#).unwrap();
         assert_eq!(
             req,
             Request::Predict {
+                device: None,
                 target: 7,
                 mode: WireMode::Write,
                 mix: vec![(0, 1)]
@@ -459,6 +499,7 @@ mod tests {
         assert_eq!(
             req,
             Request::PredictBatch {
+                device: None,
                 target: 7,
                 mode: WireMode::Write,
                 mixes: vec![vec![(0, 1)], vec![(2, 1), (3, 2)]]
@@ -468,6 +509,7 @@ mod tests {
         assert_eq!(
             req,
             Request::Classify {
+                device: None,
                 node: 3,
                 target: 7,
                 mode: WireMode::Write
@@ -554,6 +596,7 @@ mod tests {
         assert_eq!(Request::Simulate { workload: "batch:n=1".into() }.op(), "simulate");
         assert_eq!(
             Request::PredictBatch {
+                device: None,
                 target: 7,
                 mode: WireMode::Write,
                 mixes: vec![]

@@ -575,6 +575,7 @@ mod tests {
         let mut client = Client::connect(&addr).unwrap();
         assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
         let req = Request::Predict {
+            device: None,
             target: 7,
             mode: WireMode::Write,
             mix: vec![(6, 1), (2, 1)],
@@ -705,6 +706,7 @@ mod tests {
         let n = 16u32;
         for i in 0..n {
             let line = crate::proto::encode(&Request::Predict {
+                device: None,
                 target: 7,
                 mode: WireMode::Write,
                 mix: vec![(6, i + 1)],

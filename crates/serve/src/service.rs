@@ -13,7 +13,7 @@ use numa_obs::{buckets, Counter, FlightRecorder, Histogram, Obs};
 use numa_sched::policy::{ActiveView, SchedContext};
 use numa_sched::{ClassRanked, IoTask, Policy, TaskId};
 use numa_topology::NodeId;
-use numio_core::{IoModeler, IoPerfModel, Platform, TransferMode};
+use numio_core::{DeviceSelector, IoModeler, IoPerfModel, Platform, StorageConfig, TransferMode};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -277,6 +277,58 @@ impl<P: Platform> ModelService<P> {
             }
         }
         let lookup = self.model_view(target, mode)?;
+        Ok((lookup.model, lookup.hit))
+    }
+
+    /// Resolve the model a request addresses: the probe path model by
+    /// default, or — when a `device` selector names the storage tier —
+    /// the SSD model at the named operating point. With a storage
+    /// selector the request's `target` is moot (the SSDs' attach node is
+    /// the target by construction); unknown selectors are a
+    /// [`ServeError::BadRequest`], and storage against a fabric-less
+    /// backend surfaces the typed [`ServeError::Storage`] error.
+    fn device_model(
+        &self,
+        target: u16,
+        mode: WireMode,
+        device: Option<&str>,
+    ) -> Result<(Arc<IoPerfModel>, bool), ServeError> {
+        let selector = match device {
+            None => DeviceSelector::Probe,
+            Some(s) => DeviceSelector::parse(s).ok_or_else(|| ServeError::BadRequest {
+                reason: format!(
+                    "unknown device '{s}' (expected 'probe', 'ssd0', or \
+                     'ssd0:<engine>-<access>', e.g. 'ssd0:sync-buffered')"
+                ),
+            })?,
+        };
+        match selector {
+            DeviceSelector::Probe => self.model_fast(target, mode),
+            DeviceSelector::Ssd(cfg) => self.storage_fast(cfg, mode),
+        }
+    }
+
+    /// The storage-tier [`Self::model_fast`]: peek the warm
+    /// `(config, mode)` slot under the precomputed view key first, fall
+    /// back to the fully traced cold path.
+    fn storage_fast(
+        &self,
+        cfg: StorageConfig,
+        mode: WireMode,
+    ) -> Result<(Arc<IoPerfModel>, bool), ServeError> {
+        let mode = TransferMode::from(mode);
+        {
+            let state = self.read_faults();
+            if let Some(key) = &state.key {
+                if let Some(model) = self.cache.peek_storage_model(key, cfg, mode) {
+                    return Ok((model, true));
+                }
+            }
+        }
+        let faults = self.fault_view();
+        let lookup =
+            self.cache
+                .get_or_storage_model(&self.platform, &self.modeler, &faults, cfg, mode)?;
         Ok((lookup.model, lookup.hit))
     }
 
@@ -546,8 +598,13 @@ impl<P: Platform> ModelService<P> {
                     cached: lookup.hit,
                 })
             }
-            Request::Predict { target, mode, mix } => {
-                let (model, cached) = self.model_fast(*target, *mode)?;
+            Request::Predict {
+                target,
+                mode,
+                device,
+                mix,
+            } => {
+                let (model, cached) = self.device_model(*target, *mode, device.as_deref())?;
                 Ok(Response::Predict {
                     predicted_gbps: predict_pairs(&model, mix)?,
                     target: *target,
@@ -558,6 +615,7 @@ impl<P: Platform> ModelService<P> {
             Request::PredictBatch {
                 target,
                 mode,
+                device,
                 mixes,
             } => {
                 if mixes.is_empty() {
@@ -565,7 +623,7 @@ impl<P: Platform> ModelService<P> {
                         reason: "empty batch".into(),
                     });
                 }
-                let (model, cached) = self.model_fast(*target, *mode)?;
+                let (model, cached) = self.device_model(*target, *mode, device.as_deref())?;
                 self.hot.batch_size.observe(mixes.len() as f64);
                 let mut predicted = Vec::with_capacity(mixes.len());
                 for (i, mix) in mixes.iter().enumerate() {
@@ -584,8 +642,13 @@ impl<P: Platform> ModelService<P> {
                     cached,
                 })
             }
-            Request::Classify { node, target, mode } => {
-                let (model, cached) = self.model_fast(*target, *mode)?;
+            Request::Classify {
+                node,
+                target,
+                mode,
+                device,
+            } => {
+                let (model, cached) = self.device_model(*target, *mode, device.as_deref())?;
                 let class =
                     model
                         .try_class_of(NodeId(*node))
@@ -826,11 +889,13 @@ mod tests {
     fn classify_reproduces_table_iv_from_the_cache() {
         let svc = service();
         let cold = svc.handle(&Request::Classify {
+            device: None,
             node: 2,
             target: 7,
             mode: WireMode::Write,
         });
         let warm = svc.handle(&Request::Classify {
+            device: None,
             node: 2,
             target: 7,
             mode: WireMode::Write,
@@ -856,6 +921,126 @@ mod tests {
                 assert_eq!(*c0, 2, "Table IV: node 2 sits in the starved class");
                 assert_eq!(*n0, 3);
                 assert_eq!(k0, &vec![2, 3]);
+            }
+            other => panic!("unexpected replies: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_with_a_storage_device_reshapes_the_classes() {
+        let svc = service();
+        // Probe model: node 0 sits in the middle class {0, 1, 4, 5}?
+        // No — in Table IV's probe partition node 0 is class 1 of 3; the
+        // storage view keeps the same partition shape on the dl585, so
+        // pin the storage-specific read view instead: node 4 alone at the
+        // bottom (Table V analogue), which the probe read model does NOT
+        // show as a singleton bottom class.
+        let resp = svc.handle(&Request::Classify {
+            node: 4,
+            target: 7,
+            mode: WireMode::Read,
+            device: Some("ssd0".into()),
+        });
+        let Response::Classify {
+            class,
+            classes,
+            class_nodes,
+            cached: false,
+            ..
+        } = resp
+        else {
+            panic!("unexpected reply: {resp:?}");
+        };
+        assert_eq!(class, classes - 1, "node 4 is the bottom storage class");
+        assert_eq!(class_nodes, vec![4]);
+        // Warm repeat serves from the storage slot.
+        let resp = svc.handle(&Request::Classify {
+            node: 4,
+            target: 7,
+            mode: WireMode::Read,
+            device: Some("ssd0".into()),
+        });
+        assert!(
+            matches!(resp, Response::Classify { cached: true, .. }),
+            "{resp:?}"
+        );
+        // `device: "probe"` is the default path, bit-identical to None.
+        let explicit = svc.handle(&Request::Predict {
+            target: 7,
+            mode: WireMode::Write,
+            device: Some("probe".into()),
+            mix: vec![(6, 1), (2, 1)],
+        });
+        let implicit = svc.handle(&Request::Predict {
+            target: 7,
+            mode: WireMode::Write,
+            device: None,
+            mix: vec![(6, 1), (2, 1)],
+        });
+        match (explicit, implicit) {
+            (
+                Response::Predict {
+                    predicted_gbps: a, ..
+                },
+                Response::Predict {
+                    predicted_gbps: b, ..
+                },
+            ) => assert_eq!(a.to_bits(), b.to_bits()),
+            other => panic!("unexpected replies: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_devices_are_error_replies() {
+        let svc = service();
+        for device in ["ssd9", "ssd0:warp9", "nvme0", ""] {
+            let resp = svc.handle(&Request::Classify {
+                node: 0,
+                target: 7,
+                mode: WireMode::Write,
+                device: Some(device.into()),
+            });
+            let Response::Error { message } = resp else {
+                panic!("device '{device}' should fail, got {resp:?}");
+            };
+            assert!(message.contains("unknown device"), "{message}");
+        }
+    }
+
+    #[test]
+    fn storage_predictions_follow_the_device_stall_view() {
+        let svc = service();
+        let mix = vec![(6u16, 1u32), (0, 1)];
+        let base = svc.handle(&Request::Predict {
+            target: 7,
+            mode: WireMode::Write,
+            device: Some("ssd0".into()),
+            mix: mix.clone(),
+        });
+        let plan = FaultPlan::new(5).with(numa_faults::FaultWindow::permanent(
+            FaultKind::DeviceStall {
+                device: 1,
+                factor: 0.5,
+            },
+        ));
+        svc.handle(&Request::SetFaults { plan });
+        let stalled = svc.handle(&Request::Predict {
+            target: 7,
+            mode: WireMode::Write,
+            device: Some("ssd0".into()),
+            mix,
+        });
+        match (base, stalled) {
+            (
+                Response::Predict {
+                    predicted_gbps: b, ..
+                },
+                Response::Predict {
+                    predicted_gbps: s, ..
+                },
+            ) => {
+                let ratio = s / b;
+                assert!((ratio - 0.75).abs() < 1e-9, "one of two cards at 50%: {ratio}");
             }
             other => panic!("unexpected replies: {other:?}"),
         }
@@ -895,6 +1080,7 @@ mod tests {
     fn predict_is_bit_identical_and_cached_on_repeat() {
         let svc = service();
         let req = Request::Predict {
+            device: None,
             target: 7,
             mode: WireMode::Read,
             mix: vec![(2, 2), (0, 2)],
@@ -952,11 +1138,13 @@ mod tests {
         ];
         // Warm the (7, read) model so the batch reply reports cached=true.
         svc.handle(&Request::Predict {
+            device: None,
             target: 7,
             mode: WireMode::Read,
             mix: mixes[0].clone(),
         });
         let resp = svc.handle(&Request::PredictBatch {
+            device: None,
             target: 7,
             mode: WireMode::Read,
             mixes: mixes.clone(),
@@ -972,6 +1160,7 @@ mod tests {
         assert_eq!(predicted_gbps.len(), mixes.len());
         for (mix, batch_p) in mixes.iter().zip(&predicted_gbps) {
             let resp = svc.handle(&Request::Predict {
+                device: None,
                 target: 7,
                 mode: WireMode::Read,
                 mix: mix.clone(),
@@ -989,6 +1178,7 @@ mod tests {
     fn predict_batch_rejects_bad_batches_with_the_mix_index() {
         let svc = service();
         let resp = svc.handle(&Request::PredictBatch {
+            device: None,
             target: 7,
             mode: WireMode::Write,
             mixes: vec![],
@@ -998,6 +1188,7 @@ mod tests {
         };
         assert!(message.contains("empty batch"), "{message}");
         let resp = svc.handle(&Request::PredictBatch {
+            device: None,
             target: 7,
             mode: WireMode::Write,
             mixes: vec![vec![(0, 1)], vec![(99, 1)]],
@@ -1034,26 +1225,31 @@ mod tests {
         let svc = service();
         for req in [
             Request::Predict {
+                device: None,
                 target: 7,
                 mode: WireMode::Write,
                 mix: vec![],
             },
             Request::Predict {
+                device: None,
                 target: 7,
                 mode: WireMode::Write,
                 mix: vec![(0, 0)],
             },
             Request::Predict {
+                device: None,
                 target: 7,
                 mode: WireMode::Write,
                 mix: vec![(99, 1)],
             },
             Request::Classify {
+                device: None,
                 node: 99,
                 target: 7,
                 mode: WireMode::Write,
             },
             Request::Classify {
+                device: None,
                 node: 0,
                 target: 99,
                 mode: WireMode::Write,
@@ -1216,6 +1412,7 @@ mod tests {
             .with_obs(&obs);
         assert_eq!(svc.handle(&Request::Ping), Response::Pong);
         svc.handle(&Request::Classify {
+            device: None,
             node: 6,
             target: 7,
             mode: WireMode::Write,
@@ -1276,6 +1473,7 @@ mod tests {
     fn stats_is_a_one_shot_health_view() {
         let svc = service();
         svc.handle(&Request::Classify {
+            device: None,
             node: 6,
             target: 7,
             mode: WireMode::Write,
@@ -1326,6 +1524,7 @@ mod tests {
         );
         // Now an error reply captures the incident.
         svc.handle(&Request::Predict {
+            device: None,
             target: 7,
             mode: WireMode::Write,
             mix: vec![],
@@ -1357,6 +1556,7 @@ mod tests {
                 .with_modeler(IoModeler::new().reps(3))
                 .with_obs(&obs);
             svc.handle(&Request::Classify {
+                device: None,
                 node: 2,
                 target: 7,
                 mode: WireMode::Write,

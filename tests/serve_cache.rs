@@ -18,6 +18,7 @@ fn eight_concurrent_clients_share_one_characterization() {
     let server = spawn(Arc::clone(&svc), "127.0.0.1:0").unwrap();
     let addr = server.addr().to_string();
     let line = encode(&Request::Predict {
+        device: None,
         target: 7,
         mode: WireMode::Write,
         mix: vec![(6, 2), (2, 1), (0, 1)],
@@ -98,7 +99,7 @@ fn arming_a_fault_plan_over_the_wire_swaps_views_without_flushing() {
     let svc = service(3);
     let server = spawn(Arc::clone(&svc), "127.0.0.1:0").unwrap();
     let mut client = Client::connect(&server.addr().to_string()).unwrap();
-    let predict = Request::Predict { target: 7, mode: WireMode::Write, mix: vec![(6, 1)] };
+    let predict = Request::Predict { device: None, target: 7, mode: WireMode::Write, mix: vec![(6, 1)] };
 
     // Warm the healthy view.
     let healthy = match client.call(&predict).unwrap() {

@@ -18,12 +18,14 @@ fn traced_run() -> String {
     let obs = Obs::with_clock(Box::new(ManualClock::new()));
     let svc = ModelService::new(SimPlatform::dl585()).with_obs(&obs);
     let classify = encode(&Request::Classify {
+        device: None,
         node: 2,
         target: 7,
         mode: WireMode::Write,
     })
     .unwrap();
     let predict = encode(&Request::Predict {
+        device: None,
         target: 7,
         mode: WireMode::Write,
         mix: vec![(2, 1)],
@@ -71,6 +73,7 @@ fn serve_latency_renders_as_a_cumulative_prometheus_histogram() {
     let obs = Obs::new();
     let svc = ModelService::new(SimPlatform::dl585()).with_obs(&obs);
     let classify = encode(&Request::Classify {
+        device: None,
         node: 2,
         target: 7,
         mode: WireMode::Write,

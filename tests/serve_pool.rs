@@ -137,12 +137,14 @@ fn pipelined_bursts_answer_in_request_order() {
     // Warm (target 7, write) so every wire answer is a cache hit and the
     // expected values can be computed locally first.
     svc.handle(&Request::Predict {
+        device: None,
         target: 7,
         mode: WireMode::Write,
         mix: vec![(0, 1)],
     });
     let reqs: Vec<Request> = (0..24)
         .map(|i| Request::Predict {
+            device: None,
             target: 7,
             mode: WireMode::Write,
             mix: vec![
@@ -213,6 +215,7 @@ fn wire_batch_predict_is_bit_identical_to_sequential_predicts() {
     for (i, mix) in mixes.iter().enumerate() {
         match client
             .call(&Request::Predict {
+                device: None,
                 target: 7,
                 mode: WireMode::Write,
                 mix: mix.clone(),
@@ -250,6 +253,7 @@ fn os_thread_count_is_bounded_by_the_pool_not_the_clients() {
     let svc = service(3);
     // Warm so the 32 pings below never characterize.
     svc.handle(&Request::Predict {
+        device: None,
         target: 7,
         mode: WireMode::Write,
         mix: vec![(0, 1)],
